@@ -1,0 +1,35 @@
+# Convenience targets; everything is plain `go` underneath.
+
+GO ?= go
+
+.PHONY: all build vet test test-short bench experiments fuzz clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+bench:
+	$(GO) test -bench=. -benchmem .
+
+# Regenerate every table and figure of the paper's evaluation.
+experiments:
+	$(GO) run ./cmd/pcbench -exp all -trials 3
+
+fuzz:
+	$(GO) test -fuzz FuzzParseDirectives -fuzztime 10s ./internal/core/
+	$(GO) test -fuzz FuzzParseMappings -fuzztime 10s ./internal/core/
+	$(GO) test -fuzz FuzzParseFocus -fuzztime 10s ./internal/resource/
+	$(GO) test -fuzz FuzzSplitPath -fuzztime 10s ./internal/resource/
+
+clean:
+	$(GO) clean -testcache

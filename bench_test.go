@@ -1,0 +1,435 @@
+package repro
+
+import (
+	"fmt"
+	"os"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/app"
+	"repro/internal/core"
+	"repro/internal/harness"
+	"repro/internal/metric"
+	"repro/internal/resource"
+	"repro/internal/sim"
+)
+
+// The benchmarks below regenerate every table and figure of the paper's
+// evaluation section (run with `go test -bench=. -benchmem`). Each prints
+// its rendered table once and reports the headline quantities as custom
+// benchmark metrics, so the paper's rows are visible directly in the
+// bench output.
+
+var printOnce sync.Map
+
+func printTable(name, rendered string) {
+	if _, loaded := printOnce.LoadOrStore(name, true); !loaded {
+		fmt.Fprintf(os.Stdout, "\n%s\n", rendered)
+	}
+}
+
+// BenchmarkTable1Directives regenerates Table 1: time to find 25-100% of
+// the true bottlenecks under each directive variant.
+func BenchmarkTable1Directives(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := harness.Table1(1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printTable("table1", res.Render())
+		base := res.BaseRow.Times[3]
+		for _, r := range res.Rows {
+			if r.Variant == "Priorities & All Prunes" && r.Reached[3] {
+				b.ReportMetric((base-r.Times[3])/base*100, "%reduction-combined")
+			}
+			if r.Variant == "All Prunes Only" && r.Reached[3] {
+				b.ReportMetric((base-r.Times[3])/base*100, "%reduction-prunes")
+			}
+			if r.Variant == "Priorities Only" && r.Reached[3] {
+				b.ReportMetric((base-r.Times[3])/base*100, "%reduction-priorities")
+			}
+		}
+		b.ReportMetric(base, "base-vtime-s")
+	}
+}
+
+// BenchmarkTable2Thresholds regenerates Table 2: the synchronization
+// threshold sweep on the Poisson code.
+func BenchmarkTable2Thresholds(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := harness.Table2(1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printTable("table2", res.Render())
+		for _, r := range res.Rows {
+			if r.Threshold == 0.12 {
+				b.ReportMetric(r.Efficiency, "efficiency@12%")
+			}
+			if r.Threshold == 0.20 {
+				b.ReportMetric(float64(r.Missed), "missed@20%")
+			}
+		}
+	}
+}
+
+// BenchmarkOceanThresholds regenerates the Section 4.2 companion study on
+// the PVM ocean code (optimum near 20%).
+func BenchmarkOceanThresholds(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := harness.OceanThresholds(1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printTable("ocean", res.Render())
+		for _, r := range res.Rows {
+			if r.Threshold == 0.20 {
+				b.ReportMetric(float64(r.Pairs), "pairs@20%")
+			}
+			if r.Threshold == 0.10 {
+				b.ReportMetric(float64(r.Pairs), "pairs@10%")
+			}
+		}
+	}
+}
+
+// BenchmarkTable3CrossVersion regenerates Table 3: diagnosing each
+// application version with directives harvested from every version.
+func BenchmarkTable3CrossVersion(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := harness.Table3(1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printTable("table3", res.Render())
+		worst, best := 0.0, 100.0
+		for _, target := range harness.PoissonVersions {
+			base := res.Cells[target]["None"]
+			for _, src := range harness.PoissonVersions {
+				c := res.Cells[target][src]
+				if !c.Reached || !base.Reached {
+					continue
+				}
+				red := (base.Time - c.Time) / base.Time * 100
+				if red > worst {
+					worst = red
+				}
+				if red < best {
+					best = red
+				}
+			}
+		}
+		b.ReportMetric(best, "%reduction-min")
+		b.ReportMetric(worst, "%reduction-max")
+	}
+}
+
+// BenchmarkTable4Similarity regenerates Table 4: overlap of priority
+// directives extracted from versions A, B and C.
+func BenchmarkTable4Similarity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := harness.Table4()
+		if err != nil {
+			b.Fatal(err)
+		}
+		printTable("table4", res.Render())
+		high := res.Counts["High"]
+		if high["TOTAL"] > 0 {
+			b.ReportMetric(float64(high["A,B,C"])/float64(high["TOTAL"])*100, "%high-common")
+		}
+	}
+}
+
+// BenchmarkCombineDirectives regenerates the Section 4.3 combination
+// study (a1->a2 and A∩B vs A∪B).
+func BenchmarkCombineDirectives(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := harness.CombineStudy()
+		if err != nil {
+			b.Fatal(err)
+		}
+		printTable("combine", res.Render())
+		b.ReportMetric(float64(res.A2New), "a2-new-conclusions")
+		b.ReportMetric(res.AndTime, "and-vtime-s")
+		b.ReportMetric(res.OrTime, "or-vtime-s")
+	}
+}
+
+// BenchmarkFigure1Hierarchies regenerates Figure 1 (resource hierarchies
+// of program Tester).
+func BenchmarkFigure1Hierarchies(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		out, err := harness.Figure1()
+		if err != nil {
+			b.Fatal(err)
+		}
+		printTable("fig1", out)
+		b.ReportMetric(float64(strings.Count(out, "\n")), "lines")
+	}
+}
+
+// BenchmarkFigure2SHG regenerates Figure 2 (a Performance Consultant
+// search in progress, rendered as the Search History Graph).
+func BenchmarkFigure2SHG(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		out, err := harness.Figure2()
+		if err != nil {
+			b.Fatal(err)
+		}
+		printTable("fig2", out)
+		b.ReportMetric(float64(strings.Count(out, "[true]")), "true-nodes")
+	}
+}
+
+// BenchmarkFigure3Mappings regenerates Figure 3 (the combined execution
+// map of versions A and B and the mapping directives).
+func BenchmarkFigure3Mappings(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		out, err := harness.Figure3()
+		if err != nil {
+			b.Fatal(err)
+		}
+		printTable("fig3", out)
+		b.ReportMetric(float64(strings.Count(out, "map /")), "mappings")
+	}
+}
+
+// BenchmarkPostmortemHarvest regenerates the Section 6 extension study:
+// directives harvested from raw trace data with no prior Performance
+// Consultant run.
+func BenchmarkPostmortemHarvest(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := harness.PostmortemStudy()
+		if err != nil {
+			b.Fatal(err)
+		}
+		printTable("postmortem", res.Render())
+		b.ReportMetric(res.AgreeHigh*100, "%high-agreement")
+		if res.PostReached {
+			b.ReportMetric((res.BaseTime-res.PostTime)/res.BaseTime*100, "%reduction-postmortem")
+		}
+	}
+}
+
+// BenchmarkAblation sweeps the design parameters DESIGN.md calls out
+// (cost limit, insertion latency, test interval, sync-probe cost factor).
+func BenchmarkAblation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := harness.Ablation()
+		if err != nil {
+			b.Fatal(err)
+		}
+		printTable("ablation", res.Render())
+		b.ReportMetric(float64(len(res.Rows)), "settings")
+	}
+}
+
+// ---------------------------------------------------------------------
+// Micro-benchmarks for the substrates.
+
+// BenchmarkSimulatorEvents measures raw event throughput of the
+// discrete-event engine on the Poisson C workload.
+func BenchmarkSimulatorEvents(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		a, err := app.Poisson("C", app.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		s, err := a.NewSimulator(sim.DefaultConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := s.RunUntil(100); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(s.EventsProcessed()), "events/run")
+	}
+}
+
+// BenchmarkBaseDiagnosis measures a complete undirected diagnosis of
+// Poisson C (the paper's base case).
+func BenchmarkBaseDiagnosis(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		a, err := app.Poisson("C", app.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := harness.RunSession(a, harness.DefaultSessionConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.EndTime, "vtime-s")
+		b.ReportMetric(float64(res.PairsTested), "pairs")
+	}
+}
+
+// BenchmarkDirectedDiagnosis measures a fully directed re-diagnosis.
+func BenchmarkDirectedDiagnosis(b *testing.B) {
+	a, err := app.Poisson("C", app.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	base, err := harness.RunSession(a, harness.DefaultSessionConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	ds := core.Harvest(base.Record, core.HarvestOptions{GeneralPrunes: true, HistoricPrunes: true, Priorities: true})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a2, err := app.Poisson("C", app.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		cfg := harness.DefaultSessionConfig()
+		cfg.Directives = ds
+		res, err := harness.RunSession(a2, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.EndTime, "vtime-s")
+	}
+}
+
+// BenchmarkHistogramAdd measures time-histogram accumulation.
+func BenchmarkHistogramAdd(b *testing.B) {
+	h, err := metric.NewTimeHistogram(0.5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t := float64(i%100000) * 0.01
+		if err := h.Add(t, t+0.3, 0.3); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFocusRefinement measures focus child generation on a realistic
+// space.
+func BenchmarkFocusRefinement(b *testing.B) {
+	a, err := app.Poisson("C", app.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	sp, err := a.Space()
+	if err != nil {
+		b.Fatal(err)
+	}
+	f := sp.WholeProgram()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		kids := f.AllChildren()
+		if len(kids) == 0 {
+			b.Fatal("no children")
+		}
+	}
+}
+
+// BenchmarkFocusParse measures canonical focus name parsing.
+func BenchmarkFocusParse(b *testing.B) {
+	a, _ := app.Poisson("C", app.Options{})
+	sp, _ := a.Space()
+	name := "</Code/exchng2.f/exchng2,/Machine,/Process/poisson:3,/SyncObject/Message/tag_3_0>"
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := resource.ParseFocus(sp, name); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkHarvest measures directive extraction from a stored record.
+func BenchmarkHarvest(b *testing.B) {
+	a, _ := app.Poisson("C", app.Options{})
+	base, err := harness.RunSession(a, harness.DefaultSessionConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ds := core.Harvest(base.Record, core.HarvestAll())
+		if ds.Len() == 0 {
+			b.Fatal("empty harvest")
+		}
+	}
+}
+
+// BenchmarkInferMappings measures cross-version mapping inference.
+func BenchmarkInferMappings(b *testing.B) {
+	aApp, _ := app.Poisson("A", app.Options{NodeOffset: 1, PidBase: 4000})
+	bApp, _ := app.Poisson("B", app.Options{NodeOffset: 5, PidBase: 4100})
+	as, _ := aApp.Space()
+	bs, _ := bApp.Space()
+	aRes := map[string][]string{}
+	bRes := map[string][]string{}
+	for _, h := range as.Hierarchies() {
+		aRes[h.Name()] = h.Paths()
+	}
+	for _, h := range bs.Hierarchies() {
+		bRes[h.Name()] = h.Paths()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		maps := core.InferMappings(aRes, bRes)
+		if len(maps) == 0 {
+			b.Fatal("no mappings")
+		}
+	}
+}
+
+// BenchmarkSimScaling measures engine throughput as the machine grows: a
+// ring-exchange workload over 4 to 64 processes, 60 virtual seconds each.
+func BenchmarkSimScaling(b *testing.B) {
+	ring := func(nprocs int) [][]sim.Stmt {
+		progs := make([][]sim.Stmt, nprocs)
+		for r := 0; r < nprocs; r++ {
+			next := (r + 1) % nprocs
+			prev := (r - 1 + nprocs) % nprocs
+			iter := []sim.Stmt{
+				sim.Compute{Module: "m", Function: "work", Mean: 0.02 * float64(1+r%4), Jitter: 0.1},
+				sim.Send{Module: "m", Function: "x", Tag: "ring", Dst: next, Bytes: 1024},
+				sim.Recv{Module: "m", Function: "x", Tag: "ring", Src: prev},
+				sim.AllReduce{Module: "m", Function: "red", Tag: "r"},
+			}
+			progs[r] = []sim.Stmt{sim.Loop{Count: -1, Body: iter}}
+		}
+		return progs
+	}
+	for _, nprocs := range []int{4, 16, 64} {
+		nprocs := nprocs
+		b.Run(fmt.Sprintf("procs-%d", nprocs), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				s := sim.New(sim.DefaultConfig())
+				for r, prog := range ring(nprocs) {
+					name := fmt.Sprintf("p%03d", r)
+					if _, err := s.AddProcess(name, "n"+name, prog); err != nil {
+						b.Fatal(err)
+					}
+				}
+				if err := s.RunUntil(60); err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(s.EventsProcessed()), "events/run")
+			}
+		})
+	}
+}
+
+// BenchmarkScaleStudy measures directed vs undirected diagnosis as the
+// machine partition grows (4 to 32 processes).
+func BenchmarkScaleStudy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := harness.ScaleStudy(nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printTable("scale", res.Render())
+		last := res.Rows[len(res.Rows)-1]
+		if last.Reached {
+			b.ReportMetric((last.BaseTime-last.DirectedTime)/last.BaseTime*100, "%reduction-at-max-procs")
+		}
+		b.ReportMetric(float64(last.BasePairs), "base-pairs-at-max-procs")
+	}
+}

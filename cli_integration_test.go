@@ -1,0 +1,123 @@
+package repro
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestCLIPipeline builds every command-line tool and drives the complete
+// workflow the paper describes: diagnose and store a run, harvest
+// directives, re-diagnose under direction, gather a raw trace and harvest
+// from it, query the store, and compare two executions.
+func TestCLIPipeline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	bin := t.TempDir()
+	tools := []string{"pcrun", "pcextract", "pctrace", "pcquery", "pccompare", "pcbench"}
+	for _, tool := range tools {
+		out, err := exec.Command("go", "build", "-o", filepath.Join(bin, tool), "./cmd/"+tool).CombinedOutput()
+		if err != nil {
+			t.Fatalf("build %s: %v\n%s", tool, err, out)
+		}
+	}
+	work := t.TempDir()
+	store := filepath.Join(work, "store")
+	run := func(tool string, args ...string) string {
+		t.Helper()
+		cmd := exec.Command(filepath.Join(bin, tool), args...)
+		out, err := cmd.CombinedOutput()
+		if err != nil {
+			t.Fatalf("%s %s: %v\n%s", tool, strings.Join(args, " "), err, out)
+		}
+		return string(out)
+	}
+
+	// 1. Base diagnoses of two versions, stored.
+	out := run("pcrun", "-app", "poisson", "-version", "A", "-store", store, "-run-id", "base")
+	if !strings.Contains(out, "search quiesced:    true") {
+		t.Fatalf("base run did not quiesce:\n%s", out)
+	}
+	run("pcrun", "-app", "poisson", "-version", "B", "-store", store, "-run-id", "base", "-node-offset", "5")
+
+	// 2. Harvest directives from A mapped toward B, then diagnose B with
+	//    them.
+	dirFile := filepath.Join(work, "a-to-b.txt")
+	out = run("pcextract", "-store", store, "-app", "poisson", "-version", "A", "-run-id", "base",
+		"-map-to", "B:base", "-o", dirFile)
+	if !strings.Contains(out, "wrote") || !strings.Contains(out, "inferred") {
+		t.Fatalf("pcextract output unexpected:\n%s", out)
+	}
+	data, err := os.ReadFile(dirFile)
+	if err != nil || !strings.Contains(string(data), "priority high") {
+		t.Fatalf("directive file malformed: %v\n%s", err, data)
+	}
+	if !strings.Contains(string(data), "nbsweep.f") {
+		t.Fatalf("mapping did not rewrite module names:\n%.400s", data)
+	}
+	out = run("pcrun", "-app", "poisson", "-version", "B", "-node-offset", "5", "-directives", dirFile)
+	if !strings.Contains(out, "bottlenecks found:") {
+		t.Fatalf("directed run output unexpected:\n%s", out)
+	}
+
+	// 3. Raw trace -> postmortem harvest -> directed run.
+	traceFile := filepath.Join(work, "trace.jsonl")
+	run("pctrace", "-app", "poisson", "-version", "C", "-duration", "60", "-o", traceFile)
+	pmFile := filepath.Join(work, "pm.txt")
+	run("pcextract", "-trace", traceFile, "-app", "poisson", "-version", "C", "-o", pmFile)
+	out = run("pcrun", "-app", "poisson", "-version", "C", "-directives", pmFile)
+	if !strings.Contains(out, "search quiesced:    true") {
+		t.Fatalf("postmortem-directed run did not quiesce:\n%s", out)
+	}
+
+	// 4. Query the store.
+	out = run("pcquery", "-store", store, "-app", "poisson", "-list")
+	if !strings.Contains(out, "poisson-A-base") || !strings.Contains(out, "poisson-B-base") {
+		t.Fatalf("pcquery -list:\n%s", out)
+	}
+	out = run("pcquery", "-store", store, "-app", "poisson", "-state", "true", "-min", "0.3")
+	if !strings.Contains(out, "matching results") {
+		t.Fatalf("pcquery results:\n%s", out)
+	}
+	out = run("pcquery", "-store", store, "-app", "poisson", "-persistent", "1")
+	if !strings.Contains(out, "runs") {
+		t.Fatalf("pcquery persistent:\n%s", out)
+	}
+
+	// 5. Compare the two stored executions.
+	out = run("pccompare", "-store", store, "-app", "poisson", "-a", "A:base", "-b", "B:base")
+	if !strings.Contains(out, "run comparison") || !strings.Contains(out, "bottlenecks in both runs") {
+		t.Fatalf("pccompare:\n%s", out)
+	}
+
+	// 6. One figure through pcbench.
+	out = run("pcbench", "-exp", "fig3")
+	if !strings.Contains(out, "map /Code/oned.f /Code/onednb.f") {
+		t.Fatalf("pcbench fig3:\n%s", out)
+	}
+
+	// 7. Most specific bottlenecks of a stored run.
+	out = run("pcquery", "-store", store, "-app", "poisson", "-version", "A", "-run-id", "base", "-specific")
+	if !strings.Contains(out, "most specific bottlenecks") || !strings.Contains(out, "value=") {
+		t.Fatalf("pcquery -specific:\n%s", out)
+	}
+
+	// 8. Diagnosis artifacts: SHG dot, timeline CSV, HTML report.
+	dot := filepath.Join(work, "shg.dot")
+	csv := filepath.Join(work, "timeline.csv")
+	htmlFile := filepath.Join(work, "report.html")
+	run("pcrun", "-app", "seismic", "-dot", dot, "-timeline", csv, "-report", htmlFile)
+	for _, f := range []struct{ path, want string }{
+		{dot, "digraph SHG"},
+		{csv, "time,cpu,sync_wait,io_wait"},
+		{htmlFile, "Where to tune first"},
+	} {
+		data, err := os.ReadFile(f.path)
+		if err != nil || !strings.Contains(string(data), f.want) {
+			t.Fatalf("artifact %s missing %q: %v", f.path, f.want, err)
+		}
+	}
+}

@@ -1,0 +1,101 @@
+// Command pcbench regenerates the paper's evaluation tables and figures.
+//
+// Usage:
+//
+//	pcbench -exp table1|table2|table3|table4|ocean|combine|postmortem|ablation|scale|fig1|fig2|fig3|all
+//	        [-trials N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/internal/harness"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("pcbench: ")
+	exp := flag.String("exp", "all", "experiment to regenerate")
+	trials := flag.Int("trials", 3, "repeated runs per configuration (medians reported)")
+	flag.Parse()
+
+	run := func(name string, f func() (string, error)) {
+		if *exp != "all" && *exp != name {
+			return
+		}
+		out, err := f()
+		if err != nil {
+			log.Fatalf("%s: %v", name, err)
+		}
+		fmt.Println(out)
+	}
+
+	run("fig1", func() (string, error) { return harness.Figure1() })
+	run("fig2", func() (string, error) { return harness.Figure2() })
+	run("fig3", func() (string, error) { return harness.Figure3() })
+	run("table1", func() (string, error) {
+		r, err := harness.Table1(*trials)
+		if err != nil {
+			return "", err
+		}
+		return r.Render(), nil
+	})
+	run("table2", func() (string, error) {
+		r, err := harness.Table2(*trials)
+		if err != nil {
+			return "", err
+		}
+		return r.Render(), nil
+	})
+	run("ocean", func() (string, error) {
+		r, err := harness.OceanThresholds(*trials)
+		if err != nil {
+			return "", err
+		}
+		return r.Render(), nil
+	})
+	run("table3", func() (string, error) {
+		r, err := harness.Table3(*trials)
+		if err != nil {
+			return "", err
+		}
+		return r.Render(), nil
+	})
+	run("table4", func() (string, error) {
+		r, err := harness.Table4()
+		if err != nil {
+			return "", err
+		}
+		return r.Render(), nil
+	})
+	run("combine", func() (string, error) {
+		r, err := harness.CombineStudy()
+		if err != nil {
+			return "", err
+		}
+		return r.Render(), nil
+	})
+	run("postmortem", func() (string, error) {
+		r, err := harness.PostmortemStudy()
+		if err != nil {
+			return "", err
+		}
+		return r.Render(), nil
+	})
+	run("ablation", func() (string, error) {
+		r, err := harness.Ablation()
+		if err != nil {
+			return "", err
+		}
+		return r.Render(), nil
+	})
+	run("scale", func() (string, error) {
+		r, err := harness.ScaleStudy(nil)
+		if err != nil {
+			return "", err
+		}
+		return r.Render(), nil
+	})
+}

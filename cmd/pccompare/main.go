@@ -1,0 +1,69 @@
+// Command pccompare quantitatively compares the diagnoses of two stored
+// executions: which bottlenecks are common (and how their severity
+// shifted), which are unique to one run, and which conclusions flipped —
+// the multi-execution analysis the paper's directive harvesting builds on.
+//
+// Usage:
+//
+//	pccompare -store DIR -app poisson \
+//	          -a VERSION:RUNID -b VERSION:RUNID [-eps 0.02]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/history"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("pccompare: ")
+	var (
+		storeDir = flag.String("store", "", "history store directory (required)")
+		appName  = flag.String("app", "poisson", "application name")
+		aRef     = flag.String("a", "", "first run as VERSION:RUNID (required)")
+		bRef     = flag.String("b", "", "second run as VERSION:RUNID (required)")
+		eps      = flag.Float64("eps", 0.02, "minimum value shift to call a bottleneck improved/worsened")
+	)
+	flag.Parse()
+	if *storeDir == "" || *aRef == "" || *bRef == "" {
+		log.Fatal("-store, -a and -b are required")
+	}
+	st, err := history.NewStore(*storeDir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	load := func(ref string) *history.RunRecord {
+		parts := strings.SplitN(ref, ":", 2)
+		if len(parts) != 2 {
+			log.Fatalf("bad run reference %q (want VERSION:RUNID)", ref)
+		}
+		rec, err := st.Load(*appName, parts[0], parts[1])
+		if err != nil {
+			log.Fatal(err)
+		}
+		return rec
+	}
+	a, b := load(*aRef), load(*bRef)
+	diff, err := core.CompareRuns(a, b)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(diff.Render())
+	if imp := diff.Improved(*eps); len(imp) > 0 {
+		fmt.Printf("\nimproved by more than %.0f%% of execution time (%d):\n", *eps*100, len(imp))
+		for _, p := range imp {
+			fmt.Printf("  %+0.3f  %s %s\n", p.Delta(), p.Hyp, p.Focus)
+		}
+	}
+	if w := diff.Worsened(*eps); len(w) > 0 {
+		fmt.Printf("\nworsened by more than %.0f%% of execution time (%d):\n", *eps*100, len(w))
+		for _, p := range w {
+			fmt.Printf("  %+0.3f  %s %s\n", p.Delta(), p.Hyp, p.Focus)
+		}
+	}
+}

@@ -1,0 +1,163 @@
+// Command pcextract harvests search directives from one or more stored run
+// records and writes them in the directive text format, optionally after
+// combining multiple sources (intersection or union) and inferring
+// resource mappings toward a target run's namespace.
+//
+// Usage:
+//
+//	pcextract -store DIR -app poisson -version A -run-id run1 \
+//	          [-general-prunes] [-historic-prunes] [-false-pair-prunes]
+//	          [-priorities] [-thresholds] [-combine and|or]
+//	          [-map-to VERSION:RUNID] [-o FILE]
+//
+// or, harvesting postmortem from a raw trace file (no Performance
+// Consultant results needed):
+//
+//	pcextract -trace trace.jsonl -app poisson -version C [-o FILE]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/history"
+	"repro/internal/postmortem"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("pcextract: ")
+
+	var (
+		storeDir  = flag.String("store", "", "history store directory (required unless -trace is given)")
+		traceFile = flag.String("trace", "", "harvest postmortem from this raw trace file instead of stored runs")
+		appName   = flag.String("app", "poisson", "application name")
+		version   = flag.String("version", "", "code version of the source run(s)")
+		runIDs    = flag.String("run-id", "run1", "comma-separated run ids to harvest")
+		combine   = flag.String("combine", "and", "how to combine multiple sources: and | or")
+		mapTo     = flag.String("map-to", "", "VERSION:RUNID of a target run; inferred mappings rewrite directives into its namespace")
+		outFile   = flag.String("o", "", "output file (default stdout)")
+		general   = flag.Bool("general-prunes", true, "emit general pruning directives")
+		historic  = flag.Bool("historic-prunes", true, "emit historic pruning directives")
+		falsePair = flag.Bool("false-pair-prunes", false, "prune pairs that tested false")
+		prios     = flag.Bool("priorities", true, "emit priority directives")
+		thresh    = flag.Bool("thresholds", true, "emit threshold directives")
+	)
+	flag.Parse()
+	opt := core.HarvestOptions{
+		GeneralPrunes:   *general,
+		HistoricPrunes:  *historic,
+		FalsePairPrunes: *falsePair,
+		Priorities:      *prios,
+		Thresholds:      *thresh,
+	}
+
+	var ds *core.DirectiveSet
+	if *traceFile != "" {
+		rec, err := harvestTrace(*traceFile, *appName, *version)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ds = core.Harvest(rec, opt)
+		emit(ds, *outFile)
+		return
+	}
+	if *storeDir == "" {
+		log.Fatal("-store is required (or use -trace)")
+	}
+	st, err := history.NewStore(*storeDir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, id := range strings.Split(*runIDs, ",") {
+		rec, err := st.Load(*appName, *version, strings.TrimSpace(id))
+		if err != nil {
+			log.Fatal(err)
+		}
+		h := core.Harvest(rec, opt)
+		if ds == nil {
+			ds = h
+			continue
+		}
+		switch *combine {
+		case "and":
+			ds = core.Intersect(ds, h)
+		case "or":
+			ds = core.Union(ds, h)
+		default:
+			log.Fatalf("unknown -combine %q (want and|or)", *combine)
+		}
+	}
+	if ds == nil {
+		log.Fatal("no source runs")
+	}
+
+	if *mapTo != "" {
+		parts := strings.SplitN(*mapTo, ":", 2)
+		if len(parts) != 2 {
+			log.Fatalf("bad -map-to %q (want VERSION:RUNID)", *mapTo)
+		}
+		target, err := st.Load(*appName, parts[0], parts[1])
+		if err != nil {
+			log.Fatal(err)
+		}
+		src, err := st.Load(*appName, *version, strings.TrimSpace(strings.Split(*runIDs, ",")[0]))
+		if err != nil {
+			log.Fatal(err)
+		}
+		maps := core.InferMappings(src.Resources, target.Resources)
+		ds, err = core.ApplyMappings(ds, maps)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "inferred %d mappings:\n%s", len(maps), core.FormatMappings(maps))
+	}
+
+	emit(ds, *outFile)
+}
+
+// emit writes the directive set to the output file or stdout.
+func emit(ds *core.DirectiveSet, outFile string) {
+	out := os.Stdout
+	if outFile != "" {
+		f, err := os.Create(outFile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		out = f
+	}
+	if err := core.WriteDirectives(out, ds); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %d directives (%d prunes, %d priorities, %d thresholds)\n",
+		ds.Len(), len(ds.Prunes), len(ds.Priorities), len(ds.Thresholds))
+}
+
+// harvestTrace evaluates the hypotheses postmortem over a raw trace file
+// and returns a run record for the ordinary harvester. The execution's
+// resources and processes are reconstructed from the trace itself.
+func harvestTrace(path, appName, version string) (*history.RunRecord, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	rec, err := postmortem.ReadTrace(f)
+	if err != nil {
+		return nil, err
+	}
+	space, procs, err := rec.InferExecution()
+	if err != nil {
+		return nil, err
+	}
+	ev, err := postmortem.NewEvaluator(space, procs, rec, 0)
+	if err != nil {
+		return nil, err
+	}
+	return ev.BuildRecord(appName, version, "trace", nil)
+}

@@ -1,0 +1,123 @@
+// Command pcquery queries the multi-execution performance data store:
+// list stored runs, select (hypothesis : focus) outcomes across runs, and
+// report the bottlenecks that persist across a whole tuning study.
+//
+// Usage:
+//
+//	pcquery -store DIR -app poisson [-version C] [-list]
+//	        [-hyp NAME] [-focus SUBSTRING] [-state true|false] [-min 0.2]
+//	        [-persistent N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/history"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("pcquery: ")
+	var (
+		storeDir   = flag.String("store", "", "history store directory (required)")
+		appName    = flag.String("app", "poisson", "application name")
+		version    = flag.String("version", "", "code version filter (empty = all)")
+		list       = flag.Bool("list", false, "list stored run records and exit")
+		hyp        = flag.String("hyp", "", "hypothesis name filter")
+		focus      = flag.String("focus", "", "focus substring filter")
+		state      = flag.String("state", "true", "state filter: true | false | '' (any concluded) | *")
+		minValue   = flag.Float64("min", 0, "minimum measured value")
+		persistent = flag.Int("persistent", 0, "report pairs true in at least N runs, then exit")
+		specific   = flag.Bool("specific", false, "report only the most specific bottlenecks of one run (requires -version and -run-id)")
+		runID      = flag.String("run-id", "run1", "run id for -specific")
+		limit      = flag.Int("limit", 25, "maximum results to print")
+	)
+	flag.Parse()
+	if *storeDir == "" {
+		log.Fatal("-store is required")
+	}
+	st, err := history.NewStore(*storeDir)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if *list {
+		names, err := st.List()
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, n := range names {
+			fmt.Println(n)
+		}
+		return
+	}
+
+	if *specific {
+		rec, err := st.Load(*appName, *version, *runID)
+		if err != nil {
+			log.Fatal(err)
+		}
+		out := core.MostSpecificBottlenecks(rec)
+		fmt.Printf("most specific bottlenecks of %s-%s/%s (%d of %d true pairs):\n",
+			*appName, *version, *runID, len(out), rec.TrueCount)
+		for i, nr := range out {
+			if i == *limit {
+				break
+			}
+			fmt.Printf("  value=%.3f  %s %s\n", nr.Value, nr.Hyp, nr.Focus)
+		}
+		return
+	}
+
+	if *persistent > 0 {
+		counts, err := st.PersistentBottlenecks(*appName, *version, *persistent)
+		if err != nil {
+			log.Fatal(err)
+		}
+		type kc struct {
+			key string
+			n   int
+		}
+		var out []kc
+		for k, n := range counts {
+			out = append(out, kc{k, n})
+		}
+		sort.Slice(out, func(i, j int) bool {
+			if out[i].n != out[j].n {
+				return out[i].n > out[j].n
+			}
+			return out[i].key < out[j].key
+		})
+		fmt.Printf("bottlenecks true in >= %d runs of %s:\n", *persistent, *appName)
+		for _, x := range out {
+			fmt.Printf("  %2d runs  %s\n", x.n, x.key)
+		}
+		return
+	}
+
+	hits, err := st.Query(*appName, *version, history.ResultFilter{
+		Hyp:           *hyp,
+		FocusContains: *focus,
+		State:         *state,
+		MinValue:      *minValue,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%d matching results", len(hits))
+	if len(hits) > *limit {
+		fmt.Printf(" (showing %d)", *limit)
+	}
+	fmt.Println()
+	for i, h := range hits {
+		if i == *limit {
+			break
+		}
+		fmt.Printf("  %-10s value=%.3f [%s] %s %s\n",
+			h.Version+"/"+h.RunID, h.Result.Value, h.Result.State, h.Result.Hyp, h.Result.Focus)
+	}
+}

@@ -1,0 +1,167 @@
+// Command pcrun performs one online automated performance diagnosis of a
+// synthetic application, optionally guided by search directives harvested
+// from earlier runs, and optionally saves the run record to a history
+// store.
+//
+// Usage:
+//
+//	pcrun -app poisson -version C [-directives FILE] [-mappings FILE]
+//	      [-store DIR] [-run-id ID] [-max-time SECONDS] [-shg] [-v]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/app"
+	"repro/internal/consultant"
+	"repro/internal/core"
+	"repro/internal/harness"
+	"repro/internal/history"
+	"repro/internal/report"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("pcrun: ")
+
+	var (
+		appName    = flag.String("app", "poisson", "application: poisson | ocean | tester | seismic")
+		version    = flag.String("version", "C", "poisson code version: A | B | C | D")
+		dirFile    = flag.String("directives", "", "search directive file (prune/priority/threshold lines)")
+		mapFile    = flag.String("mappings", "", "resource mapping file (map <from> <to> lines)")
+		storeDir   = flag.String("store", "", "history store directory; when set, the run record is saved")
+		runID      = flag.String("run-id", "run1", "record identifier within the store")
+		maxTime    = flag.Float64("max-time", 50_000, "virtual time bound on the diagnosis (seconds)")
+		nodeOffset = flag.Int("node-offset", 1, "first machine node number (models differently named nodes)")
+		showSHG    = flag.Bool("shg", false, "print the final Search History Graph")
+		dotFile    = flag.String("dot", "", "write the Search History Graph in Graphviz dot format to this file")
+		timeline   = flag.String("timeline", "", "write the whole-run cpu/sync/io timeline as CSV to this file")
+		reportFile = flag.String("report", "", "write a self-contained HTML report of the diagnosis to this file")
+		extended   = flag.Bool("extended", false, "use the extended hypothesis tree (message-rate and message-volume sub-hypotheses)")
+		depthFirst = flag.Bool("depth-first", false, "drill into children of recent true conclusions first")
+		window     = flag.Float64("window", 0, "draw conclusions from only the most recent N seconds of data (0 = cumulative)")
+		verbose    = flag.Bool("v", false, "print every bottleneck with its report time")
+	)
+	flag.Parse()
+
+	a, err := buildApp(*appName, *version, app.Options{NodeOffset: *nodeOffset})
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := harness.DefaultSessionConfig()
+	cfg.MaxTime = *maxTime
+	cfg.RunID = *runID
+	if *extended {
+		cfg.Hypotheses = consultant.ExtendedHypotheses()
+	}
+	if *timeline != "" || *reportFile != "" {
+		cfg.TimelineBinWidth = 1.0
+	}
+	if *depthFirst {
+		cfg.PC.Policy = consultant.DepthFirst
+	}
+	cfg.PC.RecencyWindow = *window
+	if *dirFile != "" {
+		f, err := os.Open(*dirFile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ds, err := core.ParseDirectives(f)
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg.Directives = ds
+	}
+	if *mapFile != "" {
+		f, err := os.Open(*mapFile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		maps, err := core.ParseMappings(f)
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg.Mappings = maps
+	}
+
+	res, err := harness.RunSession(a, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("application:        %s (%d processes)\n", a.FullName(), a.NProcs())
+	fmt.Printf("search quiesced:    %v (virtual t=%.1fs)\n", res.Quiesced, res.EndTime)
+	fmt.Printf("pairs instrumented: %d\n", res.PairsTested)
+	fmt.Printf("SHG nodes:          %d\n", res.Consultant.SHG().Len())
+	fmt.Printf("bottlenecks found:  %d\n", len(res.Bottlenecks))
+	fmt.Printf("cost stalls:        %d\n", res.Consultant.StallEvents())
+	if res.SkippedDirectives > 0 {
+		fmt.Printf("skipped directives: %d (unmapped resources)\n", res.SkippedDirectives)
+	}
+	if *verbose {
+		fmt.Println("\nbottlenecks (report order):")
+		for _, b := range res.Bottlenecks {
+			fmt.Printf("  t=%8.1fs  value=%.3f  %s %s\n", b.FoundAt, b.Value, b.Hyp, b.Focus)
+		}
+	}
+	if *showSHG {
+		fmt.Println("\nSearch History Graph:")
+		fmt.Print(res.Consultant.SHG().Render())
+	}
+	if *dotFile != "" {
+		if err := os.WriteFile(*dotFile, []byte(res.Consultant.SHG().DOT()), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("SHG written to %s\n", *dotFile)
+	}
+	if *timeline != "" {
+		if err := os.WriteFile(*timeline, []byte(res.Timeline.CSV()), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("timeline written to %s\n", *timeline)
+	}
+	if *reportFile != "" {
+		rep, err := report.FromSession(res, 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		html, err := rep.HTML()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(*reportFile, []byte(html), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("HTML report written to %s\n", *reportFile)
+	}
+	if *storeDir != "" {
+		st, err := history.NewStore(*storeDir)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := st.Save(res.Record); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("record saved to %s\n", st.Dir())
+	}
+}
+
+func buildApp(name, version string, opt app.Options) (*app.App, error) {
+	switch name {
+	case "poisson":
+		return app.Poisson(version, opt)
+	case "ocean":
+		return app.Ocean(opt)
+	case "tester":
+		return app.Tester(opt)
+	case "seismic":
+		return app.Seismic(opt)
+	default:
+		return nil, fmt.Errorf("unknown application %q (want poisson, ocean, tester or seismic)", name)
+	}
+}

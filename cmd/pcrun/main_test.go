@@ -1,0 +1,34 @@
+package main
+
+import (
+	"testing"
+
+	"repro/internal/app"
+)
+
+func TestBuildApp(t *testing.T) {
+	for _, c := range []struct {
+		name, version string
+		procs         int
+	}{
+		{"poisson", "A", 4},
+		{"poisson", "D", 8},
+		{"ocean", "", 4},
+		{"tester", "", 4},
+	} {
+		a, err := buildApp(c.name, c.version, app.Options{})
+		if err != nil {
+			t.Errorf("buildApp(%s,%s): %v", c.name, c.version, err)
+			continue
+		}
+		if a.NProcs() != c.procs {
+			t.Errorf("%s-%s procs = %d, want %d", c.name, c.version, a.NProcs(), c.procs)
+		}
+	}
+	if _, err := buildApp("nonesuch", "", app.Options{}); err == nil {
+		t.Error("unknown app accepted")
+	}
+	if _, err := buildApp("poisson", "Z", app.Options{}); err == nil {
+		t.Error("unknown version accepted")
+	}
+}

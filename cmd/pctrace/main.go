@@ -1,0 +1,77 @@
+// Command pctrace runs a synthetic application under a passive trace
+// recorder — no Performance Consultant, no instrumentation perturbation —
+// and writes the full activity trace in the line-JSON trace format that
+// pcextract's postmortem mode consumes. It models gathering data with a
+// different monitoring tool.
+//
+// Usage:
+//
+//	pctrace -app poisson -version C -duration 120 -o trace.jsonl
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/app"
+	"repro/internal/postmortem"
+	"repro/internal/sim"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("pctrace: ")
+	var (
+		appName    = flag.String("app", "poisson", "application: poisson | ocean | tester | seismic")
+		version    = flag.String("version", "C", "poisson code version: A | B | C | D")
+		duration   = flag.Float64("duration", 120, "virtual seconds to trace")
+		nodeOffset = flag.Int("node-offset", 1, "first machine node number")
+		outFile    = flag.String("o", "", "trace output file (default stdout)")
+	)
+	flag.Parse()
+
+	a, err := buildApp(*appName, *version, app.Options{NodeOffset: *nodeOffset})
+	if err != nil {
+		log.Fatal(err)
+	}
+	out := os.Stdout
+	if *outFile != "" {
+		f, err := os.Create(*outFile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		out = f
+	}
+	s, err := a.NewSimulator(sim.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	tw := postmortem.NewTraceWriter(out)
+	s.AddObserver(tw)
+	if err := s.RunUntil(*duration); err != nil {
+		log.Fatal(err)
+	}
+	if err := tw.Flush(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "traced %s for %.1f virtual seconds: %d intervals\n",
+		a.FullName(), *duration, tw.Intervals())
+}
+
+func buildApp(name, version string, opt app.Options) (*app.App, error) {
+	switch name {
+	case "poisson":
+		return app.Poisson(version, opt)
+	case "ocean":
+		return app.Ocean(opt)
+	case "tester":
+		return app.Tester(opt)
+	case "seismic":
+		return app.Seismic(opt)
+	default:
+		return nil, fmt.Errorf("unknown application %q (want poisson, ocean, tester or seismic)", name)
+	}
+}

@@ -1,0 +1,112 @@
+// Mapping demonstrates the paper's Section 3.2 and Figure 3: resources
+// change names between executions (renamed modules and functions across
+// code versions, different machine nodes and process IDs across runs), so
+// search directives must be mapped into the new execution's namespace
+// before the Performance Consultant can use them.
+//
+//	go run ./examples/mapping
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"repro"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// Build versions A (blocking 1-D) and B (non-blocking 1-D). Between
+	// them, oned.f became onednb.f, sweep.f/sweep1d became
+	// nbsweep.f/nbsweep, and exchng1.f/exchng1 became
+	// nbexchng.f/nbexchng1 — the paper's Figure 3 renames.
+	aApp, err := repro.PoissonApp("A", repro.AppOptions{NodeOffset: 1, PidBase: 4000})
+	if err != nil {
+		log.Fatal(err)
+	}
+	bApp, err := repro.PoissonApp("B", repro.AppOptions{NodeOffset: 5, PidBase: 4100})
+	if err != nil {
+		log.Fatal(err)
+	}
+	resourcesOf := func(a *repro.Application) map[string][]string {
+		sp, err := a.Space()
+		if err != nil {
+			log.Fatal(err)
+		}
+		out := map[string][]string{}
+		for _, h := range sp.Hierarchies() {
+			out[h.Name()] = h.Paths()
+		}
+		return out
+	}
+	aRes, bRes := resourcesOf(aApp), resourcesOf(bApp)
+
+	// The execution map: which Code resources are unique to each version.
+	fmt.Println("combined execution map (Code hierarchy):")
+	inA, inB := map[string]bool{}, map[string]bool{}
+	for _, p := range aRes["Code"] {
+		inA[p] = true
+	}
+	for _, p := range bRes["Code"] {
+		inB[p] = true
+	}
+	for _, p := range aRes["Code"] {
+		tag := 3
+		if !inB[p] {
+			tag = 1
+		}
+		fmt.Printf("  [%d] %s\n", tag, p)
+	}
+	for _, p := range bRes["Code"] {
+		if !inA[p] {
+			fmt.Printf("  [2] %s\n", p)
+		}
+	}
+
+	// Infer the mappings automatically (name-similarity pairing of the
+	// unique resources) and show them in the paper's input-file format.
+	maps := repro.InferMappings(aRes, bRes)
+	fmt.Println("\ninferred mapping directives:")
+	for _, m := range maps {
+		fmt.Printf("  map %s %s\n", m.From, m.To)
+	}
+
+	// Harvest directives from a run of A and map them into B's namespace.
+	base, err := repro.RunDiagnosis(aApp, repro.DefaultSessionConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	ds := repro.Harvest(base.Record, repro.HarvestOptions{Priorities: true})
+	mapped, err := repro.ApplyMappings(ds, maps)
+	if err != nil {
+		log.Fatal(err)
+	}
+	moved := 0
+	for i := range ds.Priorities {
+		if ds.Priorities[i].Focus != mapped.Priorities[i].Focus {
+			moved++
+		}
+	}
+	fmt.Printf("\nharvested %d priority directives from a run of A; %d were rewritten for B\n",
+		len(ds.Priorities), moved)
+	for i := range ds.Priorities {
+		if ds.Priorities[i].Focus != mapped.Priorities[i].Focus && strings.Contains(ds.Priorities[i].Focus, "sweep") {
+			fmt.Printf("  e.g. %s\n    -> %s\n", ds.Priorities[i].Focus, mapped.Priorities[i].Focus)
+			break
+		}
+	}
+
+	// The mapped directives now parse against B's resource space: run B
+	// with them.
+	cfg := repro.DefaultSessionConfig()
+	cfg.Directives = ds
+	cfg.Mappings = maps
+	res, err := repro.RunDiagnosis(bApp, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ndirected diagnosis of B with A's mapped directives: %d bottlenecks at virtual t=%.1fs (skipped %d unmappable directives)\n",
+		len(res.Bottlenecks), res.EndTime, res.SkippedDirectives)
+}

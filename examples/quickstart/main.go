@@ -1,0 +1,65 @@
+// Quickstart: diagnose a parallel application once, harvest search
+// directives from the run, and watch the directed re-diagnosis find the
+// same bottlenecks several times faster.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// 1. Build the paper's 2-D Poisson solver (version C, four
+	//    processes) and run the stock "single button" Performance
+	//    Consultant on it.
+	a, err := repro.PoissonApp("C", repro.AppOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := repro.DefaultSessionConfig()
+	cfg.RunID = "base"
+	base, err := repro.RunDiagnosis(a, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("base diagnosis: %d bottlenecks, %d pairs instrumented, done at virtual t=%.1fs\n",
+		len(base.Bottlenecks), base.PairsTested, base.EndTime)
+	fmt.Println("\nfirst bottlenecks reported:")
+	for i, b := range base.Bottlenecks {
+		if i == 5 {
+			break
+		}
+		fmt.Printf("  t=%6.1fs  value=%.2f  %s %s\n", b.FoundAt, b.Value, b.Hyp, b.Focus)
+	}
+
+	// 2. Harvest historical knowledge from the run: general prunes,
+	//    historic prunes (insignificant functions, redundant machine
+	//    hierarchy) and priorities (true pairs high, false pairs low).
+	ds := repro.Harvest(base.Record, repro.HarvestAll())
+	fmt.Printf("\nharvested %d directives (%d prunes, %d priorities, %d thresholds)\n",
+		ds.Len(), len(ds.Prunes), len(ds.Priorities), len(ds.Thresholds))
+
+	// 3. Re-diagnose the application with the directives guiding the
+	//    search.
+	a2, err := repro.PoissonApp("C", repro.AppOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg = repro.DefaultSessionConfig()
+	cfg.RunID = "directed"
+	cfg.Directives = ds
+	directed, err := repro.RunDiagnosis(a2, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ndirected diagnosis: %d bottlenecks, %d pairs instrumented, done at virtual t=%.1fs\n",
+		len(directed.Bottlenecks), directed.PairsTested, directed.EndTime)
+	fmt.Printf("diagnosis time reduced by %.0f%%\n",
+		(base.EndTime-directed.EndTime)/base.EndTime*100)
+}

@@ -1,0 +1,103 @@
+// Tuningcycle replays the paper's Section 4.3 scenario: a developer tunes
+// an application through four code versions (A: 1-D blocking, B: 1-D
+// non-blocking, C: 2-D decomposition, D: the same code on 8 nodes), and
+// every new version is diagnosed with search directives harvested from the
+// previous version's run, carried across the renamed modules, functions,
+// machine nodes and process IDs by inferred resource mappings.
+//
+//	go run ./examples/tuningcycle
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"repro"
+)
+
+// options gives every version distinct node names and PIDs, so directives
+// never transfer without mapping — the situation the paper's Section 3.2
+// addresses.
+func options(version string) repro.AppOptions {
+	switch version {
+	case "A":
+		return repro.AppOptions{NodeOffset: 1, PidBase: 4000}
+	case "B":
+		return repro.AppOptions{NodeOffset: 5, PidBase: 4100}
+	case "C":
+		return repro.AppOptions{NodeOffset: 9, PidBase: 4200}
+	default:
+		return repro.AppOptions{NodeOffset: 17, PidBase: 4300}
+	}
+}
+
+func main() {
+	log.SetFlags(0)
+	dir, err := os.MkdirTemp("", "pchist-store-")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	store, err := repro.NewStore(dir)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	harvest := repro.HarvestOptions{GeneralPrunes: true, HistoricPrunes: true, Priorities: true}
+	var prev *repro.RunRecord
+
+	for _, version := range []string{"A", "B", "C", "D"} {
+		a, err := repro.PoissonApp(version, options(version))
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg := repro.DefaultSessionConfig()
+		cfg.RunID = "cycle"
+
+		// Diagnose the new version with directives from the previous one.
+		if prev != nil {
+			ds := repro.Harvest(prev, harvest)
+			// The current version's resource names differ; infer the
+			// mapping from the previous run's resources.
+			sp, err := a.Space()
+			if err != nil {
+				log.Fatal(err)
+			}
+			cur := map[string][]string{}
+			for _, h := range sp.Hierarchies() {
+				cur[h.Name()] = h.Paths()
+			}
+			maps := repro.InferMappings(prev.Resources, cur)
+			cfg.Directives = ds
+			cfg.Mappings = maps
+			fmt.Printf("version %s: diagnosing with %d directives from version %s (%d mappings)\n",
+				version, ds.Len(), prev.Version, len(maps))
+		} else {
+			fmt.Printf("version %s: first contact, no historical knowledge\n", version)
+		}
+
+		res, err := repro.RunDiagnosis(a, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  -> %d bottlenecks, %d pairs instrumented, diagnosis complete at virtual t=%.1fs\n",
+			len(res.Bottlenecks), res.PairsTested, res.EndTime)
+		if len(res.Bottlenecks) > 0 {
+			top := res.Bottlenecks[0]
+			fmt.Printf("  first report: %s %s (value %.2f)\n", top.Hyp, top.Focus, top.Value)
+		}
+
+		// Store this run; the next version harvests from it.
+		if err := store.Save(res.Record); err != nil {
+			log.Fatal(err)
+		}
+		prev = res.Record
+	}
+
+	names, err := store.List()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nhistory store now holds %d run records: %v\n", len(names), names)
+}

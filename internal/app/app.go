@@ -1,0 +1,176 @@
+// Package app defines the synthetic parallel applications used to evaluate
+// the directed Performance Consultant. They stand in for the paper's MPI
+// 2-D Poisson solver versions A-D (Gropp et al., "Using MPI" ch. 4), the
+// PVM ocean-circulation code, and the "Tester" program of Figure 1.
+//
+// Each App carries per-process phase programs for the simulator plus
+// enough structure to build the Paradyn resource hierarchies (Code,
+// Machine, Process, SyncObject) for an execution.
+package app
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/resource"
+	"repro/internal/sim"
+)
+
+// ProcSpec describes one process of an application.
+type ProcSpec struct {
+	Name string
+	Node string
+	Prog []sim.Stmt
+}
+
+// App is a runnable synthetic application.
+type App struct {
+	Name    string // application name, e.g. "poisson"
+	Version string // code version, e.g. "A".."D"; may be empty
+	Procs   []ProcSpec
+}
+
+// Options parameterize an application build. Different NodeOffset or
+// PidBase values model re-running on differently named machine nodes or
+// with different process IDs, which is what makes resource mapping
+// necessary across runs.
+type Options struct {
+	NodeOffset   int     // first machine node number (default 1)
+	PidBase      int     // if > 0, process names carry synthetic PIDs
+	ComputeScale float64 // scales all compute phases (default 1)
+	Iterations   int     // main loop iterations; <= 0 means run forever
+	// Procs overrides the application's default process count where the
+	// workload supports it (Poisson C/D accept any power of two from 4
+	// to 64, modelling larger partitions of the machine).
+	Procs int
+}
+
+func (o Options) normalize() Options {
+	if o.NodeOffset <= 0 {
+		o.NodeOffset = 1
+	}
+	if o.ComputeScale <= 0 {
+		o.ComputeScale = 1
+	}
+	if o.Iterations == 0 {
+		o.Iterations = -1
+	}
+	return o
+}
+
+// NProcs returns the number of processes.
+func (a *App) NProcs() int { return len(a.Procs) }
+
+// FullName returns "name" or "name-version".
+func (a *App) FullName() string {
+	if a.Version == "" {
+		return a.Name
+	}
+	return a.Name + "-" + a.Version
+}
+
+// NewSimulator builds a simulator with every process registered and the
+// programs validated.
+func (a *App) NewSimulator(cfg sim.Config) (*sim.Simulator, error) {
+	s := sim.New(cfg)
+	for _, ps := range a.Procs {
+		if err := sim.Validate(ps.Prog, len(a.Procs)); err != nil {
+			return nil, fmt.Errorf("app %s proc %s: %w", a.FullName(), ps.Name, err)
+		}
+		if _, err := s.AddProcess(ps.Name, ps.Node, ps.Prog); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// Space builds the resource hierarchies for this application by walking
+// every process's program: Code from (module, function) pairs, Machine
+// from node names, Process from process names, SyncObject from message
+// tags.
+func (a *App) Space() (*resource.Space, error) {
+	sp := resource.NewStandardSpace()
+	type mf struct{ m, f string }
+	seenMF := map[mf]bool{}
+	seenTag := map[string]bool{}
+	var addMF func(m, f string)
+	addMF = func(m, f string) {
+		if m == "" || f == "" {
+			return
+		}
+		seenMF[mf{m, f}] = true
+	}
+	var walk func(prog []sim.Stmt)
+	walk = func(prog []sim.Stmt) {
+		for _, st := range prog {
+			switch s := st.(type) {
+			case sim.Compute:
+				addMF(s.Module, s.Function)
+			case sim.IO:
+				addMF(s.Module, s.Function)
+			case sim.Send:
+				addMF(s.Module, s.Function)
+				seenTag[s.Tag] = true
+			case sim.Recv:
+				addMF(s.Module, s.Function)
+				seenTag[s.Tag] = true
+			case sim.AllReduce:
+				addMF(s.Module, s.Function)
+				seenTag[s.Tag] = true
+			case sim.Barrier:
+				addMF(s.Module, s.Function)
+				seenTag[s.Tag] = true
+			case sim.Loop:
+				walk(s.Body)
+			}
+		}
+	}
+	for _, ps := range a.Procs {
+		walk(ps.Prog)
+		if _, err := sp.Add("/" + resource.HierProcess + "/" + ps.Name); err != nil {
+			return nil, err
+		}
+		if _, err := sp.Add("/" + resource.HierMachine + "/" + ps.Node); err != nil {
+			return nil, err
+		}
+	}
+	mfs := make([]mf, 0, len(seenMF))
+	for k := range seenMF {
+		mfs = append(mfs, k)
+	}
+	sort.Slice(mfs, func(i, j int) bool {
+		if mfs[i].m != mfs[j].m {
+			return mfs[i].m < mfs[j].m
+		}
+		return mfs[i].f < mfs[j].f
+	})
+	for _, k := range mfs {
+		if _, err := sp.Add("/" + resource.HierCode + "/" + k.m + "/" + k.f); err != nil {
+			return nil, err
+		}
+	}
+	tags := make([]string, 0, len(seenTag))
+	for t := range seenTag {
+		tags = append(tags, t)
+	}
+	sort.Strings(tags)
+	for _, t := range tags {
+		if _, err := sp.Add("/" + resource.HierSyncObject + "/Message/" + t); err != nil {
+			return nil, err
+		}
+	}
+	return sp, nil
+}
+
+// procName builds a process name, optionally carrying a synthetic PID so
+// that successive runs need resource mapping (as in the paper).
+func procName(base string, rank int, opt Options) string {
+	if opt.PidBase > 0 {
+		return fmt.Sprintf("%s:%d", base, opt.PidBase+rank)
+	}
+	return fmt.Sprintf("%s:%d", base, rank+1)
+}
+
+func nodeName(prefix string, rank int, opt Options) string {
+	return fmt.Sprintf("%s%02d", prefix, opt.NodeOffset+rank)
+}

@@ -1,0 +1,321 @@
+package app
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/resource"
+	"repro/internal/sim"
+)
+
+func TestPoissonVersionsBuild(t *testing.T) {
+	for _, v := range []string{"A", "B", "C", "D"} {
+		a, err := Poisson(v, Options{})
+		if err != nil {
+			t.Fatalf("Poisson(%s): %v", v, err)
+		}
+		wantProcs := 4
+		if v == "D" {
+			wantProcs = 8
+		}
+		if a.NProcs() != wantProcs {
+			t.Errorf("%s: NProcs = %d, want %d", v, a.NProcs(), wantProcs)
+		}
+		if a.FullName() != "poisson-"+v {
+			t.Errorf("FullName = %q", a.FullName())
+		}
+		if _, err := a.NewSimulator(sim.DefaultConfig()); err != nil {
+			t.Errorf("%s: NewSimulator: %v", v, err)
+		}
+	}
+	if _, err := Poisson("Z", Options{}); err == nil {
+		t.Error("unknown version accepted")
+	}
+}
+
+func TestPoissonModuleNamesFollowFigure3(t *testing.T) {
+	// The paper's Figure 3: version A uses oned.f/sweep.f/exchng1.f,
+	// version B uses onednb.f/nbsweep.f/nbexchng.f.
+	cases := map[string][]string{
+		"A": {"/Code/oned.f/main", "/Code/sweep.f/sweep1d", "/Code/exchng1.f/exchng1", "/Code/decomp.f/decomp1d"},
+		"B": {"/Code/onednb.f/main", "/Code/nbsweep.f/nbsweep", "/Code/nbexchng.f/nbexchng1"},
+		"C": {"/Code/twod.f/main", "/Code/sweep2d.f/sweep2d", "/Code/exchng2.f/exchng2", "/Code/decomp.f/decomp2d"},
+	}
+	for v, paths := range cases {
+		a, err := Poisson(v, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sp, err := a.Space()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range paths {
+			if _, ok := sp.Find(p); !ok {
+				t.Errorf("version %s: missing resource %s", v, p)
+			}
+		}
+	}
+}
+
+func TestPoissonDSharesCCode(t *testing.T) {
+	c, _ := Poisson("C", Options{})
+	d, _ := Poisson("D", Options{})
+	cs, _ := c.Space()
+	dsp, _ := d.Space()
+	ch, _ := cs.Hierarchy(resource.HierCode)
+	dh, _ := dsp.Hierarchy(resource.HierCode)
+	cPaths := strings.Join(ch.Paths(), "\n")
+	dPaths := strings.Join(dh.Paths(), "\n")
+	if cPaths != dPaths {
+		t.Error("versions C and D should run the same code")
+	}
+}
+
+func TestPoissonTags(t *testing.T) {
+	a, _ := Poisson("C", Options{})
+	sp, _ := a.Space()
+	for _, tag := range []string{TagGather, TagShiftUp, TagShiftDown} {
+		if _, ok := sp.Find("/SyncObject/Message/" + tag); !ok {
+			t.Errorf("missing tag resource %s", tag)
+		}
+	}
+}
+
+func TestOptionsControlNaming(t *testing.T) {
+	a, _ := Poisson("C", Options{NodeOffset: 9, PidBase: 4200})
+	if a.Procs[0].Name != "poisson:4200" {
+		t.Errorf("proc name = %q", a.Procs[0].Name)
+	}
+	if a.Procs[0].Node != "sp09" {
+		t.Errorf("node name = %q", a.Procs[0].Node)
+	}
+	b, _ := Poisson("C", Options{})
+	if b.Procs[0].Name != "poisson:1" || b.Procs[0].Node != "sp01" {
+		t.Errorf("default naming = %q on %q", b.Procs[0].Name, b.Procs[0].Node)
+	}
+}
+
+// runApp executes the app for the given virtual time and returns its
+// simulator.
+func runApp(t *testing.T, a *App, until float64) *sim.Simulator {
+	t.Helper()
+	s, err := a.NewSimulator(sim.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RunUntil(until); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestPoissonCIsSyncDominated(t *testing.T) {
+	// The paper's Section 4.2 workload characterization: the application
+	// is strongly dominated by synchronization waiting time; the
+	// late-grid processes (3 and 4) wait more than processes 1 and 2.
+	a, _ := Poisson("C", Options{})
+	s := runApp(t, a, 120)
+	procs := s.Processes()
+	var cpu, sync, io float64
+	waitFrac := make([]float64, len(procs))
+	for i, p := range procs {
+		cpu += p.Total(sim.KindCPU)
+		sync += p.Total(sim.KindSyncWait)
+		io += p.Total(sim.KindIOWait)
+		elapsed := p.Total(sim.KindCPU) + p.Total(sim.KindSyncWait) + p.Total(sim.KindIOWait)
+		waitFrac[i] = p.Total(sim.KindSyncWait) / elapsed
+	}
+	total := cpu + sync + io
+	if sync/total < 0.40 {
+		t.Errorf("sync fraction = %.2f, want the workload sync-dominated", sync/total)
+	}
+	if !(waitFrac[2] > waitFrac[0] && waitFrac[3] > waitFrac[0] && waitFrac[2] > waitFrac[1] && waitFrac[3] > waitFrac[1]) {
+		t.Errorf("wait fractions = %.2f; processes 3,4 should wait more than 1,2", waitFrac)
+	}
+	if waitFrac[2] < 0.5 || waitFrac[3] < 0.5 {
+		t.Errorf("late processes should be dominated by waiting: %.2f", waitFrac)
+	}
+}
+
+func TestPoissonBFasterThanA(t *testing.T) {
+	// Non-blocking version B overlaps communication with computation, so
+	// a fixed iteration count finishes no slower than blocking version A.
+	aApp, _ := Poisson("A", Options{Iterations: 100})
+	bApp, _ := Poisson("B", Options{Iterations: 100})
+	sa := runApp(t, aApp, 10_000)
+	sb := runApp(t, bApp, 10_000)
+	if !sa.Done() || !sb.Done() {
+		t.Fatal("bounded runs did not finish")
+	}
+	endA, endB := 0.0, 0.0
+	for _, p := range sa.Processes() {
+		if p.FinishedAt() > endA {
+			endA = p.FinishedAt()
+		}
+	}
+	for _, p := range sb.Processes() {
+		if p.FinishedAt() > endB {
+			endB = p.FinishedAt()
+		}
+	}
+	if endB > endA*1.02 {
+		t.Errorf("non-blocking B (%.2fs) slower than blocking A (%.2fs)", endB, endA)
+	}
+}
+
+func TestTesterIsCPUBound(t *testing.T) {
+	a, err := Tester(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := runApp(t, a, 60)
+	var cpu, total float64
+	for _, p := range s.Processes() {
+		cpu += p.Total(sim.KindCPU)
+		total += p.Total(sim.KindCPU) + p.Total(sim.KindSyncWait) + p.Total(sim.KindIOWait)
+	}
+	if cpu/total < 0.5 {
+		t.Errorf("tester cpu fraction = %.2f, want CPU-bound", cpu/total)
+	}
+}
+
+func TestTesterSpaceMatchesFigure1(t *testing.T) {
+	a, _ := Tester(Options{})
+	sp, _ := a.Space()
+	for _, p := range []string{
+		"/Code/testutil.C/printstatus",
+		"/Code/testutil.C/verifya",
+		"/Code/testutil.C/verifyb",
+		"/Code/main.C/main",
+		"/Code/vect.c/vect::addel",
+		"/Code/vect.c/vect::findel",
+		"/Code/vect.c/vect::print",
+		"/Process/Tester:2",
+	} {
+		if _, ok := sp.Find(p); !ok {
+			t.Errorf("missing Figure 1 resource %s", p)
+		}
+	}
+}
+
+func TestOceanRunsAndHasModerateSync(t *testing.T) {
+	a, err := Ocean(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := runApp(t, a, 60)
+	var cpu, sync, io, total float64
+	for _, p := range s.Processes() {
+		cpu += p.Total(sim.KindCPU)
+		sync += p.Total(sim.KindSyncWait)
+		io += p.Total(sim.KindIOWait)
+	}
+	total = cpu + sync + io
+	if sync/total < 0.15 || sync/total > 0.75 {
+		t.Errorf("ocean sync fraction = %.2f, want moderate", sync/total)
+	}
+	if io <= 0 {
+		t.Error("ocean should perform periodic I/O")
+	}
+}
+
+func TestBoundedIterationsTerminate(t *testing.T) {
+	a, _ := Poisson("C", Options{Iterations: 10})
+	s := runApp(t, a, 10_000)
+	if !s.Done() {
+		t.Error("bounded poisson did not terminate")
+	}
+}
+
+func TestSpaceCollectsProcsAndNodes(t *testing.T) {
+	a, _ := Poisson("D", Options{NodeOffset: 17, PidBase: 4300})
+	sp, _ := a.Space()
+	mh, _ := sp.Hierarchy(resource.HierMachine)
+	ph, _ := sp.Hierarchy(resource.HierProcess)
+	if mh.Size() != 9 { // root + 8 nodes
+		t.Errorf("machine hierarchy size = %d", mh.Size())
+	}
+	if ph.Size() != 9 {
+		t.Errorf("process hierarchy size = %d", ph.Size())
+	}
+	if _, ok := sp.Find("/Machine/sp24"); !ok {
+		t.Error("missing node sp24")
+	}
+}
+
+func TestSeismicIsIOBound(t *testing.T) {
+	a, err := Seismic(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := runApp(t, a, 60)
+	var cpu, sync, io float64
+	for _, p := range s.Processes() {
+		cpu += p.Total(sim.KindCPU)
+		sync += p.Total(sim.KindSyncWait)
+		io += p.Total(sim.KindIOWait)
+	}
+	total := cpu + sync + io
+	if io/total < 0.35 {
+		t.Errorf("seismic io fraction = %.2f, want I/O-dominated", io/total)
+	}
+	if io <= cpu {
+		t.Error("I/O should exceed compute")
+	}
+	// The barrier tag is a discovered SyncObject resource.
+	sp, _ := a.Space()
+	if _, ok := sp.Find("/SyncObject/Message/" + TagSeismicBar); !ok {
+		t.Error("barrier tag missing from the resource space")
+	}
+	if _, ok := sp.Find("/Code/panelio.f/readpanel"); !ok {
+		t.Error("panel reader missing from the Code hierarchy")
+	}
+}
+
+func TestPoissonCWorkloadCharacterization(t *testing.T) {
+	// The paper's Section 4.2 prose: waiting dominated by function
+	// exchng2 with main second, the wait split across the three message
+	// tags, and the gather tag smaller than the boundary-exchange tags at
+	// the whole-program view.
+	a, _ := Poisson("C", Options{})
+	s, err := a.NewSimulator(sim.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	type key struct{ fn, tag string }
+	sync := map[key]float64{}
+	var totalSync, total float64
+	s.AddObserver(observerFunc(func(iv sim.Interval) {
+		total += iv.Duration()
+		if iv.Kind == sim.KindSyncWait {
+			totalSync += iv.Duration()
+			sync[key{iv.Function, ""}] += iv.Duration()
+			sync[key{"", iv.Tag}] += iv.Duration()
+		}
+	}))
+	if err := s.RunUntil(120); err != nil {
+		t.Fatal(err)
+	}
+	exchng := sync[key{"exchng2", ""}]
+	mainFn := sync[key{"main", ""}]
+	if exchng <= mainFn {
+		t.Errorf("exchng2 wait (%.1f) should dominate main (%.1f)", exchng, mainFn)
+	}
+	if exchng/totalSync < 0.4 {
+		t.Errorf("exchng2 share of waiting = %.2f, want dominant", exchng/totalSync)
+	}
+	if mainFn/totalSync < 0.05 {
+		t.Errorf("main share of waiting = %.2f, want significant", mainFn/totalSync)
+	}
+	// All three tags carry real waiting.
+	for _, tag := range []string{TagGather, TagShiftUp, TagShiftDown} {
+		if share := sync[key{"", tag}] / totalSync; share < 0.03 {
+			t.Errorf("tag %s share = %.2f, want non-trivial", tag, share)
+		}
+	}
+}
+
+type observerFunc func(sim.Interval)
+
+func (f observerFunc) OnInterval(iv sim.Interval) { f(iv) }

@@ -1,0 +1,95 @@
+package app
+
+import "repro/internal/sim"
+
+// Ocean message tags.
+const (
+	TagOceanUp   = "tag_ex_u"
+	TagOceanDown = "tag_ex_d"
+	TagOceanG    = "tag_gather"
+)
+
+// Ocean builds the PVM-style ocean circulation model used in the paper's
+// earlier threshold study (Section 4.2): four processes on SPARC-class
+// nodes, a milder load imbalance than the Poisson code, and periodic
+// checkpoint I/O. Its optimal synchronization threshold sits near 20%
+// (versus 12% for the Poisson code), demonstrating that useful thresholds
+// are application-specific.
+func Ocean(opt Options) (*App, error) {
+	opt = opt.normalize()
+	nprocs := 4
+	load := []float64{0.26, 0.23, 0.19, 0.15}
+	a := &App{Name: "ocean", Version: ""}
+	for r := 0; r < nprocs; r++ {
+		var prog []sim.Stmt
+		prog = append(prog,
+			sim.IO{Module: "ocean.f", Function: "init", Mean: 0.08, Jitter: 0.1},
+			sim.Compute{Module: "ocean.f", Function: "init", Mean: 0.03},
+		)
+		var iter []sim.Stmt
+		iter = append(iter, sim.Compute{Module: "ocean.f", Function: "step", Mean: load[r] * opt.ComputeScale, Jitter: 0.08})
+		iter = append(iter, oceanExchange(r, nprocs)...)
+		iter = append(iter, oceanGather(r, nprocs)...)
+		// Checkpoint I/O every tenth iteration, rank 0 writes the log.
+		ckpt := []sim.Stmt{sim.IO{Module: "io.f", Function: "checkpoint", Mean: 0.04, Jitter: 0.2}}
+		if r == 0 {
+			ckpt = append(ckpt, sim.IO{Module: "io.f", Function: "writelog", Mean: 0.01})
+		}
+		body := []sim.Stmt{sim.Loop{Count: 9, Body: iter}}
+		body = append(body, iter...)
+		body = append(body, ckpt...)
+		prog = append(prog, sim.Loop{Count: opt.Iterations, Body: body})
+		a.Procs = append(a.Procs, ProcSpec{
+			Name: procName("ocean", r, opt),
+			Node: nodeName("sparc", r, opt),
+			Prog: prog,
+		})
+	}
+	return a, nil
+}
+
+func oceanExchange(r, nprocs int) []sim.Stmt {
+	mod, fn := "comm.f", "exchange"
+	var out []sim.Stmt
+	sendUp := sim.Send{Module: mod, Function: fn, Tag: TagOceanUp, Dst: r + 1, Bytes: 4096, Blocking: true}
+	recvUp := sim.Recv{Module: mod, Function: fn, Tag: TagOceanUp, Src: r - 1}
+	sendDown := sim.Send{Module: mod, Function: fn, Tag: TagOceanDown, Dst: r - 1, Bytes: 4096, Blocking: true}
+	recvDown := sim.Recv{Module: mod, Function: fn, Tag: TagOceanDown, Src: r + 1}
+	if r%2 == 0 {
+		if r+1 < nprocs {
+			out = append(out, sendUp)
+		}
+		if r-1 >= 0 {
+			out = append(out, recvUp, sendDown)
+		}
+		if r+1 < nprocs {
+			out = append(out, recvDown)
+		}
+	} else {
+		out = append(out, recvUp)
+		if r+1 < nprocs {
+			out = append(out, sendUp, recvDown)
+		}
+		out = append(out, sendDown)
+	}
+	return out
+}
+
+func oceanGather(r, nprocs int) []sim.Stmt {
+	mod, fn := "comm.f", "gather"
+	if r == 0 {
+		var out []sim.Stmt
+		for src := 1; src < nprocs; src++ {
+			out = append(out, sim.Recv{Module: mod, Function: fn, Tag: TagOceanG, Src: src})
+		}
+		out = append(out, sim.Compute{Module: "ocean.f", Function: "step", Mean: 0.004})
+		for dst := 1; dst < nprocs; dst++ {
+			out = append(out, sim.Send{Module: mod, Function: fn, Tag: TagOceanG, Dst: dst, Bytes: 32, Blocking: true})
+		}
+		return out
+	}
+	return []sim.Stmt{
+		sim.Send{Module: mod, Function: fn, Tag: TagOceanG, Dst: 0, Bytes: 32, Blocking: true},
+		sim.Recv{Module: mod, Function: fn, Tag: TagOceanG, Src: 0},
+	}
+}

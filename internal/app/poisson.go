@@ -1,0 +1,278 @@
+package app
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Message tags shared by all Poisson versions (the paper's 3/0, 3/1 and
+// 3/-1, spelled to be legal resource labels).
+const (
+	TagGather    = "tag_3_0"  // convergence gather/scatter in main
+	TagShiftUp   = "tag_3_1"  // boundary shift toward higher ranks
+	TagShiftDown = "tag_3_m1" // boundary shift toward lower ranks
+)
+
+const boundaryBytes = 8192
+const gatherBytes = 64
+
+// sweepLoad returns the per-iteration compute seconds for each rank. The
+// imbalance (ranks 0-1 heavy, later ranks light) is what makes the
+// application synchronization-dominated: light ranks spend most of their
+// time waiting for heavy ranks at exchange and convergence points.
+func sweepLoad(nprocs int, scale float64) []float64 {
+	base4 := []float64{0.30, 0.22, 0.05, 0.035}
+	base8 := []float64{0.30, 0.22, 0.09, 0.07, 0.06, 0.05, 0.04, 0.03}
+	var base []float64
+	switch nprocs {
+	case 4:
+		base = base4
+	case 8:
+		base = base8
+	default:
+		// Larger partitions keep the same pattern: the first quarter of
+		// the grid heavy and the rest progressively lighter, so the
+		// application stays synchronization-dominated at any scale.
+		base = make([]float64, nprocs)
+		for i := range base {
+			switch {
+			case i == 0:
+				base[i] = 0.30
+			case i < nprocs/4:
+				base[i] = 0.22
+			default:
+				base[i] = 0.09 - 0.06*float64(i-nprocs/4)/float64(nprocs-nprocs/4)
+			}
+		}
+	}
+	out := make([]float64, nprocs)
+	for i := range out {
+		out[i] = base[i] * scale
+	}
+	return out
+}
+
+// poissonNames holds the per-version module and function names, following
+// the paper's Figure 3: version A's oned.f/sweep.f/exchng1.f become
+// version B's onednb.f/nbsweep.f/nbexchng.f, and versions C/D use the 2-D
+// names.
+type poissonNames struct {
+	mainMod, mainFn     string
+	diffFn, setupFn     string
+	sweepMod, sweepFn   string
+	exchMod, exchFn     string
+	decompMod, decompFn string
+}
+
+var poissonNamesByVersion = map[string]poissonNames{
+	"A": {"oned.f", "main", "diff1d", "setup", "sweep.f", "sweep1d", "exchng1.f", "exchng1", "decomp.f", "decomp1d"},
+	"B": {"onednb.f", "main", "diff1d", "setup", "nbsweep.f", "nbsweep", "nbexchng.f", "nbexchng1", "decomp.f", "decomp1d"},
+	"C": {"twod.f", "main", "diff2d", "setup", "sweep2d.f", "sweep2d", "exchng2.f", "exchng2", "decomp.f", "decomp2d"},
+	"D": {"twod.f", "main", "diff2d", "setup", "sweep2d.f", "sweep2d", "exchng2.f", "exchng2", "decomp.f", "decomp2d"},
+}
+
+// Poisson builds one of the paper's four application versions:
+//
+//	A: 1-D decomposition, blocking send/receive, 4 processes
+//	B: 1-D decomposition, non-blocking send, 4 processes
+//	C: 2-D decomposition, blocking, 4 processes
+//	D: the same code as C across 8 processes
+func Poisson(version string, opt Options) (*App, error) {
+	opt = opt.normalize()
+	names, ok := poissonNamesByVersion[version]
+	if !ok {
+		return nil, errUnknownVersion(version)
+	}
+	nprocs := 4
+	if version == "D" {
+		nprocs = 8
+	}
+	if opt.Procs > 0 {
+		if version != "C" && version != "D" {
+			return nil, fmt.Errorf("app: custom process counts are only supported for the 2-D versions C and D")
+		}
+		if opt.Procs < 4 || opt.Procs > 64 || opt.Procs&(opt.Procs-1) != 0 {
+			return nil, fmt.Errorf("app: Procs must be a power of two in [4,64], got %d", opt.Procs)
+		}
+		nprocs = opt.Procs
+	}
+	load := sweepLoad(nprocs, opt.ComputeScale)
+	a := &App{Name: "poisson", Version: version}
+	for r := 0; r < nprocs; r++ {
+		var prog []sim.Stmt
+		prog = append(prog, setupPhase(names, opt)...)
+		var iter []sim.Stmt
+		iter = append(iter, sim.Compute{Module: names.sweepMod, Function: names.sweepFn, Mean: load[r], Jitter: 0.08})
+		switch version {
+		case "A":
+			iter = append(iter, chainExchange(names, r, nprocs, true)...)
+		case "B":
+			iter = append(iter, chainExchange(names, r, nprocs, false)...)
+		default: // C, D
+			iter = append(iter, gridExchange(names, r, nprocs)...)
+		}
+		iter = append(iter, convergenceCheck(names, r, nprocs)...)
+		iter = append(iter, utilityWork()...)
+		prog = append(prog, sim.Loop{Count: opt.Iterations, Body: iter})
+		a.Procs = append(a.Procs, ProcSpec{
+			Name: procName("poisson", r, opt),
+			Node: nodeName("sp", r, opt),
+			Prog: prog,
+		})
+	}
+	return a, nil
+}
+
+func setupPhase(n poissonNames, opt Options) []sim.Stmt {
+	return []sim.Stmt{
+		sim.IO{Module: n.mainMod, Function: n.setupFn, Mean: 0.05, Jitter: 0.1},
+		sim.Compute{Module: n.decompMod, Function: n.decompFn, Mean: 0.01},
+		sim.Compute{Module: n.mainMod, Function: n.setupFn, Mean: 0.02},
+		sim.Compute{Module: "init.f", Function: "initguess", Mean: 0.01},
+		sim.Compute{Module: "init.f", Function: "setbc", Mean: 0.005},
+	}
+}
+
+// utilityWork is the per-iteration chaff: small, frequently executed
+// helper functions whose negligible cost makes them prime targets for the
+// historic pruning directives (the paper's "small, infrequently executed
+// functions" example).
+func utilityWork() []sim.Stmt {
+	return []sim.Stmt{
+		sim.Compute{Module: "util.f", Function: "clock", Mean: 0.0004},
+		sim.Compute{Module: "util.f", Function: "logmsg", Mean: 0.0004},
+		sim.Compute{Module: "util.f", Function: "timer", Mean: 0.0003},
+		sim.Compute{Module: "blas.f", Function: "daxpy", Mean: 0.0012},
+		sim.Compute{Module: "blas.f", Function: "ddot", Mean: 0.0008},
+		sim.Compute{Module: "blas.f", Function: "dscal", Mean: 0.0005},
+		sim.Compute{Module: "mesh.f", Function: "stencil", Mean: 0.0015},
+		sim.Compute{Module: "mesh.f", Function: "jacobian", Mean: 0.0010},
+	}
+}
+
+// chainExchange is the 1-D boundary exchange: shift up (TagShiftUp) then
+// shift down (TagShiftDown) along the process chain. Even ranks send
+// first; odd ranks receive first, which avoids rendezvous deadlock.
+// Blocking selects version A's blocking operators; otherwise sends are
+// eager (non-blocking) and posted before the receive, giving version B's
+// overlap.
+func chainExchange(n poissonNames, r, nprocs int, blocking bool) []sim.Stmt {
+	mod, fn := n.exchMod, n.exchFn
+	var out []sim.Stmt
+	up := func() []sim.Stmt { // shift toward higher ranks
+		var s []sim.Stmt
+		sendUp := sim.Send{Module: mod, Function: fn, Tag: TagShiftUp, Dst: r + 1, Bytes: boundaryBytes, Blocking: blocking}
+		recvLow := sim.Recv{Module: mod, Function: fn, Tag: TagShiftUp, Src: r - 1}
+		if r%2 == 0 {
+			if r+1 < nprocs {
+				s = append(s, sendUp)
+			}
+			if r-1 >= 0 {
+				s = append(s, recvLow)
+			}
+		} else {
+			if r-1 >= 0 {
+				s = append(s, recvLow)
+			}
+			if r+1 < nprocs {
+				s = append(s, sendUp)
+			}
+		}
+		return s
+	}
+	down := func() []sim.Stmt { // shift toward lower ranks
+		var s []sim.Stmt
+		sendDown := sim.Send{Module: mod, Function: fn, Tag: TagShiftDown, Dst: r - 1, Bytes: boundaryBytes, Blocking: blocking}
+		recvHigh := sim.Recv{Module: mod, Function: fn, Tag: TagShiftDown, Src: r + 1}
+		if r%2 == 0 {
+			if r-1 >= 0 {
+				s = append(s, sendDown)
+			}
+			if r+1 < nprocs {
+				s = append(s, recvHigh)
+			}
+		} else {
+			if r+1 < nprocs {
+				s = append(s, recvHigh)
+			}
+			if r-1 >= 0 {
+				s = append(s, sendDown)
+			}
+		}
+		return s
+	}
+	if blocking {
+		out = append(out, up()...)
+		out = append(out, down()...)
+		return out
+	}
+	// Non-blocking: post both sends eagerly, then receive.
+	if r+1 < nprocs {
+		out = append(out, sim.Send{Module: mod, Function: fn, Tag: TagShiftUp, Dst: r + 1, Bytes: boundaryBytes})
+	}
+	if r-1 >= 0 {
+		out = append(out, sim.Send{Module: mod, Function: fn, Tag: TagShiftDown, Dst: r - 1, Bytes: boundaryBytes})
+	}
+	if r-1 >= 0 {
+		out = append(out, sim.Recv{Module: mod, Function: fn, Tag: TagShiftUp, Src: r - 1})
+	}
+	if r+1 < nprocs {
+		out = append(out, sim.Recv{Module: mod, Function: fn, Tag: TagShiftDown, Src: r + 1})
+	}
+	return out
+}
+
+// gridExchange is the 2-D boundary exchange used by versions C and D:
+// a horizontal pair exchange on TagShiftUp (partner r^1) and a vertical
+// pair exchange on TagShiftDown (partner r^2 for 4 procs, r^4 for 8).
+// Within a pair the lower rank sends first, the higher receives first.
+func gridExchange(n poissonNames, r, nprocs int) []sim.Stmt {
+	mod, fn := n.exchMod, n.exchFn
+	// Vertical partner pairs the two halves of the (power-of-two) grid.
+	vmask := nprocs / 2
+	var out []sim.Stmt
+	out = append(out, pairExchange(mod, fn, TagShiftUp, r, r^1)...)
+	out = append(out, pairExchange(mod, fn, TagShiftDown, r, r^vmask)...)
+	return out
+}
+
+// pairExchange emits a blocking two-way exchange between r and partner:
+// the lower rank sends then receives; the higher receives then sends.
+func pairExchange(mod, fn, tag string, r, partner int) []sim.Stmt {
+	send := sim.Send{Module: mod, Function: fn, Tag: tag, Dst: partner, Bytes: boundaryBytes, Blocking: true}
+	recv := sim.Recv{Module: mod, Function: fn, Tag: tag, Src: partner}
+	if r < partner {
+		return []sim.Stmt{send, recv}
+	}
+	return []sim.Stmt{recv, send}
+}
+
+// convergenceCheck is the per-iteration global difference check in main:
+// every non-root rank sends its local residual to rank 0 on TagGather and
+// waits for the continue flag; rank 0 collects, evaluates, and replies.
+// This is the source of the paper's "significant waiting in main".
+func convergenceCheck(n poissonNames, r, nprocs int) []sim.Stmt {
+	mod := n.mainMod
+	var out []sim.Stmt
+	out = append(out, sim.Compute{Module: mod, Function: n.diffFn, Mean: 0.008, Jitter: 0.1})
+	if r == 0 {
+		for src := 1; src < nprocs; src++ {
+			out = append(out, sim.Recv{Module: mod, Function: n.mainFn, Tag: TagGather, Src: src})
+		}
+		out = append(out, sim.Compute{Module: mod, Function: n.mainFn, Mean: 0.035, Jitter: 0.1})
+		for dst := 1; dst < nprocs; dst++ {
+			out = append(out, sim.Send{Module: mod, Function: n.mainFn, Tag: TagGather, Dst: dst, Bytes: gatherBytes, Blocking: true})
+		}
+		return out
+	}
+	out = append(out,
+		sim.Send{Module: mod, Function: n.mainFn, Tag: TagGather, Dst: 0, Bytes: gatherBytes, Blocking: true},
+		sim.Recv{Module: mod, Function: n.mainFn, Tag: TagGather, Src: 0},
+	)
+	return out
+}
+
+type errUnknownVersion string
+
+func (e errUnknownVersion) Error() string { return "app: unknown poisson version " + string(e) }

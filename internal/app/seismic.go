@@ -1,0 +1,56 @@
+package app
+
+import "repro/internal/sim"
+
+// Seismic message and barrier tags.
+const (
+	TagSeismicHalo = "tag_halo"
+	TagSeismicBar  = "barrier_step"
+)
+
+// Seismic builds an I/O-bound parallel workload in the style of 1990s
+// seismic data processing: every iteration each process reads a large
+// trace panel from disk (the dominant cost), filters it, exchanges halos
+// with its neighbor, and synchronizes at a barrier before the next panel.
+// Rank 0 additionally writes a result panel. Its diagnosis is dominated
+// by the ExcessiveIOBlockingTime hypothesis, exercising the search path
+// the Poisson and ocean codes leave cold.
+func Seismic(opt Options) (*App, error) {
+	opt = opt.normalize()
+	nprocs := 4
+	// Mild I/O imbalance: rank 3's disk is slower.
+	ioLoad := []float64{0.14, 0.14, 0.15, 0.22}
+	a := &App{Name: "seismic", Version: ""}
+	for r := 0; r < nprocs; r++ {
+		var iter []sim.Stmt
+		iter = append(iter,
+			sim.IO{Module: "panelio.f", Function: "readpanel", Mean: ioLoad[r] * opt.ComputeScale, Jitter: 0.15},
+			sim.Compute{Module: "filter.f", Function: "bandpass", Mean: 0.06, Jitter: 0.1},
+			sim.Compute{Module: "filter.f", Function: "stack", Mean: 0.03, Jitter: 0.1},
+		)
+		// Halo exchange with the right neighbor (ring, eager sends).
+		next := (r + 1) % nprocs
+		prev := (r - 1 + nprocs) % nprocs
+		iter = append(iter,
+			sim.Send{Module: "halo.f", Function: "exchange", Tag: TagSeismicHalo, Dst: next, Bytes: 2048},
+			sim.Recv{Module: "halo.f", Function: "exchange", Tag: TagSeismicHalo, Src: prev},
+		)
+		if r == 0 {
+			iter = append(iter, sim.IO{Module: "panelio.f", Function: "writepanel", Mean: 0.05, Jitter: 0.1})
+		}
+		iter = append(iter,
+			sim.Barrier{Module: "driver.f", Function: "step", Tag: TagSeismicBar},
+			sim.Compute{Module: "util.f", Function: "clock", Mean: 0.0004},
+		)
+		prog := []sim.Stmt{
+			sim.IO{Module: "panelio.f", Function: "openfiles", Mean: 0.1, Jitter: 0.1},
+			sim.Loop{Count: opt.Iterations, Body: iter},
+		}
+		a.Procs = append(a.Procs, ProcSpec{
+			Name: procName("seismic", r, opt),
+			Node: nodeName("io", r, opt),
+			Prog: prog,
+		})
+	}
+	return a, nil
+}

@@ -1,0 +1,42 @@
+package app
+
+import "repro/internal/sim"
+
+// Tester builds the CPU-bound example program of the paper's Figure 1:
+// four processes Tester:1..Tester:4 on CPU_1..CPU_4 with code resources
+// main.C/main, testutil.C/{printstatus,verifya,verifyb} and
+// vect.c/{vect::addel,vect::findel,vect::print}. It is CPU-bound (the
+// Figure 2 search finds CPUbound true and the synchronization and I/O
+// hypotheses false), with verifya the dominant function and Tester:2 the
+// hot process.
+func Tester(opt Options) (*App, error) {
+	opt = opt.normalize()
+	nprocs := 4
+	// Tester:2 (rank 1) carries the heaviest verification load; the
+	// imbalance is kept mild so the program stays CPU-bound (the
+	// synchronization and I/O hypotheses test false, as in Figure 2).
+	verifyLoad := []float64{0.16, 0.24, 0.15, 0.14}
+	a := &App{Name: "Tester", Version: ""}
+	for r := 0; r < nprocs; r++ {
+		iter := []sim.Stmt{
+			sim.Compute{Module: "main.C", Function: "main", Mean: 0.06, Jitter: 0.05},
+			sim.Compute{Module: "vect.c", Function: "vect::addel", Mean: 0.03, Jitter: 0.05},
+			sim.Compute{Module: "vect.c", Function: "vect::findel", Mean: 0.012, Jitter: 0.05},
+			sim.Compute{Module: "testutil.C", Function: "verifya", Mean: verifyLoad[r] * opt.ComputeScale, Jitter: 0.05},
+			sim.Compute{Module: "testutil.C", Function: "verifyb", Mean: 0.02, Jitter: 0.05},
+			sim.Compute{Module: "vect.c", Function: "vect::print", Mean: 0.002},
+			sim.Compute{Module: "testutil.C", Function: "printstatus", Mean: 0.002},
+			sim.AllReduce{Module: "main.C", Function: "main", Tag: "tag_check", Bytes: 16},
+		}
+		prog := []sim.Stmt{
+			sim.IO{Module: "main.C", Function: "main", Mean: 0.02},
+			sim.Loop{Count: opt.Iterations, Body: iter},
+		}
+		a.Procs = append(a.Procs, ProcSpec{
+			Name: procName("Tester", r, opt),
+			Node: nodeName("CPU_", r, opt),
+			Prog: prog,
+		})
+	}
+	return a, nil
+}

@@ -1,0 +1,433 @@
+package consultant
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/dyninst"
+	"repro/internal/resource"
+)
+
+// SearchPolicy selects what the Performance Consultant examines next when
+// several pending pairs have equal priority.
+type SearchPolicy int
+
+// Search policies. BreadthFirst (the default, and Paradyn's behaviour)
+// works through refinements level by level in creation order; DepthFirst
+// drills into the children of the most recent true conclusions first,
+// reaching specific diagnoses sooner at the price of breadth.
+const (
+	BreadthFirst SearchPolicy = iota
+	DepthFirst
+)
+
+// String implements fmt.Stringer.
+func (p SearchPolicy) String() string {
+	switch p {
+	case BreadthFirst:
+		return "breadth-first"
+	case DepthFirst:
+		return "depth-first"
+	default:
+		return fmt.Sprintf("SearchPolicy(%d)", int(p))
+	}
+}
+
+// Config holds the Performance Consultant's search parameters.
+type Config struct {
+	// TestInterval is how many seconds of collected data a node needs
+	// before a true/false conclusion is drawn.
+	TestInterval float64
+	// CostLimit is the maximum instrumentation cost (mean fractional
+	// slowdown); expansion halts above it and resumes as deletions bring
+	// cost back down.
+	CostLimit float64
+	// Policy selects the search order among equal-priority pairs.
+	Policy SearchPolicy
+	// RecencyWindow, when positive, draws conclusions from only the most
+	// recent window of collected data instead of the cumulative average,
+	// so that the search tracks application phase changes.
+	RecencyWindow float64
+	// MaxNodes is a safety cap on SHG size (0 = default).
+	MaxNodes int
+}
+
+// DefaultConfig returns the stock search parameters.
+func DefaultConfig() Config {
+	return Config{
+		TestInterval: 4.0,
+		CostLimit:    0.06,
+		MaxNodes:     100_000,
+	}
+}
+
+// HF names a (hypothesis : focus) pair in guidance data.
+type HF struct {
+	Hyp   string
+	Focus resource.Focus
+}
+
+// Guidance is the search-directive hook: the compiled form of the prune,
+// priority and threshold directives harvested from historical runs. A
+// zero Guidance reproduces the stock single-button Performance Consultant.
+type Guidance struct {
+	// Prune reports whether the (hypothesis : focus) pair (and therefore
+	// its whole refinement subtree) should be ignored.
+	Prune func(hyp string, f resource.Focus) bool
+	// Priority returns the search priority of a pair; nil means Medium
+	// for everything.
+	Priority func(hyp string, f resource.Focus) Priority
+	// HighPairs lists the pairs to instrument immediately at search start
+	// and test persistently throughout the run.
+	HighPairs []HF
+	// Thresholds overrides hypothesis default thresholds by name.
+	Thresholds map[string]float64
+}
+
+func (g Guidance) prune(hyp string, f resource.Focus) bool {
+	return g.Prune != nil && g.Prune(hyp, f)
+}
+
+func (g Guidance) priority(hyp string, f resource.Focus) Priority {
+	if g.Priority == nil {
+		return Medium
+	}
+	return g.Priority(hyp, f)
+}
+
+// Consultant runs one online diagnosis over one application execution.
+type Consultant struct {
+	cfg   Config
+	guid  Guidance
+	space *resource.Space
+	inst  *dyninst.Manager
+	root  *Hypothesis
+	shg   *SHG
+
+	pending []*Node // awaiting an instrumentation slot
+	testing []*Node // probe active, collecting data
+
+	started     bool
+	testedPairs int
+	stalled     bool // expansion currently halted by the cost limit
+	stallEvents int
+}
+
+// New creates a Performance Consultant over the given resource space and
+// instrumentation manager. hypRoot is typically StandardHypotheses().
+func New(cfg Config, space *resource.Space, inst *dyninst.Manager, hypRoot *Hypothesis, guid Guidance) (*Consultant, error) {
+	if cfg.TestInterval <= 0 {
+		return nil, fmt.Errorf("consultant: TestInterval must be positive")
+	}
+	if cfg.CostLimit <= 0 {
+		return nil, fmt.Errorf("consultant: CostLimit must be positive")
+	}
+	if cfg.MaxNodes <= 0 {
+		cfg.MaxNodes = DefaultConfig().MaxNodes
+	}
+	if hypRoot == nil || len(hypRoot.Children) == 0 {
+		return nil, fmt.Errorf("consultant: hypothesis root must have children")
+	}
+	rootNode := &Node{
+		Hyp:       hypRoot,
+		Focus:     space.WholeProgram(),
+		State:     StateTrue, // the root is true by definition
+		Priority:  Medium,
+		Threshold: 0,
+	}
+	c := &Consultant{
+		cfg:   cfg,
+		guid:  guid,
+		space: space,
+		inst:  inst,
+		root:  hypRoot,
+		shg:   NewSHG(rootNode),
+	}
+	return c, nil
+}
+
+// SHG returns the Search History Graph.
+func (c *Consultant) SHG() *SHG { return c.shg }
+
+// TestedPairs returns how many (hypothesis : focus) pairs have been
+// instrumented so far.
+func (c *Consultant) TestedPairs() int { return c.testedPairs }
+
+// StallEvents returns how many times expansion was halted by the cost
+// limit.
+func (c *Consultant) StallEvents() int { return c.stallEvents }
+
+// Threshold returns the effective threshold for a hypothesis.
+func (c *Consultant) Threshold(h *Hypothesis) float64 {
+	if v, ok := c.guid.Thresholds[h.Name]; ok {
+		return v
+	}
+	return h.DefaultThreshold
+}
+
+// Start seeds the search: the top-level hypotheses at the whole-program
+// focus, plus every High-priority pair from guidance (instrumented
+// immediately and persistently, ahead of the normal top-down order).
+func (c *Consultant) Start(now float64) error {
+	if c.started {
+		return fmt.Errorf("consultant: already started")
+	}
+	c.started = true
+	root := c.shg.Root()
+	root.refined = true
+	for _, h := range c.root.Children {
+		c.spawn(root, h, c.space.WholeProgram(), now)
+	}
+	for _, hf := range c.guid.HighPairs {
+		h := c.root.Find(hf.Hyp)
+		if h == nil || h == c.root {
+			continue
+		}
+		if c.guid.prune(hf.Hyp, hf.Focus) {
+			continue
+		}
+		n, _ := c.shg.addChild(root, h, hf.Focus, now)
+		if n.State == StatePending {
+			n.Priority = High
+			n.Persistent = true
+			if !c.inPending(n) {
+				c.pending = append(c.pending, n)
+			}
+		}
+	}
+	c.activate(now)
+	return nil
+}
+
+func (c *Consultant) inPending(n *Node) bool {
+	for _, x := range c.pending {
+		if x == n {
+			return true
+		}
+	}
+	return false
+}
+
+// spawn creates (or links) a child node under parent, applying prune and
+// priority directives.
+func (c *Consultant) spawn(parent *Node, h *Hypothesis, f resource.Focus, now float64) {
+	if c.shg.Len() >= c.cfg.MaxNodes {
+		return
+	}
+	if c.guid.prune(h.Name, f) {
+		n, created := c.shg.addChild(parent, h, f, now)
+		if created {
+			n.State = StatePruned
+		}
+		return
+	}
+	n, created := c.shg.addChild(parent, h, f, now)
+	if !created {
+		return
+	}
+	n.Priority = c.guid.priority(h.Name, f)
+	if n.Priority == High {
+		n.Persistent = true
+	}
+	c.pending = append(c.pending, n)
+}
+
+// Tick advances the search at virtual time now: concluded nodes are
+// refined or torn down, and pending nodes are activated while the
+// instrumentation cost stays under the limit.
+func (c *Consultant) Tick(now float64) {
+	if !c.started {
+		return
+	}
+	c.concludeReady(now)
+	c.activate(now)
+}
+
+func (c *Consultant) concludeReady(now float64) {
+	var still []*Node
+	for _, n := range c.testing {
+		if !c.evaluate(n, now) {
+			still = append(still, n)
+		}
+	}
+	c.testing = still
+}
+
+// evaluate draws or re-draws a conclusion for a testing node; it returns
+// true when the node should leave the testing list.
+func (c *Consultant) evaluate(n *Node, now float64) bool {
+	if n.probe == nil {
+		return true
+	}
+	if n.probe.ObservedWindow(now) < c.cfg.TestInterval {
+		return false
+	}
+	if c.cfg.RecencyWindow > 0 {
+		n.Value = n.probe.ValueOver(now, c.cfg.RecencyWindow)
+	} else {
+		n.Value = n.probe.Value(now)
+	}
+	n.Threshold = c.Threshold(n.Hyp)
+	isTrue := n.Value > n.Threshold
+
+	if n.Persistent {
+		// Persistent (High-priority) nodes keep being tested after their
+		// first conclusion; one that turns true later is refined at that
+		// point. When other pairs are starved for instrumentation budget,
+		// a concluded persistent probe yields its slot.
+		if isTrue && n.State != StateTrue {
+			n.State = StateTrue
+			n.ConcludedAt = now
+			c.refine(n, now)
+		} else if !isTrue && n.State != StateFalse {
+			// Persistent testing tracks the application: a conclusion may
+			// flip either way as behaviour changes (most visibly with a
+			// recency window configured).
+			n.State = StateFalse
+			n.ConcludedAt = now
+		}
+		if c.stalled && c.pendingWork() && (n.State == StateTrue || n.State == StateFalse) {
+			// The cost limit is starving other pairs: yield the slot.
+			c.inst.Remove(n.probe, now)
+			return true
+		}
+		return false // stays under observation
+	}
+
+	n.ConcludedAt = now
+	if isTrue {
+		n.State = StateTrue
+		c.refine(n, now)
+		// The parent's conclusion is drawn; its instrumentation is
+		// deleted once its children are generated so the cost budget
+		// tracks the search frontier.
+		c.inst.Remove(n.probe, now)
+		return true
+	}
+	n.State = StateFalse
+	c.inst.Remove(n.probe, now)
+	return true
+}
+
+// refine expands a true node: a more specific hypothesis at the same
+// focus, and a more specific focus (one edge down each relevant
+// hierarchy) for the same hypothesis.
+func (c *Consultant) refine(n *Node, now float64) {
+	if n.refined {
+		return
+	}
+	n.refined = true
+	for _, ch := range n.Hyp.Children {
+		c.spawn(n, ch, n.Focus, now)
+	}
+	for _, hierName := range n.Hyp.RelevantHierarchies {
+		for _, f := range n.Focus.Children(hierName) {
+			c.spawn(n, n.Hyp, f, now)
+		}
+	}
+}
+
+// activate starts instrumentation for pending nodes in priority order
+// while the cost limit allows.
+func (c *Consultant) activate(now float64) {
+	if len(c.pending) == 0 {
+		return
+	}
+	sort.SliceStable(c.pending, func(i, j int) bool {
+		a, b := c.pending[i], c.pending[j]
+		if a.Priority != b.Priority {
+			return a.Priority > b.Priority
+		}
+		if c.cfg.Policy == DepthFirst {
+			if da, db := a.Focus.Depth(), b.Focus.Depth(); da != db {
+				return da > db
+			}
+			return a.seq > b.seq // most recently spawned first
+		}
+		return a.seq < b.seq
+	})
+	var rest []*Node
+	for i, n := range c.pending {
+		if n.State != StatePending {
+			continue
+		}
+		add := c.inst.CostOf(n.Hyp.Metric, n.Focus)
+		if add > c.cfg.CostLimit {
+			// This pair can never fit the instrumentation budget, even
+			// alone; concluding it false keeps the queue moving.
+			n.State = StateFalse
+			n.ConcludedAt = now
+			continue
+		}
+		if c.inst.TotalCost()+add > c.cfg.CostLimit {
+			if !c.stalled {
+				c.stalled = true
+				c.stallEvents++
+			}
+			rest = append(rest, c.pending[i:]...)
+			break
+		}
+		c.stalled = false
+		probe, err := c.inst.Request(n.Hyp.Metric, n.Focus, now)
+		if err != nil {
+			// An unmeasurable pair (e.g. a focus too deep for the
+			// instrumentation) is treated as tested-false.
+			n.State = StateFalse
+			n.ConcludedAt = now
+			continue
+		}
+		n.probe = probe
+		n.State = StateTesting
+		n.StartedAt = now
+		c.testedPairs++
+		c.testing = append(c.testing, n)
+	}
+	c.pending = rest
+}
+
+// pendingWork reports whether any pair is still waiting for an
+// instrumentation slot.
+func (c *Consultant) pendingWork() bool {
+	for _, n := range c.pending {
+		if n.State == StatePending {
+			return true
+		}
+	}
+	return false
+}
+
+// Quiesced reports whether the search has nothing left to do: no pending
+// pairs and no non-persistent node still awaiting a conclusion.
+func (c *Consultant) Quiesced() bool {
+	if !c.started {
+		return false
+	}
+	for _, n := range c.pending {
+		if n.State == StatePending {
+			return false
+		}
+	}
+	for _, n := range c.testing {
+		if !n.Persistent {
+			return false
+		}
+		if n.State == StatePending || n.State == StateTesting {
+			return false // persistent node not yet concluded once
+		}
+	}
+	return true
+}
+
+// Bottlenecks returns the true nodes ordered by conclusion time, excluding
+// the trivially true root.
+func (c *Consultant) Bottlenecks() []*Node {
+	all := c.shg.TrueNodes()
+	out := make([]*Node, 0, len(all))
+	for _, n := range all {
+		if n.Hyp.Name == TopLevelHypothesis {
+			continue
+		}
+		out = append(out, n)
+	}
+	return out
+}

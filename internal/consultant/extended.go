@@ -1,0 +1,46 @@
+package consultant
+
+import (
+	"repro/internal/metric"
+	"repro/internal/resource"
+)
+
+// Extended hypothesis names.
+const (
+	FrequentMessages   = "FrequentMessages"
+	LargeMessageVolume = "LargeMessageVolume"
+)
+
+// ExtendedHypotheses returns the standard tree with more specific child
+// hypotheses under ExcessiveSyncWaitingTime: when synchronization waiting
+// is excessive, the consultant additionally asks whether the focus sends
+// many messages (FrequentMessages, in messages per second per process) or
+// moves a large data volume (LargeMessageVolume, in bytes per second per
+// process) — distinguishing latency-bound from bandwidth-bound
+// communication. This exercises Paradyn's "more specific hypothesis"
+// refinement axis alongside the focus refinement axis.
+func ExtendedHypotheses() *Hypothesis {
+	root := StandardHypotheses()
+	all := []string{
+		resource.HierCode,
+		resource.HierMachine,
+		resource.HierProcess,
+		resource.HierSyncObject,
+	}
+	sync := root.Find(ExcessiveSync)
+	sync.Children = []*Hypothesis{
+		{
+			Name:                FrequentMessages,
+			Metric:              metric.MsgCount,
+			DefaultThreshold:    10, // messages per second per process
+			RelevantHierarchies: all,
+		},
+		{
+			Name:                LargeMessageVolume,
+			Metric:              metric.MsgBytes,
+			DefaultThreshold:    100_000, // bytes per second per process
+			RelevantHierarchies: all,
+		},
+	}
+	return root
+}

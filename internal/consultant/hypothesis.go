@@ -1,0 +1,106 @@
+// Package consultant reimplements Paradyn's Performance Consultant: an
+// online, automated search for performance bottlenecks over
+// (hypothesis : focus) pairs, driven by dynamic instrumentation and
+// recorded in a Search History Graph. Search guidance (prunes, priorities,
+// thresholds) extracted from historical data plugs in through the Guidance
+// type.
+package consultant
+
+import (
+	"repro/internal/metric"
+	"repro/internal/resource"
+)
+
+// Hypothesis is one node of the hypothesis tree. Hypotheses lower in the
+// tree identify more specific problems than those higher up. Each
+// non-root hypothesis is based on a continuously measured metric value and
+// a threshold.
+type Hypothesis struct {
+	Name             string
+	Metric           metric.ID
+	DefaultThreshold float64
+	// RelevantHierarchies lists the resource hierarchies along which a
+	// true (hypothesis : focus) node is refined.
+	RelevantHierarchies []string
+	Children            []*Hypothesis
+}
+
+// Standard hypothesis names.
+const (
+	TopLevelHypothesis = "TopLevelHypothesis"
+	CPUBound           = "CPUbound"
+	ExcessiveSync      = "ExcessiveSyncWaitingTime"
+	ExcessiveIO        = "ExcessiveIOBlockingTime"
+)
+
+// StandardHypotheses returns the Performance Consultant's hypothesis tree:
+// TopLevelHypothesis with the CPUbound, ExcessiveSyncWaitingTime and
+// ExcessiveIOBlockingTime children, each refinable along every resource
+// hierarchy. (Restricting /SyncObject to synchronization hypotheses is
+// deliberately NOT built in: it is one of the paper's "general pruning
+// directives", supplied as historical guidance.)
+func StandardHypotheses() *Hypothesis {
+	all := []string{
+		resource.HierCode,
+		resource.HierMachine,
+		resource.HierProcess,
+		resource.HierSyncObject,
+	}
+	return &Hypothesis{
+		Name: TopLevelHypothesis,
+		Children: []*Hypothesis{
+			{
+				Name:                CPUBound,
+				Metric:              metric.CPUTime,
+				DefaultThreshold:    0.30,
+				RelevantHierarchies: all,
+			},
+			{
+				Name:                ExcessiveSync,
+				Metric:              metric.SyncWaitTime,
+				DefaultThreshold:    0.20,
+				RelevantHierarchies: all,
+			},
+			{
+				Name:                ExcessiveIO,
+				Metric:              metric.IOWaitTime,
+				DefaultThreshold:    0.10,
+				RelevantHierarchies: all,
+			},
+		},
+	}
+}
+
+// Find returns the hypothesis with the given name in h's subtree.
+func (h *Hypothesis) Find(name string) *Hypothesis {
+	if h == nil {
+		return nil
+	}
+	if h.Name == name {
+		return h
+	}
+	for _, c := range h.Children {
+		if f := c.Find(name); f != nil {
+			return f
+		}
+	}
+	return nil
+}
+
+// Walk visits h and all descendants depth-first.
+func (h *Hypothesis) Walk(visit func(*Hypothesis)) {
+	if h == nil {
+		return
+	}
+	visit(h)
+	for _, c := range h.Children {
+		c.Walk(visit)
+	}
+}
+
+// Names returns every hypothesis name in the subtree.
+func (h *Hypothesis) Names() []string {
+	var out []string
+	h.Walk(func(x *Hypothesis) { out = append(out, x.Name) })
+	return out
+}

@@ -1,0 +1,57 @@
+package core
+
+import (
+	"sort"
+	"strings"
+
+	"repro/internal/history"
+)
+
+// MostSpecificBottlenecks returns the record's true pairs that have no
+// more-refined true pair beneath them — the Performance Consultant
+// "refines all true nodes to as specific a focus as possible", so these
+// leaves of the true subgraph are the well-defined problem areas a tuning
+// effort should start from (the paper's third goal). Results are ordered
+// by descending measured value.
+func MostSpecificBottlenecks(rec *history.RunRecord) []history.NodeResult {
+	trues := rec.TrueResults()
+	var out []history.NodeResult
+	for i, a := range trues {
+		dominated := false
+		for j, b := range trues {
+			if i == j || a.Hyp != b.Hyp {
+				continue
+			}
+			if a.Focus != b.Focus && focusContains(a.Focus, b.Focus) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			out = append(out, a)
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Value > out[j].Value })
+	return out
+}
+
+// focusContains reports whether focus name a's view includes b's: every
+// selection of a is a path prefix (on component boundaries) of b's
+// corresponding selection. Purely name-structural, so it works on stored
+// records without reconstructing the resource space.
+func focusContains(a, b string) bool {
+	as, err1 := focusPaths(a)
+	bs, err2 := focusPaths(b)
+	if err1 != nil || err2 != nil || len(as) != len(bs) {
+		return false
+	}
+	for i := range as {
+		if as[i] == bs[i] {
+			continue
+		}
+		if !strings.HasPrefix(bs[i], as[i]+"/") {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,85 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/history"
+)
+
+func TestFocusContains(t *testing.T) {
+	whole := "</Code,/Machine,/Process,/SyncObject>"
+	mod := "</Code/oned.f,/Machine,/Process,/SyncObject>"
+	fn := "</Code/oned.f/main,/Machine,/Process,/SyncObject>"
+	fnProc := "</Code/oned.f/main,/Machine,/Process/p1,/SyncObject>"
+	other := "</Code/sweep.f,/Machine,/Process,/SyncObject>"
+	cases := []struct {
+		a, b string
+		want bool
+	}{
+		{whole, mod, true},
+		{whole, fnProc, true},
+		{mod, fn, true},
+		{mod, fnProc, true},
+		{fn, mod, false},
+		{mod, other, false},
+		{mod, mod, true},
+		{other, fn, false},
+		// Non-boundary prefixes don't count.
+		{"</Code/one,/Machine,/Process,/SyncObject>", fn, false},
+	}
+	for _, c := range cases {
+		if got := focusContains(c.a, c.b); got != c.want {
+			t.Errorf("focusContains(%s, %s) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+	if focusContains("bad", "also bad") {
+		t.Error("malformed foci compared true")
+	}
+}
+
+func TestMostSpecificBottlenecks(t *testing.T) {
+	mk := func(hyp, focus string, v float64) history.NodeResult {
+		return history.NodeResult{Hyp: hyp, Focus: focus, State: "true", Value: v}
+	}
+	rec := &history.RunRecord{
+		App: "x", RunID: "r",
+		Results: []history.NodeResult{
+			mk("Sync", "</Code,/Machine,/Process,/SyncObject>", 0.6),
+			mk("Sync", "</Code/oned.f,/Machine,/Process,/SyncObject>", 0.5),
+			mk("Sync", "</Code/oned.f/main,/Machine,/Process,/SyncObject>", 0.45),
+			mk("Sync", "</Code/oned.f/main,/Machine,/Process/p1,/SyncObject>", 0.7),
+			mk("Sync", "</Code,/Machine,/Process/p2,/SyncObject>", 0.3),
+			mk("CPU", "</Code,/Machine,/Process,/SyncObject>", 0.4),
+			{Hyp: "Sync", Focus: "</Code/sweep.f,/Machine,/Process,/SyncObject>", State: "false", Value: 0.1},
+		},
+		TrueCount: 6,
+	}
+	out := MostSpecificBottlenecks(rec)
+	keys := map[string]bool{}
+	for _, nr := range out {
+		keys[nr.Hyp+" "+nr.Focus] = true
+	}
+	// The refined leaves survive; their ancestors do not.
+	if !keys["Sync </Code/oned.f/main,/Machine,/Process/p1,/SyncObject>"] {
+		t.Error("deepest refinement missing")
+	}
+	if keys["Sync </Code,/Machine,/Process,/SyncObject>"] || keys["Sync </Code/oned.f,/Machine,/Process,/SyncObject>"] {
+		t.Error("dominated ancestors not removed")
+	}
+	// Sibling subtrees and other hypotheses survive independently.
+	if !keys["Sync </Code,/Machine,/Process/p2,/SyncObject>"] {
+		t.Error("independent process bottleneck missing")
+	}
+	if !keys["CPU </Code,/Machine,/Process,/SyncObject>"] {
+		t.Error("other hypothesis missing")
+	}
+	if len(out) != 3 {
+		t.Errorf("specific set = %d, want 3", len(out))
+	}
+	// Ordered by descending value.
+	for i := 1; i < len(out); i++ {
+		if out[i-1].Value < out[i].Value {
+			t.Error("not ordered by value")
+		}
+	}
+}

@@ -1,0 +1,133 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/consultant"
+)
+
+// Intersect implements the paper's A∩B combination: a pair is High only if
+// it tested true in both source runs (High in both sets) and Low only if
+// Low in both; prunes survive only when present in both; for a hypothesis
+// thresholded by both sets the larger (more conservative) value is kept.
+func Intersect(a, b *DirectiveSet) *DirectiveSet {
+	out := &DirectiveSet{Source: combinedSource(a, b, "∩")}
+	bp := make(map[Prune]bool, len(b.Prunes))
+	for _, p := range b.Prunes {
+		bp[p] = true
+	}
+	for _, p := range a.Prunes {
+		if bp[p] {
+			out.Prunes = append(out.Prunes, p)
+		}
+	}
+	bl := priorityIndex(b)
+	for _, p := range a.Priorities {
+		if lv, ok := bl[p.Hypothesis+" "+p.Focus]; ok && lv == p.Level {
+			out.Priorities = append(out.Priorities, p)
+		}
+	}
+	bt := thresholdIndex(b)
+	for _, t := range a.Thresholds {
+		if v, ok := bt[t.Hypothesis]; ok {
+			if v > t.Value {
+				t.Value = v
+			}
+			out.Thresholds = append(out.Thresholds, t)
+		}
+	}
+	out.Sort()
+	return out
+}
+
+// Union implements the paper's A∪B combination: a pair is High if it
+// tested true in either run; Low if it tested false in either and true in
+// neither; prunes from either set apply; for a hypothesis thresholded by
+// both, the smaller (more sensitive) value is kept.
+func Union(a, b *DirectiveSet) *DirectiveSet {
+	out := &DirectiveSet{Source: combinedSource(a, b, "∪")}
+	seenP := make(map[Prune]bool)
+	for _, p := range append(append([]Prune{}, a.Prunes...), b.Prunes...) {
+		if !seenP[p] {
+			seenP[p] = true
+			out.Prunes = append(out.Prunes, p)
+		}
+	}
+	merged := make(map[string]consultant.Priority)
+	var keys []string
+	add := func(ps []PriorityDirective) {
+		for _, p := range ps {
+			k := p.Hypothesis + " " + p.Focus
+			old, ok := merged[k]
+			if !ok {
+				merged[k] = p.Level
+				keys = append(keys, k)
+				continue
+			}
+			// High wins over Low.
+			if p.Level > old {
+				merged[k] = p.Level
+			}
+		}
+	}
+	add(a.Priorities)
+	add(b.Priorities)
+	sort.Strings(keys)
+	for _, k := range keys {
+		hyp, focus := splitKey(k)
+		out.Priorities = append(out.Priorities, PriorityDirective{Hypothesis: hyp, Focus: focus, Level: merged[k]})
+	}
+	at := thresholdIndex(a)
+	bt := thresholdIndex(b)
+	seenT := make(map[string]bool)
+	for _, t := range append(append([]ThresholdDirective{}, a.Thresholds...), b.Thresholds...) {
+		if seenT[t.Hypothesis] {
+			continue
+		}
+		seenT[t.Hypothesis] = true
+		v := t.Value
+		if av, ok := at[t.Hypothesis]; ok && av < v {
+			v = av
+		}
+		if bv, ok := bt[t.Hypothesis]; ok && bv < v {
+			v = bv
+		}
+		out.Thresholds = append(out.Thresholds, ThresholdDirective{Hypothesis: t.Hypothesis, Value: v})
+	}
+	out.Sort()
+	return out
+}
+
+// combinedSource labels a combination's provenance; two anonymous inputs
+// stay anonymous.
+func combinedSource(a, b *DirectiveSet, op string) string {
+	if a.Source == "" && b.Source == "" {
+		return ""
+	}
+	return "(" + a.Source + ")" + op + "(" + b.Source + ")"
+}
+
+func priorityIndex(ds *DirectiveSet) map[string]consultant.Priority {
+	out := make(map[string]consultant.Priority, len(ds.Priorities))
+	for _, p := range ds.Priorities {
+		out[p.Hypothesis+" "+p.Focus] = p.Level
+	}
+	return out
+}
+
+func thresholdIndex(ds *DirectiveSet) map[string]float64 {
+	out := make(map[string]float64, len(ds.Thresholds))
+	for _, t := range ds.Thresholds {
+		out[t.Hypothesis] = t.Value
+	}
+	return out
+}
+
+func splitKey(k string) (hyp, focus string) {
+	for i := 0; i < len(k); i++ {
+		if k[i] == ' ' {
+			return k[:i], k[i+1:]
+		}
+	}
+	return k, ""
+}

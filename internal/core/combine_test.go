@@ -1,0 +1,143 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/consultant"
+)
+
+func prio(h, f string, l consultant.Priority) PriorityDirective {
+	return PriorityDirective{Hypothesis: h, Focus: f, Level: l}
+}
+
+func TestIntersectPriorities(t *testing.T) {
+	a := &DirectiveSet{Source: "a", Priorities: []PriorityDirective{
+		prio("H", "<x>", consultant.High), // true in both -> kept
+		prio("H", "<y>", consultant.High), // true only in a -> dropped
+		prio("H", "<z>", consultant.Low),  // false in both -> kept
+		prio("H", "<w>", consultant.Low),  // false in a, true in b -> dropped
+	}}
+	b := &DirectiveSet{Source: "b", Priorities: []PriorityDirective{
+		prio("H", "<x>", consultant.High),
+		prio("H", "<z>", consultant.Low),
+		prio("H", "<w>", consultant.High),
+	}}
+	got := Intersect(a, b)
+	if len(got.Priorities) != 2 {
+		t.Fatalf("intersect priorities = %+v", got.Priorities)
+	}
+	idx := priorityIndex(got)
+	if idx["H <x>"] != consultant.High || idx["H <z>"] != consultant.Low {
+		t.Errorf("intersect wrong: %v", idx)
+	}
+}
+
+func TestUnionPriorities(t *testing.T) {
+	a := &DirectiveSet{Source: "a", Priorities: []PriorityDirective{
+		prio("H", "<x>", consultant.High),
+		prio("H", "<w>", consultant.Low), // false in a, true in b -> High wins
+		prio("H", "<z>", consultant.Low),
+	}}
+	b := &DirectiveSet{Source: "b", Priorities: []PriorityDirective{
+		prio("H", "<w>", consultant.High),
+		prio("H", "<v>", consultant.Low),
+	}}
+	got := Union(a, b)
+	idx := priorityIndex(got)
+	if idx["H <x>"] != consultant.High {
+		t.Error("x lost")
+	}
+	if idx["H <w>"] != consultant.High {
+		t.Error("High should win over Low in a union")
+	}
+	if idx["H <z>"] != consultant.Low || idx["H <v>"] != consultant.Low {
+		t.Error("lows lost")
+	}
+	if len(got.Priorities) != 4 {
+		t.Errorf("union size = %d", len(got.Priorities))
+	}
+}
+
+func TestCombinePrunes(t *testing.T) {
+	a := &DirectiveSet{Prunes: []Prune{
+		{Hypothesis: "*", Path: "/Machine"},
+		{Hypothesis: "*", Path: "/Code/util.f"},
+	}}
+	b := &DirectiveSet{Prunes: []Prune{
+		{Hypothesis: "*", Path: "/Machine"},
+		{Hypothesis: "*", Path: "/Code/blas.f"},
+	}}
+	and := Intersect(a, b)
+	if len(and.Prunes) != 1 || and.Prunes[0].Path != "/Machine" {
+		t.Errorf("intersect prunes = %+v", and.Prunes)
+	}
+	or := Union(a, b)
+	if len(or.Prunes) != 3 {
+		t.Errorf("union prunes = %+v", or.Prunes)
+	}
+}
+
+func TestCombineThresholds(t *testing.T) {
+	a := &DirectiveSet{Thresholds: []ThresholdDirective{{Hypothesis: "H", Value: 0.12}, {Hypothesis: "G", Value: 0.2}}}
+	b := &DirectiveSet{Thresholds: []ThresholdDirective{{Hypothesis: "H", Value: 0.2}}}
+	and := Intersect(a, b)
+	if len(and.Thresholds) != 1 || and.Thresholds[0].Value != 0.2 {
+		t.Errorf("intersect thresholds = %+v (want the conservative max)", and.Thresholds)
+	}
+	or := Union(a, b)
+	idx := thresholdIndex(or)
+	if idx["H"] != 0.12 {
+		t.Errorf("union H = %v (want the sensitive min)", idx["H"])
+	}
+	if idx["G"] != 0.2 {
+		t.Errorf("union G = %v", idx["G"])
+	}
+}
+
+func TestQuickIntersectSubsetOfUnion(t *testing.T) {
+	// Every priority directive in A∩B appears in A∪B with the same level,
+	// and both operations are symmetric in content.
+	cfg := &quick.Config{MaxCount: 120}
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := randomDirectiveSet(rng)
+		b := randomDirectiveSet(rng)
+		and := Intersect(a, b)
+		or := Union(a, b)
+		orIdx := priorityIndex(or)
+		for _, p := range and.Priorities {
+			lv, ok := orIdx[p.Hypothesis+" "+p.Focus]
+			if !ok || lv != p.Level {
+				return false
+			}
+		}
+		// Symmetry of sizes.
+		and2 := Intersect(b, a)
+		or2 := Union(b, a)
+		return len(and2.Priorities) == len(and.Priorities) && len(or2.Priorities) == len(or.Priorities) &&
+			len(and2.Prunes) == len(and.Prunes) && len(or2.Prunes) == len(or.Prunes)
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickIntersectIdempotent(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 120}
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := randomDirectiveSet(rng)
+		// Deduplicate: randomDirectiveSet can repeat pairs; canonicalize
+		// through one self-intersection first.
+		a = Intersect(a, a)
+		again := Intersect(a, a)
+		return len(again.Priorities) == len(a.Priorities) &&
+			len(again.Prunes) == len(a.Prunes) &&
+			len(again.Thresholds) == len(a.Thresholds)
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}

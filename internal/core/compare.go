@@ -1,0 +1,172 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/history"
+)
+
+// PairOutcome is one (hypothesis : focus) pair's state in both runs being
+// compared (after mapping run A's names into run B's namespace).
+type PairOutcome struct {
+	Hyp    string
+	Focus  string
+	StateA string
+	StateB string
+	ValueA float64
+	ValueB float64
+}
+
+// Delta returns ValueB - ValueA.
+func (p PairOutcome) Delta() float64 { return p.ValueB - p.ValueA }
+
+// RunDiff is the quantitative comparison of two executions' diagnoses —
+// the multi-execution analysis of the authors' experiment-management work
+// that this paper's harvesting builds on.
+type RunDiff struct {
+	// OnlyA / OnlyB are bottlenecks (true pairs) found in exactly one run.
+	OnlyA, OnlyB []PairOutcome
+	// CommonTrue are bottlenecks found in both runs, with value deltas.
+	CommonTrue []PairOutcome
+	// Flips are pairs concluded in both runs with opposite outcomes.
+	Flips []PairOutcome
+	// Mappings applied to run A's resource names.
+	Mappings int
+}
+
+// CompareRuns diagnoses the difference between two stored executions.
+// Resource mappings are inferred between the two runs' resource sets
+// (user mappings can be concatenated after the inferred ones by the
+// caller via ApplyMappings beforehand).
+func CompareRuns(a, b *history.RunRecord) (*RunDiff, error) {
+	if a == nil || b == nil {
+		return nil, fmt.Errorf("core: nil run record")
+	}
+	maps := InferMappings(a.Resources, b.Resources)
+	diff := &RunDiff{Mappings: len(maps)}
+
+	type key struct{ hyp, focus string }
+	aRes := make(map[key]history.NodeResult)
+	for _, nr := range a.Results {
+		if nr.State != "true" && nr.State != "false" {
+			continue
+		}
+		f, err := MapFocus(nr.Focus, maps)
+		if err != nil {
+			return nil, err
+		}
+		aRes[key{nr.Hyp, f}] = nr
+	}
+	bSeen := make(map[key]bool)
+	for _, nr := range b.Results {
+		if nr.State != "true" && nr.State != "false" {
+			continue
+		}
+		k := key{nr.Hyp, nr.Focus}
+		bSeen[k] = true
+		ar, ok := aRes[k]
+		if !ok {
+			if nr.State == "true" {
+				diff.OnlyB = append(diff.OnlyB, PairOutcome{
+					Hyp: nr.Hyp, Focus: nr.Focus, StateA: "untested", StateB: nr.State, ValueB: nr.Value,
+				})
+			}
+			continue
+		}
+		po := PairOutcome{
+			Hyp: nr.Hyp, Focus: nr.Focus,
+			StateA: ar.State, StateB: nr.State,
+			ValueA: ar.Value, ValueB: nr.Value,
+		}
+		switch {
+		case ar.State == "true" && nr.State == "true":
+			diff.CommonTrue = append(diff.CommonTrue, po)
+		case ar.State != nr.State:
+			diff.Flips = append(diff.Flips, po)
+		}
+	}
+	for k, ar := range aRes {
+		if ar.State == "true" && !bSeen[k] {
+			diff.OnlyA = append(diff.OnlyA, PairOutcome{
+				Hyp: k.hyp, Focus: k.focus, StateA: ar.State, StateB: "untested", ValueA: ar.Value,
+			})
+		}
+	}
+	sortOutcomes(diff.OnlyA)
+	sortOutcomes(diff.OnlyB)
+	sortOutcomes(diff.CommonTrue)
+	sortOutcomes(diff.Flips)
+	return diff, nil
+}
+
+func sortOutcomes(ps []PairOutcome) {
+	sort.Slice(ps, func(i, j int) bool {
+		if ps[i].Hyp != ps[j].Hyp {
+			return ps[i].Hyp < ps[j].Hyp
+		}
+		return ps[i].Focus < ps[j].Focus
+	})
+}
+
+// Similarity returns the Jaccard similarity of the two runs' bottleneck
+// sets: |common| / |common + onlyA + onlyB|.
+func (d *RunDiff) Similarity() float64 {
+	total := len(d.CommonTrue) + len(d.OnlyA) + len(d.OnlyB)
+	if total == 0 {
+		return 1
+	}
+	return float64(len(d.CommonTrue)) / float64(total)
+}
+
+// Improved returns the common bottlenecks whose value decreased by more
+// than eps from run A to run B — the performance problems the change
+// between the runs actually helped.
+func (d *RunDiff) Improved(eps float64) []PairOutcome {
+	var out []PairOutcome
+	for _, p := range d.CommonTrue {
+		if p.Delta() < -math.Abs(eps) {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Worsened returns the common bottlenecks whose value increased by more
+// than eps.
+func (d *RunDiff) Worsened(eps float64) []PairOutcome {
+	var out []PairOutcome
+	for _, p := range d.CommonTrue {
+		if p.Delta() > math.Abs(eps) {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Render formats the diff as a report.
+func (d *RunDiff) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "run comparison (%d mappings applied, bottleneck-set similarity %.0f%%)\n",
+		d.Mappings, d.Similarity()*100)
+	section := func(title string, ps []PairOutcome, withDelta bool) {
+		if len(ps) == 0 {
+			return
+		}
+		fmt.Fprintf(&b, "\n%s (%d):\n", title, len(ps))
+		for _, p := range ps {
+			if withDelta {
+				fmt.Fprintf(&b, "  %+0.3f  %s %s (%.3f -> %.3f)\n", p.Delta(), p.Hyp, p.Focus, p.ValueA, p.ValueB)
+			} else {
+				fmt.Fprintf(&b, "  %s %s [%s -> %s]\n", p.Hyp, p.Focus, p.StateA, p.StateB)
+			}
+		}
+	}
+	section("bottlenecks in both runs", d.CommonTrue, true)
+	section("only in run A", d.OnlyA, false)
+	section("only in run B", d.OnlyB, false)
+	section("conclusions that flipped", d.Flips, false)
+	return b.String()
+}

@@ -1,0 +1,145 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/history"
+)
+
+func compareRecords() (*history.RunRecord, *history.RunRecord) {
+	res := map[string][]string{
+		"Code":    {"/Code", "/Code/oned.f", "/Code/oned.f/main"},
+		"Machine": {"/Machine", "/Machine/sp01"},
+		"Process": {"/Process", "/Process/p1"},
+	}
+	whole := "</Code,/Machine,/Process,/SyncObject>"
+	a := &history.RunRecord{
+		App: "x", Version: "A", RunID: "r1", Resources: res,
+		Results: []history.NodeResult{
+			{Hyp: "Sync", Focus: whole, State: "true", Value: 0.6},
+			{Hyp: "Sync", Focus: "</Code/oned.f,/Machine,/Process,/SyncObject>", State: "true", Value: 0.5},
+			{Hyp: "CPU", Focus: whole, State: "true", Value: 0.4},
+			{Hyp: "IO", Focus: whole, State: "false", Value: 0.02},
+		},
+		TrueCount: 3,
+	}
+	b := &history.RunRecord{
+		App: "x", Version: "A", RunID: "r2", Resources: res,
+		Results: []history.NodeResult{
+			{Hyp: "Sync", Focus: whole, State: "true", Value: 0.3}, // improved
+			{Hyp: "CPU", Focus: whole, State: "true", Value: 0.55}, // worsened
+			{Hyp: "IO", Focus: whole, State: "true", Value: 0.15},  // flipped
+			{Hyp: "Mem", Focus: whole, State: "true", Value: 0.2},  // only in B
+		},
+		TrueCount: 4,
+	}
+	return a, b
+}
+
+func TestCompareRunsClassification(t *testing.T) {
+	a, b := compareRecords()
+	diff, err := CompareRuns(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diff.CommonTrue) != 2 {
+		t.Errorf("common = %+v", diff.CommonTrue)
+	}
+	if len(diff.OnlyA) != 1 || !strings.Contains(diff.OnlyA[0].Focus, "oned.f") {
+		t.Errorf("onlyA = %+v", diff.OnlyA)
+	}
+	if len(diff.OnlyB) != 1 || diff.OnlyB[0].Hyp != "Mem" {
+		t.Errorf("onlyB = %+v", diff.OnlyB)
+	}
+	if len(diff.Flips) != 1 || diff.Flips[0].Hyp != "IO" {
+		t.Errorf("flips = %+v", diff.Flips)
+	}
+	// Similarity: 2 common / (2 + 1 + 1).
+	if got := diff.Similarity(); got != 0.5 {
+		t.Errorf("similarity = %v", got)
+	}
+	imp := diff.Improved(0.02)
+	if len(imp) != 1 || imp[0].Hyp != "Sync" {
+		t.Errorf("improved = %+v", imp)
+	}
+	wor := diff.Worsened(0.02)
+	if len(wor) != 1 || wor[0].Hyp != "CPU" {
+		t.Errorf("worsened = %+v", wor)
+	}
+	out := diff.Render()
+	for _, want := range []string{"similarity 50%", "only in run A", "only in run B", "flipped"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+}
+
+func TestCompareRunsAppliesMappings(t *testing.T) {
+	a, b := compareRecords()
+	// Rename the module in run B's namespace; comparison must line the
+	// runs up through the inferred mapping.
+	b.Resources = map[string][]string{
+		"Code":    {"/Code", "/Code/onednb.f", "/Code/onednb.f/main"},
+		"Machine": {"/Machine", "/Machine/sp05"},
+		"Process": {"/Process", "/Process/p9"},
+	}
+	b.Results = append(b.Results, history.NodeResult{
+		Hyp: "Sync", Focus: "</Code/onednb.f,/Machine,/Process,/SyncObject>", State: "true", Value: 0.45,
+	})
+	b.TrueCount++
+	diff, err := CompareRuns(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff.Mappings == 0 {
+		t.Fatal("no mappings inferred")
+	}
+	// The oned.f bottleneck now matches across the rename.
+	if len(diff.OnlyA) != 0 {
+		t.Errorf("onlyA after mapping = %+v", diff.OnlyA)
+	}
+	found := false
+	for _, p := range diff.CommonTrue {
+		if strings.Contains(p.Focus, "onednb.f") {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("renamed bottleneck not matched")
+	}
+}
+
+func TestCompareRunsNil(t *testing.T) {
+	a, _ := compareRecords()
+	if _, err := CompareRuns(a, nil); err == nil {
+		t.Error("nil record accepted")
+	}
+	if _, err := CompareRuns(nil, a); err == nil {
+		t.Error("nil record accepted")
+	}
+}
+
+func TestCompareIdenticalRuns(t *testing.T) {
+	a, _ := compareRecords()
+	diff, err := CompareRuns(a, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff.Similarity() != 1 {
+		t.Errorf("self similarity = %v", diff.Similarity())
+	}
+	if len(diff.OnlyA) != 0 || len(diff.OnlyB) != 0 || len(diff.Flips) != 0 {
+		t.Error("self comparison found differences")
+	}
+	if len(diff.Improved(0.01)) != 0 || len(diff.Worsened(0.01)) != 0 {
+		t.Error("self comparison found value shifts")
+	}
+}
+
+func TestRunDiffEmptySimilarity(t *testing.T) {
+	d := &RunDiff{}
+	if d.Similarity() != 1 {
+		t.Error("empty diff similarity should be 1")
+	}
+}

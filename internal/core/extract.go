@@ -1,0 +1,244 @@
+package core
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/consultant"
+	"repro/internal/history"
+	"repro/internal/resource"
+)
+
+// HarvestOptions selects which directive kinds to extract from a run
+// record and tunes the extraction.
+type HarvestOptions struct {
+	GeneralPrunes  bool
+	HistoricPrunes bool
+	// FalsePairPrunes prunes every (hypothesis : focus) pair that tested
+	// false in the source run. This is the most aggressive directive
+	// kind: it shrinks the search the most but risks missing behaviours
+	// that changed since the source run.
+	FalsePairPrunes bool
+	Priorities      bool
+	Thresholds      bool
+	// InsignificantFraction: code resources whose measured share of total
+	// execution time is below this are pruned (historic prunes).
+	// Default 0.01.
+	InsignificantFraction float64
+	// ThresholdFloor/ThresholdCap clamp extracted thresholds.
+	// Defaults 0.05 and 0.30.
+	ThresholdFloor, ThresholdCap float64
+}
+
+// HarvestAll enables every directive kind with default tuning.
+func HarvestAll() HarvestOptions {
+	return HarvestOptions{GeneralPrunes: true, HistoricPrunes: true, Priorities: true, Thresholds: true}
+}
+
+func (o HarvestOptions) normalize() HarvestOptions {
+	if o.InsignificantFraction <= 0 {
+		o.InsignificantFraction = 0.01
+	}
+	if o.ThresholdFloor <= 0 {
+		o.ThresholdFloor = 0.05
+	}
+	if o.ThresholdCap <= 0 {
+		o.ThresholdCap = 0.30
+	}
+	return o
+}
+
+// Harvest extracts a directive set from one historical run.
+func Harvest(rec *history.RunRecord, opt HarvestOptions) *DirectiveSet {
+	opt = opt.normalize()
+	ds := &DirectiveSet{Source: rec.App + "-" + rec.Version + "/" + rec.RunID}
+	if opt.GeneralPrunes {
+		ds.Prunes = append(ds.Prunes, GeneralPrunes()...)
+	}
+	if opt.HistoricPrunes {
+		ds.Prunes = append(ds.Prunes, HistoricPrunes(rec, opt)...)
+	}
+	if opt.FalsePairPrunes {
+		ds.Prunes = append(ds.Prunes, FalsePairPrunes(rec)...)
+	}
+	if opt.Priorities {
+		ds.Priorities = append(ds.Priorities, ExtractPriorities(rec)...)
+	}
+	if opt.Thresholds {
+		ds.Thresholds = append(ds.Thresholds, ExtractThresholds(rec, opt)...)
+	}
+	ds.Sort()
+	return ds
+}
+
+// GeneralPrunes returns the environment- and application-independent
+// pruning rules: the /SyncObject hierarchy is relevant only to
+// synchronization hypotheses, and I/O rarely decomposes by machine.
+func GeneralPrunes() []Prune {
+	return []Prune{
+		{Hypothesis: consultant.CPUBound, Path: "/" + resource.HierSyncObject},
+		{Hypothesis: consultant.ExcessiveIO, Path: "/" + resource.HierSyncObject},
+	}
+}
+
+// HistoricPrunes derives application-specific prunes from a previous run's
+// raw usage data: insignificant code resources (functions, then whole
+// modules when every function is insignificant), and the Machine hierarchy
+// when processes and nodes map one-to-one (MPI-1's static process model).
+func HistoricPrunes(rec *history.RunRecord, opt HarvestOptions) []Prune {
+	opt = opt.normalize()
+	var out []Prune
+	if rec.MachineRedundant() {
+		out = append(out, Prune{Hypothesis: AnyHypothesis, Path: "/" + resource.HierMachine})
+	}
+	codePaths := rec.Resources[resource.HierCode]
+	// Group function paths by module.
+	type modInfo struct {
+		funcs      []string
+		insigFuncs []string
+	}
+	mods := make(map[string]*modInfo)
+	var modOrder []string
+	for _, p := range codePaths {
+		depth := pathDepth(p)
+		if depth == 2 { // /Code/module
+			if _, ok := mods[p]; !ok {
+				mods[p] = &modInfo{}
+				modOrder = append(modOrder, p)
+			}
+		}
+	}
+	for _, p := range codePaths {
+		if pathDepth(p) != 3 { // /Code/module/function
+			continue
+		}
+		mod := parentPath(p)
+		mi := mods[mod]
+		if mi == nil {
+			mi = &modInfo{}
+			mods[mod] = mi
+			modOrder = append(modOrder, mod)
+		}
+		mi.funcs = append(mi.funcs, p)
+		if rec.Usage[p] < opt.InsignificantFraction {
+			mi.insigFuncs = append(mi.insigFuncs, p)
+		}
+	}
+	sort.Strings(modOrder)
+	for _, mod := range modOrder {
+		mi := mods[mod]
+		if len(mi.funcs) > 0 && len(mi.insigFuncs) == len(mi.funcs) {
+			// Whole module insignificant: one prune covers it.
+			out = append(out, Prune{Hypothesis: AnyHypothesis, Path: mod})
+			continue
+		}
+		for _, f := range mi.insigFuncs {
+			out = append(out, Prune{Hypothesis: AnyHypothesis, Path: f})
+		}
+	}
+	return out
+}
+
+// FalsePairPrunes prunes every pair that tested false in the source run.
+func FalsePairPrunes(rec *history.RunRecord) []Prune {
+	var out []Prune
+	for _, nr := range rec.FalseResults() {
+		out = append(out, Prune{Hypothesis: nr.Hyp, Focus: nr.Focus})
+	}
+	return out
+}
+
+// ExtractPriorities assigns High to every pair that tested true in the
+// record and Low to every pair that tested false; untested pairs keep the
+// default Medium (by omission).
+func ExtractPriorities(rec *history.RunRecord) []PriorityDirective {
+	var out []PriorityDirective
+	for _, nr := range rec.Results {
+		switch nr.State {
+		case "true":
+			out = append(out, PriorityDirective{Hypothesis: nr.Hyp, Focus: nr.Focus, Level: consultant.High})
+		case "false":
+			out = append(out, PriorityDirective{Hypothesis: nr.Hyp, Focus: nr.Focus, Level: consultant.Low})
+		}
+	}
+	return out
+}
+
+// ExtractThresholds chooses per-hypothesis thresholds from the measured
+// values of a previous run: the values of all concluded pairs are sorted
+// and the threshold is placed in the widest relative gap separating the
+// significant cluster from the noise floor, clamped to
+// [ThresholdFloor, ThresholdCap]. Hypotheses with too few observations
+// yield no directive.
+func ExtractThresholds(rec *history.RunRecord, opt HarvestOptions) []ThresholdDirective {
+	opt = opt.normalize()
+	byHyp := make(map[string][]float64)
+	for _, nr := range rec.Results {
+		if nr.State != "true" && nr.State != "false" {
+			continue
+		}
+		if nr.Value > 0.002 {
+			byHyp[nr.Hyp] = append(byHyp[nr.Hyp], nr.Value)
+		}
+	}
+	hyps := make([]string, 0, len(byHyp))
+	for h := range byHyp {
+		hyps = append(hyps, h)
+	}
+	sort.Strings(hyps)
+	var out []ThresholdDirective
+	for _, h := range hyps {
+		vals := byHyp[h]
+		if len(vals) < 4 {
+			continue
+		}
+		sort.Sort(sort.Reverse(sort.Float64Slice(vals)))
+		// Find the widest relative gap whose lower edge sits above the
+		// measurement noise floor (gaps down into the noise would push
+		// the threshold below anything worth reporting) and whose
+		// midpoint is at most the cap.
+		const noiseFloor = 0.04
+		bestGap, bestAt := 0.0, -1
+		for i := 0; i+1 < len(vals); i++ {
+			hi, lo := vals[i], vals[i+1]
+			if hi > 0.95 || lo < noiseFloor {
+				continue
+			}
+			if math.Sqrt(hi*lo) > opt.ThresholdCap {
+				continue
+			}
+			gap := math.Log(hi / lo)
+			if gap > bestGap {
+				bestGap, bestAt = gap, i
+			}
+		}
+		if bestAt < 0 || bestGap < math.Log(1.5) {
+			continue
+		}
+		th := math.Sqrt(vals[bestAt] * vals[bestAt+1])
+		th = math.Max(opt.ThresholdFloor, math.Min(opt.ThresholdCap, th))
+		out = append(out, ThresholdDirective{Hypothesis: h, Value: round3(th)})
+	}
+	return out
+}
+
+func round3(v float64) float64 { return math.Round(v*1000) / 1000 }
+
+func pathDepth(p string) int {
+	d := 0
+	for _, c := range p {
+		if c == '/' {
+			d++
+		}
+	}
+	return d
+}
+
+func parentPath(p string) string {
+	for i := len(p) - 1; i >= 0; i-- {
+		if p[i] == '/' {
+			return p[:i]
+		}
+	}
+	return p
+}

@@ -1,0 +1,208 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/consultant"
+	"repro/internal/history"
+)
+
+// fakeRecord builds a RunRecord resembling a Poisson base run: a
+// sync-dominated diagnosis with decoy code, a redundant machine
+// hierarchy, and a spread of measured values.
+func fakeRecord() *history.RunRecord {
+	whole := "</Code,/Machine,/Process,/SyncObject>"
+	rec := &history.RunRecord{
+		App: "poisson", Version: "A", RunID: "run1", Duration: 100,
+		Resources: map[string][]string{
+			"Code": {
+				"/Code",
+				"/Code/oned.f", "/Code/oned.f/main", "/Code/oned.f/setup",
+				"/Code/sweep.f", "/Code/sweep.f/sweep1d",
+				"/Code/util.f", "/Code/util.f/clock", "/Code/util.f/logmsg",
+			},
+			"Machine":    {"/Machine", "/Machine/sp01", "/Machine/sp02"},
+			"Process":    {"/Process", "/Process/p1", "/Process/p2"},
+			"SyncObject": {"/SyncObject", "/SyncObject/Message", "/SyncObject/Message/tag_3_0"},
+		},
+		ProcNodes: map[string]string{"p1": "sp01", "p2": "sp02"},
+		Usage: map[string]float64{
+			"/Code/oned.f":          0.40,
+			"/Code/oned.f/main":     0.35,
+			"/Code/oned.f/setup":    0.002,
+			"/Code/sweep.f":         0.55,
+			"/Code/sweep.f/sweep1d": 0.55,
+			"/Code/util.f":          0.004,
+			"/Code/util.f/clock":    0.002,
+			"/Code/util.f/logmsg":   0.002,
+		},
+		Results: []history.NodeResult{
+			{Hyp: consultant.ExcessiveSync, Focus: whole, State: "true", Value: 0.55, Threshold: 0.2, ConcludedAt: 5},
+			{Hyp: consultant.ExcessiveSync, Focus: "</Code/oned.f,/Machine,/Process,/SyncObject>", State: "true", Value: 0.40, Threshold: 0.2, ConcludedAt: 9},
+			{Hyp: consultant.ExcessiveSync, Focus: "</Code/sweep.f,/Machine,/Process,/SyncObject>", State: "false", Value: 0.15, Threshold: 0.2, ConcludedAt: 9},
+			{Hyp: consultant.ExcessiveSync, Focus: "</Code,/Machine,/Process/p2,/SyncObject>", State: "true", Value: 0.62, Threshold: 0.2, ConcludedAt: 9},
+			{Hyp: consultant.ExcessiveSync, Focus: "</Code,/Machine,/Process/p1,/SyncObject>", State: "false", Value: 0.13, Threshold: 0.2, ConcludedAt: 9},
+			{Hyp: consultant.ExcessiveSync, Focus: "</Code,/Machine,/Process,/SyncObject/Message>", State: "true", Value: 0.5, Threshold: 0.2, ConcludedAt: 9},
+			{Hyp: consultant.ExcessiveSync, Focus: "</Code/util.f,/Machine,/Process,/SyncObject>", State: "false", Value: 0.004, Threshold: 0.2, ConcludedAt: 9},
+			{Hyp: consultant.CPUBound, Focus: whole, State: "true", Value: 0.45, Threshold: 0.3, ConcludedAt: 5},
+			{Hyp: consultant.CPUBound, Focus: "</Code/util.f,/Machine,/Process,/SyncObject>", State: "false", Value: 0.004, Threshold: 0.3, ConcludedAt: 9},
+			{Hyp: consultant.ExcessiveIO, Focus: whole, State: "false", Value: 0.01, Threshold: 0.1, ConcludedAt: 5},
+		},
+		TrueCount: 5,
+	}
+	return rec
+}
+
+func TestGeneralPrunes(t *testing.T) {
+	ps := GeneralPrunes()
+	if len(ps) != 2 {
+		t.Fatalf("general prunes = %v", ps)
+	}
+	for _, p := range ps {
+		if p.Path != "/SyncObject" {
+			t.Errorf("general prune path = %q", p.Path)
+		}
+		if p.Hypothesis == consultant.ExcessiveSync || p.Hypothesis == AnyHypothesis {
+			t.Errorf("general prunes must spare synchronization hypotheses: %+v", p)
+		}
+	}
+}
+
+func TestHistoricPrunesRedundantMachine(t *testing.T) {
+	rec := fakeRecord()
+	ps := HistoricPrunes(rec, HarvestOptions{})
+	foundMachine := false
+	for _, p := range ps {
+		if p.Path == "/Machine" && p.Hypothesis == AnyHypothesis {
+			foundMachine = true
+		}
+	}
+	if !foundMachine {
+		t.Error("one-to-one process/machine mapping should prune /Machine")
+	}
+	// A record where two processes share a node must NOT prune Machine.
+	rec2 := fakeRecord()
+	rec2.ProcNodes["p2"] = "sp01"
+	for _, p := range HistoricPrunes(rec2, HarvestOptions{}) {
+		if p.Path == "/Machine" {
+			t.Error("shared node still pruned /Machine")
+		}
+	}
+}
+
+func TestHistoricPrunesInsignificantCode(t *testing.T) {
+	rec := fakeRecord()
+	ps := HistoricPrunes(rec, HarvestOptions{})
+	byPath := map[string]bool{}
+	for _, p := range ps {
+		byPath[p.Path] = true
+	}
+	if !byPath["/Code/util.f"] {
+		t.Error("wholly insignificant module not pruned as a unit")
+	}
+	if byPath["/Code/util.f/clock"] {
+		t.Error("functions of a pruned module should not be pruned individually")
+	}
+	if !byPath["/Code/oned.f/setup"] {
+		t.Error("insignificant function in a significant module not pruned")
+	}
+	if byPath["/Code/oned.f"] || byPath["/Code/sweep.f"] || byPath["/Code/sweep.f/sweep1d"] {
+		t.Error("significant code pruned")
+	}
+}
+
+func TestFalsePairPrunes(t *testing.T) {
+	rec := fakeRecord()
+	ps := FalsePairPrunes(rec)
+	if len(ps) != len(rec.FalseResults()) {
+		t.Fatalf("pair prunes = %d, want %d", len(ps), len(rec.FalseResults()))
+	}
+	for _, p := range ps {
+		if p.Focus == "" || p.Path != "" {
+			t.Errorf("false-pair prune malformed: %+v", p)
+		}
+	}
+}
+
+func TestExtractPriorities(t *testing.T) {
+	rec := fakeRecord()
+	ps := ExtractPriorities(rec)
+	high, low := 0, 0
+	for _, p := range ps {
+		switch p.Level {
+		case consultant.High:
+			high++
+		case consultant.Low:
+			low++
+		default:
+			t.Errorf("unexpected level %v", p.Level)
+		}
+	}
+	if high != rec.TrueCount {
+		t.Errorf("high = %d, want %d", high, rec.TrueCount)
+	}
+	if low != len(rec.FalseResults()) {
+		t.Errorf("low = %d, want %d", low, len(rec.FalseResults()))
+	}
+}
+
+func TestExtractThresholdsFindsTheGap(t *testing.T) {
+	rec := fakeRecord()
+	// Sync values: 0.62 0.55 0.5 0.4 0.15 0.13 0.004 — the dominant gap
+	// inside [floor, cap] is between 0.4 and 0.15; the threshold should
+	// land between them.
+	ths := ExtractThresholds(rec, HarvestOptions{})
+	var sync *ThresholdDirective
+	for i := range ths {
+		if ths[i].Hypothesis == consultant.ExcessiveSync {
+			sync = &ths[i]
+		}
+	}
+	if sync == nil {
+		t.Fatal("no sync threshold extracted")
+	}
+	if sync.Value <= 0.15 || sync.Value >= 0.4 {
+		t.Errorf("sync threshold = %v, want inside the (0.15, 0.4) gap", sync.Value)
+	}
+	// Too few observations for IO: no directive.
+	for _, th := range ths {
+		if th.Hypothesis == consultant.ExcessiveIO {
+			t.Error("threshold extracted from too few observations")
+		}
+	}
+}
+
+func TestExtractThresholdsClamped(t *testing.T) {
+	rec := fakeRecord()
+	opt := HarvestOptions{ThresholdFloor: 0.3, ThresholdCap: 0.31}
+	for _, th := range ExtractThresholds(rec, opt) {
+		if th.Value < 0.3-1e-9 || th.Value > 0.31+1e-9 {
+			t.Errorf("threshold %v outside clamp", th.Value)
+		}
+	}
+}
+
+func TestHarvestComposition(t *testing.T) {
+	rec := fakeRecord()
+	all := Harvest(rec, HarvestAll())
+	if len(all.Prunes) == 0 || len(all.Priorities) == 0 || len(all.Thresholds) == 0 {
+		t.Errorf("HarvestAll incomplete: %+v", all)
+	}
+	if all.Source == "" {
+		t.Error("harvest source empty")
+	}
+	onlyPrio := Harvest(rec, HarvestOptions{Priorities: true})
+	if len(onlyPrio.Prunes) != 0 || len(onlyPrio.Thresholds) != 0 {
+		t.Error("priorities-only harvest contains other kinds")
+	}
+	withFalse := Harvest(rec, HarvestOptions{FalsePairPrunes: true})
+	if len(withFalse.Prunes) != len(rec.FalseResults()) {
+		t.Error("false-pair harvest wrong")
+	}
+	// HarvestAll deliberately omits false-pair prunes (the risky kind).
+	for _, p := range all.Prunes {
+		if p.Focus != "" {
+			t.Error("HarvestAll should not include false-pair prunes")
+		}
+	}
+}

@@ -1,0 +1,154 @@
+package core
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/consultant"
+)
+
+// The directive text format, one directive per line:
+//
+//	# comment
+//	prune <hypothesis|*> <resource-path>
+//	priority <low|medium|high> <hypothesis> <focus-name>
+//	threshold <hypothesis> <value>
+//
+// and, in mapping files:
+//
+//	map <from-path> <to-path>
+//
+// Focus names contain no spaces, so whitespace splitting is unambiguous.
+
+// WriteDirectives writes ds in the text format.
+func WriteDirectives(w io.Writer, ds *DirectiveSet) error {
+	bw := bufio.NewWriter(w)
+	if ds.Source != "" {
+		fmt.Fprintf(bw, "# source: %s\n", ds.Source)
+	}
+	for _, p := range ds.Prunes {
+		if p.Focus != "" {
+			fmt.Fprintf(bw, "prunepair %s %s\n", p.Hypothesis, p.Focus)
+		} else {
+			fmt.Fprintf(bw, "prune %s %s\n", p.Hypothesis, p.Path)
+		}
+	}
+	for _, p := range ds.Priorities {
+		fmt.Fprintf(bw, "priority %s %s %s\n", p.Level, p.Hypothesis, p.Focus)
+	}
+	for _, t := range ds.Thresholds {
+		fmt.Fprintf(bw, "threshold %s %g\n", t.Hypothesis, t.Value)
+	}
+	return bw.Flush()
+}
+
+// FormatDirectives returns ds in the text format.
+func FormatDirectives(ds *DirectiveSet) string {
+	var b strings.Builder
+	_ = WriteDirectives(&b, ds)
+	return b.String()
+}
+
+// ParseDirectives reads the text format.
+func ParseDirectives(r io.Reader) (*DirectiveSet, error) {
+	ds := &DirectiveSet{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	lineno := 0
+	for sc.Scan() {
+		lineno++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if ds.Source == "" {
+				if s, ok := strings.CutPrefix(line, "# source:"); ok {
+					ds.Source = strings.TrimSpace(s)
+				}
+			}
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "prune":
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("core: line %d: prune wants 2 args", lineno)
+			}
+			ds.Prunes = append(ds.Prunes, Prune{Hypothesis: fields[1], Path: fields[2]})
+		case "prunepair":
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("core: line %d: prunepair wants 2 args", lineno)
+			}
+			ds.Prunes = append(ds.Prunes, Prune{Hypothesis: fields[1], Focus: fields[2]})
+		case "priority":
+			if len(fields) != 4 {
+				return nil, fmt.Errorf("core: line %d: priority wants 3 args", lineno)
+			}
+			lv, err := consultant.ParsePriority(fields[1])
+			if err != nil {
+				return nil, fmt.Errorf("core: line %d: %w", lineno, err)
+			}
+			ds.Priorities = append(ds.Priorities, PriorityDirective{
+				Hypothesis: fields[2], Focus: fields[3], Level: lv,
+			})
+		case "threshold":
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("core: line %d: threshold wants 2 args", lineno)
+			}
+			v, err := strconv.ParseFloat(fields[2], 64)
+			if err != nil || v <= 0 || v >= 1 {
+				return nil, fmt.Errorf("core: line %d: bad threshold %q", lineno, fields[2])
+			}
+			ds.Thresholds = append(ds.Thresholds, ThresholdDirective{Hypothesis: fields[1], Value: v})
+		case "map":
+			return nil, fmt.Errorf("core: line %d: map directives belong in a mapping file (use ParseMappings)", lineno)
+		default:
+			return nil, fmt.Errorf("core: line %d: unknown directive %q", lineno, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return ds, nil
+}
+
+// ParseMappings reads "map <from> <to>" lines (the paper's Figure 3 input
+// file format).
+func ParseMappings(r io.Reader) ([]Mapping, error) {
+	var out []Mapping
+	sc := bufio.NewScanner(r)
+	lineno := 0
+	for sc.Scan() {
+		lineno++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 3 || fields[0] != "map" {
+			return nil, fmt.Errorf("core: line %d: want 'map <from> <to>'", lineno)
+		}
+		m := Mapping{From: fields[1], To: fields[2]}
+		if err := validateMapping(m); err != nil {
+			return nil, fmt.Errorf("core: line %d: %w", lineno, err)
+		}
+		out = append(out, m)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// FormatMappings renders mappings in the text format.
+func FormatMappings(maps []Mapping) string {
+	var b strings.Builder
+	for _, m := range maps {
+		fmt.Fprintf(&b, "map %s %s\n", m.From, m.To)
+	}
+	return b.String()
+}

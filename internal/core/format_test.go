@@ -1,0 +1,177 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/consultant"
+)
+
+func TestFormatParseRoundTrip(t *testing.T) {
+	ds := &DirectiveSet{
+		Source: "poisson-A/run1",
+		Prunes: []Prune{
+			{Hypothesis: consultant.CPUBound, Path: "/SyncObject"},
+			{Hypothesis: AnyHypothesis, Path: "/Machine"},
+			{Hypothesis: consultant.ExcessiveSync, Focus: "</Code/x,/Machine,/Process,/SyncObject>"},
+		},
+		Priorities: []PriorityDirective{
+			{Hypothesis: consultant.ExcessiveSync, Focus: "</Code,/Machine,/Process/p1,/SyncObject>", Level: consultant.High},
+			{Hypothesis: consultant.CPUBound, Focus: "</Code,/Machine,/Process,/SyncObject>", Level: consultant.Low},
+		},
+		Thresholds: []ThresholdDirective{{Hypothesis: consultant.ExcessiveSync, Value: 0.12}},
+	}
+	text := FormatDirectives(ds)
+	parsed, err := ParseDirectives(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parsed.Source != ds.Source {
+		t.Errorf("source = %q", parsed.Source)
+	}
+	if FormatDirectives(parsed) != text {
+		t.Errorf("round trip changed text:\n%s\nvs\n%s", text, FormatDirectives(parsed))
+	}
+}
+
+func TestParseDirectivesTolerance(t *testing.T) {
+	in := `
+# a comment
+
+prune * /Machine
+  priority high CPUbound </Code,/Machine,/Process,/SyncObject>
+threshold ExcessiveSyncWaitingTime 0.12
+prunepair CPUbound </Code/x,/Machine,/Process,/SyncObject>
+`
+	ds, err := ParseDirectives(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds.Prunes) != 2 || len(ds.Priorities) != 1 || len(ds.Thresholds) != 1 {
+		t.Errorf("parsed counts wrong: %+v", ds)
+	}
+	if ds.Prunes[1].Focus == "" {
+		t.Error("prunepair did not set Focus")
+	}
+}
+
+func TestParseDirectivesErrors(t *testing.T) {
+	cases := []string{
+		"prune onlyonearg",
+		"priority high CPUbound",       // missing focus
+		"priority urgent CPUbound <x>", // bad level
+		"threshold CPUbound notanumber",
+		"threshold CPUbound 0",   // out of range
+		"threshold CPUbound 1.5", // out of range
+		"teleport here",
+		"map /a /b", // map lines belong in mapping files
+		"prunepair X",
+	}
+	for _, c := range cases {
+		if _, err := ParseDirectives(strings.NewReader(c)); err == nil {
+			t.Errorf("ParseDirectives(%q) succeeded", c)
+		}
+	}
+}
+
+func TestParseMappings(t *testing.T) {
+	in := `
+# the paper's Figure 3 mapping file
+map /Code/exchng1.f /Code/nbexchng.f
+map /Code/exchng1.f/exchng1 /Code/nbexchng.f/nbexchng1
+map /Code/oned.f /Code/onednb.f
+`
+	maps, err := ParseMappings(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(maps) != 3 {
+		t.Fatalf("maps = %d", len(maps))
+	}
+	if maps[0].From != "/Code/exchng1.f" || maps[0].To != "/Code/nbexchng.f" {
+		t.Errorf("maps[0] = %+v", maps[0])
+	}
+	out := FormatMappings(maps)
+	again, err := ParseMappings(strings.NewReader(out))
+	if err != nil || len(again) != 3 {
+		t.Errorf("mapping round trip failed: %v", err)
+	}
+}
+
+func TestParseMappingsErrors(t *testing.T) {
+	for _, c := range []string{
+		"map /a",                 // wrong arity
+		"notmap /a /b",           // wrong keyword
+		"map relative /b",        // not absolute
+		"map /Code/x /Machine/y", // crosses hierarchies
+	} {
+		if _, err := ParseMappings(strings.NewReader(c)); err == nil {
+			t.Errorf("ParseMappings(%q) succeeded", c)
+		}
+	}
+}
+
+// randomDirectiveSet builds a random but well-formed directive set.
+func randomDirectiveSet(rng *rand.Rand) *DirectiveSet {
+	ds := &DirectiveSet{}
+	hyps := []string{consultant.CPUBound, consultant.ExcessiveSync, consultant.ExcessiveIO, AnyHypothesis}
+	levels := []consultant.Priority{consultant.Low, consultant.Medium, consultant.High}
+	seenPrune := map[Prune]bool{}
+	for i := 0; i < rng.Intn(6); i++ {
+		p := Prune{
+			Hypothesis: hyps[rng.Intn(len(hyps))],
+			Path:       fmt.Sprintf("/Code/mod%d.f", rng.Intn(8)),
+		}
+		if seenPrune[p] {
+			continue
+		}
+		seenPrune[p] = true
+		ds.Prunes = append(ds.Prunes, p)
+	}
+	seenPair := map[string]bool{}
+	for i := 0; i < rng.Intn(6); i++ {
+		p := PriorityDirective{
+			Hypothesis: hyps[rng.Intn(3)],
+			Focus:      fmt.Sprintf("</Code/mod%d.f,/Machine,/Process,/SyncObject>", rng.Intn(8)),
+			Level:      levels[rng.Intn(len(levels))],
+		}
+		if seenPair[p.Hypothesis+" "+p.Focus] {
+			continue
+		}
+		seenPair[p.Hypothesis+" "+p.Focus] = true
+		ds.Priorities = append(ds.Priorities, p)
+	}
+	seenTh := map[string]bool{}
+	for i := 0; i < rng.Intn(3); i++ {
+		h := hyps[rng.Intn(3)]
+		if seenTh[h] {
+			continue
+		}
+		seenTh[h] = true
+		ds.Thresholds = append(ds.Thresholds, ThresholdDirective{
+			Hypothesis: h,
+			Value:      0.01 + 0.98*rng.Float64(),
+		})
+	}
+	return ds
+}
+
+func TestQuickFormatParseRoundTrip(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 150}
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ds := randomDirectiveSet(rng)
+		text := FormatDirectives(ds)
+		parsed, err := ParseDirectives(strings.NewReader(text))
+		if err != nil {
+			return false
+		}
+		return FormatDirectives(parsed) == text
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}

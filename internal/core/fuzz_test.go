@@ -1,0 +1,52 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseDirectives checks that the directive parser never panics and
+// that anything it accepts survives a format/parse round trip.
+func FuzzParseDirectives(f *testing.F) {
+	f.Add("prune * /Machine\n")
+	f.Add("prunepair CPUbound </Code/x,/Machine,/Process,/SyncObject>\n")
+	f.Add("priority high ExcessiveSyncWaitingTime </Code,/Machine,/Process,/SyncObject>\n")
+	f.Add("threshold ExcessiveSyncWaitingTime 0.12\n")
+	f.Add("# comment\n\nprune CPUbound /SyncObject\n")
+	f.Add("priority low H <x>\nthreshold H 0.5\n")
+	f.Add("garbage line\n")
+	f.Add("threshold H NaN\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		ds, err := ParseDirectives(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		text := FormatDirectives(ds)
+		again, err := ParseDirectives(strings.NewReader(text))
+		if err != nil {
+			t.Fatalf("accepted input did not round trip: %v\ninput: %q\nformatted: %q", err, input, text)
+		}
+		if FormatDirectives(again) != text {
+			t.Fatalf("format not a fixed point:\n%q\nvs\n%q", text, FormatDirectives(again))
+		}
+	})
+}
+
+// FuzzParseMappings checks the mapping file parser.
+func FuzzParseMappings(f *testing.F) {
+	f.Add("map /Code/oned.f /Code/onednb.f\n")
+	f.Add("map /Machine/sp01 /Machine/sp05\n# c\n")
+	f.Add("map /a /b\n")
+	f.Add("map bad\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		maps, err := ParseMappings(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		out := FormatMappings(maps)
+		again, err := ParseMappings(strings.NewReader(out))
+		if err != nil || len(again) != len(maps) {
+			t.Fatalf("mapping round trip failed: %v (%d vs %d)", err, len(again), len(maps))
+		}
+	})
+}

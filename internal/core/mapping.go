@@ -1,0 +1,265 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// mapPath rewrites one resource path under a mapping: an exact match or a
+// prefix match on a path-component boundary is replaced.
+func mapPath(path string, m Mapping) string {
+	if path == m.From {
+		return m.To
+	}
+	if strings.HasPrefix(path, m.From+"/") {
+		return m.To + strings.TrimPrefix(path, m.From)
+	}
+	return path
+}
+
+// MapPath applies a list of mappings to one resource path. Mappings are
+// applied longest-From first so that the most specific rename wins
+// (mapping both "/Code/oned.f" and "/Code/oned.f/main" behaves as the
+// user wrote it); at most one mapping rewrites the path.
+func MapPath(path string, maps []Mapping) string {
+	ordered := make([]Mapping, len(maps))
+	copy(ordered, maps)
+	sort.SliceStable(ordered, func(i, j int) bool { return len(ordered[i].From) > len(ordered[j].From) })
+	for _, m := range ordered {
+		if out := mapPath(path, m); out != path {
+			return out
+		}
+	}
+	return path
+}
+
+// MapFocus rewrites every selection path inside a canonical focus name.
+func MapFocus(focus string, maps []Mapping) (string, error) {
+	paths, err := focusPaths(focus)
+	if err != nil {
+		return "", err
+	}
+	for i, p := range paths {
+		paths[i] = MapPath(p, maps)
+	}
+	return "<" + strings.Join(paths, ",") + ">", nil
+}
+
+// ApplyMappings returns a copy of the directive set with every resource
+// name rewritten under the mappings. This is the step performed after
+// starting Paradyn and before reading the directives into the Performance
+// Consultant.
+func ApplyMappings(ds *DirectiveSet, maps []Mapping) (*DirectiveSet, error) {
+	if len(maps) == 0 {
+		return ds.Clone(), nil
+	}
+	for _, m := range maps {
+		if err := validateMapping(m); err != nil {
+			return nil, err
+		}
+	}
+	out := &DirectiveSet{Source: ds.Source}
+	for _, p := range ds.Prunes {
+		if p.Focus != "" {
+			f, err := MapFocus(p.Focus, maps)
+			if err != nil {
+				return nil, fmt.Errorf("core: mapping pair prune: %w", err)
+			}
+			out.Prunes = append(out.Prunes, Prune{Hypothesis: p.Hypothesis, Focus: f})
+			continue
+		}
+		out.Prunes = append(out.Prunes, Prune{Hypothesis: p.Hypothesis, Path: MapPath(p.Path, maps)})
+	}
+	for _, p := range ds.Priorities {
+		f, err := MapFocus(p.Focus, maps)
+		if err != nil {
+			return nil, fmt.Errorf("core: mapping priority directive: %w", err)
+		}
+		out.Priorities = append(out.Priorities, PriorityDirective{Hypothesis: p.Hypothesis, Focus: f, Level: p.Level})
+	}
+	out.Thresholds = append(out.Thresholds, ds.Thresholds...)
+	return out, nil
+}
+
+func validateMapping(m Mapping) error {
+	for _, p := range []string{m.From, m.To} {
+		if !strings.HasPrefix(p, "/") || len(p) < 2 {
+			return fmt.Errorf("core: bad mapping path %q", p)
+		}
+	}
+	fromHier := strings.SplitN(strings.TrimPrefix(m.From, "/"), "/", 2)[0]
+	toHier := strings.SplitN(strings.TrimPrefix(m.To, "/"), "/", 2)[0]
+	if fromHier != toHier {
+		return fmt.Errorf("core: mapping %q -> %q crosses hierarchies", m.From, m.To)
+	}
+	return nil
+}
+
+// InferMappings proposes mappings between two executions' resource sets:
+// within each hierarchy, resources that exist in only one of the two runs
+// are paired level by level by name similarity (longest common
+// subsequence of their labels), greedily taking the best-scoring pairs
+// first. Parent renames are discovered before child renames, and child
+// paths are compared under the parent mapping found so far. It automates
+// the common cases — renamed machine nodes, process IDs, and the
+// paper's Figure 3 module/function renames (oned.f -> onednb.f,
+// sweep.f/sweep1d -> nbsweep.f/nbsweep, ...); user-specified mappings
+// always take precedence when concatenated after the inferred ones.
+func InferMappings(fromResources, toResources map[string][]string) []Mapping {
+	var out []Mapping
+	hiers := make([]string, 0, len(fromResources))
+	for h := range fromResources {
+		if _, ok := toResources[h]; ok {
+			hiers = append(hiers, h)
+		}
+	}
+	sort.Strings(hiers)
+	for _, h := range hiers {
+		out = append(out, inferHierarchy(fromResources[h], toResources[h])...)
+	}
+	return out
+}
+
+func inferHierarchy(from, to []string) []Mapping {
+	fromSet := make(map[string]bool, len(from))
+	for _, p := range from {
+		fromSet[p] = true
+	}
+	toSet := make(map[string]bool, len(to))
+	for _, p := range to {
+		toSet[p] = true
+	}
+	// Work depth by depth so that parent renames are discovered before
+	// child renames, and child paths are compared under the parent
+	// mapping found so far.
+	maxDepth := 0
+	for _, p := range append(append([]string{}, from...), to...) {
+		if d := strings.Count(p, "/"); d > maxDepth {
+			maxDepth = d
+		}
+	}
+	var maps []Mapping
+	for depth := 1; depth <= maxDepth; depth++ {
+		var uniqFrom, uniqTo []string
+		for _, p := range sortedKeys(fromSet) {
+			if strings.Count(p, "/") != depth {
+				continue
+			}
+			mapped := MapPath(p, maps)
+			if !toSet[mapped] {
+				uniqFrom = append(uniqFrom, p)
+			}
+		}
+		for _, p := range sortedKeys(toSet) {
+			if strings.Count(p, "/") != depth {
+				continue
+			}
+			covered := false
+			for _, q := range sortedKeys(fromSet) {
+				if MapPath(q, maps) == p {
+					covered = true
+					break
+				}
+			}
+			if !covered {
+				uniqTo = append(uniqTo, p)
+			}
+		}
+		maps = append(maps, pairBySimilarity(uniqFrom, uniqTo)...)
+	}
+	return maps
+}
+
+// minSimilarity is the label-similarity floor below which two unique
+// resources are left unmapped (directives naming them are skipped, which
+// is safe) rather than paired arbitrarily.
+const minSimilarity = 0.34
+
+// pairBySimilarity greedily matches unique resources by label similarity.
+func pairBySimilarity(from, to []string) []Mapping {
+	type cand struct {
+		score  float64
+		fi, ti int
+		fp, tp string
+	}
+	var cands []cand
+	for fi, f := range from {
+		for ti, t := range to {
+			s := labelSimilarity(lastComponent(f), lastComponent(t))
+			if s >= minSimilarity {
+				cands = append(cands, cand{score: s, fi: fi, ti: ti, fp: f, tp: t})
+			}
+		}
+	}
+	sort.SliceStable(cands, func(i, j int) bool {
+		if cands[i].score != cands[j].score {
+			return cands[i].score > cands[j].score
+		}
+		if cands[i].fp != cands[j].fp {
+			return cands[i].fp < cands[j].fp
+		}
+		return cands[i].tp < cands[j].tp
+	})
+	usedF := make(map[int]bool)
+	usedT := make(map[int]bool)
+	var out []Mapping
+	for _, c := range cands {
+		if usedF[c.fi] || usedT[c.ti] {
+			continue
+		}
+		usedF[c.fi] = true
+		usedT[c.ti] = true
+		out = append(out, Mapping{From: c.fp, To: c.tp})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].From < out[j].From })
+	return out
+}
+
+func lastComponent(p string) string {
+	for i := len(p) - 1; i >= 0; i-- {
+		if p[i] == '/' {
+			return p[i+1:]
+		}
+	}
+	return p
+}
+
+// labelSimilarity returns the longest-common-subsequence length of the two
+// lowercased labels, normalized by the longer label's length.
+func labelSimilarity(a, b string) float64 {
+	a, b = strings.ToLower(a), strings.ToLower(b)
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	// Classic O(len(a)*len(b)) LCS; labels are short.
+	prev := make([]int, len(b)+1)
+	cur := make([]int, len(b)+1)
+	for i := 1; i <= len(a); i++ {
+		for j := 1; j <= len(b); j++ {
+			if a[i-1] == b[j-1] {
+				cur[j] = prev[j-1] + 1
+			} else if prev[j] >= cur[j-1] {
+				cur[j] = prev[j]
+			} else {
+				cur[j] = cur[j-1]
+			}
+		}
+		prev, cur = cur, prev
+	}
+	lcs := prev[len(b)]
+	longer := len(a)
+	if len(b) > longer {
+		longer = len(b)
+	}
+	return float64(lcs) / float64(longer)
+}
+
+func sortedKeys(set map[string]bool) []string {
+	out := make([]string, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,275 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/consultant"
+)
+
+func TestMapPathBoundaries(t *testing.T) {
+	maps := []Mapping{{From: "/Code/oned.f", To: "/Code/onednb.f"}}
+	cases := map[string]string{
+		"/Code/oned.f":      "/Code/onednb.f",
+		"/Code/oned.f/main": "/Code/onednb.f/main",
+		"/Code/oned.fx":     "/Code/oned.fx", // not a component boundary
+		"/Code/sweep.f":     "/Code/sweep.f",
+		"/Machine/oned.f":   "/Machine/oned.f",
+	}
+	for in, want := range cases {
+		if got := MapPath(in, maps); got != want {
+			t.Errorf("MapPath(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestMapPathLongestMatchWins(t *testing.T) {
+	maps := []Mapping{
+		{From: "/Code/oned.f", To: "/Code/onednb.f"},
+		{From: "/Code/oned.f/main", To: "/Code/onednb.f/newmain"},
+	}
+	if got := MapPath("/Code/oned.f/main", maps); got != "/Code/onednb.f/newmain" {
+		t.Errorf("longest match lost: %q", got)
+	}
+	if got := MapPath("/Code/oned.f/setup", maps); got != "/Code/onednb.f/setup" {
+		t.Errorf("parent mapping lost: %q", got)
+	}
+}
+
+func TestMapFocus(t *testing.T) {
+	maps := []Mapping{
+		{From: "/Code/oned.f", To: "/Code/onednb.f"},
+		{From: "/Machine/sp01", To: "/Machine/sp05"},
+	}
+	got, err := MapFocus("</Code/oned.f/main,/Machine/sp01,/Process/p1,/SyncObject>", maps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "</Code/onednb.f/main,/Machine/sp05,/Process/p1,/SyncObject>"
+	if got != want {
+		t.Errorf("MapFocus = %q, want %q", got, want)
+	}
+	if _, err := MapFocus("not a focus", maps); err == nil {
+		t.Error("malformed focus accepted")
+	}
+}
+
+func TestApplyMappings(t *testing.T) {
+	ds := &DirectiveSet{
+		Source: "src",
+		Prunes: []Prune{
+			{Hypothesis: AnyHypothesis, Path: "/Code/oned.f/setup"},
+			{Hypothesis: consultant.CPUBound, Focus: "</Code/oned.f,/Machine,/Process,/SyncObject>"},
+		},
+		Priorities: []PriorityDirective{
+			{Hypothesis: consultant.ExcessiveSync, Focus: "</Code/oned.f/main,/Machine,/Process,/SyncObject>", Level: consultant.High},
+		},
+		Thresholds: []ThresholdDirective{{Hypothesis: consultant.ExcessiveSync, Value: 0.12}},
+	}
+	maps := []Mapping{{From: "/Code/oned.f", To: "/Code/onednb.f"}}
+	out, err := ApplyMappings(ds, maps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Prunes[0].Path != "/Code/onednb.f/setup" {
+		t.Errorf("prune path = %q", out.Prunes[0].Path)
+	}
+	if out.Prunes[1].Focus != "</Code/onednb.f,/Machine,/Process,/SyncObject>" {
+		t.Errorf("pair prune focus = %q", out.Prunes[1].Focus)
+	}
+	if out.Priorities[0].Focus != "</Code/onednb.f/main,/Machine,/Process,/SyncObject>" {
+		t.Errorf("priority focus = %q", out.Priorities[0].Focus)
+	}
+	if len(out.Thresholds) != 1 {
+		t.Error("thresholds lost")
+	}
+	// The original set is untouched.
+	if ds.Prunes[0].Path != "/Code/oned.f/setup" {
+		t.Error("ApplyMappings mutated its input")
+	}
+}
+
+func TestApplyMappingsEmptyIsClone(t *testing.T) {
+	ds := &DirectiveSet{Prunes: []Prune{{Hypothesis: "*", Path: "/Machine"}}}
+	out, err := ApplyMappings(ds, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out.Prunes[0].Path = "/Code"
+	if ds.Prunes[0].Path != "/Machine" {
+		t.Error("empty mapping aliases input")
+	}
+}
+
+func TestApplyMappingsValidation(t *testing.T) {
+	ds := &DirectiveSet{}
+	if _, err := ApplyMappings(ds, []Mapping{{From: "bad", To: "/Code/x"}}); err == nil {
+		t.Error("bad mapping accepted")
+	}
+	if _, err := ApplyMappings(ds, []Mapping{{From: "/Code/x", To: "/Machine/y"}}); err == nil {
+		t.Error("cross-hierarchy mapping accepted")
+	}
+}
+
+// figure3Resources returns the Code resources of the paper's versions A
+// and B.
+func figure3Resources() (a, b map[string][]string) {
+	a = map[string][]string{"Code": {
+		"/Code",
+		"/Code/decomp.f", "/Code/decomp.f/decomp1d",
+		"/Code/exchng1.f", "/Code/exchng1.f/exchng1",
+		"/Code/oned.f", "/Code/oned.f/diff1d", "/Code/oned.f/main", "/Code/oned.f/setup",
+		"/Code/sweep.f", "/Code/sweep.f/sweep1d",
+	}}
+	b = map[string][]string{"Code": {
+		"/Code",
+		"/Code/decomp.f", "/Code/decomp.f/decomp1d",
+		"/Code/nbexchng.f", "/Code/nbexchng.f/nbexchng1",
+		"/Code/onednb.f", "/Code/onednb.f/diff1d", "/Code/onednb.f/main", "/Code/onednb.f/setup",
+		"/Code/nbsweep.f", "/Code/nbsweep.f/nbsweep",
+	}}
+	return a, b
+}
+
+func TestInferMappingsReproducesFigure3(t *testing.T) {
+	a, b := figure3Resources()
+	maps := InferMappings(a, b)
+	want := map[string]string{
+		"/Code/exchng1.f":         "/Code/nbexchng.f",
+		"/Code/exchng1.f/exchng1": "/Code/nbexchng.f/nbexchng1",
+		"/Code/oned.f":            "/Code/onednb.f",
+		"/Code/sweep.f":           "/Code/nbsweep.f",
+		"/Code/sweep.f/sweep1d":   "/Code/nbsweep.f/nbsweep",
+	}
+	got := map[string]string{}
+	for _, m := range maps {
+		got[m.From] = m.To
+	}
+	for f, to := range want {
+		if got[f] != to {
+			t.Errorf("mapping for %s = %q, want %q", f, got[f], to)
+		}
+	}
+	if len(got) != len(want) {
+		t.Errorf("inferred %d mappings, want %d: %v", len(got), len(want), got)
+	}
+}
+
+func TestInferMappingsIdenticalSetsYieldNothing(t *testing.T) {
+	a, _ := figure3Resources()
+	if maps := InferMappings(a, a); len(maps) != 0 {
+		t.Errorf("identical sets produced mappings: %v", maps)
+	}
+}
+
+func TestInferMappingsMachineNodes(t *testing.T) {
+	a := map[string][]string{"Machine": {"/Machine", "/Machine/sp01", "/Machine/sp02"}}
+	b := map[string][]string{"Machine": {"/Machine", "/Machine/sp05", "/Machine/sp06"}}
+	maps := InferMappings(a, b)
+	if len(maps) != 2 {
+		t.Fatalf("maps = %v", maps)
+	}
+	got := map[string]string{}
+	for _, m := range maps {
+		got[m.From] = m.To
+	}
+	if got["/Machine/sp01"] != "/Machine/sp05" || got["/Machine/sp02"] != "/Machine/sp06" {
+		t.Errorf("node pairing = %v", got)
+	}
+}
+
+func TestInferMappingsDissimilarNamesLeftUnmapped(t *testing.T) {
+	a := map[string][]string{"Code": {"/Code", "/Code/aaaa"}}
+	b := map[string][]string{"Code": {"/Code", "/Code/zzzz"}}
+	if maps := InferMappings(a, b); len(maps) != 0 {
+		t.Errorf("dissimilar names paired: %v", maps)
+	}
+}
+
+func TestInferMappingsUnevenCounts(t *testing.T) {
+	// 8-process run mapped onto a 4-process run: only four pairs.
+	a := map[string][]string{"Process": {"/Process",
+		"/Process/poisson:4300", "/Process/poisson:4301", "/Process/poisson:4302", "/Process/poisson:4303",
+		"/Process/poisson:4304", "/Process/poisson:4305", "/Process/poisson:4306", "/Process/poisson:4307"}}
+	b := map[string][]string{"Process": {"/Process",
+		"/Process/poisson:4200", "/Process/poisson:4201", "/Process/poisson:4202", "/Process/poisson:4203"}}
+	maps := InferMappings(a, b)
+	if len(maps) != 4 {
+		t.Errorf("maps = %d, want 4", len(maps))
+	}
+}
+
+func TestLabelSimilarity(t *testing.T) {
+	if labelSimilarity("sweep1d", "nbsweep") <= labelSimilarity("sweep1d", "diff1d") {
+		t.Error("similarity ranking wrong for Figure 3 names")
+	}
+	if labelSimilarity("", "x") != 0 {
+		t.Error("empty label similarity not 0")
+	}
+	if labelSimilarity("same", "same") != 1 {
+		t.Error("identical labels should score 1")
+	}
+}
+
+func TestQuickMapPathIdempotentWhenDisjoint(t *testing.T) {
+	// With From sets disjoint from To sets, applying a mapping twice is
+	// the same as applying it once.
+	cfg := &quick.Config{MaxCount: 100}
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		maps := []Mapping{
+			{From: "/Code/a.f", To: "/Code/x.f"},
+			{From: "/Code/b.f", To: "/Code/y.f"},
+		}
+		paths := []string{"/Code/a.f/f1", "/Code/b.f", "/Code/c.f/f2", "/Machine/n1"}
+		p := paths[rng.Intn(len(paths))]
+		once := MapPath(p, maps)
+		twice := MapPath(once, maps)
+		return once == twice
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickBijectiveMappingInverseRoundTrip(t *testing.T) {
+	// Applying a bijective mapping and then its inverse restores every
+	// directive exactly.
+	cfg := &quick.Config{MaxCount: 120}
+	forward := []Mapping{
+		{From: "/Code/oned.f", To: "/Code/onednb.f"},
+		{From: "/Code/sweep.f", To: "/Code/nbsweep.f"},
+		{From: "/Machine/sp01", To: "/Machine/sp05"},
+	}
+	inverse := make([]Mapping, len(forward))
+	for i, m := range forward {
+		inverse[i] = Mapping{From: m.To, To: m.From}
+	}
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		mods := []string{"oned.f", "sweep.f", "exchng1.f"}
+		ds := &DirectiveSet{}
+		for i := 0; i < 1+rng.Intn(8); i++ {
+			mod := mods[rng.Intn(len(mods))]
+			ds.Priorities = append(ds.Priorities, PriorityDirective{
+				Hypothesis: "H",
+				Focus:      "</Code/" + mod + ",/Machine/sp01,/Process,/SyncObject>",
+				Level:      consultant.Priority(rng.Intn(3)),
+			})
+			ds.Prunes = append(ds.Prunes, Prune{Hypothesis: "*", Path: "/Code/" + mod})
+		}
+		fwd, err := ApplyMappings(ds, forward)
+		if err != nil {
+			return false
+		}
+		back, err := ApplyMappings(fwd, inverse)
+		if err != nil {
+			return false
+		}
+		return FormatDirectives(back) == FormatDirectives(ds)
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}

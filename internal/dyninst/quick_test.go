@@ -1,0 +1,164 @@
+package dyninst
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/metric"
+	"repro/internal/resource"
+	"repro/internal/sim"
+)
+
+// TestQuickProbeMatchesBruteForce cross-checks probe accumulation against
+// a direct brute-force computation over random interval streams and
+// random foci: for every (metric : focus) pair, the probe's accumulated
+// seconds must equal the sum of matching interval overlap with the
+// probe's lifetime.
+func TestQuickProbeMatchesBruteForce(t *testing.T) {
+	mods := []string{"oned.f", "sweep.f", "util.f"}
+	fns := map[string][]string{
+		"oned.f":  {"main", "setup"},
+		"sweep.f": {"sweep1d"},
+		"util.f":  {"clock"},
+	}
+	tags := []string{"", "tag_3_0", "tag_3_1"}
+	kinds := []sim.Kind{sim.KindCPU, sim.KindSyncWait, sim.KindIOWait}
+	procs := []ProcEntry{{Name: "p1", Node: "sp01"}, {Name: "p2", Node: "sp02"}}
+
+	buildSpace := func() *resource.Space {
+		sp := resource.NewStandardSpace()
+		for m, fl := range fns {
+			for _, f := range fl {
+				sp.MustAdd("/Code/" + m + "/" + f)
+			}
+		}
+		sp.MustAdd("/Machine/sp01")
+		sp.MustAdd("/Machine/sp02")
+		sp.MustAdd("/Process/p1")
+		sp.MustAdd("/Process/p2")
+		sp.MustAdd("/SyncObject/Message/tag_3_0")
+		sp.MustAdd("/SyncObject/Message/tag_3_1")
+		return sp
+	}
+
+	randomFocus := func(sp *resource.Space, rng *rand.Rand) resource.Focus {
+		f := sp.WholeProgram()
+		for _, h := range sp.Hierarchies() {
+			r := h.Root()
+			for r.NumChildren() > 0 && rng.Intn(2) == 1 {
+				kids := r.Children()
+				r = kids[rng.Intn(len(kids))]
+			}
+			f = f.MustWithSelection(r)
+		}
+		return f
+	}
+
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		sp := buildSpace()
+		m, err := NewManager(DefaultConfig(), sp, procs)
+		if err != nil {
+			return false
+		}
+		mets := []metric.ID{metric.CPUTime, metric.SyncWaitTime, metric.IOWaitTime, metric.ExecTime}
+		met := mets[rng.Intn(len(mets))]
+		focus := randomFocus(sp, rng)
+		insertAt := rng.Float64() * 5
+		probe, err := m.Request(met, focus, insertAt)
+		if err != nil {
+			return false
+		}
+		matcher, err := NewIntervalMatcher(met, focus)
+		if err != nil {
+			return false
+		}
+		var want float64
+		for i := 0; i < 60; i++ {
+			mod := mods[rng.Intn(len(mods))]
+			fl := fns[mod]
+			pe := procs[rng.Intn(len(procs))]
+			start := rng.Float64() * 20
+			iv := sim.Interval{
+				Process: pe.Name, Node: pe.Node,
+				Module: mod, Function: fl[rng.Intn(len(fl))],
+				Tag:   tags[rng.Intn(len(tags))],
+				Kind:  kinds[rng.Intn(len(kinds))],
+				Start: start, End: start + rng.Float64()*2,
+			}
+			m.OnInterval(iv)
+			if matcher.Matches(iv) {
+				lo := math.Max(iv.Start, probe.ActiveAt())
+				if lo < iv.End {
+					want += iv.End - lo
+				}
+			}
+		}
+		got := probe.Histogram().Total()
+		return math.Abs(got-want) < 1e-9*(1+want)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickCostConservation verifies that any sequence of requests and
+// removals leaves TotalCost exactly at the sum of live probes' costs, and
+// zero once everything is removed.
+func TestQuickCostConservation(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		sp := resource.NewStandardSpace()
+		sp.MustAdd("/Process/p1")
+		sp.MustAdd("/Process/p2")
+		sp.MustAdd("/Machine/n1")
+		sp.MustAdd("/Machine/n2")
+		sp.MustAdd("/SyncObject/Message/t")
+		m, err := NewManager(DefaultConfig(), sp,
+			[]ProcEntry{{Name: "p1", Node: "n1"}, {Name: "p2", Node: "n2"}})
+		if err != nil {
+			return false
+		}
+		var live []*Probe
+		for i := 0; i < 40; i++ {
+			if len(live) > 0 && rng.Intn(3) == 0 {
+				j := rng.Intn(len(live))
+				m.Remove(live[j], float64(i))
+				live = append(live[:j], live[j+1:]...)
+				continue
+			}
+			f := sp.WholeProgram()
+			if rng.Intn(2) == 0 {
+				r, _ := sp.Find(fmt.Sprintf("/Process/p%d", 1+rng.Intn(2)))
+				f = f.MustWithSelection(r)
+			}
+			if rng.Intn(3) == 0 {
+				r, _ := sp.Find("/SyncObject/Message/t")
+				f = f.MustWithSelection(r)
+			}
+			p, err := m.Request(metric.SyncWaitTime, f, float64(i))
+			if err != nil {
+				return false
+			}
+			live = append(live, p)
+		}
+		var want float64
+		for _, p := range live {
+			want += float64(p.Width()) * p.procCost
+		}
+		want /= 2 // two processes
+		if math.Abs(m.TotalCost()-want) > 1e-9 {
+			return false
+		}
+		for _, p := range live {
+			m.Remove(p, 100)
+		}
+		return m.TotalCost() == 0 && m.ActiveProbes() == 0
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,112 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/app"
+	"repro/internal/consultant"
+)
+
+// AblationRow is one parameter setting's effect on the base (undirected)
+// diagnosis of Poisson C.
+type AblationRow struct {
+	Param       string
+	Value       float64
+	EndTime     float64 // virtual time to quiescence
+	PairsTested int
+	Bottlenecks int
+	StallEvents int
+	MaxCost     float64
+}
+
+// AblationResult sweeps the design parameters DESIGN.md calls out: the
+// instrumentation cost limit (search throttling), the per-probe insertion
+// latency, the conclusion test interval, and the extra cost of
+// SyncObject-constrained probes.
+type AblationResult struct {
+	Rows []AblationRow
+}
+
+// Ablation runs the parameter sweeps.
+func Ablation() (*AblationResult, error) {
+	out := &AblationResult{}
+
+	run := func(param string, value float64, mutate func(*SessionConfig)) error {
+		a, err := app.Poisson("C", app.Options{})
+		if err != nil {
+			return err
+		}
+		cfg := DefaultSessionConfig()
+		cfg.RunID = fmt.Sprintf("abl-%s-%g", param, value)
+		mutate(&cfg)
+		res, err := RunSession(a, cfg)
+		if err != nil {
+			return err
+		}
+		out.Rows = append(out.Rows, AblationRow{
+			Param: param, Value: value,
+			EndTime:     res.EndTime,
+			PairsTested: res.PairsTested,
+			Bottlenecks: len(res.Bottlenecks),
+			StallEvents: res.Consultant.StallEvents(),
+			MaxCost:     res.Inst.MaxCostSeen(),
+		})
+		return nil
+	}
+
+	for _, v := range []float64{0.03, 0.06, 0.12, 0.24} {
+		v := v
+		if err := run("cost-limit", v, func(c *SessionConfig) { c.PC.CostLimit = v }); err != nil {
+			return nil, err
+		}
+	}
+	for _, v := range []float64{0.0, 0.5, 2.0} {
+		v := v
+		if err := run("insert-latency", v, func(c *SessionConfig) { c.Inst.InsertLatency = v }); err != nil {
+			return nil, err
+		}
+	}
+	for _, v := range []float64{2.0, 4.0, 8.0} {
+		v := v
+		if err := run("test-interval", v, func(c *SessionConfig) { c.PC.TestInterval = v }); err != nil {
+			return nil, err
+		}
+	}
+	for _, v := range []float64{1.0, 3.0, 6.0} {
+		v := v
+		if err := run("sync-cost-factor", v, func(c *SessionConfig) { c.Inst.SyncConstrainedCostFactor = v }); err != nil {
+			return nil, err
+		}
+	}
+	for _, v := range []float64{0, 1} { // 0 = breadth-first, 1 = depth-first
+		v := v
+		if err := run("search-policy(0=bf,1=df)", v, func(c *SessionConfig) {
+			c.PC.Policy = consultant.SearchPolicy(int(v))
+		}); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// Render formats the sweeps.
+func (r *AblationResult) Render() string {
+	header := []string{"Parameter", "Value", "Diagnosis vtime (s)", "Pairs", "Bottlenecks", "Cost Stalls", "Peak Cost"}
+	var rows [][]string
+	for _, row := range r.Rows {
+		rows = append(rows, []string{
+			row.Param,
+			fmt.Sprintf("%g", row.Value),
+			fmt.Sprintf("%.1f", row.EndTime),
+			fmt.Sprintf("%d", row.PairsTested),
+			fmt.Sprintf("%d", row.Bottlenecks),
+			fmt.Sprintf("%d", row.StallEvents),
+			fmt.Sprintf("%.3f", row.MaxCost),
+		})
+	}
+	var b strings.Builder
+	b.WriteString("Ablation: design-parameter sweeps on the undirected diagnosis of poisson-C\n")
+	b.WriteString(TextTable(header, rows))
+	return b.String()
+}

@@ -1,0 +1,70 @@
+package harness
+
+import (
+	"sort"
+	"strings"
+)
+
+// CanonicalFocus folds redundant Machine information out of a canonical
+// focus name when processes and machine nodes map one-to-one: the machine
+// selection is replaced by the hierarchy root and, when the process
+// selection was unconstrained, by the equivalent process selection. Runs
+// that prune the redundant /Machine hierarchy then report the same
+// canonical bottleneck as runs that refine down it.
+func CanonicalFocus(focus string, procNodes map[string]string) string {
+	if len(procNodes) == 0 || !oneToOne(procNodes) {
+		return focus
+	}
+	inner := strings.TrimSuffix(strings.TrimPrefix(strings.TrimSpace(focus), "<"), ">")
+	parts := strings.Split(inner, ",")
+	machineIdx, processIdx := -1, -1
+	for i, p := range parts {
+		p = strings.TrimSpace(p)
+		parts[i] = p
+		if p == "/Machine" || strings.HasPrefix(p, "/Machine/") {
+			machineIdx = i
+		}
+		if p == "/Process" || strings.HasPrefix(p, "/Process/") {
+			processIdx = i
+		}
+	}
+	if machineIdx < 0 || processIdx < 0 {
+		return focus
+	}
+	mp := parts[machineIdx]
+	if mp == "/Machine" {
+		return "<" + strings.Join(parts, ",") + ">"
+	}
+	node := strings.TrimPrefix(mp, "/Machine/")
+	parts[machineIdx] = "/Machine"
+	if parts[processIdx] == "/Process" {
+		if proc, ok := nodeToProc(procNodes)[node]; ok {
+			parts[processIdx] = "/Process/" + proc
+		}
+	}
+	return "<" + strings.Join(parts, ",") + ">"
+}
+
+func oneToOne(procNodes map[string]string) bool {
+	seen := make(map[string]bool, len(procNodes))
+	for _, n := range procNodes {
+		if seen[n] {
+			return false
+		}
+		seen[n] = true
+	}
+	return true
+}
+
+func nodeToProc(procNodes map[string]string) map[string]string {
+	out := make(map[string]string, len(procNodes))
+	keys := make([]string, 0, len(procNodes))
+	for p := range procNodes {
+		keys = append(keys, p)
+	}
+	sort.Strings(keys)
+	for _, p := range keys {
+		out[procNodes[p]] = p
+	}
+	return out
+}

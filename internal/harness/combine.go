@@ -1,0 +1,205 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/app"
+	"repro/internal/core"
+)
+
+// CombineResult is the Section 4.3 detailed study: the a1→a2 repeated
+// diagnosis of version A, and the A∩B versus A∪B directive combinations
+// used to diagnose version C.
+type CombineResult struct {
+	// a1 → a2 repeated diagnosis.
+	A1True, A2True int // bottlenecks found in each run
+	A2FromA1       int // a2 bottlenecks that were High directives from a1
+	A2New          int // a2 bottlenecks a1 never tested or concluded false
+	A1Time, A2Time float64
+	A2Mappings     int
+
+	// A∩B vs A∪B diagnosing C.
+	AndDirectives, OrDirectives int
+	CommonDirectives            int
+	AndTime, OrTime             float64
+	AndReached, OrReached       bool
+}
+
+// CombineStudy reproduces the paper's Section 4.3 analyses.
+func CombineStudy() (*CombineResult, error) {
+	out := &CombineResult{}
+
+	// --- Part 1: directives from a base run of A guiding a second run of
+	// A executed on differently named nodes and with different PIDs, so
+	// that every directive crosses a resource mapping. Both executions
+	// are bounded (the program computes a fixed number of iterations), so
+	// the undirected search is cut off by program end and the directed
+	// rerun reaches conclusions the base run never could — the paper's
+	// "more detailed diagnosis than could be performed without the
+	// directives".
+	const boundedIters = 400
+	optA1 := app.Options{NodeOffset: 1, PidBase: 4000, Iterations: boundedIters}
+	optA2 := app.Options{NodeOffset: 21, PidBase: 7000, Iterations: boundedIters}
+	a1App, err := app.Poisson("A", optA1)
+	if err != nil {
+		return nil, err
+	}
+	cfg := DefaultSessionConfig()
+	cfg.RunID = "a1"
+	a1, err := RunSession(a1App, cfg)
+	if err != nil {
+		return nil, err
+	}
+	out.A1True = len(a1.Bottlenecks)
+	if t, ok := TimeToFraction(a1.FoundTimes(a1.BottleneckKeys(true)), a1.BottleneckKeys(true), 1.0); ok {
+		out.A1Time = t
+	}
+
+	a2App, err := app.Poisson("A", optA2)
+	if err != nil {
+		return nil, err
+	}
+	a2Space, err := a2App.Space()
+	if err != nil {
+		return nil, err
+	}
+	a2Resources := make(map[string][]string)
+	for _, h := range a2Space.Hierarchies() {
+		a2Resources[h.Name()] = h.Paths()
+	}
+	maps := core.InferMappings(a1.Record.Resources, a2Resources)
+	out.A2Mappings = len(maps)
+	// Priorities plus general prunes only: a2's diagnosis should be a
+	// more-detailed superset of a1's, so nothing a1 found is pruned away.
+	ds := core.Harvest(a1.Record, core.HarvestOptions{GeneralPrunes: true, Priorities: true})
+	cfg = DefaultSessionConfig()
+	cfg.Sim.Seed = 2
+	cfg.RunID = "a2"
+	cfg.Directives = ds
+	cfg.Mappings = maps
+	a2, err := RunSession(a2App, cfg)
+	if err != nil {
+		return nil, err
+	}
+	out.A2True = len(a2.Bottlenecks)
+	if t, ok := TimeToFraction(a2.FoundTimes(a2.BottleneckKeys(true)), a2.BottleneckKeys(true), 1.0); ok {
+		out.A2Time = t
+	}
+	// Classify a2's bottlenecks against a1's results (in a2's namespace).
+	mappedDS, err := core.ApplyMappings(ds, maps)
+	if err != nil {
+		return nil, err
+	}
+	high := make(map[string]bool)
+	tested := make(map[string]bool)
+	for _, p := range mappedDS.Priorities {
+		tested[p.Hypothesis+" "+p.Focus] = true
+		if p.Level.String() == "high" {
+			high[p.Hypothesis+" "+p.Focus] = true
+		}
+	}
+	for _, b := range a2.Bottlenecks {
+		k := b.Hyp + " " + b.Focus
+		switch {
+		case high[k]:
+			out.A2FromA1++
+		case !tested[k]:
+			out.A2New++
+		}
+	}
+
+	// --- Part 2: combining directives from A and B to diagnose C.
+	bApp, err := app.Poisson("B", versionOptions("B"))
+	if err != nil {
+		return nil, err
+	}
+	cfg = DefaultSessionConfig()
+	cfg.RunID = "comb-B"
+	bRes, err := RunSession(bApp, cfg)
+	if err != nil {
+		return nil, err
+	}
+	cApp, err := app.Poisson("C", versionOptions("C"))
+	if err != nil {
+		return nil, err
+	}
+	cfg = DefaultSessionConfig()
+	cfg.RunID = "comb-C"
+	cBase, err := RunSession(cApp, cfg)
+	if err != nil {
+		return nil, err
+	}
+	want := cBase.ImportantKeys(ImportantMargin)
+
+	harvest := core.HarvestOptions{GeneralPrunes: true, HistoricPrunes: true, Priorities: true}
+	dsA := core.Harvest(a1.Record, harvest)
+	dsB := core.Harvest(bRes.Record, harvest)
+	mapsAC := core.InferMappings(a1.Record.Resources, cBase.Record.Resources)
+	mapsBC := core.InferMappings(bRes.Record.Resources, cBase.Record.Resources)
+	dsAC, err := core.ApplyMappings(dsA, mapsAC)
+	if err != nil {
+		return nil, err
+	}
+	dsBC, err := core.ApplyMappings(dsB, mapsBC)
+	if err != nil {
+		return nil, err
+	}
+	and := core.Intersect(dsAC, dsBC)
+	or := core.Union(dsAC, dsBC)
+	out.AndDirectives = len(and.Priorities)
+	out.OrDirectives = len(or.Priorities)
+	andKeys := make(map[string]bool, len(and.Priorities))
+	for _, p := range and.Priorities {
+		andKeys[p.Hypothesis+" "+p.Focus+" "+p.Level.String()] = true
+	}
+	for _, p := range or.Priorities {
+		if andKeys[p.Hypothesis+" "+p.Focus+" "+p.Level.String()] {
+			out.CommonDirectives++
+		}
+	}
+	for _, combo := range []struct {
+		ds      *core.DirectiveSet
+		time    *float64
+		reached *bool
+	}{
+		{and, &out.AndTime, &out.AndReached},
+		{or, &out.OrTime, &out.OrReached},
+	} {
+		a, err := app.Poisson("C", versionOptions("C"))
+		if err != nil {
+			return nil, err
+		}
+		cfg := DefaultSessionConfig()
+		cfg.Sim.Seed = 2
+		cfg.RunID = "comb-run"
+		cfg.Directives = combo.ds
+		res, err := RunSession(a, cfg)
+		if err != nil {
+			return nil, err
+		}
+		if t, ok := TimeToFraction(res.FoundTimes(want), want, 1.0); ok {
+			*combo.time = t
+			*combo.reached = true
+		}
+	}
+	return out, nil
+}
+
+// Render formats the study.
+func (r *CombineResult) Render() string {
+	var b strings.Builder
+	b.WriteString("Section 4.3 detail: repeated diagnosis and directive combination\n")
+	b.WriteString(strings.Repeat("-", 64) + "\n")
+	fmt.Fprintf(&b, "a1 (version A, no directives):  %d bottlenecks, all found by t=%.1fs\n", r.A1True, r.A1Time)
+	fmt.Fprintf(&b, "a2 (directives from a1, %d mappings applied): %d bottlenecks, all found by t=%.1fs\n",
+		r.A2Mappings, r.A2True, r.A2Time)
+	fmt.Fprintf(&b, "  of a2's bottlenecks: %d were High directives from a1, %d were pairs a1 never concluded\n",
+		r.A2FromA1, r.A2New)
+	b.WriteString("\nCombining directives from A and B to diagnose C:\n")
+	fmt.Fprintf(&b, "  A∩B: %d priority directives;  A∪B: %d;  common to both: %d\n",
+		r.AndDirectives, r.OrDirectives, r.CommonDirectives)
+	fmt.Fprintf(&b, "  diagnosis time with A∩B: %s;  with A∪B: %s\n",
+		fmtTime(r.AndTime, r.AndReached), fmtTime(r.OrTime, r.OrReached))
+	return b.String()
+}

@@ -1,0 +1,147 @@
+package harness
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/app"
+	"repro/internal/core"
+	"repro/internal/resource"
+)
+
+// renderHierarchy prints a resource hierarchy as an indented tree.
+func renderHierarchy(h *resource.Hierarchy) string {
+	var b strings.Builder
+	h.Root().Walk(func(r *resource.Resource) bool {
+		fmt.Fprintf(&b, "%s%s\n", strings.Repeat("  ", r.Depth()), r.Label())
+		return true
+	})
+	return b.String()
+}
+
+// Figure1 reproduces the paper's Figure 1: the resource hierarchies of
+// program Tester and an example focus constraining the view to function
+// verifya of process Tester:2 on any CPU.
+func Figure1() (string, error) {
+	a, err := app.Tester(app.Options{})
+	if err != nil {
+		return "", err
+	}
+	sp, err := a.Space()
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	b.WriteString("Figure 1: Representing program Tester — resource hierarchies\n")
+	b.WriteString(strings.Repeat("-", 60) + "\n")
+	for _, h := range sp.Hierarchies() {
+		b.WriteString(renderHierarchy(h))
+		b.WriteByte('\n')
+	}
+	verifya, ok := sp.Find("/Code/testutil.C/verifya")
+	if !ok {
+		return "", fmt.Errorf("harness: verifya resource missing")
+	}
+	tester2, ok := sp.Find("/Process/Tester:2")
+	if !ok {
+		return "", fmt.Errorf("harness: Tester:2 resource missing")
+	}
+	f := sp.WholeProgram().MustWithSelection(verifya).MustWithSelection(tester2)
+	fmt.Fprintf(&b, "resource name example: %s\n", verifya.Path())
+	fmt.Fprintf(&b, "focus example (verifya of Tester:2 on any CPU): %s\n", f.Name())
+	return b.String(), nil
+}
+
+// Figure2 reproduces the paper's Figure 2: a Performance Consultant search
+// over the Tester program, displayed as the Search History Graph in list
+// form, with true, false and refined nodes.
+func Figure2() (string, error) {
+	a, err := app.Tester(app.Options{})
+	if err != nil {
+		return "", err
+	}
+	cfg := DefaultSessionConfig()
+	cfg.RunID = "fig2"
+	res, err := RunSession(a, cfg)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	b.WriteString("Figure 2: A Performance Consultant search on program Tester\n")
+	b.WriteString(strings.Repeat("-", 60) + "\n")
+	b.WriteString(res.Consultant.SHG().Render())
+	fmt.Fprintf(&b, "\n%d pairs tested, %d bottlenecks, search quiesced at t=%.1fs\n",
+		res.PairsTested, len(res.Bottlenecks), res.EndTime)
+	return b.String(), nil
+}
+
+// Figure3 reproduces the paper's Figure 3: the combined execution map of
+// Poisson versions A and B (each Code resource tagged 1 = unique to A,
+// 2 = unique to B, 3 = common) and the mapping directives linking the
+// renamed modules and functions.
+func Figure3() (string, error) {
+	aApp, err := app.Poisson("A", app.Options{})
+	if err != nil {
+		return "", err
+	}
+	bApp, err := app.Poisson("B", app.Options{})
+	if err != nil {
+		return "", err
+	}
+	aSpace, err := aApp.Space()
+	if err != nil {
+		return "", err
+	}
+	bSpace, err := bApp.Space()
+	if err != nil {
+		return "", err
+	}
+	aCode, _ := aSpace.Hierarchy(resource.HierCode)
+	bCode, _ := bSpace.Hierarchy(resource.HierCode)
+	inA := make(map[string]bool)
+	for _, p := range aCode.Paths() {
+		inA[p] = true
+	}
+	inB := make(map[string]bool)
+	for _, p := range bCode.Paths() {
+		inB[p] = true
+	}
+	all := make([]string, 0, len(inA)+len(inB))
+	seen := make(map[string]bool)
+	for p := range inA {
+		if !seen[p] {
+			all = append(all, p)
+			seen[p] = true
+		}
+	}
+	for p := range inB {
+		if !seen[p] {
+			all = append(all, p)
+			seen[p] = true
+		}
+	}
+	sort.Strings(all)
+
+	var b strings.Builder
+	b.WriteString("Figure 3: Combined execution map for Versions A and B (Code hierarchy)\n")
+	b.WriteString("tag 1 = unique to Version A, 2 = unique to Version B, 3 = common\n")
+	b.WriteString(strings.Repeat("-", 68) + "\n")
+	for _, p := range all {
+		tag := 3
+		if inA[p] && !inB[p] {
+			tag = 1
+		} else if !inA[p] && inB[p] {
+			tag = 2
+		}
+		depth := strings.Count(p, "/") - 1
+		label := p[strings.LastIndex(p, "/")+1:]
+		fmt.Fprintf(&b, "%s%s  [%d]\n", strings.Repeat("  ", depth), label, tag)
+	}
+	aRes := map[string][]string{resource.HierCode: aCode.Paths()}
+	bRes := map[string][]string{resource.HierCode: bCode.Paths()}
+	maps := core.InferMappings(aRes, bRes)
+	b.WriteString("\nMappings used:\n")
+	b.WriteString(core.FormatMappings(maps))
+	return b.String(), nil
+}

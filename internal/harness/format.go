@@ -1,0 +1,80 @@
+package harness
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// TextTable renders rows of cells as an aligned text table with a header
+// row, in the style used throughout EXPERIMENTS.md.
+func TextTable(header []string, rows [][]string) string {
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len(h)
+	}
+	for _, r := range rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(header)
+	sep := make([]string, len(header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, r := range rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+// fmtTime renders a virtual time, or "-" when the fraction was never
+// reached.
+func fmtTime(t float64, ok bool) string {
+	if !ok || math.IsNaN(t) {
+		return "-"
+	}
+	return fmt.Sprintf("%.1f", t)
+}
+
+// fmtReduction renders the percent change of t versus base as the paper
+// does ("(-93.5%)").
+func fmtReduction(t, base float64, ok bool) string {
+	if !ok || base <= 0 {
+		return "-"
+	}
+	return fmt.Sprintf("(%+.1f%%)", (t-base)/base*100)
+}
+
+// median returns the median of a non-empty slice (not preserving order).
+func median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	ys := make([]float64, len(xs))
+	copy(ys, xs)
+	for i := 1; i < len(ys); i++ {
+		for j := i; j > 0 && ys[j] < ys[j-1]; j-- {
+			ys[j], ys[j-1] = ys[j-1], ys[j]
+		}
+	}
+	n := len(ys)
+	if n%2 == 1 {
+		return ys[n/2]
+	}
+	return (ys[n/2-1] + ys[n/2]) / 2
+}

@@ -1,0 +1,297 @@
+package harness
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/app"
+	"repro/internal/consultant"
+	"repro/internal/core"
+	"repro/internal/history"
+)
+
+func baseSession(t *testing.T, version string) *SessionResult {
+	t.Helper()
+	a, err := app.Poisson(version, app.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultSessionConfig()
+	cfg.RunID = "test-base-" + version
+	res, err := RunSession(a, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestRunSessionQuiesces(t *testing.T) {
+	res := baseSession(t, "C")
+	if !res.Quiesced {
+		t.Fatal("search did not quiesce")
+	}
+	if len(res.Bottlenecks) == 0 {
+		t.Fatal("no bottlenecks found")
+	}
+	if res.PairsTested == 0 {
+		t.Fatal("no pairs tested")
+	}
+	// Bottlenecks are ordered by report time and values exceed thresholds.
+	last := 0.0
+	for _, b := range res.Bottlenecks {
+		if b.FoundAt < last {
+			t.Fatal("bottlenecks not ordered by report time")
+		}
+		last = b.FoundAt
+	}
+	// The whole-program sync bottleneck must be among them.
+	keys := res.BottleneckKeys(false)
+	if !keys["ExcessiveSyncWaitingTime </Code,/Machine,/Process,/SyncObject>"] {
+		t.Error("whole-program sync bottleneck missing")
+	}
+}
+
+func TestRunSessionValidation(t *testing.T) {
+	a, _ := app.Poisson("C", app.Options{})
+	cfg := DefaultSessionConfig()
+	cfg.TickInterval = 0
+	if _, err := RunSession(a, cfg); err == nil {
+		t.Error("zero tick accepted")
+	}
+	cfg = DefaultSessionConfig()
+	cfg.MaxTime = 0
+	if _, err := RunSession(a, cfg); err == nil {
+		t.Error("zero max time accepted")
+	}
+}
+
+func TestRunSessionRecord(t *testing.T) {
+	res := baseSession(t, "C")
+	rec := res.Record
+	if err := rec.Validate(); err != nil {
+		t.Fatalf("record invalid: %v", err)
+	}
+	if rec.App != "poisson" || rec.Version != "C" {
+		t.Errorf("record identity = %s-%s", rec.App, rec.Version)
+	}
+	if rec.TrueCount != len(res.Bottlenecks) {
+		t.Errorf("record true count %d != %d bottlenecks", rec.TrueCount, len(res.Bottlenecks))
+	}
+	if rec.PairsTested != res.PairsTested {
+		t.Error("pairs tested mismatch")
+	}
+	if len(rec.Resources["Code"]) == 0 || len(rec.ProcNodes) != 4 {
+		t.Error("record resources incomplete")
+	}
+	if len(rec.Usage) == 0 {
+		t.Error("record usage empty")
+	}
+	// Usage fractions are sane: the hot sweep function dominates code.
+	if rec.Usage["/Code/sweep2d.f/sweep2d"] < rec.Usage["/Code/util.f/clock"] {
+		t.Error("usage ordering wrong")
+	}
+}
+
+func TestFullCycleStoreHarvestRediagnose(t *testing.T) {
+	// The paper's end-to-end flow: diagnose, save the record, reload it,
+	// harvest directives, and re-diagnose faster.
+	base := baseSession(t, "C")
+	st, err := history.NewStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Save(base.Record); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := st.Load("poisson", "C", "test-base-C")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := core.Harvest(rec, core.HarvestOptions{GeneralPrunes: true, HistoricPrunes: true, Priorities: true})
+	a, _ := app.Poisson("C", app.Options{})
+	cfg := DefaultSessionConfig()
+	cfg.RunID = "directed"
+	cfg.Directives = ds
+	directed, err := RunSession(a, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := base.ImportantKeys(ImportantMargin)
+	baseT, ok1 := TimeToFraction(base.FoundTimes(want), want, 1.0)
+	dirT, ok2 := TimeToFraction(directed.FoundTimes(want), want, 1.0)
+	if !ok1 || !ok2 {
+		t.Fatalf("coverage incomplete: base=%v directed=%v", ok1, ok2)
+	}
+	if dirT > baseT*0.5 {
+		t.Errorf("directed run (%0.1fs) not substantially faster than base (%0.1fs)", dirT, baseT)
+	}
+	if directed.SkippedDirectives != 0 {
+		t.Errorf("same-version directives skipped: %d", directed.SkippedDirectives)
+	}
+}
+
+func TestDirectedRunWithMappings(t *testing.T) {
+	// Directives from version A guide version B through inferred
+	// mappings; the diagnosis still completes and improves.
+	baseA := baseSession(t, "A")
+	baseB := baseSession(t, "B")
+	ds := core.Harvest(baseA.Record, core.HarvestOptions{GeneralPrunes: true, HistoricPrunes: true, Priorities: true})
+	maps := core.InferMappings(baseA.Record.Resources, baseB.Record.Resources)
+	if len(maps) == 0 {
+		t.Fatal("no mappings inferred between versions A and B")
+	}
+	a, _ := app.Poisson("B", app.Options{})
+	cfg := DefaultSessionConfig()
+	cfg.Directives = ds
+	cfg.Mappings = maps
+	directed, err := RunSession(a, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := baseB.ImportantKeys(ImportantMargin)
+	baseT, _ := TimeToFraction(baseB.FoundTimes(want), want, 1.0)
+	dirT, ok := TimeToFraction(directed.FoundTimes(want), want, 1.0)
+	if !ok {
+		t.Fatal("cross-version directed run missed part of the bottleneck set")
+	}
+	if dirT >= baseT {
+		t.Errorf("cross-version directives did not help: %0.1f vs %0.1f", dirT, baseT)
+	}
+}
+
+func TestImportantKeysAreSubsetOfAll(t *testing.T) {
+	res := baseSession(t, "C")
+	all := res.BottleneckKeys(true)
+	imp := res.ImportantKeys(ImportantMargin)
+	if len(imp) == 0 || len(imp) > len(all) {
+		t.Fatalf("important=%d all=%d", len(imp), len(all))
+	}
+	for k := range imp {
+		if !all[k] {
+			t.Errorf("important key %s not in full set", k)
+		}
+	}
+}
+
+func TestTimeToFraction(t *testing.T) {
+	want := map[string]bool{"a": true, "b": true, "c": true, "d": true}
+	found := map[string]float64{"a": 1, "b": 2, "c": 3}
+	if tt, ok := TimeToFraction(found, want, 0.5); !ok || tt != 2 {
+		t.Errorf("50%% = %v, %v", tt, ok)
+	}
+	if tt, ok := TimeToFraction(found, want, 0.75); !ok || tt != 3 {
+		t.Errorf("75%% = %v, %v", tt, ok)
+	}
+	if _, ok := TimeToFraction(found, want, 1.0); ok {
+		t.Error("100%% reached with a missing key")
+	}
+	if _, ok := TimeToFraction(nil, map[string]bool{}, 0.5); ok {
+		t.Error("empty want should not be reachable")
+	}
+	if tt, ok := TimeToFraction(found, want, 0.01); !ok || tt != 1 {
+		t.Errorf("tiny fraction = %v, %v (need at least one)", tt, ok)
+	}
+}
+
+func TestCanonicalFocusFoldsMachine(t *testing.T) {
+	procNodes := map[string]string{"p1": "sp01", "p2": "sp02"}
+	got := CanonicalFocus("</Code/x,/Machine/sp02,/Process,/SyncObject>", procNodes)
+	want := "</Code/x,/Machine,/Process/p2,/SyncObject>"
+	if got != want {
+		t.Errorf("CanonicalFocus = %q, want %q", got, want)
+	}
+	// Machine + process both selected: machine folds away.
+	got = CanonicalFocus("</Code,/Machine/sp01,/Process/p1,/SyncObject>", procNodes)
+	want = "</Code,/Machine,/Process/p1,/SyncObject>"
+	if got != want {
+		t.Errorf("CanonicalFocus = %q, want %q", got, want)
+	}
+	// Unconstrained machine: unchanged.
+	in := "</Code,/Machine,/Process/p1,/SyncObject>"
+	if got := CanonicalFocus(in, procNodes); got != in {
+		t.Errorf("unconstrained changed: %q", got)
+	}
+	// Not one-to-one: unchanged.
+	shared := map[string]string{"p1": "sp01", "p2": "sp01"}
+	in = "</Code,/Machine/sp01,/Process,/SyncObject>"
+	if got := CanonicalFocus(in, shared); got != in {
+		t.Errorf("shared-node focus changed: %q", got)
+	}
+}
+
+func TestTextTableAlignment(t *testing.T) {
+	out := TextTable([]string{"col", "x"}, [][]string{{"a", "1"}, {"longer", "2"}})
+	lines := splitLines(out)
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	if len(lines[0]) != len(lines[1]) {
+		t.Error("separator width mismatch")
+	}
+}
+
+func splitLines(s string) []string {
+	var out []string
+	start := 0
+	for i := range s {
+		if s[i] == '\n' {
+			if i > start {
+				out = append(out, s[start:i])
+			}
+			start = i + 1
+		}
+	}
+	return out
+}
+
+func TestMedian(t *testing.T) {
+	if m := median([]float64{3, 1, 2}); m != 2 {
+		t.Errorf("median odd = %v", m)
+	}
+	if m := median([]float64{4, 1, 2, 3}); m != 2.5 {
+		t.Errorf("median even = %v", m)
+	}
+	if m := median(nil); !math.IsNaN(m) {
+		t.Errorf("median empty = %v", m)
+	}
+	// Input must not be reordered.
+	in := []float64{3, 1, 2}
+	_ = median(in)
+	if in[0] != 3 {
+		t.Error("median mutated input")
+	}
+}
+
+func TestFormatHelpers(t *testing.T) {
+	if fmtTime(1.25, true) != "1.2" && fmtTime(1.25, true) != "1.3" {
+		t.Errorf("fmtTime = %q", fmtTime(1.25, true))
+	}
+	if fmtTime(0, false) != "-" {
+		t.Error("unreached time should render -")
+	}
+	if fmtReduction(50, 100, true) != "(-50.0%)" {
+		t.Errorf("fmtReduction = %q", fmtReduction(50, 100, true))
+	}
+	if fmtReduction(50, 0, true) != "-" {
+		t.Error("zero base should render -")
+	}
+}
+
+func TestStockPCIsSingleButton(t *testing.T) {
+	// Without directives the consultant applies the default thresholds.
+	res := baseSession(t, "C")
+	for _, n := range res.Consultant.Bottlenecks() {
+		var want float64
+		switch n.Hyp.Name {
+		case consultant.CPUBound:
+			want = 0.30
+		case consultant.ExcessiveSync:
+			want = 0.20
+		case consultant.ExcessiveIO:
+			want = 0.10
+		}
+		if n.Threshold != want {
+			t.Fatalf("node %s used threshold %v, want default %v", n.Hyp.Name, n.Threshold, want)
+		}
+	}
+}

@@ -1,0 +1,87 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/metric"
+	"repro/internal/sim"
+)
+
+// Timeline is a whole-trace observer that accumulates the program's CPU,
+// synchronization-waiting and I/O-waiting time into fixed-width bins —
+// the data behind Paradyn's real-time time-histogram displays. The CSV
+// output has one row per bin with the three normalized fractions.
+type Timeline struct {
+	cpu, syncW, io *metric.TimeHistogram
+	nprocs         int
+	binWidth       float64
+}
+
+// NewTimeline creates a timeline with the given bin width for an
+// application with nprocs processes.
+func NewTimeline(binWidth float64, nprocs int) (*Timeline, error) {
+	if nprocs <= 0 {
+		return nil, fmt.Errorf("harness: timeline needs processes")
+	}
+	mk := func() (*metric.TimeHistogram, error) { return metric.NewTimeHistogram(binWidth) }
+	cpu, err := mk()
+	if err != nil {
+		return nil, err
+	}
+	syncW, err := mk()
+	if err != nil {
+		return nil, err
+	}
+	io, err := mk()
+	if err != nil {
+		return nil, err
+	}
+	return &Timeline{cpu: cpu, syncW: syncW, io: io, nprocs: nprocs, binWidth: binWidth}, nil
+}
+
+// OnInterval implements sim.Observer.
+func (t *Timeline) OnInterval(iv sim.Interval) {
+	var h *metric.TimeHistogram
+	switch iv.Kind {
+	case sim.KindCPU:
+		h = t.cpu
+	case sim.KindSyncWait:
+		h = t.syncW
+	case sim.KindIOWait:
+		h = t.io
+	default:
+		return
+	}
+	_ = h.Add(iv.Start, iv.End, iv.Duration())
+}
+
+// Fractions returns the (cpu, sync, io) fractions of total execution time
+// in bin i.
+func (t *Timeline) Fractions(i int) (cpu, syncW, io float64) {
+	denom := t.binWidth * float64(t.nprocs)
+	return t.cpu.Bin(i) / denom, t.syncW.Bin(i) / denom, t.io.Bin(i) / denom
+}
+
+// Bins returns the number of bins with data.
+func (t *Timeline) Bins() int {
+	n := t.cpu.NumBins()
+	if t.syncW.NumBins() > n {
+		n = t.syncW.NumBins()
+	}
+	if t.io.NumBins() > n {
+		n = t.io.NumBins()
+	}
+	return n
+}
+
+// CSV renders the timeline: time,cpu,sync_wait,io_wait per bin.
+func (t *Timeline) CSV() string {
+	var b strings.Builder
+	b.WriteString("time,cpu,sync_wait,io_wait\n")
+	for i := 0; i < t.Bins(); i++ {
+		cpu, syncW, io := t.Fractions(i)
+		fmt.Fprintf(&b, "%.2f,%.4f,%.4f,%.4f\n", float64(i)*t.binWidth, cpu, syncW, io)
+	}
+	return b.String()
+}

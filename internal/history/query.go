@@ -1,0 +1,121 @@
+package history
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// ResultFilter selects (hypothesis : focus) outcomes across stored runs —
+// the querying half of the paper's "infrastructure for storing, naming,
+// and querying multi-execution performance data".
+type ResultFilter struct {
+	// Hyp filters by hypothesis name ("" = any).
+	Hyp string
+	// FocusContains keeps results whose canonical focus name contains the
+	// substring ("" = any).
+	FocusContains string
+	// State filters by conclusion state: "true", "false", "" (any
+	// concluded), or "*" (including pruned/pending).
+	State string
+	// MinValue keeps results with at least this measured value.
+	MinValue float64
+}
+
+func (f ResultFilter) match(nr NodeResult) bool {
+	if f.Hyp != "" && f.Hyp != nr.Hyp {
+		return false
+	}
+	if f.FocusContains != "" && !strings.Contains(nr.Focus, f.FocusContains) {
+		return false
+	}
+	switch f.State {
+	case "*":
+	case "":
+		if nr.State != "true" && nr.State != "false" {
+			return false
+		}
+	default:
+		if nr.State != f.State {
+			return false
+		}
+	}
+	return nr.Value >= f.MinValue
+}
+
+// Select returns the record's results matching the filter, ordered by
+// descending value.
+func (r *RunRecord) Select(f ResultFilter) []NodeResult {
+	var out []NodeResult
+	for _, nr := range r.Results {
+		if f.match(nr) {
+			out = append(out, nr)
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Value > out[j].Value })
+	return out
+}
+
+// QueryHit is one matching result with its run's identity.
+type QueryHit struct {
+	App     string
+	Version string
+	RunID   string
+	Result  NodeResult
+}
+
+// Query applies the filter across every stored run of the application
+// (any version when version is ""), ordered by descending value then run
+// identity.
+func (s *Store) Query(app, version string, f ResultFilter) ([]QueryHit, error) {
+	if app == "" {
+		return nil, fmt.Errorf("history: query needs an application name")
+	}
+	recs, err := s.LoadAll(app, version)
+	if err != nil {
+		return nil, err
+	}
+	var out []QueryHit
+	for _, rec := range recs {
+		for _, nr := range rec.Select(f) {
+			out = append(out, QueryHit{App: rec.App, Version: rec.Version, RunID: rec.RunID, Result: nr})
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Result.Value != out[j].Result.Value {
+			return out[i].Result.Value > out[j].Result.Value
+		}
+		if out[i].Version != out[j].Version {
+			return out[i].Version < out[j].Version
+		}
+		return out[i].RunID < out[j].RunID
+	})
+	return out, nil
+}
+
+// PersistentBottlenecks returns the (hypothesis : focus) pairs that
+// tested true in at least minRuns of the application's stored runs — the
+// recurring problems worth prioritizing across a whole tuning study.
+func (s *Store) PersistentBottlenecks(app, version string, minRuns int) (map[string]int, error) {
+	recs, err := s.LoadAll(app, version)
+	if err != nil {
+		return nil, err
+	}
+	counts := make(map[string]int)
+	for _, rec := range recs {
+		seen := make(map[string]bool)
+		for _, nr := range rec.TrueResults() {
+			k := nr.Hyp + " " + nr.Focus
+			if !seen[k] {
+				seen[k] = true
+				counts[k]++
+			}
+		}
+	}
+	for k, c := range counts {
+		if c < minRuns {
+			delete(counts, k)
+		}
+	}
+	return counts, nil
+}

@@ -1,0 +1,107 @@
+package history
+
+import (
+	"testing"
+)
+
+func queryStore(t *testing.T) *Store {
+	t.Helper()
+	st, err := NewStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1 := sampleRecord("r1")
+	r1.Results = append(r1.Results, NodeResult{
+		Hyp: "ExcessiveSyncWaitingTime", Focus: "</Code/oned.f,/Machine,/Process,/SyncObject>",
+		State: "true", Value: 0.4, ConcludedAt: 9,
+	})
+	r1.TrueCount = 2
+	if err := st.Save(r1); err != nil {
+		t.Fatal(err)
+	}
+	r2 := sampleRecord("r2")
+	r2.Version = "B"
+	if err := st.Save(r2); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func TestRecordSelect(t *testing.T) {
+	rec := sampleRecord("r1")
+	rec.Results = append(rec.Results, NodeResult{Hyp: "X", Focus: "<f>", State: "pruned"})
+	// Default: any concluded state.
+	got := rec.Select(ResultFilter{})
+	if len(got) != 2 {
+		t.Errorf("Select(any concluded) = %d", len(got))
+	}
+	// Star includes pruned.
+	if got := rec.Select(ResultFilter{State: "*"}); len(got) != 3 {
+		t.Errorf("Select(*) = %d", len(got))
+	}
+	// Filters compose.
+	got = rec.Select(ResultFilter{Hyp: "CPUbound", State: "false"})
+	if len(got) != 1 || got[0].Hyp != "CPUbound" {
+		t.Errorf("Select(CPUbound,false) = %+v", got)
+	}
+	if got := rec.Select(ResultFilter{MinValue: 0.3}); len(got) != 1 || got[0].Value != 0.5 {
+		t.Errorf("Select(min 0.3) = %+v", got)
+	}
+	if got := rec.Select(ResultFilter{FocusContains: "/Machine,"}); len(got) != 2 {
+		t.Errorf("Select(focus substr) = %+v", got)
+	}
+	// Results ordered by descending value.
+	all := rec.Select(ResultFilter{})
+	for i := 1; i < len(all); i++ {
+		if all[i-1].Value < all[i].Value {
+			t.Error("Select not ordered by value")
+		}
+	}
+}
+
+func TestStoreQuery(t *testing.T) {
+	st := queryStore(t)
+	hits, err := st.Query("poisson", "", ResultFilter{State: "true"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) != 3 { // 2 from A/r1 + 1 from B/r2
+		t.Fatalf("hits = %d", len(hits))
+	}
+	for i := 1; i < len(hits); i++ {
+		if hits[i-1].Result.Value < hits[i].Result.Value {
+			t.Error("query hits not ordered by value")
+		}
+	}
+	// Version filter.
+	hits, _ = st.Query("poisson", "B", ResultFilter{State: "true"})
+	if len(hits) != 1 || hits[0].Version != "B" {
+		t.Errorf("version filter = %+v", hits)
+	}
+	// Empty app rejected.
+	if _, err := st.Query("", "", ResultFilter{}); err == nil {
+		t.Error("empty app accepted")
+	}
+}
+
+func TestPersistentBottlenecks(t *testing.T) {
+	st := queryStore(t)
+	counts, err := st.PersistentBottlenecks("poisson", "", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The whole-program sync bottleneck is true in both runs.
+	key := "ExcessiveSyncWaitingTime </Code,/Machine,/Process,/SyncObject>"
+	if counts[key] != 2 {
+		t.Errorf("persistent counts = %v", counts)
+	}
+	// The oned.f refinement is true in only one run: filtered out.
+	if len(counts) != 1 {
+		t.Errorf("persistent set = %v", counts)
+	}
+	// Threshold 1 keeps both.
+	counts, _ = st.PersistentBottlenecks("poisson", "", 1)
+	if len(counts) != 2 {
+		t.Errorf("minRuns=1 set = %v", counts)
+	}
+}

@@ -1,0 +1,160 @@
+// Package history implements the multi-execution performance data store
+// the paper's directive harvesting draws on: per-run records of the
+// program's resource hierarchies, the Performance Consultant's Search
+// History Graph results, and a raw per-resource usage summary, saved as
+// JSON and reloadable across tool sessions.
+package history
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/consultant"
+	"repro/internal/resource"
+)
+
+// NodeResult is the serializable outcome of one (hypothesis : focus) pair
+// from a Performance Consultant run.
+type NodeResult struct {
+	Hyp         string  `json:"hyp"`
+	Focus       string  `json:"focus"`
+	State       string  `json:"state"` // pending|testing|true|false|pruned
+	Value       float64 `json:"value"`
+	Threshold   float64 `json:"threshold"`
+	ConcludedAt float64 `json:"concluded_at"`
+	Priority    string  `json:"priority"`
+	Persistent  bool    `json:"persistent,omitempty"`
+}
+
+// RunRecord captures everything harvested from one program execution.
+type RunRecord struct {
+	App     string `json:"app"`
+	Version string `json:"version"`
+	RunID   string `json:"run_id"`
+
+	// Duration is the diagnosed execution's virtual length in seconds.
+	Duration float64 `json:"duration"`
+	// Resources lists every resource path per hierarchy name.
+	Resources map[string][]string `json:"resources"`
+	// ProcNodes maps process name to the machine node it ran on.
+	ProcNodes map[string]string `json:"proc_nodes"`
+	// Results holds the SHG outcomes.
+	Results []NodeResult `json:"results"`
+	// Usage maps resource path to the fraction of total execution time
+	// attributed to it (raw monitoring data, independent of the SHG).
+	Usage map[string]float64 `json:"usage"`
+
+	PairsTested int `json:"pairs_tested"`
+	TrueCount   int `json:"true_count"`
+}
+
+// FromRun builds a record from a finished (or stopped) consultant search.
+func FromRun(appName, version, runID string, space *resource.Space,
+	c *consultant.Consultant, usage map[string]float64, procNodes map[string]string,
+	duration float64) *RunRecord {
+
+	rec := &RunRecord{
+		App:       appName,
+		Version:   version,
+		RunID:     runID,
+		Duration:  duration,
+		Resources: make(map[string][]string),
+		ProcNodes: make(map[string]string, len(procNodes)),
+		Usage:     make(map[string]float64, len(usage)),
+	}
+	for _, h := range space.Hierarchies() {
+		rec.Resources[h.Name()] = h.Paths()
+	}
+	for k, v := range procNodes {
+		rec.ProcNodes[k] = v
+	}
+	for k, v := range usage {
+		rec.Usage[k] = v
+	}
+	for _, n := range c.SHG().Nodes() {
+		if n.Hyp.Name == consultant.TopLevelHypothesis {
+			continue
+		}
+		nr := NodeResult{
+			Hyp:         n.Hyp.Name,
+			Focus:       n.Focus.Name(),
+			State:       n.State.String(),
+			Value:       n.Value,
+			Threshold:   n.Threshold,
+			ConcludedAt: n.ConcludedAt,
+			Priority:    n.Priority.String(),
+			Persistent:  n.Persistent,
+		}
+		rec.Results = append(rec.Results, nr)
+		if n.State == consultant.StateTrue {
+			rec.TrueCount++
+		}
+	}
+	rec.PairsTested = c.TestedPairs()
+	return rec
+}
+
+// Validate checks the record for internal consistency.
+func (r *RunRecord) Validate() error {
+	if r.App == "" {
+		return fmt.Errorf("history: record missing app name")
+	}
+	if r.RunID == "" {
+		return fmt.Errorf("history: record missing run id")
+	}
+	trues := 0
+	for i, nr := range r.Results {
+		switch nr.State {
+		case "pending", "testing", "true", "false", "pruned":
+		default:
+			return fmt.Errorf("history: result %d has unknown state %q", i, nr.State)
+		}
+		if nr.State == "true" {
+			trues++
+		}
+	}
+	if trues != r.TrueCount {
+		return fmt.Errorf("history: TrueCount=%d but %d true results", r.TrueCount, trues)
+	}
+	return nil
+}
+
+// TrueResults returns the results concluded true, by conclusion time.
+func (r *RunRecord) TrueResults() []NodeResult {
+	var out []NodeResult
+	for _, nr := range r.Results {
+		if nr.State == "true" {
+			out = append(out, nr)
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].ConcludedAt < out[j].ConcludedAt })
+	return out
+}
+
+// FalseResults returns the results concluded false.
+func (r *RunRecord) FalseResults() []NodeResult {
+	var out []NodeResult
+	for _, nr := range r.Results {
+		if nr.State == "false" {
+			out = append(out, nr)
+		}
+	}
+	return out
+}
+
+// MachineRedundant reports whether processes and machine nodes map
+// one-to-one (the MPI-1 static process model), making the Machine
+// hierarchy redundant with the Process hierarchy.
+func (r *RunRecord) MachineRedundant() bool {
+	if len(r.ProcNodes) == 0 {
+		return false
+	}
+	seen := make(map[string]int)
+	for _, node := range r.ProcNodes {
+		seen[node]++
+		if seen[node] > 1 {
+			return false
+		}
+	}
+	return true
+}

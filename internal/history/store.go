@@ -1,0 +1,119 @@
+package history
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Store persists run records as JSON files in a directory, one file per
+// run: <app>[-<version>]-<runid>.json.
+type Store struct {
+	dir string
+}
+
+// NewStore opens (creating if needed) a store rooted at dir.
+func NewStore(dir string) (*Store, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("history: empty store directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("history: create store: %w", err)
+	}
+	return &Store{dir: dir}, nil
+}
+
+// Dir returns the store's directory.
+func (s *Store) Dir() string { return s.dir }
+
+func (s *Store) fileFor(rec *RunRecord) string {
+	name := rec.App
+	if rec.Version != "" {
+		name += "-" + rec.Version
+	}
+	return filepath.Join(s.dir, name+"-"+rec.RunID+".json")
+}
+
+// Save writes (or overwrites) a record.
+func (s *Store) Save(rec *RunRecord) error {
+	if err := rec.Validate(); err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		return fmt.Errorf("history: marshal: %w", err)
+	}
+	tmp := s.fileFor(rec) + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return fmt.Errorf("history: write: %w", err)
+	}
+	return os.Rename(tmp, s.fileFor(rec))
+}
+
+// Load reads one record by app, version and run id.
+func (s *Store) Load(app, version, runID string) (*RunRecord, error) {
+	rec := &RunRecord{App: app, Version: version, RunID: runID}
+	data, err := os.ReadFile(s.fileFor(rec))
+	if err != nil {
+		return nil, fmt.Errorf("history: load: %w", err)
+	}
+	out := &RunRecord{}
+	if err := json.Unmarshal(data, out); err != nil {
+		return nil, fmt.Errorf("history: unmarshal: %w", err)
+	}
+	if err := out.Validate(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// List returns the store's record file basenames, sorted.
+func (s *Store) List() ([]string, error) {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, fmt.Errorf("history: list: %w", err)
+	}
+	var out []string
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".json") {
+			continue
+		}
+		out = append(out, strings.TrimSuffix(e.Name(), ".json"))
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// LoadAll loads every record whose app (and version, when non-empty)
+// matches.
+func (s *Store) LoadAll(app, version string) ([]*RunRecord, error) {
+	names, err := s.List()
+	if err != nil {
+		return nil, err
+	}
+	var out []*RunRecord
+	for _, n := range names {
+		data, err := os.ReadFile(filepath.Join(s.dir, n+".json"))
+		if err != nil {
+			return nil, err
+		}
+		rec := &RunRecord{}
+		if err := json.Unmarshal(data, rec); err != nil {
+			return nil, fmt.Errorf("history: unmarshal %s: %w", n, err)
+		}
+		if rec.App != app {
+			continue
+		}
+		if version != "" && rec.Version != version {
+			continue
+		}
+		if err := rec.Validate(); err != nil {
+			return nil, fmt.Errorf("history: %s: %w", n, err)
+		}
+		out = append(out, rec)
+	}
+	return out, nil
+}

@@ -1,0 +1,64 @@
+package history
+
+import (
+	"repro/internal/resource"
+	"repro/internal/sim"
+)
+
+// UsageCollector is a whole-trace observer that accumulates busy time per
+// resource path, independent of the Performance Consultant's probes. Its
+// output is the "raw data needed to test hypotheses postmortem" that the
+// historic pruning directives are derived from.
+type UsageCollector struct {
+	seconds map[string]float64
+	nprocs  int
+}
+
+// NewUsageCollector creates a collector for an application with nprocs
+// processes.
+func NewUsageCollector(nprocs int) *UsageCollector {
+	return &UsageCollector{seconds: make(map[string]float64), nprocs: nprocs}
+}
+
+// OnInterval implements sim.Observer.
+func (u *UsageCollector) OnInterval(iv sim.Interval) {
+	d := iv.Duration()
+	if d <= 0 {
+		return
+	}
+	if iv.Module != "" {
+		u.seconds["/"+resource.HierCode+"/"+iv.Module] += d
+		if iv.Function != "" {
+			u.seconds["/"+resource.HierCode+"/"+iv.Module+"/"+iv.Function] += d
+		}
+	}
+	u.seconds["/"+resource.HierProcess+"/"+iv.Process] += d
+	u.seconds["/"+resource.HierMachine+"/"+iv.Node] += d
+	if iv.Tag != "" {
+		u.seconds["/"+resource.HierSyncObject+"/Message"] += d
+		u.seconds["/"+resource.HierSyncObject+"/Message/"+iv.Tag] += d
+	}
+}
+
+// Fractions returns per-path fractions of total execution time
+// (elapsed x nprocs) as of the given elapsed virtual time.
+func (u *UsageCollector) Fractions(elapsed float64) map[string]float64 {
+	out := make(map[string]float64, len(u.seconds))
+	denom := elapsed * float64(u.nprocs)
+	if denom <= 0 {
+		return out
+	}
+	for k, v := range u.seconds {
+		out[k] = v / denom
+	}
+	return out
+}
+
+// Seconds returns the raw per-path accumulated seconds.
+func (u *UsageCollector) Seconds() map[string]float64 {
+	out := make(map[string]float64, len(u.seconds))
+	for k, v := range u.seconds {
+		out[k] = v
+	}
+	return out
+}

@@ -1,0 +1,70 @@
+// Package metric defines the continuously measured values the Performance
+// Consultant tests hypotheses against, and time-histogram storage for
+// sampled metric data.
+//
+// Paradyn metrics are time-normalized: a value of 0.45 for sync_wait over
+// a focus covering four processes means 45% of the total execution time of
+// those processes was spent in synchronization waiting.
+package metric
+
+import "fmt"
+
+// ID names a metric.
+type ID string
+
+// The metrics used by the Performance Consultant's hypothesis set.
+const (
+	CPUTime      ID = "cpu_time"        // time executing user computation
+	SyncWaitTime ID = "sync_wait"       // time blocked in synchronization (message waits)
+	IOWaitTime   ID = "io_wait"         // time blocked in I/O
+	ExecTime     ID = "exec_time"       // elapsed wall time per process (denominator metric)
+	MsgCount     ID = "msg_count"       // messages completed
+	MsgBytes     ID = "msg_bytes"       // message payload bytes
+	ProcCalls    ID = "procedure_calls" // function activations
+)
+
+// All lists every defined metric.
+var All = []ID{CPUTime, SyncWaitTime, IOWaitTime, ExecTime, MsgCount, MsgBytes, ProcCalls}
+
+// Info describes a metric's units and aggregation style.
+type Info struct {
+	ID    ID
+	Units string
+	// Normalized metrics are divided by observed wall time (and focus
+	// width) before threshold comparison; event metrics are rates.
+	Normalized bool
+	Doc        string
+}
+
+var infos = map[ID]Info{
+	CPUTime:      {CPUTime, "seconds/second", true, "CPU time spent computing"},
+	SyncWaitTime: {SyncWaitTime, "seconds/second", true, "time blocked waiting on synchronization"},
+	IOWaitTime:   {IOWaitTime, "seconds/second", true, "time blocked waiting on I/O"},
+	ExecTime:     {ExecTime, "seconds/second", true, "elapsed execution time"},
+	MsgCount:     {MsgCount, "operations/second", false, "messages sent or received"},
+	MsgBytes:     {MsgBytes, "bytes/second", false, "message payload volume"},
+	ProcCalls:    {ProcCalls, "calls/second", false, "procedure activations"},
+}
+
+// Lookup returns metadata for a metric.
+func Lookup(id ID) (Info, bool) {
+	in, ok := infos[id]
+	return in, ok
+}
+
+// Valid reports whether id names a defined metric.
+func Valid(id ID) bool {
+	_, ok := infos[id]
+	return ok
+}
+
+// String implements fmt.Stringer.
+func (id ID) String() string { return string(id) }
+
+// Validate returns an error for an unknown metric.
+func Validate(id ID) error {
+	if !Valid(id) {
+		return fmt.Errorf("metric: unknown metric %q", id)
+	}
+	return nil
+}

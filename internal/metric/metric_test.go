@@ -1,0 +1,58 @@
+package metric
+
+import "testing"
+
+func TestLookupAllMetrics(t *testing.T) {
+	for _, id := range All {
+		info, ok := Lookup(id)
+		if !ok {
+			t.Errorf("Lookup(%s) failed", id)
+			continue
+		}
+		if info.ID != id {
+			t.Errorf("info.ID = %s, want %s", info.ID, id)
+		}
+		if info.Units == "" || info.Doc == "" {
+			t.Errorf("metric %s missing units or doc", id)
+		}
+		if !Valid(id) {
+			t.Errorf("Valid(%s) = false", id)
+		}
+		if err := Validate(id); err != nil {
+			t.Errorf("Validate(%s): %v", id, err)
+		}
+	}
+}
+
+func TestTimeMetricsAreNormalized(t *testing.T) {
+	for _, id := range []ID{CPUTime, SyncWaitTime, IOWaitTime, ExecTime} {
+		info, _ := Lookup(id)
+		if !info.Normalized {
+			t.Errorf("%s should be normalized", id)
+		}
+	}
+	for _, id := range []ID{MsgCount, MsgBytes, ProcCalls} {
+		info, _ := Lookup(id)
+		if info.Normalized {
+			t.Errorf("%s should be an event metric", id)
+		}
+	}
+}
+
+func TestUnknownMetric(t *testing.T) {
+	if Valid("bogus") {
+		t.Error("Valid(bogus) = true")
+	}
+	if err := Validate("bogus"); err == nil {
+		t.Error("Validate(bogus) succeeded")
+	}
+	if _, ok := Lookup("bogus"); ok {
+		t.Error("Lookup(bogus) succeeded")
+	}
+}
+
+func TestIDString(t *testing.T) {
+	if CPUTime.String() != "cpu_time" {
+		t.Errorf("String = %q", CPUTime.String())
+	}
+}

@@ -1,0 +1,127 @@
+package postmortem
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/sim"
+)
+
+// The trace file format: one JSON object per line, each one activity
+// interval. This is the interchange point with "different monitoring
+// tools": anything that can emit attributed intervals can feed the
+// postmortem evaluator.
+
+// traceLine is the serialized form of one interval.
+type traceLine struct {
+	Proc  string  `json:"proc"`
+	Node  string  `json:"node"`
+	Mod   string  `json:"mod,omitempty"`
+	Fn    string  `json:"fn,omitempty"`
+	Tag   string  `json:"tag,omitempty"`
+	Kind  string  `json:"kind"`
+	Start float64 `json:"start"`
+	End   float64 `json:"end"`
+	Msgs  int     `json:"msgs,omitempty"`
+	Bytes int     `json:"bytes,omitempty"`
+	Calls int     `json:"calls,omitempty"`
+}
+
+func kindName(k sim.Kind) string { return k.String() }
+
+func kindFromName(s string) (sim.Kind, error) {
+	switch s {
+	case "cpu":
+		return sim.KindCPU, nil
+	case "sync_wait":
+		return sim.KindSyncWait, nil
+	case "io_wait":
+		return sim.KindIOWait, nil
+	}
+	return 0, fmt.Errorf("postmortem: unknown activity kind %q", s)
+}
+
+// TraceWriter is a sim.Observer that streams every interval to a writer
+// in the trace file format.
+type TraceWriter struct {
+	bw  *bufio.Writer
+	err error
+	n   int
+}
+
+// NewTraceWriter creates a writer; call Flush when the run completes.
+func NewTraceWriter(w io.Writer) *TraceWriter {
+	return &TraceWriter{bw: bufio.NewWriter(w)}
+}
+
+// OnInterval implements sim.Observer.
+func (t *TraceWriter) OnInterval(iv sim.Interval) {
+	if t.err != nil {
+		return
+	}
+	line := traceLine{
+		Proc: iv.Process, Node: iv.Node,
+		Mod: iv.Module, Fn: iv.Function, Tag: iv.Tag,
+		Kind: kindName(iv.Kind), Start: iv.Start, End: iv.End,
+		Msgs: iv.Msgs, Bytes: iv.Bytes, Calls: iv.Calls,
+	}
+	data, err := json.Marshal(line)
+	if err != nil {
+		t.err = err
+		return
+	}
+	if _, err := t.bw.Write(append(data, '\n')); err != nil {
+		t.err = err
+		return
+	}
+	t.n++
+}
+
+// Flush flushes buffered lines and reports the first error encountered.
+func (t *TraceWriter) Flush() error {
+	if t.err != nil {
+		return t.err
+	}
+	return t.bw.Flush()
+}
+
+// Intervals returns the number of intervals written.
+func (t *TraceWriter) Intervals() int { return t.n }
+
+// ReadTrace loads a trace file into a Recorder.
+func ReadTrace(r io.Reader) (*Recorder, error) {
+	rec := NewRecorder()
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	lineno := 0
+	for sc.Scan() {
+		lineno++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var line traceLine
+		if err := json.Unmarshal(raw, &line); err != nil {
+			return nil, fmt.Errorf("postmortem: trace line %d: %w", lineno, err)
+		}
+		kind, err := kindFromName(line.Kind)
+		if err != nil {
+			return nil, fmt.Errorf("postmortem: trace line %d: %w", lineno, err)
+		}
+		if line.End < line.Start || line.Proc == "" || line.Node == "" {
+			return nil, fmt.Errorf("postmortem: trace line %d: malformed interval", lineno)
+		}
+		rec.OnInterval(sim.Interval{
+			Process: line.Proc, Node: line.Node,
+			Module: line.Mod, Function: line.Fn, Tag: line.Tag,
+			Kind: kind, Start: line.Start, End: line.End,
+			Msgs: line.Msgs, Bytes: line.Bytes, Calls: line.Calls,
+		})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return rec, nil
+}

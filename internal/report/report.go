@@ -1,0 +1,213 @@
+// Package report renders one diagnosis session as a self-contained HTML
+// page: the run summary, the bottleneck table, the whole-run metric
+// timeline as an inline SVG chart, and the Search History Graph — the
+// batch-mode analog of Paradyn's interactive displays.
+package report
+
+import (
+	"fmt"
+	"html/template"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/harness"
+)
+
+// Report is the prepared data behind one HTML page.
+type Report struct {
+	Title       string
+	AppName     string
+	Processes   int
+	EndTime     float64
+	Quiesced    bool
+	PairsTested int
+	StallEvents int
+
+	Bottlenecks []row
+	Specific    []row
+	TimelineSVG template.HTML
+	SHG         string
+}
+
+type row struct {
+	Hyp     string
+	Focus   string
+	Value   float64
+	Percent int
+	FoundAt float64
+}
+
+// FromSession prepares a report from a finished diagnosis. maxBottlenecks
+// bounds the table (0 = 40).
+func FromSession(res *harness.SessionResult, maxBottlenecks int) (*Report, error) {
+	if res == nil {
+		return nil, fmt.Errorf("report: nil session result")
+	}
+	if maxBottlenecks <= 0 {
+		maxBottlenecks = 40
+	}
+	r := &Report{
+		Title:       "Performance diagnosis: " + res.App.FullName(),
+		AppName:     res.App.FullName(),
+		Processes:   res.App.NProcs(),
+		EndTime:     res.EndTime,
+		Quiesced:    res.Quiesced,
+		PairsTested: res.PairsTested,
+		StallEvents: res.Consultant.StallEvents(),
+		SHG:         res.Consultant.SHG().Render(),
+	}
+	for i, b := range res.Bottlenecks {
+		if i == maxBottlenecks {
+			break
+		}
+		pct := int(b.Value * 100)
+		if pct > 100 {
+			pct = 100
+		}
+		r.Bottlenecks = append(r.Bottlenecks, row{
+			Hyp: b.Hyp, Focus: b.Focus, Value: b.Value, Percent: pct, FoundAt: b.FoundAt,
+		})
+	}
+	for _, nr := range core.MostSpecificBottlenecks(res.Record) {
+		pct := int(nr.Value * 100)
+		if pct > 100 {
+			pct = 100
+		}
+		r.Specific = append(r.Specific, row{
+			Hyp: nr.Hyp, Focus: nr.Focus, Value: nr.Value, Percent: pct, FoundAt: nr.ConcludedAt,
+		})
+	}
+	if res.Timeline != nil {
+		r.TimelineSVG = template.HTML(timelineSVG(res.Timeline))
+	}
+	return r, nil
+}
+
+// timelineSVG renders the cpu/sync/io fractions as three polylines. The
+// SVG is built from numeric data only, so inlining it as template.HTML is
+// safe.
+func timelineSVG(tl *harness.Timeline) string {
+	const (
+		w, h       = 720, 220
+		padL, padB = 40, 24
+		padT       = 10
+	)
+	bins := tl.Bins()
+	if bins == 0 {
+		return ""
+	}
+	plotW := float64(w - padL - 10)
+	plotH := float64(h - padT - padB)
+	x := func(i int) float64 { return float64(padL) + plotW*float64(i)/float64(maxInt(bins-1, 1)) }
+	y := func(v float64) float64 {
+		if v < 0 {
+			v = 0
+		}
+		if v > 1 {
+			v = 1
+		}
+		return float64(padT) + plotH*(1-v)
+	}
+	series := []struct {
+		name  string
+		color string
+		pick  func(cpu, sync, io float64) float64
+	}{
+		{"cpu", "#2e7d32", func(c, s, i float64) float64 { return c }},
+		{"sync_wait", "#c62828", func(c, s, i float64) float64 { return s }},
+		{"io_wait", "#1565c0", func(c, s, i float64) float64 { return i }},
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg viewBox="0 0 %d %d" width="%d" height="%d" role="img">`, w, h, w, h)
+	// Axes.
+	fmt.Fprintf(&b, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="#888"/>`, padL, y(0), w-10, y(0))
+	fmt.Fprintf(&b, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="#888"/>`, padL, y(0), padL, y(1))
+	for _, g := range []float64{0.25, 0.5, 0.75, 1.0} {
+		fmt.Fprintf(&b, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="#eee"/>`, padL, y(g), w-10, y(g))
+		fmt.Fprintf(&b, `<text x="4" y="%.1f" font-size="10" fill="#666">%.0f%%</text>`, y(g)+3, g*100)
+	}
+	for si, s := range series {
+		var pts []string
+		for i := 0; i < bins; i++ {
+			c, sw, io := tl.Fractions(i)
+			pts = append(pts, fmt.Sprintf("%.1f,%.1f", x(i), y(s.pick(c, sw, io))))
+		}
+		fmt.Fprintf(&b, `<polyline fill="none" stroke="%s" stroke-width="1.5" points="%s"/>`,
+			s.color, strings.Join(pts, " "))
+		fmt.Fprintf(&b, `<text x="%d" y="%d" font-size="11" fill="%s">%s</text>`,
+			padL+8+90*si, h-6, s.color, s.name)
+	}
+	b.WriteString(`</svg>`)
+	return b.String()
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+var pageTemplate = template.Must(template.New("report").Parse(`<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>{{.Title}}</title>
+<style>
+body { font-family: sans-serif; margin: 2em; color: #222; }
+h1 { font-size: 1.4em; } h2 { font-size: 1.1em; margin-top: 1.6em; }
+table { border-collapse: collapse; font-size: 0.9em; }
+th, td { border: 1px solid #ccc; padding: 3px 8px; text-align: left; }
+th { background: #f2f2f2; }
+td.num { text-align: right; font-variant-numeric: tabular-nums; }
+.bar { display: inline-block; height: 0.7em; background: #c62828; vertical-align: middle; }
+pre { font-size: 0.78em; background: #fafafa; border: 1px solid #eee; padding: 0.8em; overflow-x: auto; }
+dl { display: grid; grid-template-columns: max-content auto; gap: 0.2em 1em; }
+dt { font-weight: bold; }
+</style>
+</head>
+<body>
+<h1>{{.Title}}</h1>
+<dl>
+<dt>processes</dt><dd>{{.Processes}}</dd>
+<dt>diagnosis complete</dt><dd>{{if .Quiesced}}yes, at virtual t={{printf "%.1f" .EndTime}}s{{else}}no (stopped at t={{printf "%.1f" .EndTime}}s){{end}}</dd>
+<dt>pairs instrumented</dt><dd>{{.PairsTested}}</dd>
+<dt>cost-limit stalls</dt><dd>{{.StallEvents}}</dd>
+<dt>bottlenecks</dt><dd>{{len .Bottlenecks}}</dd>
+</dl>
+{{if .TimelineSVG}}<h2>Whole-run metric timeline</h2>{{.TimelineSVG}}{{end}}
+{{if .Specific}}<h2>Where to tune first: most specific bottlenecks</h2>
+<table>
+<tr><th>hypothesis</th><th>focus</th><th>value</th><th></th></tr>
+{{range .Specific}}<tr>
+<td>{{.Hyp}}</td>
+<td><code>{{.Focus}}</code></td>
+<td class="num">{{printf "%.3f" .Value}}</td>
+<td><span class="bar" style="width: {{.Percent}}px"></span></td>
+</tr>{{end}}
+</table>{{end}}
+<h2>Bottlenecks (report order)</h2>
+<table>
+<tr><th>found at (s)</th><th>hypothesis</th><th>focus</th><th>value</th><th></th></tr>
+{{range .Bottlenecks}}<tr>
+<td class="num">{{printf "%.1f" .FoundAt}}</td>
+<td>{{.Hyp}}</td>
+<td><code>{{.Focus}}</code></td>
+<td class="num">{{printf "%.3f" .Value}}</td>
+<td><span class="bar" style="width: {{.Percent}}px"></span></td>
+</tr>{{end}}
+</table>
+<h2>Search History Graph</h2>
+<pre>{{.SHG}}</pre>
+</body>
+</html>
+`))
+
+// HTML renders the page.
+func (r *Report) HTML() (string, error) {
+	var b strings.Builder
+	if err := pageTemplate.Execute(&b, r); err != nil {
+		return "", err
+	}
+	return b.String(), nil
+}

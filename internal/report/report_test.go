@@ -1,0 +1,121 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/app"
+	"repro/internal/harness"
+)
+
+func session(t *testing.T) *harness.SessionResult {
+	t.Helper()
+	a, err := app.Seismic(app.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := harness.DefaultSessionConfig()
+	cfg.TimelineBinWidth = 1.0
+	cfg.RunID = "report-test"
+	res, err := harness.RunSession(a, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestFromSessionAndHTML(t *testing.T) {
+	res := session(t)
+	r, err := FromSession(res, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Bottlenecks) == 0 || len(r.Bottlenecks) > 10 {
+		t.Fatalf("bottleneck rows = %d", len(r.Bottlenecks))
+	}
+	if r.TimelineSVG == "" {
+		t.Error("timeline SVG missing")
+	}
+	html, err := r.HTML()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"<!DOCTYPE html>",
+		"Performance diagnosis: seismic",
+		"<svg",
+		"sync_wait",
+		"Search History Graph",
+		"ExcessiveIOBlockingTime",
+		"</html>",
+	} {
+		if !strings.Contains(html, want) {
+			t.Errorf("HTML missing %q", want)
+		}
+	}
+	// Focus names contain angle brackets; they must be escaped in the
+	// table, never raw.
+	if strings.Contains(html, "<code></Code") {
+		t.Error("focus name not escaped")
+	}
+}
+
+func TestFromSessionWithoutTimeline(t *testing.T) {
+	a, _ := app.Tester(app.Options{})
+	cfg := harness.DefaultSessionConfig()
+	res, err := harness.RunSession(a, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := FromSession(res, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.TimelineSVG != "" {
+		t.Error("timeline rendered without data")
+	}
+	html, err := r.HTML()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(html, "<svg") {
+		t.Error("unexpected SVG")
+	}
+	if !strings.Contains(html, "CPUbound") {
+		t.Error("tester bottlenecks missing")
+	}
+}
+
+func TestFromSessionNil(t *testing.T) {
+	if _, err := FromSession(nil, 0); err == nil {
+		t.Error("nil session accepted")
+	}
+}
+
+func TestValueBarsClamped(t *testing.T) {
+	res := session(t)
+	r, _ := FromSession(res, 0)
+	for _, row := range r.Bottlenecks {
+		if row.Percent < 0 || row.Percent > 100 {
+			t.Fatalf("bar percent out of range: %d", row.Percent)
+		}
+	}
+}
+
+func TestReportIncludesSpecificBottlenecks(t *testing.T) {
+	res := session(t)
+	r, err := FromSession(res, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Specific) == 0 {
+		t.Fatal("no specific bottlenecks")
+	}
+	if len(r.Specific) >= len(res.Bottlenecks) {
+		t.Error("specific set should be smaller than the full report")
+	}
+	html, _ := r.HTML()
+	if !strings.Contains(html, "Where to tune first") {
+		t.Error("specific section missing from HTML")
+	}
+}

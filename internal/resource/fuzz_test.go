@@ -1,0 +1,51 @@
+package resource
+
+import "testing"
+
+// FuzzParseFocus checks that focus parsing never panics and that accepted
+// foci round trip through their canonical name.
+func FuzzParseFocus(f *testing.F) {
+	f.Add("</Code,/Machine,/Process,/SyncObject>")
+	f.Add("</Code/oned.f/main,/Machine,/Process/p1,/SyncObject>")
+	f.Add("< /Code , /Machine , /Process , /SyncObject >")
+	f.Add("")
+	f.Add("<,,,>")
+	f.Add("</Code>")
+	f.Fuzz(func(t *testing.T, input string) {
+		sp := NewStandardSpace()
+		sp.MustAdd("/Code/oned.f/main")
+		sp.MustAdd("/Machine/sp01")
+		sp.MustAdd("/Process/p1")
+		sp.MustAdd("/SyncObject/Message/tag_3_0")
+		focus, err := ParseFocus(sp, input)
+		if err != nil {
+			return
+		}
+		again, err := ParseFocus(sp, focus.Name())
+		if err != nil || !again.Equal(focus) {
+			t.Fatalf("canonical name did not round trip: %v (%q)", err, focus.Name())
+		}
+	})
+}
+
+// FuzzSplitPath checks the path splitter.
+func FuzzSplitPath(f *testing.F) {
+	f.Add("/Code/a/b")
+	f.Add("/")
+	f.Add("nope")
+	f.Add("/a//b")
+	f.Fuzz(func(t *testing.T, input string) {
+		parts, err := SplitPath(input)
+		if err != nil {
+			return
+		}
+		if len(parts) == 0 {
+			t.Fatal("accepted path with no components")
+		}
+		for _, p := range parts {
+			if p == "" {
+				t.Fatalf("accepted empty component in %q", input)
+			}
+		}
+	})
+}

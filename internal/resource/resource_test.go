@@ -1,0 +1,235 @@
+package resource
+
+import (
+	"strings"
+	"testing"
+)
+
+func mustHierarchy(t *testing.T, name string) *Hierarchy {
+	t.Helper()
+	h, err := NewHierarchy(name)
+	if err != nil {
+		t.Fatalf("NewHierarchy(%q): %v", name, err)
+	}
+	return h
+}
+
+func TestNewHierarchy(t *testing.T) {
+	h := mustHierarchy(t, "Code")
+	if h.Name() != "Code" {
+		t.Errorf("Name() = %q, want Code", h.Name())
+	}
+	if !h.Root().IsRoot() {
+		t.Error("root is not a root")
+	}
+	if h.Root().Path() != "/Code" {
+		t.Errorf("root path = %q", h.Root().Path())
+	}
+	if h.Size() != 1 {
+		t.Errorf("Size() = %d, want 1", h.Size())
+	}
+}
+
+func TestNewHierarchyRejectsBadNames(t *testing.T) {
+	for _, bad := range []string{"", "a/b", "a,b", "a<b", "a>b", " pad ", "x "} {
+		if _, err := NewHierarchy(bad); err == nil {
+			t.Errorf("NewHierarchy(%q) succeeded, want error", bad)
+		}
+	}
+}
+
+func TestAddChildIdempotent(t *testing.T) {
+	h := mustHierarchy(t, "Code")
+	a, err := h.Root().AddChild("mod.f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := h.Root().AddChild("mod.f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("AddChild created a duplicate for the same label")
+	}
+	if h.Size() != 2 {
+		t.Errorf("Size() = %d, want 2", h.Size())
+	}
+}
+
+func TestAddChildRejectsReservedCharacters(t *testing.T) {
+	h := mustHierarchy(t, "Code")
+	for _, bad := range []string{"", "a/b", "a,b", "<x", "y>"} {
+		if _, err := h.Root().AddChild(bad); err == nil {
+			t.Errorf("AddChild(%q) succeeded, want error", bad)
+		}
+	}
+}
+
+func TestPathsAndFind(t *testing.T) {
+	h := mustHierarchy(t, "Code")
+	fn := h.MustAdd("/Code/oned.f/main")
+	if fn.Path() != "/Code/oned.f/main" {
+		t.Errorf("Path() = %q", fn.Path())
+	}
+	if fn.Depth() != 2 {
+		t.Errorf("Depth() = %d, want 2", fn.Depth())
+	}
+	got, ok := h.Find("/Code/oned.f/main")
+	if !ok || got != fn {
+		t.Errorf("Find returned %v, %v", got, ok)
+	}
+	if _, ok := h.Find("/Code/missing"); ok {
+		t.Error("Find(missing) succeeded")
+	}
+	if _, ok := h.Find("/Other/x"); ok {
+		t.Error("Find in wrong hierarchy succeeded")
+	}
+	if _, ok := h.Find("no-slash"); ok {
+		t.Error("Find without leading slash succeeded")
+	}
+}
+
+func TestAddValidation(t *testing.T) {
+	h := mustHierarchy(t, "Code")
+	if _, err := h.Add("/Wrong/x"); err == nil {
+		t.Error("Add to wrong hierarchy succeeded")
+	}
+	if _, err := h.Add("relative/x"); err == nil {
+		t.Error("Add of relative path succeeded")
+	}
+	if _, err := h.Add("/Code//empty"); err == nil {
+		t.Error("Add with empty component succeeded")
+	}
+}
+
+func TestChildrenOrderIsInsertionOrder(t *testing.T) {
+	h := mustHierarchy(t, "Code")
+	for _, l := range []string{"zz", "aa", "mm"} {
+		h.Root().MustAddChild(l)
+	}
+	var got []string
+	for _, c := range h.Root().Children() {
+		got = append(got, c.Label())
+	}
+	want := []string{"zz", "aa", "mm"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("children order = %v, want %v", got, want)
+		}
+	}
+	if h.Root().NumChildren() != 3 {
+		t.Errorf("NumChildren = %d", h.Root().NumChildren())
+	}
+}
+
+func TestLeavesAndWalk(t *testing.T) {
+	h := mustHierarchy(t, "Code")
+	h.MustAdd("/Code/a/f1")
+	h.MustAdd("/Code/a/f2")
+	h.MustAdd("/Code/b")
+	leaves := h.Root().Leaves()
+	var names []string
+	for _, l := range leaves {
+		names = append(names, l.Path())
+	}
+	want := []string{"/Code/a/f1", "/Code/a/f2", "/Code/b"}
+	if len(names) != len(want) {
+		t.Fatalf("leaves = %v, want %v", names, want)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("leaves = %v, want %v", names, want)
+		}
+	}
+	// Walk with subtree skip: refuse to descend into "a".
+	var visited []string
+	h.Root().Walk(func(r *Resource) bool {
+		visited = append(visited, r.Label())
+		return r.Label() != "a"
+	})
+	for _, v := range visited {
+		if v == "f1" || v == "f2" {
+			t.Errorf("walk descended into skipped subtree: %v", visited)
+		}
+	}
+}
+
+func TestIsAncestorOrSelf(t *testing.T) {
+	h := mustHierarchy(t, "Code")
+	fn := h.MustAdd("/Code/a/f1")
+	mod, _ := h.Find("/Code/a")
+	other := h.MustAdd("/Code/b")
+	if !h.Root().IsAncestorOrSelf(fn) {
+		t.Error("root should be ancestor of fn")
+	}
+	if !mod.IsAncestorOrSelf(fn) {
+		t.Error("mod should be ancestor of fn")
+	}
+	if !fn.IsAncestorOrSelf(fn) {
+		t.Error("fn should be ancestor-or-self of itself")
+	}
+	if fn.IsAncestorOrSelf(mod) {
+		t.Error("fn should not be ancestor of mod")
+	}
+	if other.IsAncestorOrSelf(fn) {
+		t.Error("sibling subtree is not an ancestor")
+	}
+}
+
+func TestHierarchyPathsSorted(t *testing.T) {
+	h := mustHierarchy(t, "Code")
+	h.MustAdd("/Code/z")
+	h.MustAdd("/Code/a/f")
+	paths := h.Paths()
+	if len(paths) != 4 {
+		t.Fatalf("paths = %v", paths)
+	}
+	for i := 1; i < len(paths); i++ {
+		if paths[i-1] > paths[i] {
+			t.Fatalf("paths not sorted: %v", paths)
+		}
+	}
+}
+
+func TestSplitPath(t *testing.T) {
+	parts, err := SplitPath("/Code/a/b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parts) != 3 || parts[0] != "Code" || parts[2] != "b" {
+		t.Errorf("parts = %v", parts)
+	}
+	for _, bad := range []string{"", "/", "x/y", "/a//b", "/a,b"} {
+		if _, err := SplitPath(bad); err == nil {
+			t.Errorf("SplitPath(%q) succeeded", bad)
+		}
+	}
+}
+
+func TestResourceString(t *testing.T) {
+	h := mustHierarchy(t, "Machine")
+	n := h.MustAdd("/Machine/sp01")
+	if !strings.Contains(n.String(), "sp01") {
+		t.Errorf("String() = %q", n.String())
+	}
+}
+
+func TestMustHelpersPanicOnError(t *testing.T) {
+	h := mustHierarchy(t, "Code")
+	assertPanics := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	assertPanics("MustAdd bad path", func() { h.MustAdd("/Wrong/x") })
+	assertPanics("MustAddChild bad label", func() { h.Root().MustAddChild("a/b") })
+	s := NewStandardSpace()
+	assertPanics("Space.MustAdd bad hierarchy", func() { s.MustAdd("/Nope/x") })
+	other := NewStandardSpace()
+	foreign := other.MustAdd("/Process/p")
+	assertPanics("MustWithSelection foreign", func() { s.WholeProgram().MustWithSelection(foreign) })
+}

@@ -1,0 +1,184 @@
+// Package sim is a deterministic discrete-event simulator of a
+// message-passing parallel machine. It substitutes for the paper's IBM
+// SP/2 testbed: processes interpret small phase programs (compute, send,
+// receive, reduce, I/O, loops) and the engine attributes every moment of
+// each process's execution to an activity interval labeled with the code
+// resource (module/function), process, machine node, and message tag.
+// Interval streams drive the dynamic instrumentation layer exactly the way
+// Paradyn's instrumented application drives its data manager.
+package sim
+
+import "fmt"
+
+// Stmt is one statement of a simulated process's program.
+type Stmt interface{ isStmt() }
+
+// Compute burns CPU in the given function for Mean seconds (± Jitter
+// fraction, sampled per execution). Instrumentation perturbation slows
+// compute phases.
+type Compute struct {
+	Module, Function string
+	Mean, Jitter     float64
+}
+
+// IO blocks the process in I/O waiting for Mean seconds (± Jitter).
+type IO struct {
+	Module, Function string
+	Mean, Jitter     float64
+}
+
+// Send transmits Bytes to process Dst (rank) with message tag Tag.
+// Blocking sends use rendezvous semantics: the sender waits in
+// synchronization until the receiver posts the matching receive, then both
+// wait out the transfer. Non-blocking sends deposit the message eagerly
+// and cost the sender only a copy overhead of CPU time.
+type Send struct {
+	Module, Function string
+	Tag              string
+	Dst              int
+	Bytes            int
+	Blocking         bool
+}
+
+// Recv receives a message with tag Tag from process Src (rank). The
+// process waits in synchronization until the message transfer completes.
+type Recv struct {
+	Module, Function string
+	Tag              string
+	Src              int
+}
+
+// AllReduce is a global collective over every process in the simulation:
+// each arriving process waits until all have arrived, then all resume
+// after the collective latency. Waiting time is synchronization time
+// attributed to the statement's function and tag.
+type AllReduce struct {
+	Module, Function string
+	Tag              string
+	Bytes            int
+}
+
+// Barrier is a global synchronization point over every live process:
+// each arriving process waits until all have arrived. It is a zero-byte
+// collective; waiting time is synchronization time attributed to the
+// statement's function and tag.
+type Barrier struct {
+	Module, Function string
+	Tag              string
+}
+
+// Loop repeats Body Count times; Count <= 0 loops forever.
+type Loop struct {
+	Count int
+	Body  []Stmt
+}
+
+func (Compute) isStmt()   {}
+func (IO) isStmt()        {}
+func (Send) isStmt()      {}
+func (Recv) isStmt()      {}
+func (AllReduce) isStmt() {}
+func (Barrier) isStmt()   {}
+func (Loop) isStmt()      {}
+
+// frame is one level of the program interpreter's control stack.
+type frame struct {
+	body      []Stmt
+	idx       int
+	remaining int // loop iterations left; <0 means forever
+	isLoop    bool
+}
+
+// cursor interprets a statement list with nested loops.
+type cursor struct {
+	stack []frame
+}
+
+func newCursor(prog []Stmt) *cursor {
+	return &cursor{stack: []frame{{body: prog, remaining: 1}}}
+}
+
+// next returns the next primitive statement, descending into loops, or nil
+// when the program is finished.
+func (c *cursor) next() Stmt {
+	for len(c.stack) > 0 {
+		f := &c.stack[len(c.stack)-1]
+		if f.idx >= len(f.body) {
+			if f.isLoop {
+				if f.remaining < 0 { // infinite
+					f.idx = 0
+					continue
+				}
+				f.remaining--
+				if f.remaining > 0 {
+					f.idx = 0
+					continue
+				}
+			}
+			c.stack = c.stack[:len(c.stack)-1]
+			continue
+		}
+		st := f.body[f.idx]
+		f.idx++
+		if l, ok := st.(Loop); ok {
+			if len(l.Body) == 0 || l.Count == 0 {
+				continue
+			}
+			rem := l.Count
+			if rem < 0 {
+				rem = -1
+			}
+			c.stack = append(c.stack, frame{body: l.Body, remaining: rem, isLoop: true})
+			continue
+		}
+		return st
+	}
+	return nil
+}
+
+// Validate checks a program for obvious construction errors (negative
+// durations, self-sends, empty function names on primitives).
+func Validate(prog []Stmt, nprocs int) error {
+	return validateBlock(prog, nprocs, 0)
+}
+
+func validateBlock(prog []Stmt, nprocs, depth int) error {
+	if depth > 64 {
+		return fmt.Errorf("sim: loop nesting deeper than 64")
+	}
+	for i, st := range prog {
+		switch s := st.(type) {
+		case Compute:
+			if s.Mean < 0 || s.Jitter < 0 || s.Jitter > 1 || s.Function == "" {
+				return fmt.Errorf("sim: bad Compute at %d: %+v", i, s)
+			}
+		case IO:
+			if s.Mean < 0 || s.Jitter < 0 || s.Jitter > 1 || s.Function == "" {
+				return fmt.Errorf("sim: bad IO at %d: %+v", i, s)
+			}
+		case Send:
+			if s.Dst < 0 || s.Dst >= nprocs || s.Bytes < 0 || s.Tag == "" || s.Function == "" {
+				return fmt.Errorf("sim: bad Send at %d: %+v", i, s)
+			}
+		case Recv:
+			if s.Src < 0 || s.Src >= nprocs || s.Tag == "" || s.Function == "" {
+				return fmt.Errorf("sim: bad Recv at %d: %+v", i, s)
+			}
+		case AllReduce:
+			if s.Tag == "" || s.Function == "" || s.Bytes < 0 {
+				return fmt.Errorf("sim: bad AllReduce at %d: %+v", i, s)
+			}
+		case Barrier:
+			if s.Tag == "" || s.Function == "" {
+				return fmt.Errorf("sim: bad Barrier at %d: %+v", i, s)
+			}
+		case Loop:
+			if err := validateBlock(s.Body, nprocs, depth+1); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("sim: unknown statement %T at %d", st, i)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,180 @@
+package repro
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPublicAPIQuickCycle(t *testing.T) {
+	// The doc-comment cycle: diagnose, harvest, re-diagnose faster.
+	a, err := PoissonApp("C", AppOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := RunDiagnosis(a, DefaultSessionConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !base.Quiesced || len(base.Bottlenecks) == 0 {
+		t.Fatal("base diagnosis incomplete")
+	}
+	ds := Harvest(base.Record, HarvestAll())
+	if ds.Len() == 0 {
+		t.Fatal("empty harvest")
+	}
+	cfg := DefaultSessionConfig()
+	cfg.Directives = ds
+	a2, err := PoissonApp("C", AppOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	directed, err := RunDiagnosis(a2, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if directed.EndTime >= base.EndTime {
+		t.Errorf("directed (%.1f) not faster than base (%.1f)", directed.EndTime, base.EndTime)
+	}
+}
+
+func TestPublicAPIAppBuilders(t *testing.T) {
+	if _, err := OceanApp(AppOptions{}); err != nil {
+		t.Error(err)
+	}
+	if _, err := TesterApp(AppOptions{}); err != nil {
+		t.Error(err)
+	}
+	if _, err := PoissonApp("Q", AppOptions{}); err == nil {
+		t.Error("bad version accepted")
+	}
+}
+
+func TestPublicAPIDirectiveText(t *testing.T) {
+	in := `prune * /Machine
+priority high CPUbound </Code,/Machine,/Process,/SyncObject>
+threshold ExcessiveSyncWaitingTime 0.12
+`
+	ds, err := ParseDirectives(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := WriteDirectives(&out, ds); err != nil {
+		t.Fatal(err)
+	}
+	if out.String() != in {
+		t.Errorf("round trip changed text:\n%q\n%q", in, out.String())
+	}
+	maps, err := ParseMappings(strings.NewReader("map /Code/oned.f /Code/onednb.f\n"))
+	if err != nil || len(maps) != 1 {
+		t.Fatalf("ParseMappings: %v", err)
+	}
+	mapped, err := ApplyMappings(ds, maps)
+	if err != nil || mapped.Len() != ds.Len() {
+		t.Fatalf("ApplyMappings: %v", err)
+	}
+}
+
+func TestPublicAPICombination(t *testing.T) {
+	a, _ := ParseDirectives(strings.NewReader("priority high H </Code,/Machine,/Process,/SyncObject>\n"))
+	b, _ := ParseDirectives(strings.NewReader("priority high H </Code,/Machine,/Process,/SyncObject>\npriority low H <x>\n"))
+	and := IntersectDirectives(a, b)
+	or := UnionDirectives(a, b)
+	if len(and.Priorities) != 1 || len(or.Priorities) != 2 {
+		t.Errorf("and=%d or=%d", len(and.Priorities), len(or.Priorities))
+	}
+}
+
+func TestPublicAPIStore(t *testing.T) {
+	st, err := NewStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := TesterApp(AppOptions{})
+	cfg := DefaultSessionConfig()
+	cfg.RunID = "t"
+	res, err := RunDiagnosis(a, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Save(res.Record); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := st.Load("Tester", "", "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.TrueCount != res.Record.TrueCount {
+		t.Error("store round trip lost data")
+	}
+	maps := InferMappings(rec.Resources, rec.Resources)
+	if len(maps) != 0 {
+		t.Errorf("self-mapping should be empty: %v", maps)
+	}
+}
+
+func TestPublicAPIAnalysis(t *testing.T) {
+	a, _ := PoissonApp("C", AppOptions{})
+	cfg := DefaultSessionConfig()
+	cfg.TimelineBinWidth = 1.0
+	cfg.RunID = "analysis"
+	res, err := RunDiagnosis(a, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Most specific bottlenecks are a strict subset of the true pairs.
+	spec := MostSpecificBottlenecks(res.Record)
+	if len(spec) == 0 || len(spec) >= res.Record.TrueCount {
+		t.Errorf("specific = %d of %d", len(spec), res.Record.TrueCount)
+	}
+	// HTML report generation.
+	html, err := GenerateReport(res, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(html, "Performance diagnosis: poisson-C") {
+		t.Error("report incomplete")
+	}
+	// Self-comparison is the identity.
+	diff, err := CompareRuns(res.Record, res.Record)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff.Similarity() != 1 {
+		t.Errorf("self similarity = %v", diff.Similarity())
+	}
+}
+
+func TestPublicAPITraceCycle(t *testing.T) {
+	// Record a trace through the facade, round trip it through the file
+	// format, and harvest from it.
+	a, _ := PoissonApp("C", AppOptions{})
+	sim, err := a.NewSimulator(DefaultSessionConfig().Sim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := NewTraceRecorder()
+	sim.AddObserver(rec)
+	if err := sim.RunUntil(30); err != nil {
+		t.Fatal(err)
+	}
+	sp, procs, err := rec.InferExecution()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp == nil || len(procs) != 4 {
+		t.Fatalf("inferred %d procs", len(procs))
+	}
+	ev, err := NewTraceEvaluator(sp, procs, rec, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	record, err := ev.BuildRecord("poisson", "C", "t", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := Harvest(record, HarvestAll())
+	if ds.Len() == 0 {
+		t.Error("empty harvest from trace")
+	}
+}
