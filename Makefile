@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short bench experiments fuzz clean
+.PHONY: all build vet test test-short race race-short bench experiments fuzz clean
 
 all: build vet test
 
@@ -17,6 +17,14 @@ test:
 
 test-short:
 	$(GO) test -short ./...
+
+# Full race-detector run. The slowest harness tests carry -short guards,
+# so `make race-short` is the quick pre-commit variant.
+race:
+	$(GO) test -race ./...
+
+race-short:
+	$(GO) test -race -short ./...
 
 bench:
 	$(GO) test -bench=. -benchmem .

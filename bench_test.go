@@ -3,6 +3,7 @@ package repro
 import (
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"sync"
 	"testing"
@@ -33,7 +34,7 @@ func printTable(name, rendered string) {
 // the true bottlenecks under each directive variant.
 func BenchmarkTable1Directives(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res, err := harness.Table1(1)
+		res, err := harness.Table1(1, 1)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -58,7 +59,7 @@ func BenchmarkTable1Directives(b *testing.B) {
 // threshold sweep on the Poisson code.
 func BenchmarkTable2Thresholds(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res, err := harness.Table2(1)
+		res, err := harness.Table2(1, 1)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -78,7 +79,7 @@ func BenchmarkTable2Thresholds(b *testing.B) {
 // the PVM ocean code (optimum near 20%).
 func BenchmarkOceanThresholds(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res, err := harness.OceanThresholds(1)
+		res, err := harness.OceanThresholds(1, 1)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -98,7 +99,7 @@ func BenchmarkOceanThresholds(b *testing.B) {
 // application version with directives harvested from every version.
 func BenchmarkTable3CrossVersion(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res, err := harness.Table3(1)
+		res, err := harness.Table3(1, 1)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -129,7 +130,7 @@ func BenchmarkTable3CrossVersion(b *testing.B) {
 // directives extracted from versions A, B and C.
 func BenchmarkTable4Similarity(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res, err := harness.Table4()
+		res, err := harness.Table4(1)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -145,7 +146,7 @@ func BenchmarkTable4Similarity(b *testing.B) {
 // study (a1->a2 and A∩B vs A∪B).
 func BenchmarkCombineDirectives(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res, err := harness.CombineStudy()
+		res, err := harness.CombineStudy(1)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -200,7 +201,7 @@ func BenchmarkFigure3Mappings(b *testing.B) {
 // Consultant run.
 func BenchmarkPostmortemHarvest(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res, err := harness.PostmortemStudy()
+		res, err := harness.PostmortemStudy(1)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -216,7 +217,7 @@ func BenchmarkPostmortemHarvest(b *testing.B) {
 // (cost limit, insertion latency, test interval, sync-probe cost factor).
 func BenchmarkAblation(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res, err := harness.Ablation()
+		res, err := harness.Ablation(1)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -224,6 +225,44 @@ func BenchmarkAblation(b *testing.B) {
 		b.ReportMetric(float64(len(res.Rows)), "settings")
 	}
 }
+
+// ---------------------------------------------------------------------
+// Scheduler benchmarks: the exact Table 1 job set (six directive variants,
+// one trial each) run sequentially vs fanned across every CPU. The pair
+// tracks the parallel scheduler's wall-clock speedup over time; on a
+// single-CPU machine the two are expected to be equal (the determinism
+// tests prove the outputs are identical either way).
+
+func benchmarkRunSessions(b *testing.B, workers int) {
+	a, err := app.Poisson("C", app.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	base, err := harness.RunSession(a, harness.DefaultSessionConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	jobs := harness.Table1Jobs(base.Record, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		results, err := harness.RunSessions(jobs, workers)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for j, res := range results {
+			if res == nil {
+				b.Fatalf("job %d lost its result", j)
+			}
+		}
+	}
+	b.ReportMetric(float64(len(jobs)), "sessions/op")
+}
+
+// BenchmarkRunSessionsSequential is the Table 1 job set on one worker.
+func BenchmarkRunSessionsSequential(b *testing.B) { benchmarkRunSessions(b, 1) }
+
+// BenchmarkRunSessionsParallel is the same job set on GOMAXPROCS workers.
+func BenchmarkRunSessionsParallel(b *testing.B) { benchmarkRunSessions(b, runtime.GOMAXPROCS(0)) }
 
 // ---------------------------------------------------------------------
 // Micro-benchmarks for the substrates.
@@ -421,7 +460,7 @@ func BenchmarkSimScaling(b *testing.B) {
 // machine partition grows (4 to 32 processes).
 func BenchmarkScaleStudy(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res, err := harness.ScaleStudy(nil)
+		res, err := harness.ScaleStudy(nil, 1)
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -99,6 +99,18 @@ func TestCLIPipeline(t *testing.T) {
 		t.Fatalf("pcbench fig3:\n%s", out)
 	}
 
+	// 6b. A full table through the parallel scheduler: four workers must
+	// produce exactly the sequential output.
+	parallelOut := run("pcbench", "-exp", "table1", "-trials", "1", "-parallel", "4")
+	if !strings.Contains(parallelOut, "Table 1") || !strings.Contains(parallelOut, "Priorities & All Prunes") {
+		t.Fatalf("pcbench table1 -parallel 4:\n%s", parallelOut)
+	}
+	sequentialOut := run("pcbench", "-exp", "table1", "-trials", "1", "-parallel", "1")
+	if parallelOut != sequentialOut {
+		t.Fatalf("pcbench table1 output differs between -parallel 4 and -parallel 1:\n--- parallel ---\n%s\n--- sequential ---\n%s",
+			parallelOut, sequentialOut)
+	}
+
 	// 7. Most specific bottlenecks of a stored run.
 	out = run("pcquery", "-store", store, "-app", "poisson", "-version", "A", "-run-id", "base", "-specific")
 	if !strings.Contains(out, "most specific bottlenecks") || !strings.Contains(out, "value=") {

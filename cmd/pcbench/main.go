@@ -3,13 +3,20 @@
 // Usage:
 //
 //	pcbench -exp table1|table2|table3|table4|ocean|combine|postmortem|ablation|scale|fig1|fig2|fig3|all
-//	        [-trials N]
+//	        [-trials N] [-parallel N]
+//
+// -parallel bounds the number of diagnosis sessions run concurrently
+// (default: the number of CPUs). Because every session's state is
+// confined to its own goroutine and the simulator is deterministic per
+// seed, the rendered output is byte-identical for every -parallel value;
+// -parallel 1 reproduces the fully sequential behaviour.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"runtime"
 
 	"repro/internal/harness"
 )
@@ -19,6 +26,7 @@ func main() {
 	log.SetPrefix("pcbench: ")
 	exp := flag.String("exp", "all", "experiment to regenerate")
 	trials := flag.Int("trials", 3, "repeated runs per configuration (medians reported)")
+	parallel := flag.Int("parallel", runtime.NumCPU(), "max concurrent diagnosis sessions (1 = sequential)")
 	flag.Parse()
 
 	run := func(name string, f func() (string, error)) {
@@ -36,63 +44,63 @@ func main() {
 	run("fig2", func() (string, error) { return harness.Figure2() })
 	run("fig3", func() (string, error) { return harness.Figure3() })
 	run("table1", func() (string, error) {
-		r, err := harness.Table1(*trials)
+		r, err := harness.Table1(*trials, *parallel)
 		if err != nil {
 			return "", err
 		}
 		return r.Render(), nil
 	})
 	run("table2", func() (string, error) {
-		r, err := harness.Table2(*trials)
+		r, err := harness.Table2(*trials, *parallel)
 		if err != nil {
 			return "", err
 		}
 		return r.Render(), nil
 	})
 	run("ocean", func() (string, error) {
-		r, err := harness.OceanThresholds(*trials)
+		r, err := harness.OceanThresholds(*trials, *parallel)
 		if err != nil {
 			return "", err
 		}
 		return r.Render(), nil
 	})
 	run("table3", func() (string, error) {
-		r, err := harness.Table3(*trials)
+		r, err := harness.Table3(*trials, *parallel)
 		if err != nil {
 			return "", err
 		}
 		return r.Render(), nil
 	})
 	run("table4", func() (string, error) {
-		r, err := harness.Table4()
+		r, err := harness.Table4(*parallel)
 		if err != nil {
 			return "", err
 		}
 		return r.Render(), nil
 	})
 	run("combine", func() (string, error) {
-		r, err := harness.CombineStudy()
+		r, err := harness.CombineStudy(*parallel)
 		if err != nil {
 			return "", err
 		}
 		return r.Render(), nil
 	})
 	run("postmortem", func() (string, error) {
-		r, err := harness.PostmortemStudy()
+		r, err := harness.PostmortemStudy(*parallel)
 		if err != nil {
 			return "", err
 		}
 		return r.Render(), nil
 	})
 	run("ablation", func() (string, error) {
-		r, err := harness.Ablation()
+		r, err := harness.Ablation(*parallel)
 		if err != nil {
 			return "", err
 		}
 		return r.Render(), nil
 	})
 	run("scale", func() (string, error) {
-		r, err := harness.ScaleStudy(nil)
+		r, err := harness.ScaleStudy(nil, *parallel)
 		if err != nil {
 			return "", err
 		}

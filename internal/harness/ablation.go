@@ -28,64 +28,65 @@ type AblationResult struct {
 	Rows []AblationRow
 }
 
-// Ablation runs the parameter sweeps.
-func Ablation() (*AblationResult, error) {
-	out := &AblationResult{}
+// Ablation runs the parameter sweeps. Every setting's session is
+// independent: all of them fan out across workers in one batch.
+func Ablation(workers int) (*AblationResult, error) {
+	type setting struct {
+		param  string
+		value  float64
+		mutate func(*SessionConfig)
+	}
+	var settings []setting
+	add := func(param string, value float64, mutate func(*SessionConfig)) {
+		settings = append(settings, setting{param, value, mutate})
+	}
+	for _, v := range []float64{0.03, 0.06, 0.12, 0.24} {
+		v := v
+		add("cost-limit", v, func(c *SessionConfig) { c.PC.CostLimit = v })
+	}
+	for _, v := range []float64{0.0, 0.5, 2.0} {
+		v := v
+		add("insert-latency", v, func(c *SessionConfig) { c.Inst.InsertLatency = v })
+	}
+	for _, v := range []float64{2.0, 4.0, 8.0} {
+		v := v
+		add("test-interval", v, func(c *SessionConfig) { c.PC.TestInterval = v })
+	}
+	for _, v := range []float64{1.0, 3.0, 6.0} {
+		v := v
+		add("sync-cost-factor", v, func(c *SessionConfig) { c.Inst.SyncConstrainedCostFactor = v })
+	}
+	for _, v := range []float64{0, 1} { // 0 = breadth-first, 1 = depth-first
+		v := v
+		add("search-policy(0=bf,1=df)", v, func(c *SessionConfig) {
+			c.PC.Policy = consultant.SearchPolicy(int(v))
+		})
+	}
 
-	run := func(param string, value float64, mutate func(*SessionConfig)) error {
-		a, err := app.Poisson("C", app.Options{})
-		if err != nil {
-			return err
-		}
+	jobs := make([]SessionJob, len(settings))
+	for i, s := range settings {
 		cfg := DefaultSessionConfig()
-		cfg.RunID = fmt.Sprintf("abl-%s-%g", param, value)
-		mutate(&cfg)
-		res, err := RunSession(a, cfg)
-		if err != nil {
-			return err
+		cfg.RunID = fmt.Sprintf("abl-%s-%g", s.param, s.value)
+		s.mutate(&cfg)
+		jobs[i] = SessionJob{
+			Build: func() (*app.App, error) { return app.Poisson("C", app.Options{}) },
+			Cfg:   cfg,
 		}
+	}
+	results, err := RunSessions(jobs, workers)
+	if err != nil {
+		return nil, err
+	}
+	out := &AblationResult{}
+	for i, res := range results {
 		out.Rows = append(out.Rows, AblationRow{
-			Param: param, Value: value,
+			Param: settings[i].param, Value: settings[i].value,
 			EndTime:     res.EndTime,
 			PairsTested: res.PairsTested,
 			Bottlenecks: len(res.Bottlenecks),
 			StallEvents: res.Consultant.StallEvents(),
 			MaxCost:     res.Inst.MaxCostSeen(),
 		})
-		return nil
-	}
-
-	for _, v := range []float64{0.03, 0.06, 0.12, 0.24} {
-		v := v
-		if err := run("cost-limit", v, func(c *SessionConfig) { c.PC.CostLimit = v }); err != nil {
-			return nil, err
-		}
-	}
-	for _, v := range []float64{0.0, 0.5, 2.0} {
-		v := v
-		if err := run("insert-latency", v, func(c *SessionConfig) { c.Inst.InsertLatency = v }); err != nil {
-			return nil, err
-		}
-	}
-	for _, v := range []float64{2.0, 4.0, 8.0} {
-		v := v
-		if err := run("test-interval", v, func(c *SessionConfig) { c.PC.TestInterval = v }); err != nil {
-			return nil, err
-		}
-	}
-	for _, v := range []float64{1.0, 3.0, 6.0} {
-		v := v
-		if err := run("sync-cost-factor", v, func(c *SessionConfig) { c.Inst.SyncConstrainedCostFactor = v }); err != nil {
-			return nil, err
-		}
-	}
-	for _, v := range []float64{0, 1} { // 0 = breadth-first, 1 = depth-first
-		v := v
-		if err := run("search-policy(0=bf,1=df)", v, func(c *SessionConfig) {
-			c.PC.Policy = consultant.SearchPolicy(int(v))
-		}); err != nil {
-			return nil, err
-		}
 	}
 	return out, nil
 }

@@ -26,8 +26,11 @@ type CombineResult struct {
 	AndReached, OrReached       bool
 }
 
-// CombineStudy reproduces the paper's Section 4.3 analyses.
-func CombineStudy() (*CombineResult, error) {
+// CombineStudy reproduces the paper's Section 4.3 analyses. The three
+// base diagnoses (a1, B, C) are independent and run as one parallel
+// batch; the three directed diagnoses that depend on their harvests (a2,
+// A∩B on C, A∪B on C) form a second batch.
+func CombineStudy(workers int) (*CombineResult, error) {
 	out := &CombineResult{}
 
 	// --- Part 1: directives from a base run of A guiding a second run of
@@ -41,16 +44,23 @@ func CombineStudy() (*CombineResult, error) {
 	const boundedIters = 400
 	optA1 := app.Options{NodeOffset: 1, PidBase: 4000, Iterations: boundedIters}
 	optA2 := app.Options{NodeOffset: 21, PidBase: 7000, Iterations: boundedIters}
-	a1App, err := app.Poisson("A", optA1)
+
+	// Batch 1: the three undirected base diagnoses.
+	a1Cfg := DefaultSessionConfig()
+	a1Cfg.RunID = "a1"
+	bCfg := DefaultSessionConfig()
+	bCfg.RunID = "comb-B"
+	cCfg := DefaultSessionConfig()
+	cCfg.RunID = "comb-C"
+	baseResults, err := RunSessions([]SessionJob{
+		{Build: func() (*app.App, error) { return app.Poisson("A", optA1) }, Cfg: a1Cfg},
+		{Build: func() (*app.App, error) { return app.Poisson("B", versionOptions("B")) }, Cfg: bCfg},
+		{Build: func() (*app.App, error) { return app.Poisson("C", versionOptions("C")) }, Cfg: cCfg},
+	}, workers)
 	if err != nil {
 		return nil, err
 	}
-	cfg := DefaultSessionConfig()
-	cfg.RunID = "a1"
-	a1, err := RunSession(a1App, cfg)
-	if err != nil {
-		return nil, err
-	}
+	a1, bRes, cBase := baseResults[0], baseResults[1], baseResults[2]
 	out.A1True = len(a1.Bottlenecks)
 	if t, ok := TimeToFraction(a1.FoundTimes(a1.BottleneckKeys(true)), a1.BottleneckKeys(true), 1.0); ok {
 		out.A1Time = t
@@ -73,65 +83,14 @@ func CombineStudy() (*CombineResult, error) {
 	// Priorities plus general prunes only: a2's diagnosis should be a
 	// more-detailed superset of a1's, so nothing a1 found is pruned away.
 	ds := core.Harvest(a1.Record, core.HarvestOptions{GeneralPrunes: true, Priorities: true})
-	cfg = DefaultSessionConfig()
-	cfg.Sim.Seed = 2
-	cfg.RunID = "a2"
-	cfg.Directives = ds
-	cfg.Mappings = maps
-	a2, err := RunSession(a2App, cfg)
-	if err != nil {
-		return nil, err
-	}
-	out.A2True = len(a2.Bottlenecks)
-	if t, ok := TimeToFraction(a2.FoundTimes(a2.BottleneckKeys(true)), a2.BottleneckKeys(true), 1.0); ok {
-		out.A2Time = t
-	}
-	// Classify a2's bottlenecks against a1's results (in a2's namespace).
-	mappedDS, err := core.ApplyMappings(ds, maps)
-	if err != nil {
-		return nil, err
-	}
-	high := make(map[string]bool)
-	tested := make(map[string]bool)
-	for _, p := range mappedDS.Priorities {
-		tested[p.Hypothesis+" "+p.Focus] = true
-		if p.Level.String() == "high" {
-			high[p.Hypothesis+" "+p.Focus] = true
-		}
-	}
-	for _, b := range a2.Bottlenecks {
-		k := b.Hyp + " " + b.Focus
-		switch {
-		case high[k]:
-			out.A2FromA1++
-		case !tested[k]:
-			out.A2New++
-		}
-	}
+	a2Cfg := DefaultSessionConfig()
+	a2Cfg.Sim.Seed = 2
+	a2Cfg.RunID = "a2"
+	a2Cfg.Directives = ds
+	a2Cfg.Mappings = maps
 
-	// --- Part 2: combining directives from A and B to diagnose C.
-	bApp, err := app.Poisson("B", versionOptions("B"))
-	if err != nil {
-		return nil, err
-	}
-	cfg = DefaultSessionConfig()
-	cfg.RunID = "comb-B"
-	bRes, err := RunSession(bApp, cfg)
-	if err != nil {
-		return nil, err
-	}
-	cApp, err := app.Poisson("C", versionOptions("C"))
-	if err != nil {
-		return nil, err
-	}
-	cfg = DefaultSessionConfig()
-	cfg.RunID = "comb-C"
-	cBase, err := RunSession(cApp, cfg)
-	if err != nil {
-		return nil, err
-	}
+	// Part 2 setup: combining directives from A and B to diagnose C.
 	want := cBase.ImportantKeys(ImportantMargin)
-
 	harvest := core.HarvestOptions{GeneralPrunes: true, HistoricPrunes: true, Priorities: true}
 	dsA := core.Harvest(a1.Record, harvest)
 	dsB := core.Harvest(bRes.Record, harvest)
@@ -158,26 +117,61 @@ func CombineStudy() (*CombineResult, error) {
 			out.CommonDirectives++
 		}
 	}
-	for _, combo := range []struct {
-		ds      *core.DirectiveSet
-		time    *float64
-		reached *bool
-	}{
-		{and, &out.AndTime, &out.AndReached},
-		{or, &out.OrTime, &out.OrReached},
-	} {
-		a, err := app.Poisson("C", versionOptions("C"))
-		if err != nil {
-			return nil, err
-		}
+
+	// Batch 2: the three directed diagnoses, mutually independent.
+	comboJob := func(ds *core.DirectiveSet) SessionJob {
 		cfg := DefaultSessionConfig()
 		cfg.Sim.Seed = 2
 		cfg.RunID = "comb-run"
-		cfg.Directives = combo.ds
-		res, err := RunSession(a, cfg)
-		if err != nil {
-			return nil, err
+		cfg.Directives = ds
+		return SessionJob{
+			Build: func() (*app.App, error) { return app.Poisson("C", versionOptions("C")) },
+			Cfg:   cfg,
 		}
+	}
+	dirResults, err := RunSessions([]SessionJob{
+		{App: a2App, Cfg: a2Cfg},
+		comboJob(and),
+		comboJob(or),
+	}, workers)
+	if err != nil {
+		return nil, err
+	}
+	a2 := dirResults[0]
+	out.A2True = len(a2.Bottlenecks)
+	if t, ok := TimeToFraction(a2.FoundTimes(a2.BottleneckKeys(true)), a2.BottleneckKeys(true), 1.0); ok {
+		out.A2Time = t
+	}
+	// Classify a2's bottlenecks against a1's results (in a2's namespace).
+	mappedDS, err := core.ApplyMappings(ds, maps)
+	if err != nil {
+		return nil, err
+	}
+	high := make(map[string]bool)
+	tested := make(map[string]bool)
+	for _, p := range mappedDS.Priorities {
+		tested[p.Hypothesis+" "+p.Focus] = true
+		if p.Level.String() == "high" {
+			high[p.Hypothesis+" "+p.Focus] = true
+		}
+	}
+	for _, b := range a2.Bottlenecks {
+		k := b.Hyp + " " + b.Focus
+		switch {
+		case high[k]:
+			out.A2FromA1++
+		case !tested[k]:
+			out.A2New++
+		}
+	}
+	for i, combo := range []struct {
+		time    *float64
+		reached *bool
+	}{
+		{&out.AndTime, &out.AndReached},
+		{&out.OrTime, &out.OrReached},
+	} {
+		res := dirResults[1+i]
 		if t, ok := TimeToFraction(res.FoundTimes(want), want, 1.0); ok {
 			*combo.time = t
 			*combo.reached = true

@@ -56,8 +56,10 @@ func TraceRun(a *app.App, duration float64, runID string) (*postmortem.Evaluator
 	return postmortem.NewEvaluator(space, procs, rec, duration)
 }
 
-// PostmortemStudy runs the comparison on Poisson C.
-func PostmortemStudy() (*PostmortemResult, error) {
+// PostmortemStudy runs the comparison on Poisson C. The two directed
+// diagnoses (SHG-directed and trace-directed) are independent and run as
+// one parallel batch.
+func PostmortemStudy(workers int) (*PostmortemResult, error) {
 	out := &PostmortemResult{}
 
 	// Online base run: defines the bottleneck set and the SHG harvest.
@@ -116,28 +118,22 @@ func PostmortemStudy() (*PostmortemResult, error) {
 		out.AgreeHigh = float64(agree) / float64(pmHigh)
 	}
 
-	// Directed diagnoses with each directive source.
-	run := func(ds *core.DirectiveSet) (float64, bool, error) {
-		a3, err := app.Poisson("C", app.Options{})
-		if err != nil {
-			return 0, false, err
-		}
+	// Directed diagnoses with each directive source, run in parallel.
+	directedJob := func(ds *core.DirectiveSet) SessionJob {
 		cfg := DefaultSessionConfig()
 		cfg.Sim.Seed = 2
 		cfg.Directives = ds
-		res, err := RunSession(a3, cfg)
-		if err != nil {
-			return 0, false, err
+		return SessionJob{
+			Build: func() (*app.App, error) { return app.Poisson("C", app.Options{}) },
+			Cfg:   cfg,
 		}
-		t, ok := TimeToFraction(res.FoundTimes(want), want, 1.0)
-		return t, ok, nil
 	}
-	if out.SHGTime, out.SHGReached, err = run(shgDS); err != nil {
+	results, err := RunSessions([]SessionJob{directedJob(shgDS), directedJob(pmDS)}, workers)
+	if err != nil {
 		return nil, err
 	}
-	if out.PostTime, out.PostReached, err = run(pmDS); err != nil {
-		return nil, err
-	}
+	out.SHGTime, out.SHGReached = TimeToFraction(results[0].FoundTimes(want), want, 1.0)
+	out.PostTime, out.PostReached = TimeToFraction(results[1].FoundTimes(want), want, 1.0)
 	return out, nil
 }
 

@@ -27,39 +27,52 @@ type ScaleResult struct {
 }
 
 // ScaleStudy runs the 2-D Poisson code across increasing partition sizes.
-func ScaleStudy(sizes []int) (*ScaleResult, error) {
+// Phase 1 diagnoses every size undirected in parallel; phase 2 re-runs
+// every size under the directives its own base run produced.
+func ScaleStudy(sizes []int, workers int) (*ScaleResult, error) {
 	if len(sizes) == 0 {
 		sizes = []int{4, 8, 16, 32}
 	}
-	out := &ScaleResult{}
-	for _, n := range sizes {
-		a, err := app.Poisson("C", app.Options{Procs: n})
-		if err != nil {
-			return nil, err
-		}
+	baseJobs := make([]SessionJob, len(sizes))
+	for i, n := range sizes {
+		n := n
 		cfg := DefaultSessionConfig()
 		cfg.RunID = fmt.Sprintf("scale-%d-base", n)
-		base, err := RunSession(a, cfg)
-		if err != nil {
-			return nil, err
+		baseJobs[i] = SessionJob{
+			Build: func() (*app.App, error) { return app.Poisson("C", app.Options{Procs: n}) },
+			Cfg:   cfg,
 		}
+	}
+	bases, err := RunSessions(baseJobs, workers)
+	if err != nil {
+		return nil, err
+	}
+
+	dirJobs := make([]SessionJob, len(sizes))
+	for i, n := range sizes {
+		n := n
+		ds := core.Harvest(bases[i].Record, core.HarvestOptions{GeneralPrunes: true, HistoricPrunes: true, Priorities: true})
+		cfg := DefaultSessionConfig()
+		cfg.Sim.Seed = 2
+		cfg.RunID = fmt.Sprintf("scale-%d-dir", n)
+		cfg.Directives = ds
+		dirJobs[i] = SessionJob{
+			Build: func() (*app.App, error) { return app.Poisson("C", app.Options{Procs: n}) },
+			Cfg:   cfg,
+		}
+	}
+	dirs, err := RunSessions(dirJobs, workers)
+	if err != nil {
+		return nil, err
+	}
+
+	out := &ScaleResult{}
+	for i, n := range sizes {
+		base, dir := bases[i], dirs[i]
 		want := base.ImportantKeys(ImportantMargin)
 		row := ScaleRow{Procs: n, BasePairs: base.PairsTested}
 		if t, ok := TimeToFraction(base.FoundTimes(want), want, 1.0); ok {
 			row.BaseTime = t
-		}
-		ds := core.Harvest(base.Record, core.HarvestOptions{GeneralPrunes: true, HistoricPrunes: true, Priorities: true})
-		a2, err := app.Poisson("C", app.Options{Procs: n})
-		if err != nil {
-			return nil, err
-		}
-		cfg = DefaultSessionConfig()
-		cfg.Sim.Seed = 2
-		cfg.RunID = fmt.Sprintf("scale-%d-dir", n)
-		cfg.Directives = ds
-		dir, err := RunSession(a2, cfg)
-		if err != nil {
-			return nil, err
 		}
 		row.DirPairs = dir.PairsTested
 		if t, ok := TimeToFraction(dir.FoundTimes(want), want, 1.0); ok {

@@ -60,12 +60,40 @@ var Fractions = [4]float64{0.25, 0.50, 0.75, 1.00}
 // sit to join the timed reference set (see SessionResult.ImportantKeys).
 const ImportantMargin = 0.5
 
+// Table1Jobs builds the session jobs for every (variant, trial)
+// combination, given the base run's record. Job i corresponds to variant
+// i/trials, trial i%trials — the layout Table1 aggregates over, exposed so
+// the scheduler benchmarks can run the exact Table 1 workload.
+func Table1Jobs(base *history.RunRecord, trials int) []SessionJob {
+	variants := Table1Variants()
+	jobs := make([]SessionJob, 0, len(variants)*trials)
+	for _, v := range variants {
+		var ds *core.DirectiveSet
+		if v.Harvest != nil {
+			ds = core.Harvest(base, *v.Harvest)
+		}
+		for trial := 0; trial < trials; trial++ {
+			cfg := DefaultSessionConfig()
+			cfg.Sim.Seed = int64(trial + 1)
+			cfg.RunID = fmt.Sprintf("t1-%s-%d", v.Name, trial)
+			cfg.Directives = ds
+			jobs = append(jobs, SessionJob{
+				Build: func() (*app.App, error) { return app.Poisson("C", app.Options{}) },
+				Cfg:   cfg,
+			})
+		}
+	}
+	return jobs
+}
+
 // Table1 reproduces the paper's Table 1 on Poisson version C: a base run
 // with no directives defines the bottleneck set, then each directive
 // variant is timed on how quickly it finds that set. Identical search
 // thresholds are used in all runs (no threshold directives). trials > 1
 // re-runs each variant with different simulator seeds and reports medians.
-func Table1(trials int) (*Table1Result, error) {
+// The (variant, trial) sessions are independent and fan out across
+// workers; the rendered table is identical for every worker count.
+func Table1(trials, workers int) (*Table1Result, error) {
 	if trials < 1 {
 		trials = 1
 	}
@@ -84,16 +112,13 @@ func Table1(trials int) (*Table1Result, error) {
 		return nil, fmt.Errorf("harness: base run found no bottlenecks")
 	}
 
+	results, err := RunSessions(Table1Jobs(base.Record, trials), workers)
+	if err != nil {
+		return nil, err
+	}
 	out := &Table1Result{}
-	for _, v := range Table1Variants() {
-		var ds *core.DirectiveSet
-		if v.Harvest != nil {
-			ds = core.Harvest(base.Record, *v.Harvest)
-		}
-		row, err := table1Variant(v.Name, ds, base.Record, want, trials)
-		if err != nil {
-			return nil, err
-		}
+	for vi, v := range Table1Variants() {
+		row := table1Aggregate(v.Name, results[vi*trials:(vi+1)*trials], want)
 		if v.Harvest == nil {
 			out.BaseRow = *row
 		}
@@ -102,25 +127,13 @@ func Table1(trials int) (*Table1Result, error) {
 	return out, nil
 }
 
-func table1Variant(name string, ds *core.DirectiveSet, baseRec *history.RunRecord,
-	want map[string]bool, trials int) (*Table1Row, error) {
-
+// table1Aggregate folds one variant's trial results into a table row.
+func table1Aggregate(name string, trialResults []*SessionResult, want map[string]bool) *Table1Row {
+	trials := len(trialResults)
 	row := &Table1Row{Variant: name, Total: len(want)}
 	times := make([][]float64, 4)
 	var pairs, found []float64
-	for trial := 0; trial < trials; trial++ {
-		a, err := app.Poisson("C", app.Options{})
-		if err != nil {
-			return nil, err
-		}
-		cfg := DefaultSessionConfig()
-		cfg.Sim.Seed = int64(trial + 1)
-		cfg.RunID = fmt.Sprintf("t1-%s-%d", name, trial)
-		cfg.Directives = ds
-		res, err := RunSession(a, cfg)
-		if err != nil {
-			return nil, err
-		}
+	for _, res := range trialResults {
 		ft := res.FoundTimes(want)
 		for i, frac := range Fractions {
 			if t, ok := TimeToFraction(ft, want, frac); ok {
@@ -141,7 +154,7 @@ func table1Variant(name string, ds *core.DirectiveSet, baseRec *history.RunRecor
 	}
 	row.PairsTested = int(median(pairs))
 	row.Found = int(median(found))
-	return row, nil
+	return row
 }
 
 // Render formats the experiment like the paper's Table 1.

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/app"
@@ -34,9 +35,9 @@ type Table2Result struct {
 // varying synchronization thresholds. The reference ("significant") set is
 // the diagnosis at the optimum 12% setting; higher settings miss part of
 // it, lower settings cost more instrumentation without adding bottlenecks.
-func Table2(trials int) (*Table2Result, error) {
+func Table2(trials, workers int) (*Table2Result, error) {
 	return thresholdSweep("poisson-C", consultant.ExcessiveSync, 0.12,
-		[]float64{0.30, 0.20, 0.15, 0.12, 0.10, 0.05}, trials,
+		[]float64{0.30, 0.20, 0.15, 0.12, 0.10, 0.05}, trials, workers,
 		func() (*app.App, error) { return app.Poisson("C", app.Options{}) })
 }
 
@@ -44,34 +45,42 @@ func Table2(trials int) (*Table2Result, error) {
 // the PVM ocean circulation code, whose optimal synchronization threshold
 // sits near 20% rather than 12% — historical thresholds are
 // application-specific.
-func OceanThresholds(trials int) (*Table2Result, error) {
+func OceanThresholds(trials, workers int) (*Table2Result, error) {
 	return thresholdSweep("ocean", consultant.ExcessiveSync, 0.20,
-		[]float64{0.30, 0.25, 0.20, 0.15, 0.10}, trials,
+		[]float64{0.30, 0.25, 0.20, 0.15, 0.10}, trials, workers,
 		func() (*app.App, error) { return app.Ocean(app.Options{}) })
 }
 
 func thresholdSweep(label, hyp string, refTh float64, thresholds []float64,
-	trials int, build func() (*app.App, error)) (*Table2Result, error) {
+	trials, workers int, build func() (*app.App, error)) (*Table2Result, error) {
 
 	if trials < 1 {
 		trials = 1
 	}
 	out := &Table2Result{App: label, Hypothesis: hyp, RefThreshold: refTh}
 
-	ref, err := sweepRun(build, hyp, refTh, 1)
+	ref, err := runOneJob(context.Background(), sweepJob(build, hyp, refTh, 1))
 	if err != nil {
 		return nil, err
 	}
 	refSet := ref.BottleneckKeys(false)
 	out.RefCount = len(refSet)
 
+	// Every (threshold, trial) session is independent: one flat job list.
+	jobs := make([]SessionJob, 0, len(thresholds)*trials)
 	for _, th := range thresholds {
-		var reported, pairs, missed []float64
 		for trial := 0; trial < trials; trial++ {
-			res, err := sweepRun(build, hyp, th, int64(trial+1))
-			if err != nil {
-				return nil, err
-			}
+			jobs = append(jobs, sweepJob(build, hyp, th, int64(trial+1)))
+		}
+	}
+	results, err := RunSessions(jobs, workers)
+	if err != nil {
+		return nil, err
+	}
+
+	for ti, th := range thresholds {
+		var reported, pairs, missed []float64
+		for _, res := range results[ti*trials : (ti+1)*trials] {
 			got := res.BottleneckKeys(false)
 			miss := 0
 			for k := range refSet {
@@ -97,11 +106,7 @@ func thresholdSweep(label, hyp string, refTh float64, thresholds []float64,
 	return out, nil
 }
 
-func sweepRun(build func() (*app.App, error), hyp string, th float64, seed int64) (*SessionResult, error) {
-	a, err := build()
-	if err != nil {
-		return nil, err
-	}
+func sweepJob(build func() (*app.App, error), hyp string, th float64, seed int64) SessionJob {
 	cfg := DefaultSessionConfig()
 	cfg.Sim.Seed = seed
 	cfg.RunID = fmt.Sprintf("sweep-%.2f-%d", th, seed)
@@ -109,7 +114,7 @@ func sweepRun(build func() (*app.App, error), hyp string, th float64, seed int64
 		Source:     "threshold sweep",
 		Thresholds: []core.ThresholdDirective{{Hypothesis: hyp, Value: th}},
 	}
-	return RunSession(a, cfg)
+	return SessionJob{Build: build, Cfg: cfg}
 }
 
 // Render formats the sweep like the paper's Table 2.

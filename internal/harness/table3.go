@@ -53,7 +53,7 @@ var table3Harvest = core.HarvestOptions{GeneralPrunes: true, HistoricPrunes: tru
 // with no directives and with directives extracted from a base run of each
 // version, using inferred resource mappings to carry directives across the
 // renamed modules, functions, machine nodes and process IDs.
-func Table3(trials int) (*Table3Result, error) {
+func Table3(trials, workers int) (*Table3Result, error) {
 	if trials < 1 {
 		trials = 1
 	}
@@ -61,50 +61,79 @@ func Table3(trials int) (*Table3Result, error) {
 		Cells:   make(map[string]map[string]Table3Cell),
 		Sources: append([]string{"None"}, PoissonVersions...),
 	}
-	// Base runs (the "None" column) also supply the harvested directives.
-	bases := make(map[string]*SessionResult, len(PoissonVersions))
-	for _, v := range PoissonVersions {
-		a, err := app.Poisson(v, versionOptions(v))
-		if err != nil {
-			return nil, err
-		}
+	// Phase 1 — base runs (the "None" column), one per version, all
+	// independent. They also supply the harvested directives.
+	baseJobs := make([]SessionJob, len(PoissonVersions))
+	for i, v := range PoissonVersions {
+		v := v
 		cfg := DefaultSessionConfig()
 		cfg.RunID = "t3-base-" + v
-		res, err := RunSession(a, cfg)
-		if err != nil {
-			return nil, err
+		baseJobs[i] = SessionJob{
+			Build: func() (*app.App, error) { return app.Poisson(v, versionOptions(v)) },
+			Cfg:   cfg,
 		}
-		bases[v] = res
 	}
-	for _, target := range PoissonVersions {
-		out.Cells[target] = make(map[string]Table3Cell)
-		want := bases[target].ImportantKeys(ImportantMargin)
-		baseFound := bases[target].FoundTimes(want)
-		bt, bok := TimeToFraction(baseFound, want, 1.0)
-		out.Cells[target]["None"] = Table3Cell{Time: bt, Reached: bok}
+	baseResults, err := RunSessions(baseJobs, workers)
+	if err != nil {
+		return nil, err
+	}
+	bases := make(map[string]*SessionResult, len(PoissonVersions))
+	for i, v := range PoissonVersions {
+		bases[v] = baseResults[i]
+	}
 
+	// Phase 2 — every (target, source, trial) directed diagnosis is
+	// independent once the harvests exist: one flat job list.
+	type cellKey struct{ target, source string }
+	cellMaps := make(map[cellKey]int)
+	var jobs []SessionJob
+	var keys []cellKey
+	for _, target := range PoissonVersions {
+		target := target
 		for _, source := range PoissonVersions {
 			ds := core.Harvest(bases[source].Record, table3Harvest)
 			var maps []core.Mapping
 			if source != target {
 				maps = core.InferMappings(bases[source].Record.Resources, bases[target].Record.Resources)
 			}
-			var times []float64
-			reachedAll := true
+			cellMaps[cellKey{target, source}] = len(maps)
 			for trial := 0; trial < trials; trial++ {
-				a, err := app.Poisson(target, versionOptions(target))
-				if err != nil {
-					return nil, err
-				}
 				cfg := DefaultSessionConfig()
 				cfg.Sim.Seed = int64(trial + 1)
 				cfg.RunID = fmt.Sprintf("t3-%s-from-%s-%d", target, source, trial)
 				cfg.Directives = ds
 				cfg.Mappings = maps
-				res, err := RunSession(a, cfg)
-				if err != nil {
-					return nil, err
-				}
+				jobs = append(jobs, SessionJob{
+					Build: func() (*app.App, error) { return app.Poisson(target, versionOptions(target)) },
+					Cfg:   cfg,
+				})
+				keys = append(keys, cellKey{target, source})
+			}
+		}
+	}
+	results, err := RunSessions(jobs, workers)
+	if err != nil {
+		return nil, err
+	}
+
+	for _, target := range PoissonVersions {
+		out.Cells[target] = make(map[string]Table3Cell)
+		want := bases[target].ImportantKeys(ImportantMargin)
+		baseFound := bases[target].FoundTimes(want)
+		bt, bok := TimeToFraction(baseFound, want, 1.0)
+		out.Cells[target]["None"] = Table3Cell{Time: bt, Reached: bok}
+	}
+	byCell := make(map[cellKey][]*SessionResult)
+	for i, res := range results {
+		byCell[keys[i]] = append(byCell[keys[i]], res)
+	}
+	for _, target := range PoissonVersions {
+		want := bases[target].ImportantKeys(ImportantMargin)
+		for _, source := range PoissonVersions {
+			k := cellKey{target, source}
+			var times []float64
+			reachedAll := true
+			for _, res := range byCell[k] {
 				ft := res.FoundTimes(want)
 				if t, ok := TimeToFraction(ft, want, 1.0); ok {
 					times = append(times, t)
@@ -112,7 +141,7 @@ func Table3(trials int) (*Table3Result, error) {
 					reachedAll = false
 				}
 			}
-			cell := Table3Cell{Mappings: len(maps)}
+			cell := Table3Cell{Mappings: cellMaps[k]}
 			if reachedAll && len(times) == trials {
 				cell.Time = median(times)
 				cell.Reached = true

@@ -21,25 +21,31 @@ type Table4Result struct {
 var Table4Regions = []string{"A only", "B only", "C only", "A,B only", "A,C only", "B,C only", "A,B,C", "TOTAL"}
 
 // Table4 reproduces the paper's Table 4: how similar the priority
-// directives extracted from different code versions are.
-func Table4() (*Table4Result, error) {
+// directives extracted from different code versions are. The three base
+// runs are independent and fan out across workers.
+func Table4(workers int) (*Table4Result, error) {
 	sets := make(map[string]map[string]consultant.Priority) // version -> key -> level
-	var recC *SessionResult
-	recs := make(map[string]*SessionResult)
-	for _, v := range []string{"A", "B", "C"} {
-		a, err := app.Poisson(v, versionOptions(v))
-		if err != nil {
-			return nil, err
-		}
+	versions := []string{"A", "B", "C"}
+	jobs := make([]SessionJob, len(versions))
+	for i, v := range versions {
+		v := v
 		cfg := DefaultSessionConfig()
 		cfg.RunID = "t4-base-" + v
-		res, err := RunSession(a, cfg)
-		if err != nil {
-			return nil, err
+		jobs[i] = SessionJob{
+			Build: func() (*app.App, error) { return app.Poisson(v, versionOptions(v)) },
+			Cfg:   cfg,
 		}
-		recs[v] = res
+	}
+	results, err := RunSessions(jobs, workers)
+	if err != nil {
+		return nil, err
+	}
+	var recC *SessionResult
+	recs := make(map[string]*SessionResult)
+	for i, v := range versions {
+		recs[v] = results[i]
 		if v == "C" {
-			recC = res
+			recC = results[i]
 		}
 	}
 	for _, v := range []string{"A", "B", "C"} {

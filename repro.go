@@ -84,6 +84,19 @@ func RunDiagnosis(a *Application, cfg SessionConfig) (*SessionResult, error) {
 	return harness.RunSession(a, cfg)
 }
 
+// SessionJob describes one independent diagnosis session for RunDiagnoses.
+type SessionJob = harness.SessionJob
+
+// RunDiagnoses executes independent diagnosis sessions across a bounded
+// worker pool (workers <= 0 means GOMAXPROCS) and returns their results
+// in input order. Each session's state is confined to its worker
+// goroutine and the simulator is deterministic per seed, so results are
+// identical for every worker count; failures are aggregated per job in a
+// *harness.SchedulerError without disturbing the surviving sessions.
+func RunDiagnoses(jobs []SessionJob, workers int) ([]*SessionResult, error) {
+	return harness.RunSessions(jobs, workers)
+}
+
 // DirectiveSet is a harvest of search directives from historical runs.
 type DirectiveSet = core.DirectiveSet
 
