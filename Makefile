@@ -29,6 +29,13 @@ race-short:
 bench:
 	$(GO) test -bench=. -benchmem .
 
+# Storage-layer benchmarks: indexed vs re-reading store queries, cached
+# vs uncached directive harvesting. CI archives the JSON summary.
+bench-store:
+	$(GO) test -run '^$$' -bench 'BenchmarkStoreQuery|BenchmarkHarvest' -benchmem \
+		./internal/history/ ./internal/core/ | tee bench-store.txt
+	$(GO) run ./internal/tools/benchjson -pr 2 -in bench-store.txt
+
 # Regenerate every table and figure of the paper's evaluation.
 experiments:
 	$(GO) run ./cmd/pcbench -exp all -trials 3

@@ -111,6 +111,19 @@ func TestCLIPipeline(t *testing.T) {
 			parallelOut, sequentialOut)
 	}
 
+	// 6c. Persisting experiment records: -store must not change the
+	// rendered table, and the records must be browsable afterwards.
+	benchStore := filepath.Join(work, "bench-store")
+	storedOut := run("pcbench", "-exp", "table1", "-trials", "1", "-parallel", "4", "-store", benchStore)
+	if storedOut != sequentialOut {
+		t.Fatalf("pcbench table1 output differs with -store:\n--- stored ---\n%s\n--- sequential ---\n%s",
+			storedOut, sequentialOut)
+	}
+	out = run("pcquery", "-store", benchStore, "-app", "poisson", "-list")
+	if !strings.Contains(out, "poisson-C-t1-base") {
+		t.Fatalf("pcbench -store records not browsable:\n%s", out)
+	}
+
 	// 7. Most specific bottlenecks of a stored run.
 	out = run("pcquery", "-store", store, "-app", "poisson", "-version", "A", "-run-id", "base", "-specific")
 	if !strings.Contains(out, "most specific bottlenecks") || !strings.Contains(out, "value=") {

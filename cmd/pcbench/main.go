@@ -3,13 +3,18 @@
 // Usage:
 //
 //	pcbench -exp table1|table2|table3|table4|ocean|combine|postmortem|ablation|scale|fig1|fig2|fig3|all
-//	        [-trials N] [-parallel N]
+//	        [-trials N] [-parallel N] [-store DIR]
 //
 // -parallel bounds the number of diagnosis sessions run concurrently
 // (default: the number of CPUs). Because every session's state is
 // confined to its own goroutine and the simulator is deterministic per
 // seed, the rendered output is byte-identical for every -parallel value;
 // -parallel 1 reproduces the fully sequential behaviour.
+//
+// -store persists every experiment's run records to an on-disk
+// experiment store, browsable afterwards with pcquery; without it the
+// experiments run against an in-memory store. The rendered output is
+// identical either way: records round-trip through the same encoding.
 package main
 
 import (
@@ -19,6 +24,7 @@ import (
 	"runtime"
 
 	"repro/internal/harness"
+	"repro/internal/history"
 )
 
 func main() {
@@ -27,7 +33,18 @@ func main() {
 	exp := flag.String("exp", "all", "experiment to regenerate")
 	trials := flag.Int("trials", 3, "repeated runs per configuration (medians reported)")
 	parallel := flag.Int("parallel", runtime.NumCPU(), "max concurrent diagnosis sessions (1 = sequential)")
+	storeDir := flag.String("store", "", "directory to persist experiment run records (default: in-memory)")
 	flag.Parse()
+
+	var st *history.Store
+	if *storeDir != "" {
+		var err error
+		st, err = history.NewStore(*storeDir)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	env := harness.NewEnv(st)
 
 	run := func(name string, f func() (string, error)) {
 		if *exp != "all" && *exp != name {
@@ -44,7 +61,7 @@ func main() {
 	run("fig2", func() (string, error) { return harness.Figure2() })
 	run("fig3", func() (string, error) { return harness.Figure3() })
 	run("table1", func() (string, error) {
-		r, err := harness.Table1(*trials, *parallel)
+		r, err := env.Table1(*trials, *parallel)
 		if err != nil {
 			return "", err
 		}
@@ -65,42 +82,42 @@ func main() {
 		return r.Render(), nil
 	})
 	run("table3", func() (string, error) {
-		r, err := harness.Table3(*trials, *parallel)
+		r, err := env.Table3(*trials, *parallel)
 		if err != nil {
 			return "", err
 		}
 		return r.Render(), nil
 	})
 	run("table4", func() (string, error) {
-		r, err := harness.Table4(*parallel)
+		r, err := env.Table4(*parallel)
 		if err != nil {
 			return "", err
 		}
 		return r.Render(), nil
 	})
 	run("combine", func() (string, error) {
-		r, err := harness.CombineStudy(*parallel)
+		r, err := env.CombineStudy(*parallel)
 		if err != nil {
 			return "", err
 		}
 		return r.Render(), nil
 	})
 	run("postmortem", func() (string, error) {
-		r, err := harness.PostmortemStudy(*parallel)
+		r, err := env.PostmortemStudy(*parallel)
 		if err != nil {
 			return "", err
 		}
 		return r.Render(), nil
 	})
 	run("ablation", func() (string, error) {
-		r, err := harness.Ablation(*parallel)
+		r, err := env.Ablation(*parallel)
 		if err != nil {
 			return "", err
 		}
 		return r.Render(), nil
 	})
 	run("scale", func() (string, error) {
-		r, err := harness.ScaleStudy(nil, *parallel)
+		r, err := env.ScaleStudy(nil, *parallel)
 		if err != nil {
 			return "", err
 		}

@@ -56,13 +56,16 @@ func main() {
 		Thresholds:      *thresh,
 	}
 
+	// The cache memoizes the harvest → combine → map pipeline; the store
+	// interns records, so repeated -run-id entries harvest once.
+	cache := core.NewHarvestCache()
 	var ds *core.DirectiveSet
 	if *traceFile != "" {
 		rec, err := harvestTrace(*traceFile, *appName, *version)
 		if err != nil {
 			log.Fatal(err)
 		}
-		ds = core.Harvest(rec, opt)
+		ds = cache.Harvest(rec, opt)
 		emit(ds, *outFile)
 		return
 	}
@@ -73,21 +76,24 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	for _, issue := range st.ScanIssues() {
+		fmt.Fprintf(os.Stderr, "pcextract: warning: skipped %s\n", issue)
+	}
 	for _, id := range strings.Split(*runIDs, ",") {
 		rec, err := st.Load(*appName, *version, strings.TrimSpace(id))
 		if err != nil {
 			log.Fatal(err)
 		}
-		h := core.Harvest(rec, opt)
+		h := cache.Harvest(rec, opt)
 		if ds == nil {
 			ds = h
 			continue
 		}
 		switch *combine {
 		case "and":
-			ds = core.Intersect(ds, h)
+			ds = cache.Intersect(ds, h)
 		case "or":
-			ds = core.Union(ds, h)
+			ds = cache.Union(ds, h)
 		default:
 			log.Fatalf("unknown -combine %q (want and|or)", *combine)
 		}
@@ -110,7 +116,7 @@ func main() {
 			log.Fatal(err)
 		}
 		maps := core.InferMappings(src.Resources, target.Resources)
-		ds, err = core.ApplyMappings(ds, maps)
+		ds, err = cache.Mapped(ds, maps)
 		if err != nil {
 			log.Fatal(err)
 		}

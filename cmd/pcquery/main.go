@@ -44,6 +44,9 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	for _, issue := range st.ScanIssues() {
+		log.Printf("warning: skipped %s", issue)
+	}
 
 	if *list {
 		names, err := st.List()

@@ -1,0 +1,153 @@
+package core
+
+import (
+	"sync"
+
+	"repro/internal/history"
+)
+
+// HarvestCache memoizes the directive pipeline: harvested sets per
+// (record, options), mapped sets per (set, mappings), and combined sets
+// per (operator, operand pair). The evaluation harness re-derives the
+// same directives many times per study — Table 3 alone harvests each
+// source record once per tuning row — and the store interns records
+// (one decoded copy per key), so pointer identity is record identity
+// and a pointer-keyed cache is exact.
+//
+// Cached sets are shared between callers and must be treated as
+// read-only; Clone before mutating. All methods are safe for concurrent
+// use.
+type HarvestCache struct {
+	mu       sync.RWMutex
+	harvests map[harvestKey]*DirectiveSet
+	mapped   map[mappedKey]*DirectiveSet
+	combined map[combinedKey]*DirectiveSet
+	hits     uint64
+	misses   uint64
+}
+
+// harvestKey identifies one harvest: the interned record and the
+// normalized options (HarvestOptions is comparable; normalizing first
+// makes zero and explicit-default tunings share an entry).
+type harvestKey struct {
+	rec *history.RunRecord
+	opt HarvestOptions
+}
+
+// mappedKey identifies one ApplyMappings result by source-set pointer
+// and the mappings' rendered text (order matters to MapPath, and the
+// text preserves it).
+type mappedKey struct {
+	ds *DirectiveSet
+	fp string
+}
+
+// combinedKey identifies one Intersect or Union result by operator and
+// operand pointers.
+type combinedKey struct {
+	op   string
+	a, b *DirectiveSet
+}
+
+// NewHarvestCache creates an empty cache.
+func NewHarvestCache() *HarvestCache {
+	return &HarvestCache{
+		harvests: make(map[harvestKey]*DirectiveSet),
+		mapped:   make(map[mappedKey]*DirectiveSet),
+		combined: make(map[combinedKey]*DirectiveSet),
+	}
+}
+
+// Harvest returns the memoized Harvest(rec, opt). rec must be an
+// interned record (one pointer per record identity, e.g. from a
+// history.Store) for the memoization to be exact.
+func (c *HarvestCache) Harvest(rec *history.RunRecord, opt HarvestOptions) *DirectiveSet {
+	key := harvestKey{rec: rec, opt: opt.normalize()}
+	c.mu.RLock()
+	ds, ok := c.harvests[key]
+	c.mu.RUnlock()
+	if ok {
+		c.hit()
+		return ds
+	}
+	ds = Harvest(rec, opt)
+	c.mu.Lock()
+	if prev, ok := c.harvests[key]; ok {
+		ds = prev // another goroutine computed it first; keep one copy
+	} else {
+		c.harvests[key] = ds
+		c.misses++
+	}
+	c.mu.Unlock()
+	return ds
+}
+
+// Mapped returns the memoized ApplyMappings(ds, maps). Only successful
+// applications are cached.
+func (c *HarvestCache) Mapped(ds *DirectiveSet, maps []Mapping) (*DirectiveSet, error) {
+	key := mappedKey{ds: ds, fp: FormatMappings(maps)}
+	c.mu.RLock()
+	out, ok := c.mapped[key]
+	c.mu.RUnlock()
+	if ok {
+		c.hit()
+		return out, nil
+	}
+	out, err := ApplyMappings(ds, maps)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	if prev, ok := c.mapped[key]; ok {
+		out = prev
+	} else {
+		c.mapped[key] = out
+		c.misses++
+	}
+	c.mu.Unlock()
+	return out, nil
+}
+
+// Intersect returns the memoized Intersect(a, b).
+func (c *HarvestCache) Intersect(a, b *DirectiveSet) *DirectiveSet {
+	return c.combine("and", a, b, Intersect)
+}
+
+// Union returns the memoized Union(a, b).
+func (c *HarvestCache) Union(a, b *DirectiveSet) *DirectiveSet {
+	return c.combine("or", a, b, Union)
+}
+
+func (c *HarvestCache) combine(op string, a, b *DirectiveSet, fn func(a, b *DirectiveSet) *DirectiveSet) *DirectiveSet {
+	key := combinedKey{op: op, a: a, b: b}
+	c.mu.RLock()
+	ds, ok := c.combined[key]
+	c.mu.RUnlock()
+	if ok {
+		c.hit()
+		return ds
+	}
+	ds = fn(a, b)
+	c.mu.Lock()
+	if prev, ok := c.combined[key]; ok {
+		ds = prev
+	} else {
+		c.combined[key] = ds
+		c.misses++
+	}
+	c.mu.Unlock()
+	return ds
+}
+
+func (c *HarvestCache) hit() {
+	c.mu.Lock()
+	c.hits++
+	c.mu.Unlock()
+}
+
+// Stats reports cache hits and misses so far.
+func (c *HarvestCache) Stats() (hits, misses uint64) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.hits, c.misses
+}

@@ -31,6 +31,12 @@ type AblationResult struct {
 // Ablation runs the parameter sweeps. Every setting's session is
 // independent: all of them fan out across workers in one batch.
 func Ablation(workers int) (*AblationResult, error) {
+	return NewEnv(nil).Ablation(workers)
+}
+
+// Ablation is the environment-backed form: every sweep setting's run
+// record lands in the Env's store for later cross-run queries.
+func (e *Env) Ablation(workers int) (*AblationResult, error) {
 	type setting struct {
 		param  string
 		value  float64
@@ -79,6 +85,9 @@ func Ablation(workers int) (*AblationResult, error) {
 	}
 	out := &AblationResult{}
 	for i, res := range results {
+		if _, err := e.record(res); err != nil {
+			return nil, err
+		}
 		out.Rows = append(out.Rows, AblationRow{
 			Param: settings[i].param, Value: settings[i].value,
 			EndTime:     res.EndTime,

@@ -31,6 +31,14 @@ type CombineResult struct {
 // batch; the three directed diagnoses that depend on their harvests (a2,
 // A∩B on C, A∪B on C) form a second batch.
 func CombineStudy(workers int) (*CombineResult, error) {
+	return NewEnv(nil).CombineStudy(workers)
+}
+
+// CombineStudy is the environment-backed form: the a1, B and C base
+// records are saved to the Env's store, and the harvest → map →
+// intersect/union pipeline runs through the Env's cache — the A harvest
+// is computed once and reused by both the a2 rerun and the combination.
+func (e *Env) CombineStudy(workers int) (*CombineResult, error) {
 	out := &CombineResult{}
 
 	// --- Part 1: directives from a base run of A guiding a second run of
@@ -61,6 +69,18 @@ func CombineStudy(workers int) (*CombineResult, error) {
 		return nil, err
 	}
 	a1, bRes, cBase := baseResults[0], baseResults[1], baseResults[2]
+	a1Rec, err := e.record(a1)
+	if err != nil {
+		return nil, err
+	}
+	bRec, err := e.record(bRes)
+	if err != nil {
+		return nil, err
+	}
+	cRec, err := e.record(cBase)
+	if err != nil {
+		return nil, err
+	}
 	out.A1True = len(a1.Bottlenecks)
 	if t, ok := TimeToFraction(a1.FoundTimes(a1.BottleneckKeys(true)), a1.BottleneckKeys(true), 1.0); ok {
 		out.A1Time = t
@@ -78,11 +98,11 @@ func CombineStudy(workers int) (*CombineResult, error) {
 	for _, h := range a2Space.Hierarchies() {
 		a2Resources[h.Name()] = h.Paths()
 	}
-	maps := core.InferMappings(a1.Record.Resources, a2Resources)
+	maps := core.InferMappings(a1Rec.Resources, a2Resources)
 	out.A2Mappings = len(maps)
 	// Priorities plus general prunes only: a2's diagnosis should be a
 	// more-detailed superset of a1's, so nothing a1 found is pruned away.
-	ds := core.Harvest(a1.Record, core.HarvestOptions{GeneralPrunes: true, Priorities: true})
+	ds := e.harvest(a1Rec, core.HarvestOptions{GeneralPrunes: true, Priorities: true})
 	a2Cfg := DefaultSessionConfig()
 	a2Cfg.Sim.Seed = 2
 	a2Cfg.RunID = "a2"
@@ -92,20 +112,20 @@ func CombineStudy(workers int) (*CombineResult, error) {
 	// Part 2 setup: combining directives from A and B to diagnose C.
 	want := cBase.ImportantKeys(ImportantMargin)
 	harvest := core.HarvestOptions{GeneralPrunes: true, HistoricPrunes: true, Priorities: true}
-	dsA := core.Harvest(a1.Record, harvest)
-	dsB := core.Harvest(bRes.Record, harvest)
-	mapsAC := core.InferMappings(a1.Record.Resources, cBase.Record.Resources)
-	mapsBC := core.InferMappings(bRes.Record.Resources, cBase.Record.Resources)
-	dsAC, err := core.ApplyMappings(dsA, mapsAC)
+	dsA := e.harvest(a1Rec, harvest)
+	dsB := e.harvest(bRec, harvest)
+	mapsAC := core.InferMappings(a1Rec.Resources, cRec.Resources)
+	mapsBC := core.InferMappings(bRec.Resources, cRec.Resources)
+	dsAC, err := e.mapped(dsA, mapsAC)
 	if err != nil {
 		return nil, err
 	}
-	dsBC, err := core.ApplyMappings(dsB, mapsBC)
+	dsBC, err := e.mapped(dsB, mapsBC)
 	if err != nil {
 		return nil, err
 	}
-	and := core.Intersect(dsAC, dsBC)
-	or := core.Union(dsAC, dsBC)
+	and := e.cache.Intersect(dsAC, dsBC)
+	or := e.cache.Union(dsAC, dsBC)
 	out.AndDirectives = len(and.Priorities)
 	out.OrDirectives = len(or.Priorities)
 	andKeys := make(map[string]bool, len(and.Priorities))
@@ -143,7 +163,7 @@ func CombineStudy(workers int) (*CombineResult, error) {
 		out.A2Time = t
 	}
 	// Classify a2's bottlenecks against a1's results (in a2's namespace).
-	mappedDS, err := core.ApplyMappings(ds, maps)
+	mappedDS, err := e.mapped(ds, maps)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,66 @@
+package harness
+
+import (
+	"repro/internal/core"
+	"repro/internal/history"
+)
+
+// Env bundles the services the evaluation experiments run against: an
+// experiment store that every produced run record is saved to and read
+// back from, and a harvest cache that memoizes the directive pipeline
+// (harvest, mapping, combination) across an experiment's repeated
+// derivations. The paper's Section 5 describes this pairing — a
+// Performance Consultant working from "a database of information about
+// previous executions" — and routing the harness through it means the
+// experiments exercise the same storage path the tools use.
+//
+// A nil-store Env (NewEnv(nil)) runs on an in-memory store: records
+// still round-trip through the store's encoding, so results match a
+// disk-backed Env byte for byte.
+type Env struct {
+	store *history.Store
+	cache *core.HarvestCache
+}
+
+// NewEnv creates an experiment environment over st, or over a fresh
+// in-memory store when st is nil.
+func NewEnv(st *history.Store) *Env {
+	if st == nil {
+		st = history.NewMemStore()
+	}
+	return &Env{store: st, cache: core.NewHarvestCache()}
+}
+
+// Store returns the environment's experiment store.
+func (e *Env) Store() *history.Store { return e.store }
+
+// Cache returns the environment's harvest cache.
+func (e *Env) Cache() *core.HarvestCache { return e.cache }
+
+// saveRecord persists rec to the store and returns the store's interned
+// copy. Experiments harvest from the returned record, never the
+// original: every directive is derived from data that completed a
+// save/load round trip, and the interned pointer makes the harvest
+// cache exact.
+func (e *Env) saveRecord(rec *history.RunRecord) (*history.RunRecord, error) {
+	if err := e.store.Save(rec); err != nil {
+		return nil, err
+	}
+	return e.store.Load(rec.App, rec.Version, rec.RunID)
+}
+
+// record persists a completed session's run record, returning the
+// stored copy.
+func (e *Env) record(res *SessionResult) (*history.RunRecord, error) {
+	return e.saveRecord(res.Record)
+}
+
+// harvest is the memoized core.Harvest.
+func (e *Env) harvest(rec *history.RunRecord, opt core.HarvestOptions) *core.DirectiveSet {
+	return e.cache.Harvest(rec, opt)
+}
+
+// mapped is the memoized core.ApplyMappings.
+func (e *Env) mapped(ds *core.DirectiveSet, maps []core.Mapping) (*core.DirectiveSet, error) {
+	return e.cache.Mapped(ds, maps)
+}

@@ -60,6 +60,14 @@ func TraceRun(a *app.App, duration float64, runID string) (*postmortem.Evaluator
 // diagnoses (SHG-directed and trace-directed) are independent and run as
 // one parallel batch.
 func PostmortemStudy(workers int) (*PostmortemResult, error) {
+	return NewEnv(nil).PostmortemStudy(workers)
+}
+
+// PostmortemStudy is the environment-backed form: both the online base
+// record and the trace-derived postmortem record are saved to the Env's
+// store, so trace evaluation feeds the same storage path the online
+// Performance Consultant uses.
+func (e *Env) PostmortemStudy(workers int) (*PostmortemResult, error) {
 	out := &PostmortemResult{}
 
 	// Online base run: defines the bottleneck set and the SHG harvest.
@@ -78,7 +86,11 @@ func PostmortemStudy(workers int) (*PostmortemResult, error) {
 		out.BaseTime = t
 	}
 	harvest := core.HarvestOptions{GeneralPrunes: true, HistoricPrunes: true, Priorities: true}
-	shgDS := core.Harvest(base.Record, harvest)
+	baseRec, err := e.record(base)
+	if err != nil {
+		return nil, err
+	}
+	shgDS := e.harvest(baseRec, harvest)
 	out.SHGDirectives = shgDS.Len()
 
 	// Raw trace run (different monitoring tool, no PC) and its harvest.
@@ -94,7 +106,11 @@ func PostmortemStudy(workers int) (*PostmortemResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	pmDS := core.Harvest(pmRec, harvest)
+	pmRec, err = e.saveRecord(pmRec)
+	if err != nil {
+		return nil, err
+	}
+	pmDS := e.harvest(pmRec, harvest)
 	out.PostDirectives = pmDS.Len()
 	out.TraceCombinations = len(pmRec.Usage)
 

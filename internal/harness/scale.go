@@ -30,6 +30,13 @@ type ScaleResult struct {
 // Phase 1 diagnoses every size undirected in parallel; phase 2 re-runs
 // every size under the directives its own base run produced.
 func ScaleStudy(sizes []int, workers int) (*ScaleResult, error) {
+	return NewEnv(nil).ScaleStudy(sizes, workers)
+}
+
+// ScaleStudy is the environment-backed form: each size's base record is
+// saved to the Env's store and its directives harvested from the stored
+// copy.
+func (e *Env) ScaleStudy(sizes []int, workers int) (*ScaleResult, error) {
 	if len(sizes) == 0 {
 		sizes = []int{4, 8, 16, 32}
 	}
@@ -51,7 +58,11 @@ func ScaleStudy(sizes []int, workers int) (*ScaleResult, error) {
 	dirJobs := make([]SessionJob, len(sizes))
 	for i, n := range sizes {
 		n := n
-		ds := core.Harvest(bases[i].Record, core.HarvestOptions{GeneralPrunes: true, HistoricPrunes: true, Priorities: true})
+		rec, err := e.record(bases[i])
+		if err != nil {
+			return nil, err
+		}
+		ds := e.harvest(rec, core.HarvestOptions{GeneralPrunes: true, HistoricPrunes: true, Priorities: true})
 		cfg := DefaultSessionConfig()
 		cfg.Sim.Seed = 2
 		cfg.RunID = fmt.Sprintf("scale-%d-dir", n)

@@ -65,12 +65,18 @@ const ImportantMargin = 0.5
 // i/trials, trial i%trials — the layout Table1 aggregates over, exposed so
 // the scheduler benchmarks can run the exact Table 1 workload.
 func Table1Jobs(base *history.RunRecord, trials int) []SessionJob {
+	return NewEnv(nil).Table1Jobs(base, trials)
+}
+
+// Table1Jobs is the environment-backed form: harvests are memoized in
+// the Env's cache.
+func (e *Env) Table1Jobs(base *history.RunRecord, trials int) []SessionJob {
 	variants := Table1Variants()
 	jobs := make([]SessionJob, 0, len(variants)*trials)
 	for _, v := range variants {
 		var ds *core.DirectiveSet
 		if v.Harvest != nil {
-			ds = core.Harvest(base, *v.Harvest)
+			ds = e.harvest(base, *v.Harvest)
 		}
 		for trial := 0; trial < trials; trial++ {
 			cfg := DefaultSessionConfig()
@@ -94,6 +100,12 @@ func Table1Jobs(base *history.RunRecord, trials int) []SessionJob {
 // The (variant, trial) sessions are independent and fan out across
 // workers; the rendered table is identical for every worker count.
 func Table1(trials, workers int) (*Table1Result, error) {
+	return NewEnv(nil).Table1(trials, workers)
+}
+
+// Table1 is the environment-backed form: the base record is saved to
+// the Env's store and every variant harvests from the stored copy.
+func (e *Env) Table1(trials, workers int) (*Table1Result, error) {
 	if trials < 1 {
 		trials = 1
 	}
@@ -112,7 +124,11 @@ func Table1(trials, workers int) (*Table1Result, error) {
 		return nil, fmt.Errorf("harness: base run found no bottlenecks")
 	}
 
-	results, err := RunSessions(Table1Jobs(base.Record, trials), workers)
+	baseRec, err := e.record(base)
+	if err != nil {
+		return nil, err
+	}
+	results, err := RunSessions(e.Table1Jobs(baseRec, trials), workers)
 	if err != nil {
 		return nil, err
 	}

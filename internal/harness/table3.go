@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/app"
 	"repro/internal/core"
+	"repro/internal/history"
 )
 
 // PoissonVersions are the paper's four application versions.
@@ -54,6 +55,14 @@ var table3Harvest = core.HarvestOptions{GeneralPrunes: true, HistoricPrunes: tru
 // version, using inferred resource mappings to carry directives across the
 // renamed modules, functions, machine nodes and process IDs.
 func Table3(trials, workers int) (*Table3Result, error) {
+	return NewEnv(nil).Table3(trials, workers)
+}
+
+// Table3 is the environment-backed form: every base record is saved to
+// the Env's store, and each (target, source) harvest comes out of the
+// memoizing cache — each source version is harvested once, not once per
+// target.
+func (e *Env) Table3(trials, workers int) (*Table3Result, error) {
 	if trials < 1 {
 		trials = 1
 	}
@@ -78,8 +87,14 @@ func Table3(trials, workers int) (*Table3Result, error) {
 		return nil, err
 	}
 	bases := make(map[string]*SessionResult, len(PoissonVersions))
+	recs := make(map[string]*history.RunRecord, len(PoissonVersions))
 	for i, v := range PoissonVersions {
 		bases[v] = baseResults[i]
+		rec, err := e.record(baseResults[i])
+		if err != nil {
+			return nil, err
+		}
+		recs[v] = rec
 	}
 
 	// Phase 2 — every (target, source, trial) directed diagnosis is
@@ -91,10 +106,10 @@ func Table3(trials, workers int) (*Table3Result, error) {
 	for _, target := range PoissonVersions {
 		target := target
 		for _, source := range PoissonVersions {
-			ds := core.Harvest(bases[source].Record, table3Harvest)
+			ds := e.harvest(recs[source], table3Harvest)
 			var maps []core.Mapping
 			if source != target {
-				maps = core.InferMappings(bases[source].Record.Resources, bases[target].Record.Resources)
+				maps = core.InferMappings(recs[source].Resources, recs[target].Resources)
 			}
 			cellMaps[cellKey{target, source}] = len(maps)
 			for trial := 0; trial < trials; trial++ {

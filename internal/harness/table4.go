@@ -6,6 +6,7 @@ import (
 	"repro/internal/app"
 	"repro/internal/consultant"
 	"repro/internal/core"
+	"repro/internal/history"
 )
 
 // Table4Result counts the overlap of priority directives extracted from
@@ -24,6 +25,13 @@ var Table4Regions = []string{"A only", "B only", "C only", "A,B only", "A,C only
 // directives extracted from different code versions are. The three base
 // runs are independent and fan out across workers.
 func Table4(workers int) (*Table4Result, error) {
+	return NewEnv(nil).Table4(workers)
+}
+
+// Table4 is the environment-backed form: priorities are extracted from
+// the stored copies of the three base records, and the mapping into
+// version C's namespace runs through the Env's cache.
+func (e *Env) Table4(workers int) (*Table4Result, error) {
 	sets := make(map[string]map[string]consultant.Priority) // version -> key -> level
 	versions := []string{"A", "B", "C"}
 	jobs := make([]SessionJob, len(versions))
@@ -40,19 +48,19 @@ func Table4(workers int) (*Table4Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	var recC *SessionResult
-	recs := make(map[string]*SessionResult)
+	recs := make(map[string]*history.RunRecord)
 	for i, v := range versions {
-		recs[v] = results[i]
-		if v == "C" {
-			recC = results[i]
+		rec, err := e.record(results[i])
+		if err != nil {
+			return nil, err
 		}
+		recs[v] = rec
 	}
 	for _, v := range []string{"A", "B", "C"} {
-		ds := &core.DirectiveSet{Priorities: core.ExtractPriorities(recs[v].Record)}
+		ds := &core.DirectiveSet{Priorities: core.ExtractPriorities(recs[v])}
 		if v != "C" {
-			maps := core.InferMappings(recs[v].Record.Resources, recC.Record.Resources)
-			mapped, err := core.ApplyMappings(ds, maps)
+			maps := core.InferMappings(recs[v].Resources, recs["C"].Resources)
+			mapped, err := e.mapped(ds, maps)
 			if err != nil {
 				return nil, err
 			}

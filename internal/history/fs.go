@@ -1,0 +1,223 @@
+package history
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// FSBackend stores one JSON file per record in a directory.
+//
+// Files are named esc(app)-esc(version)-esc(runid).json, where esc
+// percent-escapes '%', '-', path separators and control bytes in each
+// component. The escaping makes the three components unambiguous: under
+// the legacy scheme (raw app[-version]-runid.json) app "a-b" run "c" and
+// app "a" version "b" run "c" collided on a-b-c.json. Legacy files are
+// still read (Get falls back to the legacy name; Scan identifies every
+// file by its JSON content, not its name) and are upgraded on the next
+// Put of the same key.
+type FSBackend struct {
+	dir string
+}
+
+// NewFSBackend opens (creating if needed) a record directory.
+func NewFSBackend(dir string) (*FSBackend, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("history: empty store directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("history: create store: %w", err)
+	}
+	return &FSBackend{dir: dir}, nil
+}
+
+// Dir returns the backend's directory.
+func (b *FSBackend) Dir() string { return b.dir }
+
+// Name implements Backend.
+func (b *FSBackend) Name() string { return "fs:" + b.dir }
+
+// escapeComponent makes one key component safe to embed in a file name:
+// '%' (the escape lead), '-' (the component separator), slashes and
+// control bytes become %XX. Escaped names are a single path element and
+// never collide across distinct keys.
+func escapeComponent(s string) string {
+	var out strings.Builder
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c == '%' || c == '-' || c == '/' || c == '\\' || c < 0x20 || c == 0x7f {
+			fmt.Fprintf(&out, "%%%02X", c)
+			continue
+		}
+		out.WriteByte(c)
+	}
+	return out.String()
+}
+
+// fileName is the escaped-scheme basename for a key. Every key has
+// exactly three '-'-separated segments (the version segment is empty for
+// versionless records), so names parse unambiguously.
+func fileName(key RecordKey) string {
+	return escapeComponent(key.App) + "-" + escapeComponent(key.Version) + "-" +
+		escapeComponent(key.RunID) + ".json"
+}
+
+// legacyFileIs reports whether the legacy-named file at path holds the
+// record for key. A legacy name is ambiguous — app "a-b" run "c" and app
+// "a" version "b" run "c" share a-b-c.json — so before reading or
+// removing one, the JSON identity fields decide whose file it is.
+func legacyFileIs(path string, key RecordKey) ([]byte, bool) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, false
+	}
+	var id struct {
+		App     string `json:"app"`
+		Version string `json:"version"`
+		RunID   string `json:"run_id"`
+	}
+	if err := json.Unmarshal(data, &id); err != nil {
+		return nil, false
+	}
+	if (RecordKey{App: id.App, Version: id.Version, RunID: id.RunID}) != key {
+		return nil, false
+	}
+	return data, true
+}
+
+// legacyFileName is the pre-escaping basename (app[-version]-runid.json),
+// or "" when a component cannot appear in a single legacy path element.
+func legacyFileName(key RecordKey) string {
+	for _, c := range []string{key.App, key.Version, key.RunID} {
+		if strings.ContainsAny(c, "/\\") {
+			return ""
+		}
+	}
+	name := key.App
+	if key.Version != "" {
+		name += "-" + key.Version
+	}
+	return name + "-" + key.RunID + ".json"
+}
+
+// Put implements Backend: an atomic write (unique temp file + rename)
+// that removes the temp file on failure, and removes the key's legacy
+// file, if any, so re-saving a record migrates it to the escaped scheme.
+func (b *FSBackend) Put(key RecordKey, data []byte) error {
+	tmp, err := os.CreateTemp(b.dir, ".put-*.tmp")
+	if err != nil {
+		return fmt.Errorf("history: write: %w", err)
+	}
+	tmpName := tmp.Name()
+	_, werr := tmp.Write(data)
+	cerr := tmp.Close()
+	if werr == nil {
+		werr = cerr
+	}
+	if werr == nil {
+		werr = os.Chmod(tmpName, 0o644)
+	}
+	if werr == nil {
+		werr = os.Rename(tmpName, filepath.Join(b.dir, fileName(key)))
+	}
+	if werr != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("history: write: %w", werr)
+	}
+	if legacy := legacyFileName(key); legacy != "" && legacy != fileName(key) {
+		// Migrate: drop the key's legacy file — but only after checking
+		// it is this key's (another key's escaped name can spell the
+		// same bytes as this key's legacy name).
+		path := filepath.Join(b.dir, legacy)
+		if _, ours := legacyFileIs(path, key); ours {
+			os.Remove(path)
+		}
+	}
+	return nil
+}
+
+// Get implements Backend, reading the escaped name first and falling
+// back to the legacy name for stores written before the escaped scheme.
+func (b *FSBackend) Get(key RecordKey) ([]byte, error) {
+	data, err := os.ReadFile(filepath.Join(b.dir, fileName(key)))
+	if err == nil {
+		return data, nil
+	}
+	if !os.IsNotExist(err) {
+		return nil, fmt.Errorf("history: load: %w", err)
+	}
+	legacy := legacyFileName(key)
+	if legacy == "" {
+		return nil, fmt.Errorf("history: load: %w", err)
+	}
+	data, ours := legacyFileIs(filepath.Join(b.dir, legacy), key)
+	if !ours {
+		// Missing, or a different key's file under a colliding name:
+		// report the escaped-scheme miss; it is the canonical location.
+		return nil, fmt.Errorf("history: load: %w", err)
+	}
+	return data, nil
+}
+
+// Delete implements Backend, removing whichever of the escaped and
+// legacy files exist.
+func (b *FSBackend) Delete(key RecordKey) error {
+	err := os.Remove(filepath.Join(b.dir, fileName(key)))
+	if err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("history: delete: %w", err)
+	}
+	removed := err == nil
+	if legacy := legacyFileName(key); legacy != "" && legacy != fileName(key) {
+		path := filepath.Join(b.dir, legacy)
+		if _, ours := legacyFileIs(path, key); ours {
+			lerr := os.Remove(path)
+			if lerr != nil && !os.IsNotExist(lerr) {
+				return fmt.Errorf("history: delete: %w", lerr)
+			}
+			removed = removed || lerr == nil
+		}
+	}
+	if !removed {
+		return fmt.Errorf("history: delete %s: %w", key, os.ErrNotExist)
+	}
+	return nil
+}
+
+// Scan implements Backend: every .json file in the directory, unreadable
+// files reported as issues. Escaped-scheme names sort after legacy names
+// so that when a record exists under both, the escaped file wins the
+// store's last-entry-wins indexing.
+func (b *FSBackend) Scan() ([]ScanEntry, []ScanIssue, error) {
+	dirEntries, err := os.ReadDir(b.dir)
+	if err != nil {
+		return nil, nil, fmt.Errorf("history: list: %w", err)
+	}
+	var names []string
+	for _, e := range dirEntries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".json") {
+			continue
+		}
+		names = append(names, e.Name())
+	}
+	sort.Slice(names, func(i, j int) bool {
+		ei, ej := strings.Contains(names[i], "%"), strings.Contains(names[j], "%")
+		if ei != ej {
+			return !ei // unescaped (legacy-looking) names first
+		}
+		return names[i] < names[j]
+	})
+	var entries []ScanEntry
+	var issues []ScanIssue
+	for _, name := range names {
+		data, err := os.ReadFile(filepath.Join(b.dir, name))
+		if err != nil {
+			issues = append(issues, ScanIssue{Name: name, Err: err})
+			continue
+		}
+		entries = append(entries, ScanEntry{Name: name, Data: data})
+	}
+	return entries, issues, nil
+}

@@ -1,6 +1,7 @@
 package history
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"testing"
@@ -229,24 +230,147 @@ func TestStoreDir(t *testing.T) {
 	}
 }
 
-func TestLoadAllRejectsCorruptRecords(t *testing.T) {
+func TestScanSkipsAndReportsCorruptRecords(t *testing.T) {
 	st, _ := NewStore(t.TempDir())
 	if err := st.Save(sampleRecord("ok")); err != nil {
 		t.Fatal(err)
 	}
-	// Inject a corrupted record file alongside it.
+	// Inject a corrupted file and an invalid-but-parseable record
+	// alongside it, then re-scan.
 	if err := os.WriteFile(filepath.Join(st.Dir(), "poisson-A-bad.json"), []byte("{ not json"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := st.LoadAll("poisson", "A"); err == nil {
-		t.Error("corrupt store file not reported")
-	}
-	// An invalid-but-parseable record is also rejected.
-	if err := os.WriteFile(filepath.Join(st.Dir(), "poisson-A-bad.json"),
-		[]byte(`{"app":"poisson","version":"A","run_id":"bad","true_count":9}`), 0o644); err != nil {
+	if err := os.WriteFile(filepath.Join(st.Dir(), "poisson-A-worse.json"),
+		[]byte(`{"app":"poisson","version":"A","run_id":"worse","true_count":9}`), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := st.LoadAll("poisson", "A"); err == nil {
-		t.Error("inconsistent store record not reported")
+	if err := st.Refresh(); err != nil {
+		t.Fatal(err)
+	}
+	// The scan skips the two bad files, reports them, and keeps serving
+	// the intact record.
+	issues := st.ScanIssues()
+	if len(issues) != 2 {
+		t.Fatalf("ScanIssues = %v, want 2 entries", issues)
+	}
+	for _, is := range issues {
+		if is.Name != "poisson-A-bad.json" && is.Name != "poisson-A-worse.json" {
+			t.Errorf("unexpected issue %v", is)
+		}
+		if is.Err == nil || is.String() == "" {
+			t.Errorf("issue %v missing cause", is)
+		}
+	}
+	recs, err := st.LoadAll("poisson", "A")
+	if err != nil || len(recs) != 1 || recs[0].RunID != "ok" {
+		t.Errorf("LoadAll = %d recs, %v; want the one intact record", len(recs), err)
+	}
+	names, err := st.List()
+	if err != nil || len(names) != 1 {
+		t.Errorf("List = %v, %v; want the one intact record", names, err)
+	}
+	hits, err := st.Query("poisson", "A", ResultFilter{})
+	if err != nil || len(hits) == 0 {
+		t.Errorf("Query over a store with corrupt files = %v, %v", hits, err)
+	}
+}
+
+func TestStoreDelete(t *testing.T) {
+	st, _ := NewStore(t.TempDir())
+	if err := st.Save(sampleRecord("r1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Delete("poisson", "A", "r1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Load("poisson", "A", "r1"); err == nil {
+		t.Error("deleted record still loads")
+	}
+	if st.Len() != 0 {
+		t.Errorf("Len = %d after delete", st.Len())
+	}
+	if err := st.Delete("poisson", "A", "r1"); err == nil {
+		t.Error("deleting a missing record succeeded")
+	}
+}
+
+func TestStoreLoadBehindIndex(t *testing.T) {
+	// A record written by another store instance (another process, in
+	// real deployments) is found by Load without a Refresh.
+	dir := t.TempDir()
+	writer, _ := NewStore(dir)
+	reader, _ := NewStore(dir)
+	if err := writer.Save(sampleRecord("late")); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := reader.Load("poisson", "A", "late")
+	if err != nil || rec.RunID != "late" {
+		t.Fatalf("Load behind index = %v, %v", rec, err)
+	}
+}
+
+func TestStoreDashAmbiguity(t *testing.T) {
+	// Legacy scheme: app "a-b" run "c" and app "a" version "b" run "c"
+	// both mapped to a-b-c.json. The escaped scheme keeps them apart.
+	st, _ := NewStore(t.TempDir())
+	first := sampleRecord("c")
+	first.App, first.Version = "a-b", ""
+	second := sampleRecord("c")
+	second.App, second.Version = "a", "b"
+	if err := st.Save(first); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Save(second); err != nil {
+		t.Fatal(err)
+	}
+	got1, err := st.Load("a-b", "", "c")
+	if err != nil || got1.App != "a-b" || got1.Version != "" {
+		t.Fatalf("Load(a-b,,c) = %+v, %v", got1, err)
+	}
+	got2, err := st.Load("a", "b", "c")
+	if err != nil || got2.App != "a" || got2.Version != "b" {
+		t.Fatalf("Load(a,b,c) = %+v, %v", got2, err)
+	}
+	// Both survive a fresh open.
+	st2, err := NewStore(st.Dir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.Len() != 2 {
+		t.Fatalf("reopened store has %d records, want 2 (keys %v)", st2.Len(), st2.Keys())
+	}
+}
+
+func TestStoreLegacyFileFallback(t *testing.T) {
+	// A store written by the pre-escaping code (raw app-version-runid
+	// names) is still readable, and a re-save migrates the file.
+	dir := t.TempDir()
+	legacy := sampleRecord("with-dash")
+	legacyData, _ := json.MarshalIndent(legacy, "", "  ")
+	if err := os.WriteFile(filepath.Join(dir, "poisson-A-with-dash.json"), legacyData, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	st, err := NewStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The legacy file's identity comes from its JSON, not its name.
+	got, err := st.Load("poisson", "A", "with-dash")
+	if err != nil || got.RunID != "with-dash" {
+		t.Fatalf("legacy load = %+v, %v", got, err)
+	}
+	// Re-saving migrates to the escaped name and removes the legacy file.
+	if err := st.Save(got); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "poisson-A-with%2Ddash.json")); err != nil {
+		t.Errorf("escaped file missing after migration: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "poisson-A-with-dash.json")); !os.IsNotExist(err) {
+		t.Errorf("legacy file not removed on migration: %v", err)
+	}
+	st2, _ := NewStore(dir)
+	if got, err := st2.Load("poisson", "A", "with-dash"); err != nil || got.RunID != "with-dash" {
+		t.Errorf("migrated load = %+v, %v", got, err)
 	}
 }

@@ -3,41 +3,122 @@ package history
 import (
 	"encoding/json"
 	"fmt"
-	"os"
-	"path/filepath"
 	"sort"
-	"strings"
+	"sync"
 )
 
-// Store persists run records as JSON files in a directory, one file per
-// run: <app>[-<version>]-<runid>.json.
+// Store is the experiment-store service layer: a concurrency-safe façade
+// over a pluggable Backend that maintains an in-memory index of decoded
+// records (app → version → run id), so Query and PersistentBottlenecks
+// never re-read or re-unmarshal stored files per call. The paper's
+// Section 6 calls for exactly this infrastructure for "storing, naming,
+// and querying multi-execution performance data".
+//
+// All methods are safe for concurrent use. Records handed out by Load,
+// LoadAll and Query are shared with the index and must be treated as
+// read-only; the store interns one decoded copy per record, which also
+// makes pointer identity usable as record identity downstream (the
+// directive harvest cache keys on it).
 type Store struct {
-	dir string
+	backend Backend
+
+	mu     sync.RWMutex
+	recs   map[RecordKey]*RunRecord
+	issues []ScanIssue
 }
 
-// NewStore opens (creating if needed) a store rooted at dir.
+// NewStore opens (creating if needed) a filesystem-backed store rooted
+// at dir — the historical on-disk format, readable across tool sessions.
 func NewStore(dir string) (*Store, error) {
-	if dir == "" {
-		return nil, fmt.Errorf("history: empty store directory")
+	b, err := NewFSBackend(dir)
+	if err != nil {
+		return nil, err
 	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return nil, fmt.Errorf("history: create store: %w", err)
-	}
-	return &Store{dir: dir}, nil
+	return NewStoreWith(b)
 }
 
-// Dir returns the store's directory.
-func (s *Store) Dir() string { return s.dir }
-
-func (s *Store) fileFor(rec *RunRecord) string {
-	name := rec.App
-	if rec.Version != "" {
-		name += "-" + rec.Version
-	}
-	return filepath.Join(s.dir, name+"-"+rec.RunID+".json")
+// NewMemStore creates a store over a fresh in-memory backend.
+func NewMemStore() *Store {
+	s, _ := NewStoreWith(NewMemBackend()) // a memory scan cannot fail
+	return s
 }
 
-// Save writes (or overwrites) a record.
+// NewStoreWith opens a store over any backend, indexing its current
+// contents.
+func NewStoreWith(b Backend) (*Store, error) {
+	if b == nil {
+		return nil, fmt.Errorf("history: nil backend")
+	}
+	s := &Store{backend: b}
+	if err := s.Refresh(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Backend returns the storage engine beneath the store.
+func (s *Store) Backend() Backend { return s.backend }
+
+// Dir returns the store's directory for filesystem-backed stores and ""
+// otherwise.
+func (s *Store) Dir() string {
+	if fb, ok := s.backend.(*FSBackend); ok {
+		return fb.Dir()
+	}
+	return ""
+}
+
+// Refresh rebuilds the index from a full backend scan, picking up
+// records written behind the store's back. Corrupt or invalid entries
+// are skipped and reported via ScanIssues.
+func (s *Store) Refresh() error {
+	entries, issues, err := s.backend.Scan()
+	if err != nil {
+		return err
+	}
+	recs := make(map[RecordKey]*RunRecord, len(entries))
+	for _, e := range entries {
+		rec, err := decodeRecord(e.Data)
+		if err != nil {
+			issues = append(issues, ScanIssue{Name: e.Name, Err: err})
+			continue
+		}
+		// Last entry wins; backends yield the authoritative name last
+		// when one record is reachable under both legacy and escaped
+		// names.
+		recs[rec.Key()] = rec
+	}
+	s.mu.Lock()
+	s.recs = recs
+	s.issues = issues
+	s.mu.Unlock()
+	return nil
+}
+
+// ScanIssues returns the entries the last scan (or subsequent loads)
+// skipped as unreadable or invalid.
+func (s *Store) ScanIssues() []ScanIssue {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]ScanIssue, len(s.issues))
+	copy(out, s.issues)
+	return out
+}
+
+// decodeRecord unmarshals and validates one encoded record.
+func decodeRecord(data []byte) (*RunRecord, error) {
+	rec := &RunRecord{}
+	if err := json.Unmarshal(data, rec); err != nil {
+		return nil, fmt.Errorf("history: unmarshal: %w", err)
+	}
+	if err := rec.Validate(); err != nil {
+		return nil, err
+	}
+	return rec, nil
+}
+
+// Save writes (or overwrites) a record. The index caches its own decoded
+// copy, detached from the caller's pointer.
 func (s *Store) Save(rec *RunRecord) error {
 	if err := rec.Validate(); err != nil {
 		return err
@@ -46,74 +127,125 @@ func (s *Store) Save(rec *RunRecord) error {
 	if err != nil {
 		return fmt.Errorf("history: marshal: %w", err)
 	}
-	tmp := s.fileFor(rec) + ".tmp"
-	if err := os.WriteFile(tmp, data, 0o644); err != nil {
-		return fmt.Errorf("history: write: %w", err)
+	cached, err := decodeRecord(data)
+	if err != nil {
+		return err
 	}
-	return os.Rename(tmp, s.fileFor(rec))
+	if err := s.backend.Put(cached.Key(), data); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.recs[cached.Key()] = cached
+	s.mu.Unlock()
+	return nil
 }
 
-// Load reads one record by app, version and run id.
+// Load reads one record by app, version and run id. The returned record
+// is shared with the index: treat it as read-only.
 func (s *Store) Load(app, version, runID string) (*RunRecord, error) {
-	rec := &RunRecord{App: app, Version: version, RunID: runID}
-	data, err := os.ReadFile(s.fileFor(rec))
+	key := RecordKey{App: app, Version: version, RunID: runID}
+	s.mu.RLock()
+	rec, ok := s.recs[key]
+	s.mu.RUnlock()
+	if ok {
+		return rec, nil
+	}
+	// Not indexed: fall through to the backend for records written
+	// behind the store's back since the last Refresh.
+	data, err := s.backend.Get(key)
 	if err != nil {
-		return nil, fmt.Errorf("history: load: %w", err)
-	}
-	out := &RunRecord{}
-	if err := json.Unmarshal(data, out); err != nil {
-		return nil, fmt.Errorf("history: unmarshal: %w", err)
-	}
-	if err := out.Validate(); err != nil {
 		return nil, err
 	}
-	return out, nil
+	rec, err = decodeRecord(data)
+	if err != nil {
+		return nil, err
+	}
+	if rec.Key() != key {
+		// A legacy-named file can shadow a different key (the old
+		// app-version-runid ambiguity); identity comes from the content.
+		return nil, fmt.Errorf("history: load %s: record identifies as %s", key, rec.Key())
+	}
+	s.mu.Lock()
+	if prev, ok := s.recs[key]; ok {
+		rec = prev // another goroutine indexed it first; keep one copy
+	} else {
+		s.recs[key] = rec
+	}
+	s.mu.Unlock()
+	return rec, nil
 }
 
-// List returns the store's record file basenames, sorted.
-func (s *Store) List() ([]string, error) {
-	entries, err := os.ReadDir(s.dir)
-	if err != nil {
-		return nil, fmt.Errorf("history: list: %w", err)
+// Delete removes one record from the backend and the index.
+func (s *Store) Delete(app, version, runID string) error {
+	key := RecordKey{App: app, Version: version, RunID: runID}
+	if err := s.backend.Delete(key); err != nil {
+		return err
 	}
-	var out []string
-	for _, e := range entries {
-		if e.IsDir() || !strings.HasSuffix(e.Name(), ".json") {
-			continue
-		}
-		out = append(out, strings.TrimSuffix(e.Name(), ".json"))
+	s.mu.Lock()
+	delete(s.recs, key)
+	s.mu.Unlock()
+	return nil
+}
+
+// Keys returns every indexed record key, ordered by (app, version,
+// run id).
+func (s *Store) Keys() []RecordKey {
+	s.mu.RLock()
+	keys := make([]RecordKey, 0, len(s.recs))
+	for k := range s.recs {
+		keys = append(keys, k)
+	}
+	s.mu.RUnlock()
+	sortKeys(keys)
+	return keys
+}
+
+// Len returns the number of indexed records.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.recs)
+}
+
+// List returns the stored records' display names
+// (app[-version]-runid), sorted. Unreadable entries are skipped; see
+// ScanIssues. The error return is kept for interface stability — an
+// open store lists from its index and cannot fail.
+func (s *Store) List() ([]string, error) {
+	keys := s.Keys()
+	out := make([]string, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, k.String())
 	}
 	sort.Strings(out)
 	return out, nil
 }
 
-// LoadAll loads every record whose app (and version, when non-empty)
-// matches.
+// LoadAll returns every indexed record whose app (and version, when
+// non-empty) matches, ordered by key. Records are shared with the
+// index: treat them as read-only.
 func (s *Store) LoadAll(app, version string) ([]*RunRecord, error) {
-	names, err := s.List()
-	if err != nil {
-		return nil, err
-	}
-	var out []*RunRecord
-	for _, n := range names {
-		data, err := os.ReadFile(filepath.Join(s.dir, n+".json"))
-		if err != nil {
-			return nil, err
-		}
-		rec := &RunRecord{}
-		if err := json.Unmarshal(data, rec); err != nil {
-			return nil, fmt.Errorf("history: unmarshal %s: %w", n, err)
-		}
-		if rec.App != app {
+	s.mu.RLock()
+	keys := make([]RecordKey, 0, len(s.recs))
+	for k := range s.recs {
+		if k.App != app {
 			continue
 		}
-		if version != "" && rec.Version != version {
+		if version != "" && k.Version != version {
 			continue
 		}
-		if err := rec.Validate(); err != nil {
-			return nil, fmt.Errorf("history: %s: %w", n, err)
-		}
-		out = append(out, rec)
+		keys = append(keys, k)
 	}
+	sortKeys(keys)
+	out := make([]*RunRecord, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, s.recs[k])
+	}
+	s.mu.RUnlock()
 	return out, nil
+}
+
+// Key returns the record's store key.
+func (r *RunRecord) Key() RecordKey {
+	return RecordKey{App: r.App, Version: r.Version, RunID: r.RunID}
 }

@@ -1,0 +1,138 @@
+// Command benchjson converts `go test -bench` output into a small JSON
+// summary suitable for archiving as a CI artifact and committing
+// alongside a change (see BENCH_PR2.json).
+//
+// Usage:
+//
+//	go test -bench ... | go run ./internal/tools/benchjson -pr 2 -out BENCH.json
+//	go run ./internal/tools/benchjson -pr 2 -in bench.txt -out BENCH.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed result line.
+type Benchmark struct {
+	Name        string  `json:"name"`
+	Package     string  `json:"package,omitempty"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
+	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+}
+
+// Summary is the emitted document.
+type Summary struct {
+	PR         int         `json:"pr,omitempty"`
+	GoOS       string      `json:"goos,omitempty"`
+	GoArch     string      `json:"goarch,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchjson: ")
+	pr := flag.Int("pr", 0, "PR number to stamp into the summary")
+	in := flag.String("in", "", "bench output file (default stdin)")
+	out := flag.String("out", "", "JSON output file (default stdout)")
+	flag.Parse()
+
+	r := io.Reader(os.Stdin)
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		r = f
+	}
+	sum, err := Parse(r)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sum.PR = *pr
+	if len(sum.Benchmarks) == 0 {
+		log.Fatal("no benchmark lines found")
+	}
+	data, err := json.MarshalIndent(sum, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	data = append(data, '\n')
+	if *out == "" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// Parse reads `go test -bench` output. Benchmark lines look like
+//
+//	BenchmarkStoreQuery-8   38424   31054 ns/op   25136 B/op   309 allocs/op
+//
+// interleaved with goos/goarch/cpu/pkg headers, which are captured too.
+func Parse(r io.Reader) (*Summary, error) {
+	sum := &Summary{}
+	pkg := ""
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			sum.GoOS = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+			continue
+		case strings.HasPrefix(line, "goarch:"):
+			sum.GoArch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+			continue
+		case strings.HasPrefix(line, "cpu:"):
+			sum.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+			continue
+		case strings.HasPrefix(line, "pkg:"):
+			pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+			continue
+		case !strings.HasPrefix(line, "Benchmark"):
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 4 || fields[3] != "ns/op" {
+			continue
+		}
+		b := Benchmark{Name: fields[0], Package: pkg}
+		var err error
+		if b.Iterations, err = strconv.ParseInt(fields[1], 10, 64); err != nil {
+			return nil, fmt.Errorf("benchjson: %q: %w", line, err)
+		}
+		if b.NsPerOp, err = strconv.ParseFloat(fields[2], 64); err != nil {
+			return nil, fmt.Errorf("benchjson: %q: %w", line, err)
+		}
+		for i := 4; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseInt(fields[i], 10, 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case "B/op":
+				b.BytesPerOp = v
+			case "allocs/op":
+				b.AllocsPerOp = v
+			}
+		}
+		sum.Benchmarks = append(sum.Benchmarks, b)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return sum, nil
+}

@@ -1,0 +1,46 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParse(t *testing.T) {
+	const out = `goos: linux
+goarch: amd64
+pkg: repro/internal/history
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkStoreQuery-8            38424   31054 ns/op   25136 B/op   309 allocs/op
+BenchmarkStoreQueryUncached-8      100  792786 ns/op
+PASS
+ok  	repro/internal/history	2.1s
+`
+	sum, err := Parse(strings.NewReader(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.GoOS != "linux" || sum.GoArch != "amd64" || sum.CPU == "" {
+		t.Errorf("headers not captured: %+v", sum)
+	}
+	if len(sum.Benchmarks) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2", len(sum.Benchmarks))
+	}
+	b := sum.Benchmarks[0]
+	if b.Name != "BenchmarkStoreQuery-8" || b.Package != "repro/internal/history" ||
+		b.Iterations != 38424 || b.NsPerOp != 31054 || b.BytesPerOp != 25136 || b.AllocsPerOp != 309 {
+		t.Errorf("first benchmark misparsed: %+v", b)
+	}
+	if sum.Benchmarks[1].NsPerOp != 792786 || sum.Benchmarks[1].BytesPerOp != 0 {
+		t.Errorf("second benchmark misparsed: %+v", sum.Benchmarks[1])
+	}
+}
+
+func TestParseEmpty(t *testing.T) {
+	sum, err := Parse(strings.NewReader("PASS\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sum.Benchmarks) != 0 {
+		t.Errorf("parsed %d benchmarks from empty input", len(sum.Benchmarks))
+	}
+}

@@ -110,11 +110,37 @@ type Mapping = core.Mapping
 // RunRecord is the stored outcome of one execution.
 type RunRecord = history.RunRecord
 
-// Store is the on-disk multi-execution performance data store.
+// Store is the multi-execution performance data store: a concurrency-
+// safe indexed façade over a pluggable storage backend.
 type Store = history.Store
 
-// NewStore opens (creating if needed) a history store rooted at dir.
+// StoreBackend is the pluggable storage engine beneath a Store.
+type StoreBackend = history.Backend
+
+// NewStore opens (creating if needed) a filesystem-backed history store
+// rooted at dir.
 func NewStore(dir string) (*Store, error) { return history.NewStore(dir) }
+
+// NewMemStore creates a history store over a fresh in-memory backend.
+func NewMemStore() *Store { return history.NewMemStore() }
+
+// NewStoreWith opens a history store over any storage backend.
+func NewStoreWith(b StoreBackend) (*Store, error) { return history.NewStoreWith(b) }
+
+// HarvestCache memoizes the directive pipeline (harvest, mapping,
+// combination) over interned store records.
+type HarvestCache = core.HarvestCache
+
+// NewHarvestCache creates an empty harvest cache.
+func NewHarvestCache() *HarvestCache { return core.NewHarvestCache() }
+
+// ExperimentEnv bundles a store and a harvest cache for the evaluation
+// harness's experiments.
+type ExperimentEnv = harness.Env
+
+// NewExperimentEnv creates an experiment environment over st, or over a
+// fresh in-memory store when st is nil.
+func NewExperimentEnv(st *Store) *ExperimentEnv { return harness.NewEnv(st) }
 
 // HarvestAll enables every directive kind with default tuning.
 func HarvestAll() HarvestOptions { return core.HarvestAll() }
