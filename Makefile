@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short race race-short bench experiments fuzz clean
+.PHONY: all build vet test test-short race race-short bench bench-store bench-server experiments fuzz clean
 
 all: build vet test
 
@@ -35,6 +35,13 @@ bench-store:
 	$(GO) test -run '^$$' -bench 'BenchmarkStoreQuery|BenchmarkHarvest' -benchmem \
 		./internal/history/ ./internal/core/ | tee bench-store.txt
 	$(GO) run ./internal/tools/benchjson -pr 2 -in bench-store.txt
+
+# Service benchmarks: full HTTP round trips against an in-process pcd
+# (indexed query, cache-hot harvest pipeline). CI archives the summary.
+bench-server:
+	$(GO) test -run '^$$' -bench 'BenchmarkServer' -benchmem \
+		./internal/server/ | tee bench-server.txt
+	$(GO) run ./internal/tools/benchjson -pr 3 -in bench-server.txt
 
 # Regenerate every table and figure of the paper's evaluation.
 experiments:

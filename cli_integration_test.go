@@ -1,11 +1,14 @@
 package repro
 
 import (
+	"bufio"
 	"os"
 	"os/exec"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"testing"
+	"time"
 )
 
 // TestCLIPipeline builds every command-line tool and drives the complete
@@ -17,7 +20,7 @@ func TestCLIPipeline(t *testing.T) {
 		t.Skip("builds binaries")
 	}
 	bin := t.TempDir()
-	tools := []string{"pcrun", "pcextract", "pctrace", "pcquery", "pccompare", "pcbench"}
+	tools := []string{"pcrun", "pcextract", "pctrace", "pcquery", "pccompare", "pcbench", "pcd"}
 	for _, tool := range tools {
 		out, err := exec.Command("go", "build", "-o", filepath.Join(bin, tool), "./cmd/"+tool).CombinedOutput()
 		if err != nil {
@@ -130,7 +133,92 @@ func TestCLIPipeline(t *testing.T) {
 		t.Fatalf("pcquery -specific:\n%s", out)
 	}
 
-	// 8. Diagnosis artifacts: SHG dot, timeline CSV, HTML report.
+	// 8. A mistyped store path must be an error, not an empty result:
+	// the read-only tools and the daemon exit non-zero.
+	runFail := func(tool string, args ...string) {
+		t.Helper()
+		if out, err := exec.Command(filepath.Join(bin, tool), args...).CombinedOutput(); err == nil {
+			t.Fatalf("%s %s succeeded on a missing store:\n%s", tool, strings.Join(args, " "), out)
+		}
+	}
+	missing := filepath.Join(work, "no-such-store")
+	runFail("pcquery", "-store", missing, "-app", "poisson", "-list")
+	runFail("pcextract", "-store", missing, "-app", "poisson", "-version", "A", "-run-id", "base")
+	runFail("pccompare", "-store", missing, "-app", "poisson", "-a", "A:base", "-b", "B:base")
+	runFail("pcd", "-store", missing, "-addr", "127.0.0.1:0")
+
+	// 9. The daemon pipeline: serve the store over HTTP and require the
+	// -server output of pcquery/pccompare to be byte-identical to the
+	// -store output, then drain on SIGTERM.
+	daemon := exec.Command(filepath.Join(bin, "pcd"), "-store", store, "-addr", "127.0.0.1:0")
+	stdout, err := daemon.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	daemon.Stderr = daemon.Stdout
+	if err := daemon.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer daemon.Process.Kill()
+	// The first stdout line is the startup handshake carrying the bound
+	// address.
+	sc := bufio.NewScanner(stdout)
+	handshake := make(chan string, 1)
+	go func() {
+		if sc.Scan() {
+			handshake <- sc.Text()
+		}
+		close(handshake)
+	}()
+	var serving string
+	select {
+	case serving = <-handshake:
+	case <-time.After(10 * time.Second):
+		t.Fatal("pcd did not print its serving line")
+	}
+	i := strings.Index(serving, "http://")
+	j := strings.Index(serving, " (store")
+	if i < 0 || j < i {
+		t.Fatalf("pcd handshake line unexpected: %q", serving)
+	}
+	url := serving[i:j]
+
+	for _, args := range [][]string{
+		{"-app", "poisson", "-state", "true", "-min", "0.3", "-json"},
+		{"-app", "poisson", "-persistent", "1", "-json"},
+		{"-app", "poisson", "-specific", "-ref", "A:base", "-json"},
+		{"-list", "-json"},
+	} {
+		local := run("pcquery", append([]string{"-store", store}, args...)...)
+		remote := run("pcquery", append([]string{"-server", url}, args...)...)
+		if local != remote {
+			t.Fatalf("pcquery %s differs between -store and -server:\n--- store ---\n%s\n--- server ---\n%s",
+				strings.Join(args, " "), local, remote)
+		}
+	}
+	cmpArgs := []string{"-app", "poisson", "-a", "A:base", "-b", "B:base", "-json"}
+	localCmp := run("pccompare", append([]string{"-store", store}, cmpArgs...)...)
+	remoteCmp := run("pccompare", append([]string{"-server", url}, cmpArgs...)...)
+	if localCmp != remoteCmp {
+		t.Fatalf("pccompare -json differs between -store and -server:\n--- store ---\n%s\n--- server ---\n%s",
+			localCmp, remoteCmp)
+	}
+
+	if err := daemon.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- daemon.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("pcd exited with %v after SIGTERM", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("pcd did not stop within 10s of SIGTERM")
+	}
+
+	// 10. Diagnosis artifacts: SHG dot, timeline CSV, HTML report.
 	dot := filepath.Join(work, "shg.dot")
 	csv := filepath.Join(work, "timeline.csv")
 	htmlFile := filepath.Join(work, "report.html")

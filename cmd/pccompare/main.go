@@ -2,67 +2,96 @@
 // executions: which bottlenecks are common (and how their severity
 // shifted), which are unique to one run, and which conclusions flipped —
 // the multi-execution analysis the paper's directive harvesting builds on.
+// It reads a store directory directly, or — with -server — asks a running
+// pcd daemon, with identical output either way.
 //
 // Usage:
 //
-//	pccompare -store DIR -app poisson \
-//	          -a VERSION:RUNID -b VERSION:RUNID [-eps 0.02]
+//	pccompare (-store DIR | -server URL) -app poisson \
+//	          -a VERSION:RUNID -b VERSION:RUNID [-eps 0.02] [-json]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
-	"strings"
+	"os"
 
-	"repro/internal/core"
+	"repro/internal/client"
 	"repro/internal/history"
+	"repro/internal/server"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("pccompare: ")
 	var (
-		storeDir = flag.String("store", "", "history store directory (required)")
-		appName  = flag.String("app", "poisson", "application name")
-		aRef     = flag.String("a", "", "first run as VERSION:RUNID (required)")
-		bRef     = flag.String("b", "", "second run as VERSION:RUNID (required)")
-		eps      = flag.Float64("eps", 0.02, "minimum value shift to call a bottleneck improved/worsened")
+		storeDir  = flag.String("store", "", "history store directory (or use -server)")
+		serverURL = flag.String("server", "", "pcd server URL (alternative to -store)")
+		appName   = flag.String("app", "poisson", "application name")
+		aRef      = flag.String("a", "", "first run as VERSION:RUNID (required)")
+		bRef      = flag.String("b", "", "second run as VERSION:RUNID (required)")
+		eps       = flag.Float64("eps", 0.02, "minimum value shift to call a bottleneck improved/worsened")
+		jsonOut   = flag.Bool("json", false, "emit the wire-format JSON document instead of text")
 	)
 	flag.Parse()
-	if *storeDir == "" || *aRef == "" || *bRef == "" {
-		log.Fatal("-store, -a and -b are required")
+	if (*storeDir == "") == (*serverURL == "") {
+		log.Fatal("exactly one of -store and -server is required")
 	}
-	st, err := history.NewStore(*storeDir)
-	if err != nil {
-		log.Fatal(err)
+	if *aRef == "" || *bRef == "" {
+		log.Fatal("-a and -b are required")
 	}
-	load := func(ref string) *history.RunRecord {
-		parts := strings.SplitN(ref, ":", 2)
-		if len(parts) != 2 {
-			log.Fatalf("bad run reference %q (want VERSION:RUNID)", ref)
-		}
-		rec, err := st.Load(*appName, parts[0], parts[1])
+
+	var resp *server.CompareResponse
+	if *serverURL != "" {
+		var err error
+		resp, err = client.New(*serverURL).Compare(context.Background(), *appName, *aRef, *bRef, *eps)
 		if err != nil {
 			log.Fatal(err)
 		}
-		return rec
+	} else {
+		st, err := history.OpenStore(*storeDir)
+		if err != nil {
+			log.Fatal(err)
+		}
+		load := func(ref string) *history.RunRecord {
+			key, err := history.ParseRunKey(*appName, ref)
+			if err != nil {
+				log.Fatal(err)
+			}
+			rec, err := st.Load(key.App, key.Version, key.RunID)
+			if err != nil {
+				log.Fatal(err)
+			}
+			return rec
+		}
+		a, b := load(*aRef), load(*bRef)
+		resp, err = server.BuildCompareResponse(a, b, *eps)
+		if err != nil {
+			log.Fatal(err)
+		}
+		resp.A, resp.B = *aRef, *bRef
 	}
-	a, b := load(*aRef), load(*bRef)
-	diff, err := core.CompareRuns(a, b)
-	if err != nil {
-		log.Fatal(err)
+
+	if *jsonOut {
+		data, err := server.MarshalCanonical(resp)
+		if err != nil {
+			log.Fatal(err)
+		}
+		os.Stdout.Write(data)
+		return
 	}
-	fmt.Print(diff.Render())
-	if imp := diff.Improved(*eps); len(imp) > 0 {
-		fmt.Printf("\nimproved by more than %.0f%% of execution time (%d):\n", *eps*100, len(imp))
-		for _, p := range imp {
+	fmt.Print(resp.Rendered)
+	if len(resp.Improved) > 0 {
+		fmt.Printf("\nimproved by more than %.0f%% of execution time (%d):\n", *eps*100, len(resp.Improved))
+		for _, p := range resp.Improved {
 			fmt.Printf("  %+0.3f  %s %s\n", p.Delta(), p.Hyp, p.Focus)
 		}
 	}
-	if w := diff.Worsened(*eps); len(w) > 0 {
-		fmt.Printf("\nworsened by more than %.0f%% of execution time (%d):\n", *eps*100, len(w))
-		for _, p := range w {
+	if len(resp.Worsened) > 0 {
+		fmt.Printf("\nworsened by more than %.0f%% of execution time (%d):\n", *eps*100, len(resp.Worsened))
+		for _, p := range resp.Worsened {
 			fmt.Printf("  %+0.3f  %s %s\n", p.Delta(), p.Hyp, p.Focus)
 		}
 	}

@@ -1,0 +1,109 @@
+// Command pcd is the performance-consultant diagnosis daemon: it owns
+// one history store plus harvest cache and serves store queries,
+// directive harvesting, and on-demand diagnosis sessions over HTTP/JSON
+// (see FORMATS.md "Wire API"). pcquery and pccompare speak to it via
+// -server URL instead of opening a -store directory themselves.
+//
+// Usage:
+//
+//	pcd -store DIR [-create] [-addr 127.0.0.1:7133] [-sessions N]
+//	    [-session-timeout 0] [-drain-timeout 30s]
+//
+// The store directory must already exist unless -create is given — a
+// daemon pointed at a mistyped path should fail loudly, not serve an
+// empty store. On SIGINT/SIGTERM the daemon drains: new diagnoses are
+// refused with 503 while in-flight sessions run to completion (bounded
+// by -drain-timeout).
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"repro/internal/harness"
+	"repro/internal/history"
+	"repro/internal/server"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("pcd: ")
+	var (
+		addr           = flag.String("addr", "127.0.0.1:7133", "listen address (host:port; port 0 picks a free port)")
+		storeDir       = flag.String("store", "", "history store directory (required)")
+		create         = flag.Bool("create", false, "create the store directory if it does not exist")
+		sessions       = flag.Int("sessions", 0, "max concurrent diagnosis sessions (0 = GOMAXPROCS)")
+		sessionTimeout = flag.Duration("session-timeout", 0, "per-request diagnosis timeout, queueing included (0 = none)")
+		drainTimeout   = flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight sessions")
+	)
+	flag.Parse()
+	if *storeDir == "" {
+		log.Fatal("-store is required")
+	}
+	open := history.OpenStore
+	if *create {
+		open = history.NewStore
+	}
+	st, err := open(*storeDir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, issue := range st.ScanIssues() {
+		log.Printf("warning: skipped %s", issue)
+	}
+
+	srv := server.New(harness.NewEnv(st), server.Options{
+		Sessions:       *sessions,
+		SessionTimeout: *sessionTimeout,
+	})
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+
+	// The "serving" line is the startup handshake: smoke tests and
+	// scripts wait for it (and parse the actual address when -addr used
+	// port 0).
+	slots := *sessions
+	if slots <= 0 {
+		slots = runtime.GOMAXPROCS(0)
+	}
+	fmt.Printf("pcd: serving on http://%s (store %s, %d records, %d session slots)\n",
+		ln.Addr(), st.Dir(), st.Len(), slots)
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case s := <-sig:
+		log.Printf("caught %v, draining", s)
+	case err := <-errc:
+		log.Fatal(err)
+	}
+
+	// Drain: refuse new diagnoses, wait for in-flight sessions, then
+	// stop accepting connections.
+	srv.BeginDrain()
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := srv.Drain(ctx); err != nil {
+		log.Printf("drain incomplete: %v", err)
+	}
+	if err := httpSrv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("shutdown: %v", err)
+	}
+	log.Print("stopped")
+}

@@ -24,6 +24,7 @@ import (
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/harness"
 	"repro/internal/history"
 	"repro/internal/postmortem"
 )
@@ -56,70 +57,38 @@ func main() {
 		Thresholds:      *thresh,
 	}
 
-	// The cache memoizes the harvest → combine → map pipeline; the store
-	// interns records, so repeated -run-id entries harvest once.
-	cache := core.NewHarvestCache()
-	var ds *core.DirectiveSet
 	if *traceFile != "" {
 		rec, err := harvestTrace(*traceFile, *appName, *version)
 		if err != nil {
 			log.Fatal(err)
 		}
-		ds = cache.Harvest(rec, opt)
-		emit(ds, *outFile)
+		emit(core.Harvest(rec, opt), *outFile)
 		return
 	}
 	if *storeDir == "" {
 		log.Fatal("-store is required (or use -trace)")
 	}
-	st, err := history.NewStore(*storeDir)
+	// Open-existing: a mistyped -store must fail, not harvest nothing.
+	st, err := history.OpenStore(*storeDir)
 	if err != nil {
 		log.Fatal(err)
 	}
 	for _, issue := range st.ScanIssues() {
 		fmt.Fprintf(os.Stderr, "pcextract: warning: skipped %s\n", issue)
 	}
+	// The harvest → combine → map pipeline is the environment's (shared
+	// with the pcd service); the store interns records, so repeated
+	// -run-id entries harvest once.
+	env := harness.NewEnv(st)
+	var refs []string
 	for _, id := range strings.Split(*runIDs, ",") {
-		rec, err := st.Load(*appName, *version, strings.TrimSpace(id))
-		if err != nil {
-			log.Fatal(err)
-		}
-		h := cache.Harvest(rec, opt)
-		if ds == nil {
-			ds = h
-			continue
-		}
-		switch *combine {
-		case "and":
-			ds = cache.Intersect(ds, h)
-		case "or":
-			ds = cache.Union(ds, h)
-		default:
-			log.Fatalf("unknown -combine %q (want and|or)", *combine)
-		}
+		refs = append(refs, *version+":"+strings.TrimSpace(id))
 	}
-	if ds == nil {
-		log.Fatal("no source runs")
+	ds, maps, err := env.HarvestRuns(*appName, refs, opt, *combine, *mapTo)
+	if err != nil {
+		log.Fatal(err)
 	}
-
 	if *mapTo != "" {
-		parts := strings.SplitN(*mapTo, ":", 2)
-		if len(parts) != 2 {
-			log.Fatalf("bad -map-to %q (want VERSION:RUNID)", *mapTo)
-		}
-		target, err := st.Load(*appName, parts[0], parts[1])
-		if err != nil {
-			log.Fatal(err)
-		}
-		src, err := st.Load(*appName, *version, strings.TrimSpace(strings.Split(*runIDs, ",")[0]))
-		if err != nil {
-			log.Fatal(err)
-		}
-		maps := core.InferMappings(src.Resources, target.Resources)
-		ds, err = cache.Mapped(ds, maps)
-		if err != nil {
-			log.Fatal(err)
-		}
 		fmt.Fprintf(os.Stderr, "inferred %d mappings:\n%s", len(maps), core.FormatMappings(maps))
 	}
 

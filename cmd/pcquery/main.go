@@ -1,29 +1,35 @@
 // Command pcquery queries the multi-execution performance data store:
 // list stored runs, select (hypothesis : focus) outcomes across runs, and
-// report the bottlenecks that persist across a whole tuning study.
+// report the bottlenecks that persist across a whole tuning study. It
+// reads a store directory directly, or — with -server — asks a running
+// pcd daemon, with identical output either way.
 //
 // Usage:
 //
-//	pcquery -store DIR -app poisson [-version C] [-list]
+//	pcquery (-store DIR | -server URL) -app poisson [-version C] [-list]
 //	        [-hyp NAME] [-focus SUBSTRING] [-state true|false] [-min 0.2]
-//	        [-persistent N]
+//	        [-persistent N] [-specific -ref VERSION:RUNID] [-json]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
-	"sort"
+	"os"
 
+	"repro/internal/client"
 	"repro/internal/core"
 	"repro/internal/history"
+	"repro/internal/server"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("pcquery: ")
 	var (
-		storeDir   = flag.String("store", "", "history store directory (required)")
+		storeDir   = flag.String("store", "", "history store directory (or use -server)")
+		serverURL  = flag.String("server", "", "pcd server URL (alternative to -store)")
 		appName    = flag.String("app", "poisson", "application name")
 		version    = flag.String("version", "", "code version filter (empty = all)")
 		list       = flag.Bool("list", false, "list stored run records and exit")
@@ -32,26 +38,51 @@ func main() {
 		state      = flag.String("state", "true", "state filter: true | false | '' (any concluded) | *")
 		minValue   = flag.Float64("min", 0, "minimum measured value")
 		persistent = flag.Int("persistent", 0, "report pairs true in at least N runs, then exit")
-		specific   = flag.Bool("specific", false, "report only the most specific bottlenecks of one run (requires -version and -run-id)")
+		specific   = flag.Bool("specific", false, "report only the most specific bottlenecks of one run (requires -ref, or -version and -run-id)")
 		runID      = flag.String("run-id", "run1", "run id for -specific")
-		limit      = flag.Int("limit", 25, "maximum results to print")
+		ref        = flag.String("ref", "", "run as VERSION:RUNID for -specific (alternative to -version/-run-id)")
+		limit      = flag.Int("limit", 25, "maximum results to print (text mode)")
+		jsonOut    = flag.Bool("json", false, "emit the wire-format JSON document instead of text")
 	)
 	flag.Parse()
-	if *storeDir == "" {
-		log.Fatal("-store is required")
+	if (*storeDir == "") == (*serverURL == "") {
+		log.Fatal("exactly one of -store and -server is required")
 	}
-	st, err := history.NewStore(*storeDir)
-	if err != nil {
-		log.Fatal(err)
+	ctx := context.Background()
+
+	// Both modes produce the service's wire shapes; text rendering and
+	// -json encoding are shared below, so -store and -server output are
+	// byte-identical.
+	var src source
+	if *serverURL != "" {
+		src = &remoteSource{c: client.New(*serverURL), ctx: ctx}
+	} else {
+		st, err := history.OpenStore(*storeDir)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, issue := range st.ScanIssues() {
+			log.Printf("warning: skipped %s", issue)
+		}
+		src = &storeSource{st: st}
 	}
-	for _, issue := range st.ScanIssues() {
-		log.Printf("warning: skipped %s", issue)
+
+	emit := func(v any) {
+		data, err := server.MarshalCanonical(v)
+		if err != nil {
+			log.Fatal(err)
+		}
+		os.Stdout.Write(data)
 	}
 
 	if *list {
-		names, err := st.List()
+		names, err := src.List()
 		if err != nil {
 			log.Fatal(err)
+		}
+		if *jsonOut {
+			emit(server.RunsResponse{Runs: names})
+			return
 		}
 		for _, n := range names {
 			fmt.Println(n)
@@ -60,14 +91,21 @@ func main() {
 	}
 
 	if *specific {
-		rec, err := st.Load(*appName, *version, *runID)
+		runRef := *ref
+		if runRef == "" {
+			runRef = *version + ":" + *runID
+		}
+		resp, err := src.Specific(*appName, runRef)
 		if err != nil {
 			log.Fatal(err)
 		}
-		out := core.MostSpecificBottlenecks(rec)
+		if *jsonOut {
+			emit(resp)
+			return
+		}
 		fmt.Printf("most specific bottlenecks of %s-%s/%s (%d of %d true pairs):\n",
-			*appName, *version, *runID, len(out), rec.TrueCount)
-		for i, nr := range out {
+			resp.App, resp.Version, resp.RunID, len(resp.Results), resp.TrueCount)
+		for i, nr := range resp.Results {
 			if i == *limit {
 				break
 			}
@@ -77,50 +115,112 @@ func main() {
 	}
 
 	if *persistent > 0 {
-		counts, err := st.PersistentBottlenecks(*appName, *version, *persistent)
+		resp, err := src.Persistent(*appName, *version, *persistent)
 		if err != nil {
 			log.Fatal(err)
 		}
-		type kc struct {
-			key string
-			n   int
+		if *jsonOut {
+			emit(resp)
+			return
 		}
-		var out []kc
-		for k, n := range counts {
-			out = append(out, kc{k, n})
-		}
-		sort.Slice(out, func(i, j int) bool {
-			if out[i].n != out[j].n {
-				return out[i].n > out[j].n
-			}
-			return out[i].key < out[j].key
-		})
-		fmt.Printf("bottlenecks true in >= %d runs of %s:\n", *persistent, *appName)
-		for _, x := range out {
-			fmt.Printf("  %2d runs  %s\n", x.n, x.key)
+		fmt.Printf("bottlenecks true in >= %d runs of %s:\n", resp.MinRuns, resp.App)
+		for _, p := range resp.Pairs {
+			fmt.Printf("  %2d runs  %s\n", p.Runs, p.Key)
 		}
 		return
 	}
 
-	hits, err := st.Query(*appName, *version, history.ResultFilter{
-		Hyp:           *hyp,
-		FocusContains: *focus,
-		State:         *state,
-		MinValue:      *minValue,
+	resp, err := src.Query(client.QueryParams{
+		App: *appName, Version: *version,
+		Hyp: *hyp, Focus: *focus, State: *state, Min: *minValue,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("%d matching results", len(hits))
-	if len(hits) > *limit {
+	if *jsonOut {
+		emit(resp)
+		return
+	}
+	fmt.Printf("%d matching results", len(resp.Hits))
+	if len(resp.Hits) > *limit {
 		fmt.Printf(" (showing %d)", *limit)
 	}
 	fmt.Println()
-	for i, h := range hits {
+	for i, h := range resp.Hits {
 		if i == *limit {
 			break
 		}
 		fmt.Printf("  %-10s value=%.3f [%s] %s %s\n",
 			h.Version+"/"+h.RunID, h.Result.Value, h.Result.State, h.Result.Hyp, h.Result.Focus)
 	}
+}
+
+// source yields the wire shapes from either a local store or a pcd
+// server.
+type source interface {
+	List() ([]string, error)
+	Query(p client.QueryParams) (*server.QueryResponse, error)
+	Persistent(app, version string, minRuns int) (*server.PersistentResponse, error)
+	Specific(app, ref string) (*server.SpecificResponse, error)
+}
+
+type storeSource struct{ st *history.Store }
+
+func (s *storeSource) List() ([]string, error) { return s.st.List() }
+
+func (s *storeSource) Query(p client.QueryParams) (*server.QueryResponse, error) {
+	hits, err := s.st.Query(p.App, p.Version, history.ResultFilter{
+		Hyp: p.Hyp, FocusContains: p.Focus, State: p.State, MinValue: p.Min,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &server.QueryResponse{App: p.App, Hits: server.WireQueryHits(hits)}, nil
+}
+
+func (s *storeSource) Persistent(app, version string, minRuns int) (*server.PersistentResponse, error) {
+	counts, err := s.st.PersistentBottlenecks(app, version, minRuns)
+	if err != nil {
+		return nil, err
+	}
+	return &server.PersistentResponse{
+		App: app, MinRuns: minRuns, Pairs: server.SortedPersistent(counts),
+	}, nil
+}
+
+func (s *storeSource) Specific(app, ref string) (*server.SpecificResponse, error) {
+	key, err := history.ParseRunKey(app, ref)
+	if err != nil {
+		return nil, err
+	}
+	rec, err := s.st.Load(key.App, key.Version, key.RunID)
+	if err != nil {
+		return nil, err
+	}
+	return &server.SpecificResponse{
+		App:       rec.App,
+		Version:   rec.Version,
+		RunID:     rec.RunID,
+		TrueCount: rec.TrueCount,
+		Results:   core.MostSpecificBottlenecks(rec),
+	}, nil
+}
+
+type remoteSource struct {
+	c   *client.Client
+	ctx context.Context
+}
+
+func (r *remoteSource) List() ([]string, error) { return r.c.ListRuns(r.ctx, "", "") }
+
+func (r *remoteSource) Query(p client.QueryParams) (*server.QueryResponse, error) {
+	return r.c.Query(r.ctx, p)
+}
+
+func (r *remoteSource) Persistent(app, version string, minRuns int) (*server.PersistentResponse, error) {
+	return r.c.Persistent(r.ctx, app, version, minRuns)
+}
+
+func (r *remoteSource) Specific(app, ref string) (*server.SpecificResponse, error) {
+	return r.c.Specific(r.ctx, app, ref)
 }

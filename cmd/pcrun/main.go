@@ -151,17 +151,12 @@ func main() {
 	}
 }
 
+// buildApp defers to the app registry; the CLI keeps its historical
+// leniency of ignoring -version (which defaults to "C") for the
+// versionless applications.
 func buildApp(name, version string, opt app.Options) (*app.App, error) {
-	switch name {
-	case "poisson":
-		return app.Poisson(version, opt)
-	case "ocean":
-		return app.Ocean(opt)
-	case "tester":
-		return app.Tester(opt)
-	case "seismic":
-		return app.Seismic(opt)
-	default:
-		return nil, fmt.Errorf("unknown application %q (want poisson, ocean, tester or seismic)", name)
+	if name != "poisson" {
+		version = ""
 	}
+	return app.Build(name, version, opt)
 }

@@ -61,17 +61,11 @@ func main() {
 		a.FullName(), *duration, tw.Intervals())
 }
 
+// buildApp defers to the app registry; the CLI keeps its historical
+// leniency of ignoring -version for the versionless applications.
 func buildApp(name, version string, opt app.Options) (*app.App, error) {
-	switch name {
-	case "poisson":
-		return app.Poisson(version, opt)
-	case "ocean":
-		return app.Ocean(opt)
-	case "tester":
-		return app.Tester(opt)
-	case "seismic":
-		return app.Seismic(opt)
-	default:
-		return nil, fmt.Errorf("unknown application %q (want poisson, ocean, tester or seismic)", name)
+	if name != "poisson" {
+		version = ""
 	}
+	return app.Build(name, version, opt)
 }

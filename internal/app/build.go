@@ -1,0 +1,31 @@
+package app
+
+import "fmt"
+
+// Names lists the buildable applications in display order.
+func Names() []string { return []string{"poisson", "ocean", "tester", "seismic"} }
+
+// Build constructs an application by name — the single registry behind
+// pcrun/pctrace's -app flag and the diagnosis service's session
+// requests. Only poisson interprets the version; the others reject a
+// non-empty one rather than silently dropping it.
+func Build(name, version string, opt Options) (*App, error) {
+	switch name {
+	case "poisson":
+		return Poisson(version, opt)
+	case "ocean", "tester", "seismic":
+		if version != "" {
+			return nil, fmt.Errorf("app: %s has no versions (got %q)", name, version)
+		}
+		switch name {
+		case "ocean":
+			return Ocean(opt)
+		case "tester":
+			return Tester(opt)
+		default:
+			return Seismic(opt)
+		}
+	default:
+		return nil, fmt.Errorf("unknown application %q (want poisson, ocean, tester or seismic)", name)
+	}
+}

@@ -1,0 +1,88 @@
+package client_test
+
+import (
+	"context"
+	"errors"
+	"net/http/httptest"
+	"os"
+	"testing"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/harness"
+	"repro/internal/server"
+)
+
+func newTestServer(t *testing.T) (*client.Client, *server.Server) {
+	t.Helper()
+	srv := server.New(harness.NewEnv(nil), server.Options{Sessions: 1})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	// A trailing slash on the base URL must not produce `//` paths.
+	return client.New(ts.URL + "/"), srv
+}
+
+// TestNotFoundUnwrapsToErrNotExist proves a 404 behaves like a local
+// store miss: errors.Is(err, os.ErrNotExist) holds, and the status is
+// recoverable from the error.
+func TestNotFoundUnwrapsToErrNotExist(t *testing.T) {
+	cl, _ := newTestServer(t)
+	_, err := cl.GetRun(context.Background(), "poisson", "A:missing")
+	if err == nil {
+		t.Fatal("GetRun of a missing record succeeded")
+	}
+	if !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("error %v does not unwrap to os.ErrNotExist", err)
+	}
+	var se *client.StatusError
+	if !errors.As(err, &se) || se.Status != 404 {
+		t.Fatalf("error %v is not a 404 StatusError", err)
+	}
+}
+
+// TestBadRequestIsStatusError proves non-404 server rejections carry
+// the server's message.
+func TestBadRequestIsStatusError(t *testing.T) {
+	cl, _ := newTestServer(t)
+	_, err := cl.GetRun(context.Background(), "poisson", "no-colon")
+	var se *client.StatusError
+	if !errors.As(err, &se) || se.Status != 400 || se.Message == "" {
+		t.Fatalf("malformed ref error = %v, want 400 StatusError with message", err)
+	}
+	if errors.Is(err, os.ErrNotExist) {
+		t.Fatal("400 must not unwrap to os.ErrNotExist")
+	}
+}
+
+// TestWaitHealthy proves the startup handshake succeeds against a live
+// server and fails with the context's error against a draining one.
+func TestWaitHealthy(t *testing.T) {
+	cl, srv := newTestServer(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	if err := cl.WaitHealthy(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	srv.BeginDrain()
+	dctx, dcancel := context.WithTimeout(context.Background(), 150*time.Millisecond)
+	defer dcancel()
+	err := cl.WaitHealthy(dctx)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("WaitHealthy on draining server = %v, want DeadlineExceeded", err)
+	}
+}
+
+// TestConnectionError proves transport failures surface as plain
+// errors, not StatusErrors.
+func TestConnectionError(t *testing.T) {
+	cl := client.New("http://127.0.0.1:1")
+	_, err := cl.Health(context.Background())
+	if err == nil {
+		t.Fatal("Health against a closed port succeeded")
+	}
+	var se *client.StatusError
+	if errors.As(err, &se) {
+		t.Fatalf("transport failure decoded as StatusError: %v", err)
+	}
+}

@@ -12,12 +12,12 @@ import (
 // PairOutcome is one (hypothesis : focus) pair's state in both runs being
 // compared (after mapping run A's names into run B's namespace).
 type PairOutcome struct {
-	Hyp    string
-	Focus  string
-	StateA string
-	StateB string
-	ValueA float64
-	ValueB float64
+	Hyp    string  `json:"hyp"`
+	Focus  string  `json:"focus"`
+	StateA string  `json:"state_a"`
+	StateB string  `json:"state_b"`
+	ValueA float64 `json:"value_a"`
+	ValueB float64 `json:"value_b"`
 }
 
 // Delta returns ValueB - ValueA.
@@ -28,13 +28,14 @@ func (p PairOutcome) Delta() float64 { return p.ValueB - p.ValueA }
 // that this paper's harvesting builds on.
 type RunDiff struct {
 	// OnlyA / OnlyB are bottlenecks (true pairs) found in exactly one run.
-	OnlyA, OnlyB []PairOutcome
+	OnlyA []PairOutcome `json:"only_a,omitempty"`
+	OnlyB []PairOutcome `json:"only_b,omitempty"`
 	// CommonTrue are bottlenecks found in both runs, with value deltas.
-	CommonTrue []PairOutcome
+	CommonTrue []PairOutcome `json:"common_true,omitempty"`
 	// Flips are pairs concluded in both runs with opposite outcomes.
-	Flips []PairOutcome
+	Flips []PairOutcome `json:"flips,omitempty"`
 	// Mappings applied to run A's resource names.
-	Mappings int
+	Mappings int `json:"mappings"`
 }
 
 // CompareRuns diagnoses the difference between two stored executions.

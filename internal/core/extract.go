@@ -12,22 +12,23 @@ import (
 // HarvestOptions selects which directive kinds to extract from a run
 // record and tunes the extraction.
 type HarvestOptions struct {
-	GeneralPrunes  bool
-	HistoricPrunes bool
+	GeneralPrunes  bool `json:"general_prunes,omitempty"`
+	HistoricPrunes bool `json:"historic_prunes,omitempty"`
 	// FalsePairPrunes prunes every (hypothesis : focus) pair that tested
 	// false in the source run. This is the most aggressive directive
 	// kind: it shrinks the search the most but risks missing behaviours
 	// that changed since the source run.
-	FalsePairPrunes bool
-	Priorities      bool
-	Thresholds      bool
+	FalsePairPrunes bool `json:"false_pair_prunes,omitempty"`
+	Priorities      bool `json:"priorities,omitempty"`
+	Thresholds      bool `json:"thresholds,omitempty"`
 	// InsignificantFraction: code resources whose measured share of total
 	// execution time is below this are pruned (historic prunes).
 	// Default 0.01.
-	InsignificantFraction float64
+	InsignificantFraction float64 `json:"insignificant_fraction,omitempty"`
 	// ThresholdFloor/ThresholdCap clamp extracted thresholds.
 	// Defaults 0.05 and 0.30.
-	ThresholdFloor, ThresholdCap float64
+	ThresholdFloor float64 `json:"threshold_floor,omitempty"`
+	ThresholdCap   float64 `json:"threshold_cap,omitempty"`
 }
 
 // HarvestAll enables every directive kind with default tuning.

@@ -1,6 +1,9 @@
 package harness
 
 import (
+	"fmt"
+	"strings"
+
 	"repro/internal/core"
 	"repro/internal/history"
 )
@@ -36,6 +39,78 @@ func (e *Env) Store() *history.Store { return e.store }
 
 // Cache returns the environment's harvest cache.
 func (e *Env) Cache() *core.HarvestCache { return e.cache }
+
+// Harvest is the memoized core.Harvest over the environment's cache;
+// rec should be one of the store's interned records for the memoization
+// to be exact.
+func (e *Env) Harvest(rec *history.RunRecord, opt core.HarvestOptions) *core.DirectiveSet {
+	return e.cache.Harvest(rec, opt)
+}
+
+// SaveResult persists a completed session's run record to the store and
+// returns the interned stored copy — the pointer every subsequent
+// harvest and comparison should use.
+func (e *Env) SaveResult(res *SessionResult) (*history.RunRecord, error) {
+	return e.record(res)
+}
+
+// HarvestRuns is the full directive pipeline the tools and the
+// diagnosis service share: load each VERSION:RUNID reference of app from
+// the store, harvest a directive set from each, fold them together
+// ("and" intersects, "or" unions; one ref needs no combining), and —
+// when mapTo names a target run — infer resource mappings from the
+// first source toward it and rewrite the combined set into the target's
+// namespace. It returns the final set and the inferred mappings (nil
+// when mapTo is empty). Every stage is memoized by the environment's
+// cache.
+func (e *Env) HarvestRuns(app string, refs []string, opt core.HarvestOptions, combine, mapTo string) (*core.DirectiveSet, []core.Mapping, error) {
+	if len(refs) == 0 {
+		return nil, nil, fmt.Errorf("harness: no source runs to harvest")
+	}
+	switch combine {
+	case "", "and", "or":
+	default:
+		return nil, nil, fmt.Errorf("harness: unknown combine %q (want and|or)", combine)
+	}
+	recs := make([]*history.RunRecord, len(refs))
+	for i, ref := range refs {
+		key, err := history.ParseRunKey(app, strings.TrimSpace(ref))
+		if err != nil {
+			return nil, nil, err
+		}
+		rec, err := e.store.Load(key.App, key.Version, key.RunID)
+		if err != nil {
+			return nil, nil, err
+		}
+		recs[i] = rec
+	}
+	ds := e.harvest(recs[0], opt)
+	for _, rec := range recs[1:] {
+		h := e.harvest(rec, opt)
+		if combine == "or" {
+			ds = e.cache.Union(ds, h)
+		} else {
+			ds = e.cache.Intersect(ds, h)
+		}
+	}
+	if mapTo == "" {
+		return ds, nil, nil
+	}
+	key, err := history.ParseRunKey(app, mapTo)
+	if err != nil {
+		return nil, nil, err
+	}
+	target, err := e.store.Load(key.App, key.Version, key.RunID)
+	if err != nil {
+		return nil, nil, err
+	}
+	maps := core.InferMappings(recs[0].Resources, target.Resources)
+	ds, err = e.mapped(ds, maps)
+	if err != nil {
+		return nil, nil, err
+	}
+	return ds, maps, nil
+}
 
 // saveRecord persists rec to the store and returns the store's interned
 // copy. Experiments harvest from the returned record, never the

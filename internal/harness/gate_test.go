@@ -1,0 +1,162 @@
+package harness
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/app"
+)
+
+// countingGate wraps a Gate and tracks the concurrent-acquisition
+// high-water mark.
+type countingGate struct {
+	inner Gate
+	cur   atomic.Int64
+	high  atomic.Int64
+}
+
+func (g *countingGate) Acquire(ctx context.Context) error {
+	if err := g.inner.Acquire(ctx); err != nil {
+		return err
+	}
+	cur := g.cur.Add(1)
+	for {
+		high := g.high.Load()
+		if cur <= high || g.high.CompareAndSwap(high, cur) {
+			break
+		}
+	}
+	return nil
+}
+
+func (g *countingGate) Release() {
+	g.cur.Add(-1)
+	g.inner.Release()
+}
+
+// fakeJob returns a job whose session is replaced by fn (the scheduler's
+// test seam), so gate behaviour is testable without real diagnoses.
+func fakeJob(fn func() error) SessionJob {
+	return SessionJob{
+		App: &app.App{Name: "fake"},
+		run: func(*app.App, SessionConfig) (*SessionResult, error) {
+			return &SessionResult{}, fn()
+		},
+	}
+}
+
+// TestGateBoundsConcurrentSchedulers proves a shared gate caps sessions
+// in flight across scheduler calls, not just within one.
+func TestGateBoundsConcurrentSchedulers(t *testing.T) {
+	const (
+		gateCap    = 3
+		calls      = 4
+		jobsPer    = 6
+		perCallPar = 6 // each call would run all its jobs at once if ungated
+	)
+	gate := &countingGate{inner: NewSlotGate(gateCap)}
+	var wg sync.WaitGroup
+	errs := make([]error, calls)
+	for c := 0; c < calls; c++ {
+		c := c
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			jobs := make([]SessionJob, jobsPer)
+			for i := range jobs {
+				jobs[i] = fakeJob(func() error { return nil })
+			}
+			_, errs[c] = RunSessionsGated(context.Background(), jobs, perCallPar, gate)
+		}()
+	}
+	wg.Wait()
+	for c, err := range errs {
+		if err != nil {
+			t.Fatalf("call %d: %v", c, err)
+		}
+	}
+	if high := gate.high.Load(); high > gateCap {
+		t.Fatalf("gate high-water mark %d exceeds capacity %d", high, gateCap)
+	}
+}
+
+// TestGateAcquireCancellation proves jobs queued behind a full gate fail
+// with the context's error instead of waiting forever.
+func TestGateAcquireCancellation(t *testing.T) {
+	gate := NewSlotGate(1)
+	release := make(chan struct{})
+	started := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		// Occupy the only slot until released.
+		jobs := []SessionJob{fakeJob(func() error {
+			close(started)
+			<-release
+			return nil
+		})}
+		if _, err := RunSessionsGated(context.Background(), jobs, 1, gate); err != nil {
+			t.Errorf("holder: %v", err)
+		}
+	}()
+	<-started
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		jobs := []SessionJob{fakeJob(func() error { return nil })}
+		_, err := RunSessionsGated(ctx, jobs, 1, gate)
+		done <- err
+	}()
+	cancel()
+	err := <-done
+	if err == nil || !errors.Is(err, context.Canceled) {
+		t.Fatalf("queued job error = %v, want context.Canceled", err)
+	}
+	close(release)
+	wg.Wait()
+
+	// The slot must have been released: a fresh job acquires it.
+	if _, err := RunSessionsGated(context.Background(), []SessionJob{fakeJob(func() error { return nil })}, 1, gate); err != nil {
+		t.Fatalf("after release: %v", err)
+	}
+}
+
+// TestGatedMatchesUngated proves gating does not perturb results or
+// ordering.
+func TestGatedMatchesUngated(t *testing.T) {
+	build := func() []SessionJob {
+		jobs := make([]SessionJob, 4)
+		for i := range jobs {
+			cfg := DefaultSessionConfig()
+			cfg.MaxTime = 2_000
+			jobs[i] = SessionJob{
+				Build: func() (*app.App, error) { return app.Tester(app.Options{}) },
+				Cfg:   cfg,
+			}
+		}
+		return jobs
+	}
+	plain, err := RunSessions(build(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gated, err := RunSessionsGated(context.Background(), build(), 4, NewSlotGate(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plain) != len(gated) {
+		t.Fatalf("result count %d vs %d", len(plain), len(gated))
+	}
+	for i := range plain {
+		if plain[i].PairsTested != gated[i].PairsTested ||
+			plain[i].EndTime != gated[i].EndTime ||
+			len(plain[i].Bottlenecks) != len(gated[i].Bottlenecks) {
+			t.Fatalf("result %d differs between gated and ungated runs", i)
+		}
+	}
+}

@@ -66,6 +66,43 @@ func (e *SchedulerError) Unwrap() []error {
 	return out
 }
 
+// Gate admits sessions into a capacity pool shared across RunSessions
+// calls. A scheduler call bounds the parallelism of one job list; a Gate
+// bounds the number of sessions in flight machine-wide, so several
+// concurrent scheduler calls (the diagnosis service runs one per HTTP
+// request) cannot oversubscribe the host between them. Implementations
+// must be safe for concurrent use.
+type Gate interface {
+	// Acquire blocks until a session slot is free or ctx is done,
+	// returning ctx.Err() in the latter case.
+	Acquire(ctx context.Context) error
+	// Release returns a slot obtained by a successful Acquire.
+	Release()
+}
+
+// slotGate is the channel-semaphore Gate.
+type slotGate chan struct{}
+
+// NewSlotGate returns a Gate admitting at most n concurrent sessions
+// (n < 1 is treated as 1).
+func NewSlotGate(n int) Gate {
+	if n < 1 {
+		n = 1
+	}
+	return make(slotGate, n)
+}
+
+func (g slotGate) Acquire(ctx context.Context) error {
+	select {
+	case g <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (g slotGate) Release() { <-g }
+
 // RunSessions executes independent diagnosis sessions across a bounded
 // worker pool and returns their results in input order.
 //
@@ -88,6 +125,15 @@ func RunSessions(jobs []SessionJob, workers int) ([]*SessionResult, error) {
 // ctx.Err(). Sessions already in flight run to completion (a diagnosis
 // session is pure computation with no blocking points to interrupt).
 func RunSessionsContext(ctx context.Context, jobs []SessionJob, workers int) ([]*SessionResult, error) {
+	return RunSessionsGated(ctx, jobs, workers, nil)
+}
+
+// RunSessionsGated is RunSessionsContext with admission control: each
+// job additionally holds a slot of the (possibly shared) gate while it
+// runs. A nil gate admits everything. Jobs whose Acquire fails — the
+// context was cancelled while queued behind other sessions — fail with
+// that error and never start.
+func RunSessionsGated(ctx context.Context, jobs []SessionJob, workers int, gate Gate) ([]*SessionResult, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -104,7 +150,7 @@ func RunSessionsContext(ctx context.Context, jobs []SessionJob, workers int) ([]
 		go func() {
 			defer wg.Done()
 			for i := range next {
-				results[i], errs[i] = runOneJob(ctx, jobs[i])
+				results[i], errs[i] = runOneJob(ctx, jobs[i], gate)
 			}
 		}()
 	}
@@ -130,9 +176,15 @@ func RunSessionsContext(ctx context.Context, jobs []SessionJob, workers int) ([]
 }
 
 // runOneJob executes one job inside a worker goroutine.
-func runOneJob(ctx context.Context, job SessionJob) (*SessionResult, error) {
+func runOneJob(ctx context.Context, job SessionJob, gate Gate) (*SessionResult, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
+	}
+	if gate != nil {
+		if err := gate.Acquire(ctx); err != nil {
+			return nil, err
+		}
+		defer gate.Release()
 	}
 	a := job.App
 	if job.Build != nil {

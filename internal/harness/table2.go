@@ -59,7 +59,7 @@ func thresholdSweep(label, hyp string, refTh float64, thresholds []float64,
 	}
 	out := &Table2Result{App: label, Hypothesis: hyp, RefThreshold: refTh}
 
-	ref, err := runOneJob(context.Background(), sweepJob(build, hyp, refTh, 1))
+	ref, err := runOneJob(context.Background(), sweepJob(build, hyp, refTh, 1), nil)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,41 @@
+package history
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ParseRunRef parses the VERSION:RUNID run reference the CLI tools and
+// the wire API use to name one stored execution of an application
+// (pccompare -a/-b, pcextract -map-to, pcquery -ref, and the pcd run
+// endpoints). The version may be empty (":run1" names a versionless
+// record), the run id may not; a reference without a colon is invalid —
+// requiring the separator keeps bare run ids from silently resolving as
+// versionless records when the caller forgot the version.
+func ParseRunRef(ref string) (version, runID string, err error) {
+	version, runID, ok := strings.Cut(ref, ":")
+	if !ok {
+		return "", "", fmt.Errorf("history: bad run reference %q (want VERSION:RUNID)", ref)
+	}
+	if runID == "" {
+		return "", "", fmt.Errorf("history: bad run reference %q (empty run id)", ref)
+	}
+	return version, runID, nil
+}
+
+// ParseRunKey is ParseRunRef with the application attached, yielding a
+// complete store key.
+func ParseRunKey(app, ref string) (RecordKey, error) {
+	version, runID, err := ParseRunRef(ref)
+	if err != nil {
+		return RecordKey{}, err
+	}
+	if app == "" {
+		return RecordKey{}, fmt.Errorf("history: run reference %q needs an application name", ref)
+	}
+	return RecordKey{App: app, Version: version, RunID: runID}, nil
+}
+
+// Ref renders the key's VERSION:RUNID reference (the inverse of
+// ParseRunRef; the application travels separately).
+func (k RecordKey) Ref() string { return k.Version + ":" + k.RunID }

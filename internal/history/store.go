@@ -3,6 +3,7 @@ package history
 import (
 	"encoding/json"
 	"fmt"
+	"os"
 	"sort"
 	"sync"
 )
@@ -35,6 +36,24 @@ func NewStore(dir string) (*Store, error) {
 		return nil, err
 	}
 	return NewStoreWith(b)
+}
+
+// OpenStore opens an existing filesystem-backed store rooted at dir,
+// failing when the directory does not exist. Read-only tools use this
+// instead of NewStore so that a mistyped -store path surfaces as an
+// error rather than as a silently empty store.
+func OpenStore(dir string) (*Store, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("history: empty store directory")
+	}
+	fi, err := os.Stat(dir)
+	if err != nil {
+		return nil, fmt.Errorf("history: open store: %w", err)
+	}
+	if !fi.IsDir() {
+		return nil, fmt.Errorf("history: open store: %s is not a directory", dir)
+	}
+	return NewStore(dir)
 }
 
 // NewMemStore creates a store over a fresh in-memory backend.

@@ -1,0 +1,79 @@
+package server_test
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/app"
+	"repro/internal/client"
+	"repro/internal/core"
+	"repro/internal/harness"
+	"repro/internal/server"
+)
+
+// newBenchServer stands up a server whose store holds the two poisson
+// base runs (versions A and B) the harvest pipeline works from.
+func newBenchServer(b *testing.B) (*client.Client, *httptest.Server) {
+	b.Helper()
+	cfg := harness.DefaultSessionConfig()
+	cfg.RunID = "base"
+	env := harness.NewEnv(nil)
+	for _, v := range []struct {
+		version string
+		opt     app.Options
+	}{
+		{"A", app.Options{NodeOffset: 1, PidBase: 4000}},
+		{"B", app.Options{NodeOffset: 5, PidBase: 4100}},
+	} {
+		res := runSession(b, "poisson", v.version, v.opt, cfg)
+		if _, err := env.SaveResult(res); err != nil {
+			b.Fatal(err)
+		}
+	}
+	srv := server.New(env, server.Options{Sessions: 2})
+	ts := httptest.NewServer(srv.Handler())
+	return client.New(ts.URL), ts
+}
+
+// BenchmarkServerQuery measures a full HTTP round trip of an indexed
+// cross-run query.
+func BenchmarkServerQuery(b *testing.B) {
+	cl, ts := newBenchServer(b)
+	defer ts.Close()
+	ctx := context.Background()
+	p := client.QueryParams{App: "poisson", State: "true"}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cl.QueryRaw(ctx, p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkServerHarvest measures the harvest → combine → map pipeline
+// over HTTP; after the first request every stage is a cache hit, so
+// this is the steady-state cost a directive-serving daemon pays.
+func BenchmarkServerHarvest(b *testing.B) {
+	cl, ts := newBenchServer(b)
+	defer ts.Close()
+	ctx := context.Background()
+	req := &server.HarvestRequest{
+		App:  "poisson",
+		Runs: []string{"A:base"},
+		Options: core.HarvestOptions{
+			GeneralPrunes:  true,
+			HistoricPrunes: true,
+			Priorities:     true,
+			Thresholds:     true,
+		},
+		Combine: "and",
+		MapTo:   "B:base",
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cl.Harvest(ctx, req); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,292 @@
+package server_test
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/app"
+	"repro/internal/client"
+	"repro/internal/core"
+	"repro/internal/harness"
+	"repro/internal/history"
+	"repro/internal/server"
+)
+
+// runSession executes one diagnosis session of app name/version.
+func runSession(t testing.TB, name, version string, opt app.Options, cfg harness.SessionConfig) *harness.SessionResult {
+	t.Helper()
+	a, err := app.Build(name, version, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := harness.RunSession(a, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// canon is MarshalCanonical that fails the test instead of returning an
+// error.
+func canon(t testing.TB, v any) []byte {
+	t.Helper()
+	data, err := server.MarshalCanonical(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// TestServerEndToEnd is the ISSUE's acceptance flow: start a daemon on
+// a temp store, put two run records through the client, harvest
+// directives over HTTP, run a directed diagnosis session on the
+// server, and require the bottleneck set to be byte-identical to the
+// same pipeline run in-process through harness.Env.
+func TestServerEndToEnd(t *testing.T) {
+	cfgBase := harness.DefaultSessionConfig()
+	cfgBase.RunID = "base"
+	resA := runSession(t, "poisson", "A", app.Options{NodeOffset: 1, PidBase: 4000}, cfgBase)
+	resB := runSession(t, "poisson", "B", app.Options{NodeOffset: 5, PidBase: 4100}, cfgBase)
+
+	harvestOpt := core.HarvestOptions{
+		GeneralPrunes:  true,
+		HistoricPrunes: true,
+		Priorities:     true,
+		Thresholds:     true,
+	}
+
+	// ---- In-process reference flow through harness.Env. ----
+	ref := harness.NewEnv(nil)
+	if _, err := ref.SaveResult(resA); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ref.SaveResult(resB); err != nil {
+		t.Fatal(err)
+	}
+	wantDS, wantMaps, err := ref.HarvestRuns("poisson", []string{"A:base"}, harvestOpt, "and", "B:base")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantText := core.FormatDirectives(wantDS)
+
+	// The reference directed session consumes the directive text the
+	// same way a remote caller would — through the parser.
+	localDS, err := core.ParseDirectives(strings.NewReader(wantText))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := core.FormatDirectives(localDS); got != wantText {
+		t.Fatalf("directive text does not round-trip:\n got: %q\nwant: %q", got, wantText)
+	}
+	cfgDir := harness.DefaultSessionConfig()
+	cfgDir.RunID = "directed"
+	cfgDir.Directives = localDS
+	want := runSession(t, "poisson", "B", app.Options{NodeOffset: 5, PidBase: 4100}, cfgDir)
+	wantBottlenecks := canon(t, server.WireBottlenecks(want.Bottlenecks))
+
+	// ---- The same flow over HTTP against a temp-store daemon. ----
+	st, err := history.NewStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := server.New(harness.NewEnv(st), server.Options{Sessions: 2})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	ctx := context.Background()
+	cl := client.New(ts.URL)
+	if err := cl.WaitHealthy(ctx); err != nil {
+		t.Fatal(err)
+	}
+	for _, res := range []*harness.SessionResult{resA, resB} {
+		if _, err := cl.PutRun(ctx, res.Record); err != nil {
+			t.Fatal(err)
+		}
+	}
+	runs, err := cl.ListRuns(ctx, "poisson", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) != 2 {
+		t.Fatalf("ListRuns = %v, want 2 runs", runs)
+	}
+
+	hresp, err := cl.Harvest(ctx, &server.HarvestRequest{
+		App:     "poisson",
+		Runs:    []string{"A:base"},
+		Options: harvestOpt,
+		Combine: "and",
+		MapTo:   "B:base",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hresp.Directives != wantText {
+		t.Fatalf("server harvest differs from in-process harvest:\n got: %q\nwant: %q",
+			hresp.Directives, wantText)
+	}
+	if hresp.MappingCount != len(wantMaps) {
+		t.Fatalf("server inferred %d mappings, in-process %d", hresp.MappingCount, len(wantMaps))
+	}
+
+	dresp, err := cl.Diagnose(ctx, &server.DiagnoseRequest{
+		App:        "poisson",
+		Version:    "B",
+		NodeOffset: 5,
+		PidBase:    4100,
+		RunID:      "directed",
+		Directives: hresp.Directives,
+		Save:       true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dresp.Quiesced != want.Quiesced || dresp.EndTime != want.EndTime ||
+		dresp.PairsTested != want.PairsTested {
+		t.Fatalf("directed session diverged: got (quiesced=%v end=%.1f pairs=%d), want (%v %.1f %d)",
+			dresp.Quiesced, dresp.EndTime, dresp.PairsTested,
+			want.Quiesced, want.EndTime, want.PairsTested)
+	}
+	gotBottlenecks := canon(t, dresp.Bottlenecks)
+	if !bytes.Equal(gotBottlenecks, wantBottlenecks) {
+		t.Fatalf("bottleneck sets are not byte-identical:\n got: %s\nwant: %s",
+			gotBottlenecks, wantBottlenecks)
+	}
+
+	// The record the server saved must round-trip byte-identical to the
+	// in-process session's record.
+	if dresp.Saved == "" {
+		t.Fatal("diagnose with save=true returned no saved name")
+	}
+	saved, err := cl.GetRun(ctx, "poisson", "B:directed")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := canon(t, saved), canon(t, want.Record); !bytes.Equal(got, want) {
+		t.Fatalf("saved record differs from in-process record:\n got: %s\nwant: %s", got, want)
+	}
+
+	// Cache effectiveness is observable: re-harvesting hits the
+	// memoized pipeline.
+	if _, err := cl.Harvest(ctx, &server.HarvestRequest{
+		App: "poisson", Runs: []string{"A:base"}, Options: harvestOpt,
+		Combine: "and", MapTo: "B:base",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	stats, err := cl.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.CacheHits == 0 {
+		t.Fatalf("repeated harvest produced no cache hits: %+v", stats)
+	}
+	if stats.StoreRecords != 3 {
+		t.Fatalf("store holds %d records, want 3", stats.StoreRecords)
+	}
+	if stats.TotalSessions != 1 {
+		t.Fatalf("server ran %d sessions, want 1", stats.TotalSessions)
+	}
+}
+
+// TestServerConcurrentClients hammers one server with 8 client
+// goroutines mixing Put, Query, ListRuns, Harvest, Stats, and Diagnose
+// — the ISSUE's concurrent-load acceptance test, meaningful under
+// -race.
+func TestServerConcurrentClients(t *testing.T) {
+	cfg := harness.DefaultSessionConfig()
+	cfg.RunID = "seed"
+	cfg.MaxTime = 5000
+	seed := runSession(t, "tester", "", app.Options{}, cfg)
+
+	srv := server.New(harness.NewEnv(nil), server.Options{Sessions: 4})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	ctx := context.Background()
+	cl := client.New(ts.URL)
+	if _, err := cl.PutRun(ctx, seed.Record); err != nil {
+		t.Fatal(err)
+	}
+	harvestOpt := core.HarvestOptions{GeneralPrunes: true, HistoricPrunes: true, Priorities: true}
+
+	const clients = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, clients*8)
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			cl := client.New(ts.URL)
+			fail := func(op string, err error) {
+				errs <- fmt.Errorf("client %d: %s: %w", i, op, err)
+			}
+
+			// Concurrent Put on the shared store…
+			rec := *seed.Record
+			rec.RunID = fmt.Sprintf("g%d", i)
+			if _, err := cl.PutRun(ctx, &rec); err != nil {
+				fail("put", err)
+			}
+			// …racing Query, ListRuns, Persistent, and Stats…
+			// (the tester application names itself "Tester" in its
+			// records, so store-facing calls use that spelling)
+			if _, err := cl.Query(ctx, client.QueryParams{App: "Tester", State: "true"}); err != nil {
+				fail("query", err)
+			}
+			if _, err := cl.ListRuns(ctx, "Tester", ""); err != nil {
+				fail("runs", err)
+			}
+			if _, err := cl.Persistent(ctx, "Tester", "", 1); err != nil {
+				fail("persistent", err)
+			}
+			if _, err := cl.Stats(ctx); err != nil {
+				fail("stats", err)
+			}
+			// …and the memoized harvest pipeline…
+			h, err := cl.Harvest(ctx, &server.HarvestRequest{
+				App: "Tester", Runs: []string{":seed"}, Options: harvestOpt,
+			})
+			if err != nil {
+				fail("harvest", err)
+				return
+			}
+			// …plus an on-demand diagnosis session through the pool.
+			d, err := cl.Diagnose(ctx, &server.DiagnoseRequest{
+				App:        "tester",
+				RunID:      fmt.Sprintf("d%d", i),
+				MaxTime:    5000,
+				Directives: h.Directives,
+			})
+			if err != nil {
+				fail("diagnose", err)
+			} else if d.PairsTested == 0 {
+				errs <- fmt.Errorf("client %d: diagnosis tested no pairs", i)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	stats, err := cl.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.TotalSessions != clients {
+		t.Fatalf("server ran %d sessions, want %d", stats.TotalSessions, clients)
+	}
+	if stats.LiveSessions != 0 {
+		t.Fatalf("%d sessions still live after all clients returned", stats.LiveSessions)
+	}
+	if stats.StoreRecords != 1+clients {
+		t.Fatalf("store holds %d records, want %d", stats.StoreRecords, 1+clients)
+	}
+}

@@ -1,0 +1,469 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/app"
+	"repro/internal/core"
+	"repro/internal/harness"
+	"repro/internal/history"
+)
+
+// routes builds the service mux.
+func (s *Server) routes() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /statsz", s.handleStats)
+	mux.HandleFunc("GET /api/v1/runs", s.handleRuns)
+	mux.HandleFunc("GET /api/v1/run", s.handleGetRun)
+	mux.HandleFunc("PUT /api/v1/run", s.handlePutRun)
+	mux.HandleFunc("DELETE /api/v1/run", s.handleDeleteRun)
+	mux.HandleFunc("GET /api/v1/query", s.handleQuery)
+	mux.HandleFunc("GET /api/v1/persistent", s.handlePersistent)
+	mux.HandleFunc("GET /api/v1/specific", s.handleSpecific)
+	mux.HandleFunc("GET /api/v1/compare", s.handleCompare)
+	mux.HandleFunc("POST /api/v1/harvest", s.handleHarvest)
+	mux.HandleFunc("POST /api/v1/diagnose", s.handleDiagnose)
+	return mux
+}
+
+// writeJSON writes v in the canonical encoding with the given status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	data, err := MarshalCanonical(v)
+	if err != nil {
+		http.Error(w, `{"error":"encoding failed"}`, http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(data)
+}
+
+// writeErr maps an error to a JSON error response: missing records are
+// 404, cancelled or timed-out requests 503/504, everything else the
+// fallback (usually 400).
+func writeErr(w http.ResponseWriter, err error, fallback int) {
+	status := fallback
+	switch {
+	case errors.Is(err, os.ErrNotExist):
+		status = http.StatusNotFound
+	case errors.Is(err, context.DeadlineExceeded):
+		status = http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		// The client is gone; the status is for the log's benefit.
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, ErrorResponse{Error: err.Error()})
+}
+
+// appParam fetches the required app query parameter.
+func appParam(r *http.Request) (string, error) {
+	a := r.URL.Query().Get("app")
+	if a == "" {
+		return "", fmt.Errorf("missing app parameter")
+	}
+	return a, nil
+}
+
+// runKeyParam fetches the app + ref (VERSION:RUNID) pair naming one
+// stored run.
+func runKeyParam(r *http.Request) (history.RecordKey, error) {
+	a, err := appParam(r)
+	if err != nil {
+		return history.RecordKey{}, err
+	}
+	ref := r.URL.Query().Get("ref")
+	if ref == "" {
+		return history.RecordKey{}, fmt.Errorf("missing ref parameter (want VERSION:RUNID)")
+	}
+	return history.ParseRunKey(a, ref)
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	status := "ok"
+	if draining {
+		status = "draining"
+	}
+	writeJSON(w, http.StatusOK, HealthResponse{Status: status})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.stats())
+}
+
+func (s *Server) handleRuns(w http.ResponseWriter, r *http.Request) {
+	st := s.env.Store()
+	appName := r.URL.Query().Get("app")
+	version := r.URL.Query().Get("version")
+	var names []string
+	if appName == "" {
+		var err error
+		names, err = st.List()
+		if err != nil {
+			writeErr(w, err, http.StatusInternalServerError)
+			return
+		}
+	} else {
+		recs, err := st.LoadAll(appName, version)
+		if err != nil {
+			writeErr(w, err, http.StatusBadRequest)
+			return
+		}
+		names = make([]string, 0, len(recs))
+		for _, rec := range recs {
+			names = append(names, rec.Key().String())
+		}
+		sort.Strings(names)
+	}
+	writeJSON(w, http.StatusOK, RunsResponse{Runs: names})
+}
+
+func (s *Server) handleGetRun(w http.ResponseWriter, r *http.Request) {
+	key, err := runKeyParam(r)
+	if err != nil {
+		writeErr(w, err, http.StatusBadRequest)
+		return
+	}
+	rec, err := s.env.Store().Load(key.App, key.Version, key.RunID)
+	if err != nil {
+		writeErr(w, err, http.StatusBadRequest)
+		return
+	}
+	writeJSON(w, http.StatusOK, rec)
+}
+
+func (s *Server) handlePutRun(w http.ResponseWriter, r *http.Request) {
+	var rec history.RunRecord
+	dec := json.NewDecoder(r.Body)
+	if err := dec.Decode(&rec); err != nil {
+		writeErr(w, fmt.Errorf("decode run record: %w", err), http.StatusBadRequest)
+		return
+	}
+	if err := s.env.Store().Save(&rec); err != nil {
+		writeErr(w, err, http.StatusBadRequest)
+		return
+	}
+	writeJSON(w, http.StatusOK, PutRunResponse{Saved: rec.Key().String()})
+}
+
+func (s *Server) handleDeleteRun(w http.ResponseWriter, r *http.Request) {
+	key, err := runKeyParam(r)
+	if err != nil {
+		writeErr(w, err, http.StatusBadRequest)
+		return
+	}
+	if err := s.env.Store().Delete(key.App, key.Version, key.RunID); err != nil {
+		writeErr(w, err, http.StatusBadRequest)
+		return
+	}
+	writeJSON(w, http.StatusOK, DeleteRunResponse{Deleted: key.String()})
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	appName, err := appParam(r)
+	if err != nil {
+		writeErr(w, err, http.StatusBadRequest)
+		return
+	}
+	q := r.URL.Query()
+	minValue := 0.0
+	if v := q.Get("min"); v != "" {
+		minValue, err = strconv.ParseFloat(v, 64)
+		if err != nil {
+			writeErr(w, fmt.Errorf("bad min parameter: %w", err), http.StatusBadRequest)
+			return
+		}
+	}
+	hits, err := s.env.Store().Query(appName, q.Get("version"), history.ResultFilter{
+		Hyp:           q.Get("hyp"),
+		FocusContains: q.Get("focus"),
+		State:         q.Get("state"),
+		MinValue:      minValue,
+	})
+	if err != nil {
+		writeErr(w, err, http.StatusBadRequest)
+		return
+	}
+	writeJSON(w, http.StatusOK, QueryResponse{App: appName, Hits: WireQueryHits(hits)})
+}
+
+// WireQueryHits converts store query hits to the wire shape. Shared
+// with pcquery's -json mode so local and remote output match byte for
+// byte.
+func WireQueryHits(hits []history.QueryHit) []QueryHit {
+	out := make([]QueryHit, len(hits))
+	for i, h := range hits {
+		out[i] = QueryHit{Version: h.Version, RunID: h.RunID, Result: h.Result}
+	}
+	return out
+}
+
+func (s *Server) handlePersistent(w http.ResponseWriter, r *http.Request) {
+	appName, err := appParam(r)
+	if err != nil {
+		writeErr(w, err, http.StatusBadRequest)
+		return
+	}
+	q := r.URL.Query()
+	minRuns := 2
+	if v := q.Get("min"); v != "" {
+		minRuns, err = strconv.Atoi(v)
+		if err != nil || minRuns < 1 {
+			writeErr(w, fmt.Errorf("bad min parameter %q", v), http.StatusBadRequest)
+			return
+		}
+	}
+	counts, err := s.env.Store().PersistentBottlenecks(appName, q.Get("version"), minRuns)
+	if err != nil {
+		writeErr(w, err, http.StatusBadRequest)
+		return
+	}
+	writeJSON(w, http.StatusOK, PersistentResponse{
+		App: appName, MinRuns: minRuns, Pairs: SortedPersistent(counts),
+	})
+}
+
+// SortedPersistent orders persistent-bottleneck counts by descending
+// run count then key — the order pcquery prints and the wire carries.
+func SortedPersistent(counts map[string]int) []PersistentPair {
+	out := make([]PersistentPair, 0, len(counts))
+	for k, n := range counts {
+		out = append(out, PersistentPair{Key: k, Runs: n})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Runs != out[j].Runs {
+			return out[i].Runs > out[j].Runs
+		}
+		return out[i].Key < out[j].Key
+	})
+	return out
+}
+
+func (s *Server) handleSpecific(w http.ResponseWriter, r *http.Request) {
+	key, err := runKeyParam(r)
+	if err != nil {
+		writeErr(w, err, http.StatusBadRequest)
+		return
+	}
+	rec, err := s.env.Store().Load(key.App, key.Version, key.RunID)
+	if err != nil {
+		writeErr(w, err, http.StatusBadRequest)
+		return
+	}
+	writeJSON(w, http.StatusOK, SpecificResponse{
+		App:       rec.App,
+		Version:   rec.Version,
+		RunID:     rec.RunID,
+		TrueCount: rec.TrueCount,
+		Results:   core.MostSpecificBottlenecks(rec),
+	})
+}
+
+func (s *Server) handleCompare(w http.ResponseWriter, r *http.Request) {
+	appName, err := appParam(r)
+	if err != nil {
+		writeErr(w, err, http.StatusBadRequest)
+		return
+	}
+	q := r.URL.Query()
+	eps := 0.02
+	if v := q.Get("eps"); v != "" {
+		eps, err = strconv.ParseFloat(v, 64)
+		if err != nil {
+			writeErr(w, fmt.Errorf("bad eps parameter: %w", err), http.StatusBadRequest)
+			return
+		}
+	}
+	load := func(param string) (*history.RunRecord, error) {
+		ref := q.Get(param)
+		if ref == "" {
+			return nil, fmt.Errorf("missing %s parameter (want VERSION:RUNID)", param)
+		}
+		key, err := history.ParseRunKey(appName, ref)
+		if err != nil {
+			return nil, err
+		}
+		return s.env.Store().Load(key.App, key.Version, key.RunID)
+	}
+	a, err := load("a")
+	if err != nil {
+		writeErr(w, err, http.StatusBadRequest)
+		return
+	}
+	b, err := load("b")
+	if err != nil {
+		writeErr(w, err, http.StatusBadRequest)
+		return
+	}
+	resp, err := BuildCompareResponse(a, b, eps)
+	if err != nil {
+		writeErr(w, err, http.StatusBadRequest)
+		return
+	}
+	resp.A, resp.B = q.Get("a"), q.Get("b")
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// BuildCompareResponse runs CompareRuns and packages the result in the
+// wire shape. Shared with pccompare's -json mode.
+func BuildCompareResponse(a, b *history.RunRecord, eps float64) (*CompareResponse, error) {
+	diff, err := core.CompareRuns(a, b)
+	if err != nil {
+		return nil, err
+	}
+	return &CompareResponse{
+		App:        a.App,
+		Eps:        eps,
+		Diff:       diff,
+		Similarity: diff.Similarity(),
+		Improved:   diff.Improved(eps),
+		Worsened:   diff.Worsened(eps),
+		Rendered:   diff.Render(),
+	}, nil
+}
+
+func (s *Server) handleHarvest(w http.ResponseWriter, r *http.Request) {
+	var req HarvestRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, fmt.Errorf("decode harvest request: %w", err), http.StatusBadRequest)
+		return
+	}
+	if req.App == "" {
+		writeErr(w, fmt.Errorf("missing app"), http.StatusBadRequest)
+		return
+	}
+	ds, maps, err := s.env.HarvestRuns(req.App, req.Runs, req.Options, req.Combine, req.MapTo)
+	if err != nil {
+		writeErr(w, err, http.StatusBadRequest)
+		return
+	}
+	resp := HarvestResponse{
+		Source:     ds.Source,
+		Directives: core.FormatDirectives(ds),
+		Prunes:     len(ds.Prunes),
+		Priorities: len(ds.Priorities),
+		Thresholds: len(ds.Thresholds),
+	}
+	if len(maps) > 0 {
+		resp.Mappings = core.FormatMappings(maps)
+		resp.MappingCount = len(maps)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleDiagnose(w http.ResponseWriter, r *http.Request) {
+	var req DiagnoseRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, fmt.Errorf("decode diagnose request: %w", err), http.StatusBadRequest)
+		return
+	}
+	if !s.beginDiagnose() {
+		writeJSON(w, http.StatusServiceUnavailable, ErrorResponse{Error: "server is draining"})
+		return
+	}
+	defer s.endDiagnose()
+
+	job, cfg, err := s.diagnoseJob(&req)
+	if err != nil {
+		writeErr(w, err, http.StatusBadRequest)
+		return
+	}
+	ctx := r.Context()
+	if s.sessionTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.sessionTimeout)
+		defer cancel()
+	}
+	results, err := s.runJobs(ctx, []harness.SessionJob{*job}, 1, s.pool)
+	if err != nil {
+		var sched *harness.SchedulerError
+		if errors.As(err, &sched) && len(sched.Jobs) == 1 {
+			err = sched.Jobs[0].Err
+		}
+		writeErr(w, err, http.StatusBadRequest)
+		return
+	}
+	res := results[0]
+	resp := DiagnoseResponse{
+		App:               req.App,
+		Version:           req.Version,
+		RunID:             cfg.RunID,
+		Quiesced:          res.Quiesced,
+		EndTime:           res.EndTime,
+		PairsTested:       res.PairsTested,
+		SkippedDirectives: res.SkippedDirectives,
+		Bottlenecks:       WireBottlenecks(res.Bottlenecks),
+	}
+	if req.Save {
+		rec, err := s.env.SaveResult(res)
+		if err != nil {
+			writeErr(w, err, http.StatusInternalServerError)
+			return
+		}
+		resp.Saved = rec.Key().String()
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// diagnoseJob turns a wire request into a scheduler job.
+func (s *Server) diagnoseJob(req *DiagnoseRequest) (*harness.SessionJob, *harness.SessionConfig, error) {
+	if req.App == "" {
+		return nil, nil, fmt.Errorf("missing app")
+	}
+	cfg := harness.DefaultSessionConfig()
+	if req.RunID != "" {
+		cfg.RunID = req.RunID
+	}
+	if req.MaxTime > 0 {
+		cfg.MaxTime = req.MaxTime
+	}
+	if req.Seed != 0 {
+		cfg.Sim.Seed = req.Seed
+	}
+	if req.Directives != "" {
+		ds, err := core.ParseDirectives(strings.NewReader(req.Directives))
+		if err != nil {
+			return nil, nil, fmt.Errorf("directives: %w", err)
+		}
+		cfg.Directives = ds
+	}
+	if req.Mappings != "" {
+		maps, err := core.ParseMappings(strings.NewReader(req.Mappings))
+		if err != nil {
+			return nil, nil, fmt.Errorf("mappings: %w", err)
+		}
+		cfg.Mappings = maps
+	}
+	opt := app.Options{NodeOffset: req.NodeOffset, PidBase: req.PidBase, Procs: req.Procs}
+	appName, version := req.App, req.Version
+	job := &harness.SessionJob{
+		Build: func() (*app.App, error) { return app.Build(appName, version, opt) },
+		Cfg:   cfg,
+	}
+	// Validate the application name up front so bad requests fail fast
+	// instead of inside the worker pool.
+	if _, err := app.Build(appName, version, opt); err != nil {
+		return nil, nil, err
+	}
+	return job, &cfg, nil
+}
+
+// WireBottlenecks converts session bottlenecks to the wire shape.
+func WireBottlenecks(bs []harness.Bottleneck) []DiagnoseBottleneck {
+	out := make([]DiagnoseBottleneck, len(bs))
+	for i, b := range bs {
+		out[i] = DiagnoseBottleneck{Hyp: b.Hyp, Focus: b.Focus, Value: b.Value, FoundAt: b.FoundAt}
+	}
+	return out
+}

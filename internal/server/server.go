@@ -1,0 +1,188 @@
+// Package server implements pcd, the long-running diagnosis service: an
+// HTTP/JSON daemon that owns one experiment store and harvest cache
+// (a harness.Env) and serves store queries, directive harvesting, and
+// on-demand diagnosis sessions to many concurrent clients. It is the
+// network form of the paper's Section 6 experiment-management
+// infrastructure — the store and cache PR 2 built in-process, put behind
+// a wire API so the CLI tools become thin clients.
+package server
+
+import (
+	"context"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/harness"
+)
+
+// Options configures a Server.
+type Options struct {
+	// Sessions bounds the number of diagnosis sessions in flight across
+	// all requests (the server-wide worker pool); <= 0 means
+	// runtime.GOMAXPROCS(0).
+	Sessions int
+	// SessionTimeout bounds one diagnose request's wall-clock time,
+	// including time queued for a session slot; 0 means no timeout.
+	SessionTimeout time.Duration
+}
+
+// Server is the diagnosis service. Create with New, expose via Handler,
+// stop with Shutdown. All methods are safe for concurrent use.
+type Server struct {
+	env            *harness.Env
+	pool           *sessionPool
+	sessionTimeout time.Duration
+	mux            *http.ServeMux
+
+	// mu guards the drain state and the in-flight diagnose count; cond
+	// is signalled each time a diagnose request finishes so Drain can
+	// wait for the count to reach zero.
+	mu       sync.Mutex
+	cond     *sync.Cond
+	draining bool
+	active   int
+
+	// runJobs is harness.RunSessionsGated, replaceable by lifecycle
+	// tests that need sessions to block or fail on command.
+	runJobs func(ctx context.Context, jobs []harness.SessionJob, workers int, gate harness.Gate) ([]*harness.SessionResult, error)
+}
+
+// New creates a server over env (which owns the store and cache).
+func New(env *harness.Env, opts Options) *Server {
+	n := opts.Sessions
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	s := &Server{
+		env:            env,
+		pool:           newSessionPool(n),
+		sessionTimeout: opts.SessionTimeout,
+		runJobs:        harness.RunSessionsGated,
+	}
+	s.cond = sync.NewCond(&s.mu)
+	s.mux = s.routes()
+	return s
+}
+
+// Env returns the environment the server serves.
+func (s *Server) Env() *harness.Env { return s.env }
+
+// Handler returns the service's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// BeginDrain moves the server into draining: /healthz reports
+// "draining" and new diagnose requests are refused with 503. In-flight
+// work is unaffected.
+func (s *Server) BeginDrain() {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+}
+
+// Drain blocks until every in-flight diagnose request has finished or
+// ctx expires. It does not begin the drain; call BeginDrain first (or
+// use Shutdown).
+func (s *Server) Drain(ctx context.Context) error {
+	done := make(chan struct{})
+	go func() {
+		s.mu.Lock()
+		for s.active > 0 {
+			s.cond.Wait()
+		}
+		s.mu.Unlock()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		// Wake the waiter goroutine eventually; it exits when the last
+		// request signals the cond.
+		return ctx.Err()
+	}
+}
+
+// Shutdown gracefully stops the service: refuse new diagnoses, then
+// wait (bounded by ctx) for in-flight sessions to complete.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.BeginDrain()
+	return s.Drain(ctx)
+}
+
+// beginDiagnose admits one diagnose request, returning false while
+// draining.
+func (s *Server) beginDiagnose() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return false
+	}
+	s.active++
+	return true
+}
+
+// endDiagnose retires one diagnose request.
+func (s *Server) endDiagnose() {
+	s.mu.Lock()
+	s.active--
+	s.mu.Unlock()
+	s.cond.Broadcast()
+}
+
+// stats snapshots the live counters for /statsz.
+func (s *Server) stats() StatsResponse {
+	s.mu.Lock()
+	active, draining := s.active, s.draining
+	s.mu.Unlock()
+	hits, misses := s.env.Cache().Stats()
+	return StatsResponse{
+		LiveSessions:    int(s.pool.live.Load()),
+		SessionCapacity: s.pool.Capacity(),
+		TotalSessions:   s.pool.total.Load(),
+		ActiveDiagnoses: active,
+		CacheHits:       hits,
+		CacheMisses:     misses,
+		StoreRecords:    s.env.Store().Len(),
+		StoreIssues:     len(s.env.Store().ScanIssues()),
+		Draining:        draining,
+	}
+}
+
+// sessionPool is the server-wide harness.Gate bounding concurrent
+// diagnosis sessions, instrumented for /statsz.
+type sessionPool struct {
+	slots chan struct{}
+	live  atomic.Int64
+	total atomic.Uint64
+}
+
+func newSessionPool(n int) *sessionPool {
+	if n < 1 {
+		n = 1
+	}
+	return &sessionPool{slots: make(chan struct{}, n)}
+}
+
+// Acquire implements harness.Gate.
+func (p *sessionPool) Acquire(ctx context.Context) error {
+	select {
+	case p.slots <- struct{}{}:
+		p.live.Add(1)
+		p.total.Add(1)
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Release implements harness.Gate.
+func (p *sessionPool) Release() {
+	p.live.Add(-1)
+	<-p.slots
+}
+
+// Capacity returns the pool size.
+func (p *sessionPool) Capacity() int { return cap(p.slots) }

@@ -1,0 +1,203 @@
+package server
+
+import (
+	"encoding/json"
+
+	"repro/internal/core"
+	"repro/internal/history"
+)
+
+// The wire types of the pcd diagnosis service (see FORMATS.md "Wire
+// API"). They are shared with internal/client, and the CLIs' -json
+// output mode renders the same shapes through MarshalCanonical, so a
+// tool run against -store DIR and one run against -server URL emit
+// byte-identical JSON.
+
+// MarshalCanonical renders v in the service's canonical JSON encoding:
+// two-space indent and a trailing newline. Every response body and every
+// CLI -json document goes through this one encoder.
+func MarshalCanonical(v any) ([]byte, error) {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}
+
+// ErrorResponse is the body of every non-2xx response.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
+
+// HealthResponse is GET /healthz: "ok" while serving, "draining" once
+// shutdown has begun.
+type HealthResponse struct {
+	Status string `json:"status"`
+}
+
+// StatsResponse is GET /statsz — the service's live counters.
+type StatsResponse struct {
+	// LiveSessions is the number of diagnosis sessions holding a slot of
+	// the server-wide pool right now; SessionCapacity is the pool size.
+	LiveSessions    int    `json:"live_sessions"`
+	SessionCapacity int    `json:"session_capacity"`
+	TotalSessions   uint64 `json:"total_sessions"`
+	// ActiveDiagnoses counts in-flight /api/v1/diagnose requests (each
+	// may hold several sessions).
+	ActiveDiagnoses int `json:"active_diagnoses"`
+	// CacheHits/CacheMisses are the harvest cache's counters.
+	CacheHits   uint64 `json:"cache_hits"`
+	CacheMisses uint64 `json:"cache_misses"`
+	// StoreRecords is the store index size; StoreIssues counts entries
+	// the last scan skipped as unreadable.
+	StoreRecords int  `json:"store_records"`
+	StoreIssues  int  `json:"store_issues"`
+	Draining     bool `json:"draining"`
+}
+
+// RunsResponse is GET /api/v1/runs: stored run display names
+// (app[-version]-runid), sorted.
+type RunsResponse struct {
+	Runs []string `json:"runs"`
+}
+
+// PutRunResponse is PUT /api/v1/run.
+type PutRunResponse struct {
+	Saved string `json:"saved"`
+}
+
+// DeleteRunResponse is DELETE /api/v1/run.
+type DeleteRunResponse struct {
+	Deleted string `json:"deleted"`
+}
+
+// QueryHit is one matching result of a cross-run query. The application
+// is carried once on the response, not per hit.
+type QueryHit struct {
+	Version string             `json:"version"`
+	RunID   string             `json:"run_id"`
+	Result  history.NodeResult `json:"result"`
+}
+
+// QueryResponse is GET /api/v1/query.
+type QueryResponse struct {
+	App  string     `json:"app"`
+	Hits []QueryHit `json:"hits"`
+}
+
+// PersistentPair is one (hypothesis : focus) pair with the number of
+// stored runs it tested true in.
+type PersistentPair struct {
+	Key  string `json:"key"`
+	Runs int    `json:"runs"`
+}
+
+// PersistentResponse is GET /api/v1/persistent, ordered by descending
+// run count then key.
+type PersistentResponse struct {
+	App     string           `json:"app"`
+	MinRuns int              `json:"min_runs"`
+	Pairs   []PersistentPair `json:"pairs"`
+}
+
+// SpecificResponse is GET /api/v1/specific: the most specific
+// bottlenecks of one stored run, by descending value.
+type SpecificResponse struct {
+	App       string               `json:"app"`
+	Version   string               `json:"version"`
+	RunID     string               `json:"run_id"`
+	TrueCount int                  `json:"true_count"`
+	Results   []history.NodeResult `json:"results"`
+}
+
+// CompareResponse is GET /api/v1/compare: the structured diff of two
+// stored executions plus the human-readable rendering pccompare prints.
+type CompareResponse struct {
+	App        string             `json:"app"`
+	A          string             `json:"a"`
+	B          string             `json:"b"`
+	Eps        float64            `json:"eps"`
+	Diff       *core.RunDiff      `json:"diff"`
+	Similarity float64            `json:"similarity"`
+	Improved   []core.PairOutcome `json:"improved,omitempty"`
+	Worsened   []core.PairOutcome `json:"worsened,omitempty"`
+	Rendered   string             `json:"rendered"`
+}
+
+// HarvestRequest is POST /api/v1/harvest: extract directives from the
+// named stored runs, combine them, and optionally map them toward a
+// target run's namespace.
+type HarvestRequest struct {
+	App string `json:"app"`
+	// Runs are VERSION:RUNID references of the source runs.
+	Runs    []string            `json:"runs"`
+	Options core.HarvestOptions `json:"options"`
+	// Combine folds multiple sources: "and" (intersection, the default)
+	// or "or" (union).
+	Combine string `json:"combine,omitempty"`
+	// MapTo, when set, names a target run; mappings are inferred from
+	// the first source toward it and applied to the combined set.
+	MapTo string `json:"map_to,omitempty"`
+}
+
+// HarvestResponse carries the harvested set in the canonical directive
+// text format (FORMATS.md) — the same bytes pcextract writes — plus the
+// inferred mappings when MapTo was requested.
+type HarvestResponse struct {
+	Source     string `json:"source,omitempty"`
+	Directives string `json:"directives"`
+	Prunes     int    `json:"prunes"`
+	Priorities int    `json:"priorities"`
+	Thresholds int    `json:"thresholds"`
+	// Mappings is the inferred mapping set in the mapping text format;
+	// MappingCount its size.
+	Mappings     string `json:"mappings,omitempty"`
+	MappingCount int    `json:"mapping_count,omitempty"`
+}
+
+// DiagnoseRequest is POST /api/v1/diagnose: run one on-demand diagnosis
+// session, optionally directed and optionally saved to the server's
+// store.
+type DiagnoseRequest struct {
+	App     string `json:"app"`
+	Version string `json:"version,omitempty"`
+	// RunID labels the produced record (default "run1").
+	RunID string `json:"run_id,omitempty"`
+	// NodeOffset/PidBase/Procs parameterize the application build, as
+	// pcrun's flags do.
+	NodeOffset int `json:"node_offset,omitempty"`
+	PidBase    int `json:"pid_base,omitempty"`
+	Procs      int `json:"procs,omitempty"`
+	// MaxTime bounds the diagnosis in virtual seconds (default 50000).
+	MaxTime float64 `json:"max_time,omitempty"`
+	// Seed overrides the simulator seed when non-zero.
+	Seed int64 `json:"seed,omitempty"`
+	// Directives/Mappings are in the text formats of FORMATS.md
+	// (typically a HarvestResponse's fields, fed straight back).
+	Directives string `json:"directives,omitempty"`
+	Mappings   string `json:"mappings,omitempty"`
+	// Save persists the run record to the server's store.
+	Save bool `json:"save,omitempty"`
+}
+
+// DiagnoseBottleneck is one reported problem of a diagnosis session.
+type DiagnoseBottleneck struct {
+	Hyp     string  `json:"hyp"`
+	Focus   string  `json:"focus"`
+	Value   float64 `json:"value"`
+	FoundAt float64 `json:"found_at"`
+}
+
+// DiagnoseResponse is the outcome of one on-demand session.
+type DiagnoseResponse struct {
+	App               string               `json:"app"`
+	Version           string               `json:"version,omitempty"`
+	RunID             string               `json:"run_id"`
+	Quiesced          bool                 `json:"quiesced"`
+	EndTime           float64              `json:"end_time"`
+	PairsTested       int                  `json:"pairs_tested"`
+	SkippedDirectives int                  `json:"skipped_directives,omitempty"`
+	Bottlenecks       []DiagnoseBottleneck `json:"bottlenecks"`
+	// Saved is the stored record's display name when Save was set.
+	Saved string `json:"saved,omitempty"`
+}
