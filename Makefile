@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short race race-short bench bench-store bench-server experiments fuzz clean
+.PHONY: all build vet test test-short race race-short bench bench-store bench-server bench-resilience chaos experiments fuzz clean
 
 all: build vet test
 
@@ -42,6 +42,19 @@ bench-server:
 	$(GO) test -run '^$$' -bench 'BenchmarkServer' -benchmem \
 		./internal/server/ | tee bench-server.txt
 	$(GO) run ./internal/tools/benchjson -pr 3 -in bench-server.txt
+
+# Resilience benchmarks: client retry/breaker overhead and the fault
+# injector's tax on backend ops. CI archives the summary.
+bench-resilience:
+	$(GO) test -run '^$$' -bench 'BenchmarkResilience' -benchmem \
+		./internal/client/ ./internal/history/ | tee bench-resilience.txt
+	$(GO) run ./internal/tools/benchjson -pr 4 -in bench-resilience.txt
+
+# Chaos soak under the race detector: the client→server→store pipeline
+# with a seeded fault mix must produce byte-identical diagnosis output
+# to a fault-free run (chaosSeed in internal/server/chaos_test.go).
+chaos:
+	$(GO) test -race -run 'TestChaos' -v ./internal/server/
 
 # Regenerate every table and figure of the paper's evaluation.
 experiments:

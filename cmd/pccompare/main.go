@@ -9,6 +9,11 @@
 //
 //	pccompare (-store DIR | -server URL) -app poisson \
 //	          -a VERSION:RUNID -b VERSION:RUNID [-eps 0.02] [-json]
+//	          [-timeout 30s] [-retries 3]
+//
+// With -server, the request carries a -timeout deadline and transient
+// failures (connection trouble, 503s from a degraded daemon) are
+// retried -retries times with exponential backoff before giving up.
 package main
 
 import (
@@ -17,6 +22,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"time"
 
 	"repro/internal/client"
 	"repro/internal/history"
@@ -34,6 +40,8 @@ func main() {
 		bRef      = flag.String("b", "", "second run as VERSION:RUNID (required)")
 		eps       = flag.Float64("eps", 0.02, "minimum value shift to call a bottleneck improved/worsened")
 		jsonOut   = flag.Bool("json", false, "emit the wire-format JSON document instead of text")
+		timeout   = flag.Duration("timeout", 30*time.Second, "per-request deadline with -server (0 = none)")
+		retries   = flag.Int("retries", 3, "retries of transient request failures with -server")
 	)
 	flag.Parse()
 	if (*storeDir == "") == (*serverURL == "") {
@@ -45,8 +53,14 @@ func main() {
 
 	var resp *server.CompareResponse
 	if *serverURL != "" {
+		ctx := context.Background()
+		if *timeout > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, *timeout)
+			defer cancel()
+		}
 		var err error
-		resp, err = client.New(*serverURL).Compare(context.Background(), *appName, *aRef, *bRef, *eps)
+		resp, err = client.NewResilient(*serverURL, *retries).Compare(ctx, *appName, *aRef, *bRef, *eps)
 		if err != nil {
 			log.Fatal(err)
 		}

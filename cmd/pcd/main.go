@@ -8,12 +8,22 @@
 //
 //	pcd -store DIR [-create] [-addr 127.0.0.1:7133] [-sessions N]
 //	    [-session-timeout 0] [-drain-timeout 30s]
+//	    [-breaker-threshold 3] [-breaker-cooldown 5s] [-session-retries 1]
 //
 // The store directory must already exist unless -create is given — a
 // daemon pointed at a mistyped path should fail loudly, not serve an
-// empty store. On SIGINT/SIGTERM the daemon drains: new diagnoses are
-// refused with 503 while in-flight sessions run to completion (bounded
-// by -drain-timeout).
+// empty store. Opening an existing store runs crash recovery: orphaned
+// temp files are swept and unreadable records are quarantined (moved to
+// quarantine/ with a report, never deleted) before serving begins.
+//
+// When the store's backend starts failing (-breaker-threshold
+// consecutive failures), the daemon degrades instead of dying: reads
+// keep serving from the in-memory index, writes are refused with 503 +
+// Retry-After, /healthz reports "degraded", and every -breaker-cooldown
+// a health check probes the backend, returning the daemon to "ok" once
+// it heals — no restart needed. On SIGINT/SIGTERM the daemon drains:
+// new diagnoses are refused with 503 while in-flight sessions run to
+// completion (bounded by -drain-timeout).
 package main
 
 import (
@@ -45,6 +55,9 @@ func main() {
 		sessions       = flag.Int("sessions", 0, "max concurrent diagnosis sessions (0 = GOMAXPROCS)")
 		sessionTimeout = flag.Duration("session-timeout", 0, "per-request diagnosis timeout, queueing included (0 = none)")
 		drainTimeout   = flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight sessions")
+		brkThreshold   = flag.Int("breaker-threshold", 3, "consecutive backend failures before degraded mode")
+		brkCooldown    = flag.Duration("breaker-cooldown", 5*time.Second, "degraded-mode probe interval and Retry-After hint")
+		sessionRetries = flag.Int("session-retries", 1, "re-runs of a diagnosis session after a transient failure")
 	)
 	flag.Parse()
 	if *storeDir == "" {
@@ -58,13 +71,26 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	if rep := st.Recovery(); rep != nil && !rep.Empty() {
+		for _, name := range rep.SweptTemp {
+			log.Printf("recovery: swept orphaned temp file %s", name)
+		}
+		for _, q := range rep.Quarantined {
+			log.Printf("recovery: quarantined %s (%s)", q.Name, q.Reason)
+		}
+		log.Printf("recovery: %d temp files swept, %d records quarantined under %s/%s",
+			len(rep.SweptTemp), len(rep.Quarantined), st.Dir(), history.QuarantineDir)
+	}
 	for _, issue := range st.ScanIssues() {
 		log.Printf("warning: skipped %s", issue)
 	}
 
 	srv := server.New(harness.NewEnv(st), server.Options{
-		Sessions:       *sessions,
-		SessionTimeout: *sessionTimeout,
+		Sessions:         *sessions,
+		SessionTimeout:   *sessionTimeout,
+		BreakerThreshold: *brkThreshold,
+		BreakerCooldown:  *brkCooldown,
+		SessionRetries:   *sessionRetries,
 	})
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

@@ -9,6 +9,11 @@
 //	pcquery (-store DIR | -server URL) -app poisson [-version C] [-list]
 //	        [-hyp NAME] [-focus SUBSTRING] [-state true|false] [-min 0.2]
 //	        [-persistent N] [-specific -ref VERSION:RUNID] [-json]
+//	        [-timeout 30s] [-retries 3]
+//
+// With -server, each request carries a -timeout deadline and transient
+// failures (connection trouble, 503s from a degraded daemon) are
+// retried -retries times with exponential backoff before giving up.
 package main
 
 import (
@@ -17,6 +22,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"time"
 
 	"repro/internal/client"
 	"repro/internal/core"
@@ -43,19 +49,20 @@ func main() {
 		ref        = flag.String("ref", "", "run as VERSION:RUNID for -specific (alternative to -version/-run-id)")
 		limit      = flag.Int("limit", 25, "maximum results to print (text mode)")
 		jsonOut    = flag.Bool("json", false, "emit the wire-format JSON document instead of text")
+		timeout    = flag.Duration("timeout", 30*time.Second, "per-request deadline with -server (0 = none)")
+		retries    = flag.Int("retries", 3, "retries of transient request failures with -server")
 	)
 	flag.Parse()
 	if (*storeDir == "") == (*serverURL == "") {
 		log.Fatal("exactly one of -store and -server is required")
 	}
-	ctx := context.Background()
 
 	// Both modes produce the service's wire shapes; text rendering and
 	// -json encoding are shared below, so -store and -server output are
 	// byte-identical.
 	var src source
 	if *serverURL != "" {
-		src = &remoteSource{c: client.New(*serverURL), ctx: ctx}
+		src = &remoteSource{c: client.NewResilient(*serverURL, *retries), timeout: *timeout}
 	} else {
 		st, err := history.OpenStore(*storeDir)
 		if err != nil {
@@ -207,20 +214,38 @@ func (s *storeSource) Specific(app, ref string) (*server.SpecificResponse, error
 }
 
 type remoteSource struct {
-	c   *client.Client
-	ctx context.Context
+	c       *client.Client
+	timeout time.Duration
 }
 
-func (r *remoteSource) List() ([]string, error) { return r.c.ListRuns(r.ctx, "", "") }
+// ctx derives one request's context, bounded by -timeout.
+func (r *remoteSource) ctx() (context.Context, context.CancelFunc) {
+	if r.timeout > 0 {
+		return context.WithTimeout(context.Background(), r.timeout)
+	}
+	return context.Background(), func() {}
+}
+
+func (r *remoteSource) List() ([]string, error) {
+	ctx, cancel := r.ctx()
+	defer cancel()
+	return r.c.ListRuns(ctx, "", "")
+}
 
 func (r *remoteSource) Query(p client.QueryParams) (*server.QueryResponse, error) {
-	return r.c.Query(r.ctx, p)
+	ctx, cancel := r.ctx()
+	defer cancel()
+	return r.c.Query(ctx, p)
 }
 
 func (r *remoteSource) Persistent(app, version string, minRuns int) (*server.PersistentResponse, error) {
-	return r.c.Persistent(r.ctx, app, version, minRuns)
+	ctx, cancel := r.ctx()
+	defer cancel()
+	return r.c.Persistent(ctx, app, version, minRuns)
 }
 
 func (r *remoteSource) Specific(app, ref string) (*server.SpecificResponse, error) {
-	return r.c.Specific(r.ctx, app, ref)
+	ctx, cancel := r.ctx()
+	defer cancel()
+	return r.c.Specific(ctx, app, ref)
 }

@@ -24,33 +24,71 @@ import (
 // Client talks to one pcd server. The zero HTTPClient means
 // http.DefaultClient; diagnosis sessions can run long, so callers
 // should prefer per-call contexts over a global client timeout.
+//
+// Retry and Breaker opt into the resilience layer (see retry.go): with
+// a non-zero Retry, idempotent requests — queries, gets, harvests,
+// comparisons — are retried with exponential backoff and jitter;
+// PutRun, DeleteRun and Diagnose are never retried. With a non-zero
+// Breaker, repeated failures trip a per-client circuit breaker that
+// fails fast until a cooldown probe succeeds. Configure both before the
+// first request; they must not be mutated concurrently with calls.
 type Client struct {
 	// BaseURL is the server root, e.g. "http://127.0.0.1:7133".
 	BaseURL    string
 	HTTPClient *http.Client
+	Retry      RetryPolicy
+	Breaker    BreakerPolicy
+
+	// Rand overrides the retry jitter source (tests inject a seeded
+	// generator; nil means math/rand).
+	Rand func() float64
+	// sleep and now are test seams for the backoff wait and the breaker
+	// clock.
+	sleep func(ctx context.Context, d time.Duration) error
+	now   func() time.Time
+
+	brk    breaker
+	counts counters
 }
 
-// New creates a client for the given base URL.
+// New creates a client for the given base URL with no retries and no
+// breaker — every failure surfaces immediately.
 func New(baseURL string) *Client {
 	return &Client{BaseURL: strings.TrimRight(baseURL, "/")}
 }
 
+// NewResilient creates a client with the given retry budget and the
+// default circuit breaker — what the CLI tools build for -server mode.
+func NewResilient(baseURL string, retries int) *Client {
+	c := New(baseURL)
+	c.Retry = DefaultRetryPolicy(retries)
+	c.Breaker = DefaultBreakerPolicy()
+	return c
+}
+
 // StatusError is a non-2xx response: the HTTP status plus the server's
 // error message. Missing records (404) unwrap to os.ErrNotExist so
-// callers can errors.Is them like local store misses.
+// callers can errors.Is them like local store misses; 503 unwraps to
+// ErrUnavailable so callers can tell "retry later" from fatal.
 type StatusError struct {
 	Status  int
 	Message string
+	// RetryAfter is the server's Retry-After hint on a 503/429, zero
+	// when absent. The retry layer uses it as the backoff floor.
+	RetryAfter time.Duration
 }
 
 func (e *StatusError) Error() string {
 	return fmt.Sprintf("server: %s (HTTP %d)", e.Message, e.Status)
 }
 
-// Unwrap maps 404 onto os.ErrNotExist.
+// Unwrap maps 404 onto os.ErrNotExist and 503 onto ErrUnavailable.
 func (e *StatusError) Unwrap() error {
-	if e.Status == http.StatusNotFound {
+	switch e.Status {
+	case http.StatusNotFound:
 		return os.ErrNotExist
+	case http.StatusServiceUnavailable:
+		return ErrUnavailable
 	}
 	return nil
 }
@@ -62,10 +100,11 @@ func (c *Client) httpClient() *http.Client {
 	return http.DefaultClient
 }
 
-// do issues one request and decodes the JSON response into out (skipped
-// when out is nil). RawResponse returns the undecoded body instead.
-func (c *Client) do(ctx context.Context, method, path string, query url.Values, body, out any) error {
-	data, err := c.doRaw(ctx, method, path, query, body)
+// do issues one request — retried per the client's policy when
+// idempotent — and decodes the JSON response into out (skipped when out
+// is nil). doRaw returns the undecoded body instead.
+func (c *Client) do(ctx context.Context, method, path string, query url.Values, body, out any, idempotent bool) error {
+	data, err := c.doRaw(ctx, method, path, query, body, idempotent)
 	if err != nil {
 		return err
 	}
@@ -78,26 +117,38 @@ func (c *Client) do(ctx context.Context, method, path string, query url.Values, 
 	return nil
 }
 
-// doRaw issues one request and returns the raw (canonical-JSON)
-// response body of a 2xx, or a *StatusError otherwise.
-func (c *Client) doRaw(ctx context.Context, method, path string, query url.Values, body any) ([]byte, error) {
+// doRaw issues one logical request through the retry/breaker layer and
+// returns the raw (canonical-JSON) response body of a 2xx, or a
+// *StatusError otherwise.
+func (c *Client) doRaw(ctx context.Context, method, path string, query url.Values, body any, idempotent bool) ([]byte, error) {
 	u := c.BaseURL + path
 	if len(query) > 0 {
 		u += "?" + query.Encode()
 	}
-	var rd io.Reader
+	var payload []byte
 	if body != nil {
 		data, err := json.Marshal(body)
 		if err != nil {
 			return nil, fmt.Errorf("client: encode request: %w", err)
 		}
-		rd = bytes.NewReader(data)
+		payload = data
+	}
+	return c.send(ctx, idempotent, func() ([]byte, error) {
+		return c.once(ctx, method, u, payload, body != nil)
+	})
+}
+
+// once performs a single HTTP attempt.
+func (c *Client) once(ctx context.Context, method, u string, payload []byte, hasBody bool) ([]byte, error) {
+	var rd io.Reader
+	if hasBody {
+		rd = bytes.NewReader(payload)
 	}
 	req, err := http.NewRequestWithContext(ctx, method, u, rd)
 	if err != nil {
 		return nil, fmt.Errorf("client: %w", err)
 	}
-	if body != nil {
+	if hasBody {
 		req.Header.Set("Content-Type", "application/json")
 	}
 	resp, err := c.httpClient().Do(req)
@@ -115,7 +166,11 @@ func (c *Client) doRaw(ctx context.Context, method, path string, query url.Value
 		if json.Unmarshal(data, &e) == nil && e.Error != "" {
 			msg = e.Error
 		}
-		return nil, &StatusError{Status: resp.StatusCode, Message: msg}
+		se := &StatusError{Status: resp.StatusCode, Message: msg}
+		if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs >= 0 {
+			se.RetryAfter = time.Duration(secs) * time.Second
+		}
+		return nil, se
 	}
 	return data, nil
 }
@@ -123,7 +178,7 @@ func (c *Client) doRaw(ctx context.Context, method, path string, query url.Value
 // Health returns the server's /healthz status string.
 func (c *Client) Health(ctx context.Context) (string, error) {
 	var h server.HealthResponse
-	if err := c.do(ctx, http.MethodGet, "/healthz", nil, nil, &h); err != nil {
+	if err := c.do(ctx, http.MethodGet, "/healthz", nil, nil, &h, true); err != nil {
 		return "", err
 	}
 	return h.Status, nil
@@ -132,7 +187,7 @@ func (c *Client) Health(ctx context.Context) (string, error) {
 // Stats returns the server's live counters.
 func (c *Client) Stats(ctx context.Context) (*server.StatsResponse, error) {
 	var st server.StatsResponse
-	if err := c.do(ctx, http.MethodGet, "/statsz", nil, nil, &st); err != nil {
+	if err := c.do(ctx, http.MethodGet, "/statsz", nil, nil, &st, true); err != nil {
 		return nil, err
 	}
 	return &st, nil
@@ -168,7 +223,7 @@ func (c *Client) ListRuns(ctx context.Context, app, version string) ([]string, e
 		}
 	}
 	var resp server.RunsResponse
-	if err := c.do(ctx, http.MethodGet, "/api/v1/runs", q, nil, &resp); err != nil {
+	if err := c.do(ctx, http.MethodGet, "/api/v1/runs", q, nil, &resp, true); err != nil {
 		return nil, err
 	}
 	return resp.Runs, nil
@@ -184,7 +239,7 @@ func refQuery(app, ref string) url.Values {
 // GetRun fetches one stored run record by app and VERSION:RUNID ref.
 func (c *Client) GetRun(ctx context.Context, app, ref string) (*history.RunRecord, error) {
 	var rec history.RunRecord
-	if err := c.do(ctx, http.MethodGet, "/api/v1/run", refQuery(app, ref), nil, &rec); err != nil {
+	if err := c.do(ctx, http.MethodGet, "/api/v1/run", refQuery(app, ref), nil, &rec, true); err != nil {
 		return nil, err
 	}
 	return &rec, nil
@@ -193,7 +248,7 @@ func (c *Client) GetRun(ctx context.Context, app, ref string) (*history.RunRecor
 // PutRun stores one run record, returning its display name.
 func (c *Client) PutRun(ctx context.Context, rec *history.RunRecord) (string, error) {
 	var resp server.PutRunResponse
-	if err := c.do(ctx, http.MethodPut, "/api/v1/run", nil, rec, &resp); err != nil {
+	if err := c.do(ctx, http.MethodPut, "/api/v1/run", nil, rec, &resp, false); err != nil {
 		return "", err
 	}
 	return resp.Saved, nil
@@ -201,7 +256,7 @@ func (c *Client) PutRun(ctx context.Context, rec *history.RunRecord) (string, er
 
 // DeleteRun removes one stored run record.
 func (c *Client) DeleteRun(ctx context.Context, app, ref string) error {
-	return c.do(ctx, http.MethodDelete, "/api/v1/run", refQuery(app, ref), nil, nil)
+	return c.do(ctx, http.MethodDelete, "/api/v1/run", refQuery(app, ref), nil, nil, false)
 }
 
 // QueryParams select (hypothesis : focus) outcomes across stored runs —
@@ -239,7 +294,7 @@ func (p QueryParams) values() url.Values {
 // Query runs a cross-run result query on the server.
 func (c *Client) Query(ctx context.Context, p QueryParams) (*server.QueryResponse, error) {
 	var resp server.QueryResponse
-	if err := c.do(ctx, http.MethodGet, "/api/v1/query", p.values(), nil, &resp); err != nil {
+	if err := c.do(ctx, http.MethodGet, "/api/v1/query", p.values(), nil, &resp, true); err != nil {
 		return nil, err
 	}
 	return &resp, nil
@@ -248,7 +303,7 @@ func (c *Client) Query(ctx context.Context, p QueryParams) (*server.QueryRespons
 // QueryRaw is Query returning the server's canonical JSON bytes
 // (pcquery -json prints these verbatim).
 func (c *Client) QueryRaw(ctx context.Context, p QueryParams) ([]byte, error) {
-	return c.doRaw(ctx, http.MethodGet, "/api/v1/query", p.values(), nil)
+	return c.doRaw(ctx, http.MethodGet, "/api/v1/query", p.values(), nil, true)
 }
 
 // Persistent returns the pairs true in at least minRuns stored runs.
@@ -260,7 +315,7 @@ func (c *Client) Persistent(ctx context.Context, app, version string, minRuns in
 	}
 	q.Set("min", strconv.Itoa(minRuns))
 	var resp server.PersistentResponse
-	if err := c.do(ctx, http.MethodGet, "/api/v1/persistent", q, nil, &resp); err != nil {
+	if err := c.do(ctx, http.MethodGet, "/api/v1/persistent", q, nil, &resp, true); err != nil {
 		return nil, err
 	}
 	return &resp, nil
@@ -269,7 +324,7 @@ func (c *Client) Persistent(ctx context.Context, app, version string, minRuns in
 // Specific returns the most specific bottlenecks of one stored run.
 func (c *Client) Specific(ctx context.Context, app, ref string) (*server.SpecificResponse, error) {
 	var resp server.SpecificResponse
-	if err := c.do(ctx, http.MethodGet, "/api/v1/specific", refQuery(app, ref), nil, &resp); err != nil {
+	if err := c.do(ctx, http.MethodGet, "/api/v1/specific", refQuery(app, ref), nil, &resp, true); err != nil {
 		return nil, err
 	}
 	return &resp, nil
@@ -283,7 +338,7 @@ func (c *Client) Compare(ctx context.Context, app, refA, refB string, eps float6
 	q.Set("b", refB)
 	q.Set("eps", strconv.FormatFloat(eps, 'g', -1, 64))
 	var resp server.CompareResponse
-	if err := c.do(ctx, http.MethodGet, "/api/v1/compare", q, nil, &resp); err != nil {
+	if err := c.do(ctx, http.MethodGet, "/api/v1/compare", q, nil, &resp, true); err != nil {
 		return nil, err
 	}
 	return &resp, nil
@@ -292,7 +347,7 @@ func (c *Client) Compare(ctx context.Context, app, refA, refB string, eps float6
 // Harvest extracts directives from stored runs on the server.
 func (c *Client) Harvest(ctx context.Context, req *server.HarvestRequest) (*server.HarvestResponse, error) {
 	var resp server.HarvestResponse
-	if err := c.do(ctx, http.MethodPost, "/api/v1/harvest", nil, req, &resp); err != nil {
+	if err := c.do(ctx, http.MethodPost, "/api/v1/harvest", nil, req, &resp, true); err != nil {
 		return nil, err
 	}
 	return &resp, nil
@@ -303,7 +358,7 @@ func (c *Client) Harvest(ctx context.Context, req *server.HarvestRequest) (*serv
 // ctx.
 func (c *Client) Diagnose(ctx context.Context, req *server.DiagnoseRequest) (*server.DiagnoseResponse, error) {
 	var resp server.DiagnoseResponse
-	if err := c.do(ctx, http.MethodPost, "/api/v1/diagnose", nil, req, &resp); err != nil {
+	if err := c.do(ctx, http.MethodPost, "/api/v1/diagnose", nil, req, &resp, false); err != nil {
 		return nil, err
 	}
 	return &resp, nil

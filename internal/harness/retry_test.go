@@ -1,0 +1,150 @@
+package harness
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/history"
+)
+
+// flakyJob fails its first failures attempts with err, then succeeds
+// with a result naming the job.
+func flakyJob(id int, failures int, err error) SessionJob {
+	var attempts atomic.Int64
+	return stubJob(func() (*SessionResult, error) {
+		if attempts.Add(1) <= int64(failures) {
+			return nil, err
+		}
+		return &SessionResult{EndTime: float64(id)}, nil
+	})
+}
+
+// TestRunSessionsRetryRecovers proves transient failures are re-run into
+// their original input-order slots while clean jobs run exactly once.
+func TestRunSessionsRetryRecovers(t *testing.T) {
+	transient := &history.BackendError{Op: "put", Err: errors.New("disk hiccup")}
+	jobs := []SessionJob{
+		flakyJob(0, 0, nil),
+		flakyJob(1, 2, transient),
+		flakyJob(2, 0, nil),
+		flakyJob(3, 1, transient),
+	}
+	results, stats, err := RunSessionsRetry(context.Background(), jobs, 2, nil, 3, nil)
+	if err != nil {
+		t.Fatalf("RunSessionsRetry = %v, want full recovery", err)
+	}
+	for i := range jobs {
+		if results[i] == nil || results[i].EndTime != float64(i) {
+			t.Errorf("results[%d] = %+v, want job %d's result", i, results[i], i)
+		}
+	}
+	if stats.Retried != 3 || stats.Recovered != 2 {
+		t.Errorf("stats = %+v, want 3 retried / 2 recovered", stats)
+	}
+}
+
+// TestRunSessionsRetryFinalErrors proves non-transient failures are
+// never retried and survive with their original job index.
+func TestRunSessionsRetryFinalErrors(t *testing.T) {
+	fatal := errors.New("bad config")
+	var fatalRuns atomic.Int64
+	jobs := []SessionJob{
+		flakyJob(0, 1, &history.BackendError{Op: "get", Err: errors.New("transient")}),
+		stubJob(func() (*SessionResult, error) {
+			fatalRuns.Add(1)
+			return nil, fatal
+		}),
+	}
+	results, stats, err := RunSessionsRetry(context.Background(), jobs, 2, nil, 5, nil)
+	var sched *SchedulerError
+	if !errors.As(err, &sched) || len(sched.Jobs) != 1 {
+		t.Fatalf("error = %v, want one surviving failure", err)
+	}
+	if sched.Jobs[0].Index != 1 || !errors.Is(sched.Jobs[0].Err, fatal) {
+		t.Errorf("surviving failure = %+v, want job 1's fatal error", sched.Jobs[0])
+	}
+	if fatalRuns.Load() != 1 {
+		t.Errorf("fatal job ran %d times, want 1", fatalRuns.Load())
+	}
+	if results[0] == nil || results[0].EndTime != 0 {
+		t.Errorf("transient job did not recover: %+v", results[0])
+	}
+	if stats.Recovered != 1 {
+		t.Errorf("stats = %+v, want 1 recovered", stats)
+	}
+}
+
+// TestRunSessionsRetryExhausted proves a fault outlasting the budget is
+// reported, with the retry count capped at the budget.
+func TestRunSessionsRetryExhausted(t *testing.T) {
+	transient := &history.BackendError{Op: "scan", Err: errors.New("still down")}
+	jobs := []SessionJob{flakyJob(0, 100, transient)}
+	results, stats, err := RunSessionsRetry(context.Background(), jobs, 1, nil, 2, nil)
+	var sched *SchedulerError
+	if !errors.As(err, &sched) || len(sched.Jobs) != 1 || sched.Jobs[0].Index != 0 {
+		t.Fatalf("error = %v, want job 0's surviving failure", err)
+	}
+	if results[0] != nil {
+		t.Errorf("failed job left a result: %+v", results[0])
+	}
+	if stats.Retried != 2 || stats.Recovered != 0 {
+		t.Errorf("stats = %+v, want 2 retried / 0 recovered", stats)
+	}
+}
+
+// TestRunSessionsRetryHonorsContext proves a cancelled context stops
+// retry rounds instead of burning the budget against a dead clock.
+func TestRunSessionsRetryHonorsContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	transient := &history.BackendError{Op: "put", Err: errors.New("transient")}
+	var runs atomic.Int64
+	jobs := []SessionJob{stubJob(func() (*SessionResult, error) {
+		runs.Add(1)
+		cancel()
+		return nil, transient
+	})}
+	_, _, err := RunSessionsRetry(ctx, jobs, 1, nil, 10, nil)
+	if err == nil {
+		t.Fatal("cancelled retry loop reported success")
+	}
+	if runs.Load() != 1 {
+		t.Errorf("job ran %d times after cancellation, want 1", runs.Load())
+	}
+}
+
+// TestRunSessionsRetryCustomClassifier proves the classifier decides
+// what retries: here everything is transient, even a plain error.
+func TestRunSessionsRetryCustomClassifier(t *testing.T) {
+	jobs := []SessionJob{flakyJob(0, 1, errors.New("plain"))}
+	results, _, err := RunSessionsRetry(context.Background(), jobs, 1, nil, 1,
+		func(error) bool { return true })
+	if err != nil {
+		t.Fatalf("RunSessionsRetry = %v, want recovery under always-transient classifier", err)
+	}
+	if results[0] == nil {
+		t.Errorf("results[0] = %+v", results[0])
+	}
+}
+
+// TestRunSessionsRetryOrderDeterminism proves retry rounds cannot
+// reorder results: with per-job results keyed by index, the output
+// slice matches input order however the rounds interleave.
+func TestRunSessionsRetryOrderDeterminism(t *testing.T) {
+	transient := &history.BackendError{Op: "put", Err: errors.New("flap")}
+	const n = 16
+	jobs := make([]SessionJob, n)
+	for i := 0; i < n; i++ {
+		jobs[i] = flakyJob(i, i%3, transient) // thirds: clean, 1 fail, 2 fails
+	}
+	results, _, err := RunSessionsRetry(context.Background(), jobs, 4, nil, 3, nil)
+	if err != nil {
+		t.Fatalf("RunSessionsRetry = %v", err)
+	}
+	for i := range results {
+		if results[i] == nil || results[i].EndTime != float64(i) {
+			t.Errorf("results[%d] = %+v, want job %d's result", i, results[i], i)
+		}
+	}
+}

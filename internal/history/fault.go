@@ -1,0 +1,244 @@
+package history
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+)
+
+// ErrInjected is the sentinel every fault the FaultBackend injects wraps.
+// Tests and retry layers classify injected failures with
+// errors.Is(err, ErrInjected).
+var ErrInjected = errors.New("injected fault")
+
+// BackendError marks an error as coming from the storage engine beneath
+// the Store façade — an I/O failure, an injected fault — as opposed to a
+// caller error (invalid record, bad key). The diagnosis service uses the
+// distinction to enter degraded mode on storage trouble without treating
+// every bad request as an outage.
+//
+// The wrapper is classification only: Error() returns the underlying
+// message unchanged, so CLI output and log lines read exactly as before.
+type BackendError struct {
+	// Op is the backend operation that failed: "put", "get", "delete",
+	// "scan".
+	Op  string
+	Err error
+}
+
+func (e *BackendError) Error() string { return e.Err.Error() }
+
+// Unwrap keeps errors.Is working through the wrapper (os.ErrNotExist,
+// ErrInjected, syscall errnos).
+func (e *BackendError) Unwrap() error { return e.Err }
+
+// IsBackendError reports whether err originated in a storage backend.
+func IsBackendError(err error) bool {
+	var be *BackendError
+	return errors.As(err, &be)
+}
+
+// IsTransient reports whether err is worth retrying: an injected fault,
+// or a backend I/O failure that is not a definitive miss. Validation and
+// parse errors are never transient.
+func IsTransient(err error) bool {
+	if err == nil {
+		return false
+	}
+	if errors.Is(err, ErrInjected) {
+		return true
+	}
+	var be *BackendError
+	if errors.As(err, &be) {
+		// A missing record is a definitive answer, not a fault.
+		return !errors.Is(err, os.ErrNotExist)
+	}
+	return false
+}
+
+// FaultConfig parameterizes a FaultBackend. All rates are probabilities
+// in [0, 1] evaluated independently per operation from the seeded PRNG —
+// no wall-clock randomness, so a fixed Seed reproduces the exact fault
+// schedule.
+type FaultConfig struct {
+	// Seed seeds the deterministic fault schedule.
+	Seed int64
+	// ErrRate is the probability that any operation (Put, Get, Delete,
+	// Scan) fails with a generic injected I/O error.
+	ErrRate float64
+	// TornWriteRate is the probability that a Put writes only a prefix
+	// of the record to the inner backend before failing — the torn-write
+	// crash the recovery sweep must cope with.
+	TornWriteRate float64
+	// ENOSPCRate is the probability that a Put fails as if the device
+	// were full (wraps syscall.ENOSPC).
+	ENOSPCRate float64
+	// Latency is added to every operation when non-zero. Keep it zero in
+	// unit tests; it exists for soak runs that want realistic slowness.
+	Latency time.Duration
+}
+
+// FaultCounters counts what a FaultBackend injected, exported so tests
+// and /statsz can prove faults actually happened.
+type FaultCounters struct {
+	Ops        uint64 `json:"ops"`
+	Injected   uint64 `json:"injected"`
+	TornWrites uint64 `json:"torn_writes"`
+	ENOSPC     uint64 `json:"enospc"`
+}
+
+// FaultBackend wraps any Backend with deterministic, seeded fault
+// injection: configurable error rates, torn/partial writes, ENOSPC, and
+// optional latency on every operation. It is the chaos layer the
+// resilience tests drive; with a zero FaultConfig it is a transparent
+// (but counted) pass-through. Safe for concurrent use.
+type FaultBackend struct {
+	inner Backend
+
+	mu  sync.Mutex
+	rng *rand.Rand
+	cfg FaultConfig
+
+	ops        atomic.Uint64
+	injected   atomic.Uint64
+	tornWrites atomic.Uint64
+	enospc     atomic.Uint64
+}
+
+// NewFaultBackend wraps inner with the given fault schedule.
+func NewFaultBackend(inner Backend, cfg FaultConfig) *FaultBackend {
+	return &FaultBackend{
+		inner: inner,
+		rng:   rand.New(rand.NewSource(cfg.Seed)),
+		cfg:   cfg,
+	}
+}
+
+// SetConfig swaps the fault schedule at runtime — how a test simulates
+// an outage starting (ErrRate: 1) and healing (ErrRate: 0) without
+// rebuilding the store. The PRNG keeps its position; the Seed field of
+// the new config is ignored.
+func (b *FaultBackend) SetConfig(cfg FaultConfig) {
+	b.mu.Lock()
+	cfg.Seed = b.cfg.Seed
+	b.cfg = cfg
+	b.mu.Unlock()
+}
+
+// Counters snapshots the injection counters.
+func (b *FaultBackend) Counters() FaultCounters {
+	return FaultCounters{
+		Ops:        b.ops.Load(),
+		Injected:   b.injected.Load(),
+		TornWrites: b.tornWrites.Load(),
+		ENOSPC:     b.enospc.Load(),
+	}
+}
+
+// Inner returns the wrapped backend.
+func (b *FaultBackend) Inner() Backend { return b.inner }
+
+// Name implements Backend.
+func (b *FaultBackend) Name() string { return "fault:" + b.inner.Name() }
+
+// roll draws the fault decision for one operation. kind is "" for no
+// fault, or one of "err", "torn", "enospc" (the latter two only for
+// writes).
+func (b *FaultBackend) roll(write bool) (kind string, frac float64, latency time.Duration) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	latency = b.cfg.Latency
+	// One draw per possible fault keeps the schedule deterministic and
+	// independent of which rates are enabled.
+	if b.rng.Float64() < b.cfg.ErrRate {
+		kind = "err"
+	}
+	tornDraw := b.rng.Float64()
+	enospcDraw := b.rng.Float64()
+	frac = b.rng.Float64()
+	if kind == "" && write {
+		if tornDraw < b.cfg.TornWriteRate {
+			kind = "torn"
+		} else if enospcDraw < b.cfg.ENOSPCRate {
+			kind = "enospc"
+		}
+	}
+	return kind, frac, latency
+}
+
+func (b *FaultBackend) delay(d time.Duration) {
+	if d > 0 {
+		time.Sleep(d)
+	}
+}
+
+// Put implements Backend, possibly injecting an error, a torn write
+// (a prefix of data reaches the inner backend, then the call fails), or
+// ENOSPC.
+func (b *FaultBackend) Put(key RecordKey, data []byte) error {
+	b.ops.Add(1)
+	kind, frac, latency := b.roll(true)
+	b.delay(latency)
+	switch kind {
+	case "err":
+		b.injected.Add(1)
+		return &BackendError{Op: "put", Err: fmt.Errorf("history: write %s: %w", key, ErrInjected)}
+	case "torn":
+		b.injected.Add(1)
+		b.tornWrites.Add(1)
+		n := int(frac * float64(len(data)))
+		if n >= len(data) && len(data) > 0 {
+			n = len(data) - 1
+		}
+		// Best-effort partial write: the torn bytes land under the key,
+		// as a crash mid-write would leave them on disk.
+		b.inner.Put(key, data[:n])
+		return &BackendError{Op: "put", Err: fmt.Errorf("history: torn write %s (%d of %d bytes): %w", key, n, len(data), ErrInjected)}
+	case "enospc":
+		b.injected.Add(1)
+		b.enospc.Add(1)
+		return &BackendError{Op: "put", Err: fmt.Errorf("history: write %s: %w (%w)", key, syscall.ENOSPC, ErrInjected)}
+	}
+	return b.inner.Put(key, data)
+}
+
+// Get implements Backend.
+func (b *FaultBackend) Get(key RecordKey) ([]byte, error) {
+	b.ops.Add(1)
+	kind, _, latency := b.roll(false)
+	b.delay(latency)
+	if kind == "err" {
+		b.injected.Add(1)
+		return nil, &BackendError{Op: "get", Err: fmt.Errorf("history: load %s: %w", key, ErrInjected)}
+	}
+	return b.inner.Get(key)
+}
+
+// Delete implements Backend.
+func (b *FaultBackend) Delete(key RecordKey) error {
+	b.ops.Add(1)
+	kind, _, latency := b.roll(false)
+	b.delay(latency)
+	if kind == "err" {
+		b.injected.Add(1)
+		return &BackendError{Op: "delete", Err: fmt.Errorf("history: delete %s: %w", key, ErrInjected)}
+	}
+	return b.inner.Delete(key)
+}
+
+// Scan implements Backend.
+func (b *FaultBackend) Scan() ([]ScanEntry, []ScanIssue, error) {
+	b.ops.Add(1)
+	kind, _, latency := b.roll(false)
+	b.delay(latency)
+	if kind == "err" {
+		b.injected.Add(1)
+		return nil, nil, &BackendError{Op: "scan", Err: fmt.Errorf("history: list: %w", ErrInjected)}
+	}
+	return b.inner.Scan()
+}

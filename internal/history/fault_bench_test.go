@@ -1,0 +1,56 @@
+package history
+
+import (
+	"fmt"
+	"testing"
+)
+
+// The resilience benchmarks bound the fault injector's overhead: a
+// FaultBackend with all rates zero still draws from its PRNG and counts
+// the op, and that tax — the delta against the bare backend — is what a
+// production deployment would pay for leaving the wrapper in place.
+
+func benchKey(i int) RecordKey {
+	return RecordKey{App: "poisson", Version: "A", RunID: fmt.Sprintf("r%d", i%64)}
+}
+
+// BenchmarkResilienceBarePut is the baseline: MemBackend with no
+// wrapper.
+func BenchmarkResilienceBarePut(b *testing.B) {
+	be := NewMemBackend()
+	data := []byte(`{"app":"poisson"}`)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := be.Put(benchKey(i), data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkResilienceFaultPutIdle wraps the same backend in a
+// FaultBackend with every rate zero: the delta is the injector's tax
+// when disarmed.
+func BenchmarkResilienceFaultPutIdle(b *testing.B) {
+	fb := NewFaultBackend(NewMemBackend(), FaultConfig{Seed: 1})
+	data := []byte(`{"app":"poisson"}`)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := fb.Put(benchKey(i), data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkResilienceFaultPutArmed injects a 10% error mix (the chaos
+// soak's calm rate) so the cost includes fault draws that actually
+// fire; injected failures are expected, not fatal.
+func BenchmarkResilienceFaultPutArmed(b *testing.B) {
+	fb := NewFaultBackend(NewMemBackend(), FaultConfig{Seed: 1, ErrRate: 0.1, TornWriteRate: 0.03})
+	data := []byte(`{"app":"poisson"}`)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := fb.Put(benchKey(i), data); err != nil && !IsTransient(err) {
+			b.Fatal(err)
+		}
+	}
+}

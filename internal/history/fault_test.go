@@ -1,0 +1,201 @@
+package history
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+	"syscall"
+	"testing"
+)
+
+// TestFaultBackendDeterministic proves two injectors with the same seed
+// produce the same fault schedule — the property every chaos test's
+// reproducibility rests on.
+func TestFaultBackendDeterministic(t *testing.T) {
+	schedule := func() []bool {
+		fb := NewFaultBackend(NewMemBackend(), FaultConfig{Seed: 7, ErrRate: 0.3})
+		outcomes := make([]bool, 0, 200)
+		for i := 0; i < 200; i++ {
+			key := RecordKey{App: "a", RunID: fmt.Sprintf("r%d", i)}
+			outcomes = append(outcomes, fb.Put(key, []byte("{}")) != nil)
+		}
+		return outcomes
+	}
+	a, b := schedule(), schedule()
+	failed := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("schedules diverge at op %d", i)
+		}
+		if a[i] {
+			failed++
+		}
+	}
+	if failed == 0 || failed == len(a) {
+		t.Fatalf("ErrRate 0.3 produced %d/%d failures; injector looks broken", failed, len(a))
+	}
+}
+
+// TestFaultBackendClassification proves injected failures carry the
+// classification the resilience layers dispatch on: ErrInjected,
+// BackendError, IsTransient, and ENOSPC when configured.
+func TestFaultBackendClassification(t *testing.T) {
+	key := RecordKey{App: "a", RunID: "r"}
+
+	fb := NewFaultBackend(NewMemBackend(), FaultConfig{Seed: 1, ErrRate: 1})
+	for name, err := range map[string]error{
+		"put":    fb.Put(key, []byte("{}")),
+		"get":    func() error { _, e := fb.Get(key); return e }(),
+		"delete": fb.Delete(key),
+		"scan":   func() error { _, _, e := fb.Scan(); return e }(),
+	} {
+		if !errors.Is(err, ErrInjected) {
+			t.Errorf("%s error %v does not wrap ErrInjected", name, err)
+		}
+		if !IsBackendError(err) {
+			t.Errorf("%s error %v is not a BackendError", name, err)
+		}
+		if !IsTransient(err) {
+			t.Errorf("%s error %v not classified transient", name, err)
+		}
+	}
+	if c := fb.Counters(); c.Injected != 4 || c.Ops != 4 {
+		t.Errorf("counters = %+v, want 4 ops, 4 injected", c)
+	}
+
+	full := NewFaultBackend(NewMemBackend(), FaultConfig{Seed: 1, ENOSPCRate: 1})
+	err := full.Put(key, []byte("{}"))
+	if !errors.Is(err, syscall.ENOSPC) || !errors.Is(err, ErrInjected) {
+		t.Errorf("ENOSPC injection = %v, want both ENOSPC and ErrInjected", err)
+	}
+
+	// A genuine miss through the injector stays a definitive answer.
+	clean := NewFaultBackend(NewMemBackend(), FaultConfig{})
+	if _, err := clean.Get(key); !errors.Is(err, os.ErrNotExist) {
+		t.Errorf("pass-through Get(missing) = %v", err)
+	} else if IsTransient(&BackendError{Op: "get", Err: err}) {
+		t.Error("a backend miss must not be transient")
+	}
+}
+
+// TestFaultBackendTornWrite proves a torn write leaves a strict prefix
+// of the record behind — the corruption the recovery sweep quarantines.
+func TestFaultBackendTornWrite(t *testing.T) {
+	mem := NewMemBackend()
+	fb := NewFaultBackend(mem, FaultConfig{Seed: 3, TornWriteRate: 1})
+	key := RecordKey{App: "a", RunID: "r"}
+	data := []byte(`{"app":"a","run_id":"r","duration":100}`)
+	err := fb.Put(key, data)
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("torn Put = %v, want injected failure", err)
+	}
+	torn, gerr := mem.Get(key)
+	if gerr != nil {
+		t.Fatalf("torn write left nothing behind: %v", gerr)
+	}
+	if len(torn) >= len(data) || string(torn) != string(data[:len(torn)]) {
+		t.Fatalf("torn bytes are not a strict prefix: %d of %d", len(torn), len(data))
+	}
+	if c := fb.Counters(); c.TornWrites != 1 {
+		t.Errorf("counters = %+v, want 1 torn write", c)
+	}
+}
+
+// TestFaultBackendSetConfig proves an outage can start and heal at
+// runtime, as the chaos tests stage it.
+func TestFaultBackendSetConfig(t *testing.T) {
+	fb := NewFaultBackend(NewMemBackend(), FaultConfig{Seed: 1})
+	key := RecordKey{App: "a", RunID: "r"}
+	if err := fb.Put(key, []byte("{}")); err != nil {
+		t.Fatalf("healthy Put = %v", err)
+	}
+	fb.SetConfig(FaultConfig{ErrRate: 1})
+	if err := fb.Put(key, []byte("{}")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("outage Put = %v, want injected failure", err)
+	}
+	fb.SetConfig(FaultConfig{})
+	if err := fb.Put(key, []byte("{}")); err != nil {
+		t.Fatalf("healed Put = %v", err)
+	}
+}
+
+// TestFaultBackendConcurrency hammers the injector from many goroutines;
+// under -race this proves the seeded PRNG and counters are safe.
+func TestFaultBackendConcurrency(t *testing.T) {
+	fb := NewFaultBackend(NewMemBackend(), FaultConfig{Seed: 5, ErrRate: 0.2})
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				key := RecordKey{App: "a", Version: fmt.Sprintf("v%d", w), RunID: fmt.Sprintf("r%d", i)}
+				fb.Put(key, []byte("{}"))
+				fb.Get(key)
+				fb.Scan()
+			}
+		}()
+	}
+	wg.Wait()
+	if c := fb.Counters(); c.Ops != 8*25*3 {
+		t.Errorf("ops = %d, want %d", c.Ops, 8*25*3)
+	}
+}
+
+// TestStoreIndexConsistencyAfterFailedPut is the ISSUE's index
+// invariant: a record the backend rejected must not appear in the index,
+// in queries, or in listings — and a later successful save must.
+func TestStoreIndexConsistencyAfterFailedPut(t *testing.T) {
+	fb := NewFaultBackend(NewMemBackend(), FaultConfig{Seed: 1})
+	st, err := NewStoreWith(fb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fb.SetConfig(FaultConfig{ErrRate: 1})
+	rec := sampleRecord("rejected")
+	err = st.Save(rec)
+	if !errors.Is(err, ErrInjected) || !IsBackendError(err) {
+		t.Fatalf("Save over failing backend = %v, want injected BackendError", err)
+	}
+	if st.Len() != 0 {
+		t.Fatalf("index holds %d records after a rejected Put", st.Len())
+	}
+	if _, err := st.Load(rec.App, rec.Version, rec.RunID); err == nil {
+		t.Fatal("rejected record is loadable")
+	}
+	hits, err := st.Query(rec.App, "", ResultFilter{State: "true"})
+	if err != nil || len(hits) != 0 {
+		t.Fatalf("rejected record is queryable: %d hits, %v", len(hits), err)
+	}
+	names, _ := st.List()
+	if len(names) != 0 {
+		t.Fatalf("rejected record is listed: %v", names)
+	}
+
+	fb.SetConfig(FaultConfig{})
+	if err := st.Save(rec); err != nil {
+		t.Fatalf("Save after heal = %v", err)
+	}
+	if st.Len() != 1 {
+		t.Fatalf("index holds %d records after successful save, want 1", st.Len())
+	}
+}
+
+// TestStorePing proves the degraded-mode health probe: nil over a
+// healthy backend (a miss is an answer), the fault over a failing one.
+func TestStorePing(t *testing.T) {
+	fb := NewFaultBackend(NewMemBackend(), FaultConfig{Seed: 1})
+	st, err := NewStoreWith(fb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Ping(); err != nil {
+		t.Fatalf("Ping over healthy backend = %v", err)
+	}
+	fb.SetConfig(FaultConfig{ErrRate: 1})
+	if err := st.Ping(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("Ping over failing backend = %v, want injected failure", err)
+	}
+}

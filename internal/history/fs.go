@@ -21,6 +21,11 @@ import (
 // Put of the same key.
 type FSBackend struct {
 	dir string
+
+	// renameHook replaces os.Rename in Put when non-nil — the seam the
+	// fault-injection tests use to fail the commit step of an atomic
+	// write without touching the filesystem's behaviour.
+	renameHook func(oldpath, newpath string) error
 }
 
 // NewFSBackend opens (creating if needed) a record directory.
@@ -103,15 +108,33 @@ func legacyFileName(key RecordKey) string {
 	return name + "-" + key.RunID + ".json"
 }
 
+// rename commits an atomic write, through the test hook when set.
+func (b *FSBackend) rename(oldpath, newpath string) error {
+	if b.renameHook != nil {
+		return b.renameHook(oldpath, newpath)
+	}
+	return os.Rename(oldpath, newpath)
+}
+
 // Put implements Backend: an atomic write (unique temp file + rename)
-// that removes the temp file on failure, and removes the key's legacy
-// file, if any, so re-saving a record migrates it to the escaped scheme.
+// that removes the temp file on every failure path — write, close,
+// chmod, and rename alike — and removes the key's legacy file, if any,
+// so re-saving a record migrates it to the escaped scheme.
 func (b *FSBackend) Put(key RecordKey, data []byte) error {
 	tmp, err := os.CreateTemp(b.dir, ".put-*.tmp")
 	if err != nil {
 		return fmt.Errorf("history: write: %w", err)
 	}
 	tmpName := tmp.Name()
+	committed := false
+	defer func() {
+		// Structural cleanup: whichever step fails, the temp file never
+		// outlives the call. A crash between write and rename still
+		// orphans it; SweepTemp reclaims those at the next OpenStore.
+		if !committed {
+			os.Remove(tmpName)
+		}
+	}()
 	_, werr := tmp.Write(data)
 	cerr := tmp.Close()
 	if werr == nil {
@@ -121,12 +144,12 @@ func (b *FSBackend) Put(key RecordKey, data []byte) error {
 		werr = os.Chmod(tmpName, 0o644)
 	}
 	if werr == nil {
-		werr = os.Rename(tmpName, filepath.Join(b.dir, fileName(key)))
+		werr = b.rename(tmpName, filepath.Join(b.dir, fileName(key)))
 	}
 	if werr != nil {
-		os.Remove(tmpName)
 		return fmt.Errorf("history: write: %w", werr)
 	}
+	committed = true
 	if legacy := legacyFileName(key); legacy != "" && legacy != fileName(key) {
 		// Migrate: drop the key's legacy file — but only after checking
 		// it is this key's (another key's escaped name can spell the
@@ -182,6 +205,64 @@ func (b *FSBackend) Delete(key RecordKey) error {
 	}
 	if !removed {
 		return fmt.Errorf("history: delete %s: %w", key, os.ErrNotExist)
+	}
+	return nil
+}
+
+// QuarantineDir is the subdirectory OpenStore moves corrupt records
+// into. Files in it are ignored by Scan; moving one back into the store
+// directory (and reopening) restores the record.
+const QuarantineDir = "quarantine"
+
+// quarantineReport is the per-store log of what was quarantined and why.
+const quarantineReport = "REPORT.txt"
+
+// SweepTemp removes orphaned atomic-write temp files (".put-*.tmp") left
+// behind by a crash between write and rename, returning the names it
+// removed. Put never publishes a temp file, so any present when a store
+// is opened is garbage by construction.
+func (b *FSBackend) SweepTemp() ([]string, error) {
+	entries, err := os.ReadDir(b.dir)
+	if err != nil {
+		return nil, fmt.Errorf("history: sweep: %w", err)
+	}
+	var swept []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasPrefix(name, ".put-") || !strings.HasSuffix(name, ".tmp") {
+			continue
+		}
+		if err := os.Remove(filepath.Join(b.dir, name)); err != nil {
+			return swept, fmt.Errorf("history: sweep: %w", err)
+		}
+		swept = append(swept, name)
+	}
+	sort.Strings(swept)
+	return swept, nil
+}
+
+// Quarantine moves the named store file into the quarantine/
+// subdirectory and appends a line to quarantine/REPORT.txt recording the
+// reason — corrupt data is set aside restorably, never deleted. name
+// must be a bare basename as yielded by Scan.
+func (b *FSBackend) Quarantine(name, reason string) error {
+	if name == "" || strings.ContainsAny(name, "/\\") {
+		return fmt.Errorf("history: quarantine: bad entry name %q", name)
+	}
+	qdir := filepath.Join(b.dir, QuarantineDir)
+	if err := os.MkdirAll(qdir, 0o755); err != nil {
+		return fmt.Errorf("history: quarantine: %w", err)
+	}
+	if err := os.Rename(filepath.Join(b.dir, name), filepath.Join(qdir, name)); err != nil {
+		return fmt.Errorf("history: quarantine: %w", err)
+	}
+	// The report is advisory; failing to append must not fail the
+	// recovery that just made the store readable again.
+	f, err := os.OpenFile(filepath.Join(qdir, quarantineReport),
+		os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+	if err == nil {
+		fmt.Fprintf(f, "%s\t%s\n", name, reason)
+		f.Close()
 	}
 	return nil
 }

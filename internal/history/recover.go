@@ -1,0 +1,73 @@
+package history
+
+import "fmt"
+
+// QuarantinedEntry names one corrupt record OpenStore set aside, with
+// the decode or read error that condemned it.
+type QuarantinedEntry struct {
+	// Name is the file basename, now under quarantine/.
+	Name string
+	// Reason is what was wrong with it.
+	Reason string
+}
+
+func (q QuarantinedEntry) String() string { return fmt.Sprintf("%s: %s", q.Name, q.Reason) }
+
+// RecoveryReport describes what crash recovery did when a store was
+// opened: orphaned atomic-write temp files swept, and corrupt records
+// quarantined (moved into quarantine/ with a REPORT.txt line each, not
+// deleted — a human can inspect and restore them).
+type RecoveryReport struct {
+	SweptTemp   []string
+	Quarantined []QuarantinedEntry
+}
+
+// Empty reports whether recovery found nothing to do.
+func (r *RecoveryReport) Empty() bool {
+	return r == nil || (len(r.SweptTemp) == 0 && len(r.Quarantined) == 0)
+}
+
+// Recovery returns the crash-recovery report of the OpenStore call that
+// produced this store, or nil when the store was not opened through the
+// recovering path (NewStore, NewMemStore, NewStoreWith).
+func (s *Store) Recovery() *RecoveryReport {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.recovery
+}
+
+// recoverFS runs crash recovery over an open filesystem-backed store:
+// sweep temp-file orphans, quarantine every entry the scan could not
+// decode, and rescan so the surviving index is clean. Entries that
+// cannot be quarantined (a read-only store, say) stay behind as plain
+// scan issues — recovery degrades to the old skip-and-report behaviour
+// rather than failing the open.
+func (s *Store) recoverFS(b *FSBackend) (*RecoveryReport, error) {
+	rep := &RecoveryReport{}
+	swept, err := b.SweepTemp()
+	rep.SweptTemp = swept
+	if err != nil {
+		return rep, err
+	}
+	issues := s.ScanIssues()
+	if len(issues) == 0 {
+		return rep, nil
+	}
+	for _, issue := range issues {
+		if qerr := b.Quarantine(issue.Name, issue.Err.Error()); qerr != nil {
+			continue
+		}
+		rep.Quarantined = append(rep.Quarantined, QuarantinedEntry{
+			Name:   issue.Name,
+			Reason: issue.Err.Error(),
+		})
+	}
+	if len(rep.Quarantined) > 0 {
+		// The quarantined files are gone from the scan now; rebuild the
+		// index so ScanIssues reports only what recovery could not fix.
+		if err := s.Refresh(); err != nil {
+			return rep, err
+		}
+	}
+	return rep, nil
+}

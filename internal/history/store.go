@@ -2,6 +2,7 @@ package history
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 	"sort"
@@ -23,9 +24,10 @@ import (
 type Store struct {
 	backend Backend
 
-	mu     sync.RWMutex
-	recs   map[RecordKey]*RunRecord
-	issues []ScanIssue
+	mu       sync.RWMutex
+	recs     map[RecordKey]*RunRecord
+	issues   []ScanIssue
+	recovery *RecoveryReport
 }
 
 // NewStore opens (creating if needed) a filesystem-backed store rooted
@@ -42,6 +44,12 @@ func NewStore(dir string) (*Store, error) {
 // failing when the directory does not exist. Read-only tools use this
 // instead of NewStore so that a mistyped -store path surfaces as an
 // error rather than as a silently empty store.
+//
+// OpenStore also runs crash recovery: orphaned atomic-write temp files
+// are swept, and records the scan cannot decode are moved into the
+// quarantine/ subdirectory (with a REPORT.txt line each) instead of
+// being silently skipped forever. The Recovery method reports what was
+// done; quarantined files are restorable by moving them back.
 func OpenStore(dir string) (*Store, error) {
 	if dir == "" {
 		return nil, fmt.Errorf("history: empty store directory")
@@ -53,7 +61,19 @@ func OpenStore(dir string) (*Store, error) {
 	if !fi.IsDir() {
 		return nil, fmt.Errorf("history: open store: %s is not a directory", dir)
 	}
-	return NewStore(dir)
+	st, err := NewStore(dir)
+	if err != nil {
+		return nil, err
+	}
+	fb, _ := st.backend.(*FSBackend) // NewStore always builds one
+	rep, err := st.recoverFS(fb)
+	if err != nil {
+		return nil, fmt.Errorf("history: recover store: %w", err)
+	}
+	st.mu.Lock()
+	st.recovery = rep
+	st.mu.Unlock()
+	return st, nil
 }
 
 // NewMemStore creates a store over a fresh in-memory backend.
@@ -93,7 +113,7 @@ func (s *Store) Dir() string {
 func (s *Store) Refresh() error {
 	entries, issues, err := s.backend.Scan()
 	if err != nil {
-		return err
+		return &BackendError{Op: "scan", Err: err}
 	}
 	recs := make(map[RecordKey]*RunRecord, len(entries))
 	for _, e := range entries {
@@ -151,7 +171,10 @@ func (s *Store) Save(rec *RunRecord) error {
 		return err
 	}
 	if err := s.backend.Put(cached.Key(), data); err != nil {
-		return err
+		// The index must never contain a record the backend rejected:
+		// return before touching s.recs, classified as a backend failure
+		// so the service layer can degrade instead of blaming the caller.
+		return asBackendError("put", err)
 	}
 	s.mu.Lock()
 	s.recs[cached.Key()] = cached
@@ -173,7 +196,7 @@ func (s *Store) Load(app, version, runID string) (*RunRecord, error) {
 	// behind the store's back since the last Refresh.
 	data, err := s.backend.Get(key)
 	if err != nil {
-		return nil, err
+		return nil, asBackendError("get", err)
 	}
 	rec, err = decodeRecord(data)
 	if err != nil {
@@ -198,7 +221,7 @@ func (s *Store) Load(app, version, runID string) (*RunRecord, error) {
 func (s *Store) Delete(app, version, runID string) error {
 	key := RecordKey{App: app, Version: version, RunID: runID}
 	if err := s.backend.Delete(key); err != nil {
-		return err
+		return asBackendError("delete", err)
 	}
 	s.mu.Lock()
 	delete(s.recs, key)
@@ -262,6 +285,28 @@ func (s *Store) LoadAll(app, version string) ([]*RunRecord, error) {
 	}
 	s.mu.RUnlock()
 	return out, nil
+}
+
+// asBackendError wraps err as a BackendError unless it already is one
+// (the FaultBackend pre-classifies its injections).
+func asBackendError(op string, err error) error {
+	var be *BackendError
+	if errors.As(err, &be) {
+		return err
+	}
+	return &BackendError{Op: op, Err: err}
+}
+
+// Ping probes the backend with a cheap read. It returns nil while the
+// engine answers (a miss counts as an answer) and the failure otherwise
+// — the health check the diagnosis service uses to notice a degraded
+// store recovering without being restarted.
+func (s *Store) Ping() error {
+	_, err := s.backend.Get(RecordKey{App: "\x00ping", RunID: "\x00ping"})
+	if err == nil || errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	return asBackendError("get", err)
 }
 
 // Key returns the record's store key.

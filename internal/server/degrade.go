@@ -1,0 +1,133 @@
+package server
+
+import (
+	"errors"
+	"net/http"
+	"os"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/history"
+)
+
+// Degraded mode: when the store's backend starts failing, pcd keeps
+// answering reads from the in-memory index but stops accepting writes,
+// refusing them with 503 + Retry-After instead of letting each request
+// discover the outage the slow way. /healthz flips to "degraded" and
+// doubles as the recovery path — each cooldown it probes the backend
+// once and, when the probe succeeds, the server returns to "ok" without
+// a restart.
+
+// svcCounters is the atomic backing store for the resilience fields of
+// StatsResponse.
+type svcCounters struct {
+	backendFaults  atomic.Uint64
+	writesRejected atomic.Uint64
+	breakerOpens   atomic.Uint64
+	backendProbes  atomic.Uint64
+	sessionRetries atomic.Uint64
+}
+
+// observeStoreErr feeds one store-operation failure into the breaker.
+// Only backend trouble counts — a miss (os.ErrNotExist) or a validation
+// error is the server answering correctly. Reports whether err was
+// backend trouble.
+func (s *Server) observeStoreErr(err error) bool {
+	if !history.IsBackendError(err) || errors.Is(err, os.ErrNotExist) {
+		return false
+	}
+	s.counts.backendFaults.Add(1)
+	s.mu.Lock()
+	s.backendFails++
+	if !s.degraded && s.backendFails >= s.brkThreshold {
+		s.degraded = true
+		s.nextProbe = s.clock().Add(s.brkCooldown)
+		s.counts.breakerOpens.Add(1)
+	}
+	s.mu.Unlock()
+	return true
+}
+
+// observeStoreOK records proof the backend works: the failure streak
+// resets and degraded mode ends.
+func (s *Server) observeStoreOK() {
+	s.mu.Lock()
+	s.backendFails = 0
+	s.degraded = false
+	s.nextProbe = time.Time{}
+	s.mu.Unlock()
+}
+
+// isDegraded reports the current degraded state.
+func (s *Server) isDegraded() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.degraded
+}
+
+// clock returns the current time via the test seam when set.
+func (s *Server) clock() time.Time {
+	if s.now != nil {
+		return s.now()
+	}
+	return time.Now()
+}
+
+// writeUnavailable answers 503 with a Retry-After of the breaker
+// cooldown, telling well-behaved clients when a retry is worth it.
+func (s *Server) writeUnavailable(w http.ResponseWriter, msg string) {
+	secs := int(s.brkCooldown / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
+	writeJSON(w, http.StatusServiceUnavailable, ErrorResponse{Error: msg})
+}
+
+// rejectWriteDegraded refuses a write request while degraded, without
+// touching the backend. Reports whether the request was handled.
+func (s *Server) rejectWriteDegraded(w http.ResponseWriter) bool {
+	if !s.isDegraded() {
+		return false
+	}
+	s.counts.writesRejected.Add(1)
+	s.writeUnavailable(w, "store backend unavailable; writes are disabled while degraded")
+	return true
+}
+
+// failStore maps a store-operation error onto the wire, feeding the
+// breaker: backend trouble becomes 503 + Retry-After, everything else
+// takes the ordinary writeErr path.
+func (s *Server) failStore(w http.ResponseWriter, err error, fallback int) {
+	if s.observeStoreErr(err) {
+		s.writeUnavailable(w, err.Error())
+		return
+	}
+	writeErr(w, err, fallback)
+}
+
+// healthProbe runs the degraded-mode recovery check when one is due:
+// at most one backend probe per cooldown window, ending degraded mode
+// on success. Returns the current degraded state.
+func (s *Server) healthProbe() bool {
+	s.mu.Lock()
+	degraded := s.degraded
+	due := degraded && !s.clock().Before(s.nextProbe)
+	if due {
+		// Claim this window's probe so concurrent health checks don't
+		// pile onto a struggling backend.
+		s.nextProbe = s.clock().Add(s.brkCooldown)
+	}
+	s.mu.Unlock()
+	if !due {
+		return degraded
+	}
+	s.counts.backendProbes.Add(1)
+	if err := s.env.Store().Ping(); err != nil {
+		s.counts.backendFaults.Add(1)
+		return true
+	}
+	s.observeStoreOK()
+	return false
+}

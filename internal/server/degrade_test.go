@@ -1,0 +1,211 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/harness"
+	"repro/internal/history"
+)
+
+// faultServer builds a server over a fault-injectable in-memory store.
+func faultServer(t *testing.T, opts Options) (*Server, *history.FaultBackend) {
+	t.Helper()
+	fb := history.NewFaultBackend(history.NewMemBackend(), history.FaultConfig{Seed: 1})
+	st, err := history.NewStoreWith(fb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return New(harness.NewEnv(st), opts), fb
+}
+
+// doReq performs one request against the handler and returns status,
+// headers and decoded body.
+func doReq(t *testing.T, h http.Handler, method, target, body string) (*http.Response, map[string]any) {
+	t.Helper()
+	var rd io.Reader
+	if body != "" {
+		rd = strings.NewReader(body)
+	}
+	req := httptest.NewRequest(method, target, rd)
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	resp := w.Result()
+	defer resp.Body.Close()
+	var decoded map[string]any
+	data, _ := io.ReadAll(resp.Body)
+	if len(data) > 0 {
+		if err := json.Unmarshal(data, &decoded); err != nil {
+			t.Fatalf("%s %s: body %q is not JSON: %v", method, target, data, err)
+		}
+	}
+	return resp, decoded
+}
+
+const putBody = `{"app":"poisson","version":"A","run_id":"r1"}`
+
+// TestDegradedModeLifecycle walks the degradation ladder end to end:
+// consecutive backend failures flip the server degraded, degraded mode
+// refuses writes with 503 + Retry-After without touching the backend
+// while reads keep working from the index, /healthz reports "degraded",
+// and after the backend heals a due health probe returns the server to
+// "ok" without a restart.
+func TestDegradedModeLifecycle(t *testing.T) {
+	srv, fb := faultServer(t, Options{Sessions: 1, BreakerThreshold: 2, BreakerCooldown: time.Minute})
+	clock := time.Unix(5000, 0)
+	srv.now = func() time.Time { return clock }
+	h := srv.Handler()
+
+	// Seed one record while healthy so degraded reads have something to
+	// serve.
+	if resp, _ := doReq(t, h, http.MethodPut, "/api/v1/run", putBody); resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthy put: status %d", resp.StatusCode)
+	}
+
+	// The backend starts failing. Each failed write is 503 with a
+	// Retry-After, and the second one trips the breaker.
+	fb.SetConfig(history.FaultConfig{ErrRate: 1})
+	for i := 0; i < 2; i++ {
+		resp, _ := doReq(t, h, http.MethodPut, "/api/v1/run", putBody)
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			t.Fatalf("failing put %d: status %d, want 503", i, resp.StatusCode)
+		}
+		if resp.Header.Get("Retry-After") == "" {
+			t.Fatalf("failing put %d: no Retry-After header", i)
+		}
+	}
+	if !srv.isDegraded() {
+		t.Fatal("two consecutive backend failures did not degrade the server")
+	}
+
+	// Degraded: writes are refused before the backend is touched.
+	opsBefore := fb.Counters().Ops
+	resp, body := doReq(t, h, http.MethodPut, "/api/v1/run", putBody)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("degraded put: status %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("degraded put: no Retry-After header")
+	}
+	if fb.Counters().Ops != opsBefore {
+		t.Errorf("degraded put touched the backend: %v", body)
+	}
+
+	// Reads still come from the index.
+	if resp, body := doReq(t, h, http.MethodGet, "/api/v1/runs", ""); resp.StatusCode != http.StatusOK {
+		t.Fatalf("degraded read: status %d, body %v", resp.StatusCode, body)
+	} else if runs := body["runs"].([]any); len(runs) != 1 {
+		t.Fatalf("degraded read lost the index: %v", body)
+	}
+	if resp, body := doReq(t, h, http.MethodGet, "/api/v1/query?app=poisson", ""); resp.StatusCode != http.StatusOK {
+		t.Fatalf("degraded query: status %d, body %v", resp.StatusCode, body)
+	}
+
+	// Health reports degraded; the probe window has not opened yet, so
+	// no probe runs.
+	if _, body := doReq(t, h, http.MethodGet, "/healthz", ""); body["status"] != "degraded" {
+		t.Fatalf("degraded health = %v", body)
+	}
+	if n := srv.counts.backendProbes.Load(); n != 0 {
+		t.Fatalf("health probed %d times before the cooldown", n)
+	}
+
+	// A due probe against a still-broken backend keeps the server
+	// degraded and counts the fault.
+	clock = clock.Add(2 * time.Minute)
+	if _, body := doReq(t, h, http.MethodGet, "/healthz", ""); body["status"] != "degraded" {
+		t.Fatalf("health after failed probe = %v", body)
+	}
+	if n := srv.counts.backendProbes.Load(); n != 1 {
+		t.Fatalf("probes = %d, want 1", n)
+	}
+
+	// The backend heals; the next due probe ends degraded mode — no
+	// restart involved.
+	fb.SetConfig(history.FaultConfig{})
+	clock = clock.Add(2 * time.Minute)
+	if _, body := doReq(t, h, http.MethodGet, "/healthz", ""); body["status"] != "ok" {
+		t.Fatalf("health after recovery = %v", body)
+	}
+	if resp, _ := doReq(t, h, http.MethodPut, "/api/v1/run", putBody); resp.StatusCode != http.StatusOK {
+		t.Fatalf("put after recovery: status %d, want 200", resp.StatusCode)
+	}
+
+	st := srv.stats()
+	if st.Degraded || st.BreakerOpens != 1 || st.WritesRejected != 1 ||
+		st.BackendFaults < 3 || st.BackendProbes != 2 {
+		t.Errorf("final stats = %+v", st)
+	}
+}
+
+// TestDegradedProbeOncePerWindow proves concurrent health checks admit
+// at most one backend probe per cooldown window.
+func TestDegradedProbeOncePerWindow(t *testing.T) {
+	srv, fb := faultServer(t, Options{Sessions: 1, BreakerThreshold: 1, BreakerCooldown: time.Minute})
+	clock := time.Unix(5000, 0)
+	srv.now = func() time.Time { return clock }
+	h := srv.Handler()
+
+	fb.SetConfig(history.FaultConfig{ErrRate: 1})
+	doReq(t, h, http.MethodPut, "/api/v1/run", putBody)
+	clock = clock.Add(2 * time.Minute)
+	for i := 0; i < 5; i++ {
+		doReq(t, h, http.MethodGet, "/healthz", "")
+	}
+	if n := srv.counts.backendProbes.Load(); n != 1 {
+		t.Fatalf("probes = %d, want 1 per window", n)
+	}
+}
+
+// TestDiagnoseSessionRetry proves the server re-runs a diagnosis
+// session that failed with a transient error, invisibly to the client.
+func TestDiagnoseSessionRetry(t *testing.T) {
+	srv, _ := faultServer(t, Options{Sessions: 1, SessionRetries: 2})
+	var calls atomic.Int64
+	srv.runJobs = func(ctx context.Context, jobs []harness.SessionJob, workers int, gate harness.Gate) ([]*harness.SessionResult, error) {
+		if calls.Add(1) == 1 {
+			return []*harness.SessionResult{nil}, &harness.SchedulerError{Jobs: []*harness.JobError{
+				{Index: 0, Err: &history.BackendError{Op: "get", Err: errors.New("blip")}},
+			}}
+		}
+		return []*harness.SessionResult{{Quiesced: true}}, nil
+	}
+	h := srv.Handler()
+	resp, body := doReq(t, h, http.MethodPost, "/api/v1/diagnose", `{"app":"tester"}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("diagnose with transient blip: status %d, body %v", resp.StatusCode, body)
+	}
+	if calls.Load() != 2 {
+		t.Fatalf("session ran %d times, want 2", calls.Load())
+	}
+	if st := srv.stats(); st.SessionRetries != 1 {
+		t.Errorf("stats = %+v, want 1 session retry", st)
+	}
+}
+
+// TestDiagnoseSessionRetryExhausted proves a transient fault outlasting
+// the session budget surfaces as 503 + Retry-After, not a 400.
+func TestDiagnoseSessionRetryExhausted(t *testing.T) {
+	srv, _ := faultServer(t, Options{Sessions: 1, SessionRetries: 1})
+	srv.runJobs = func(ctx context.Context, jobs []harness.SessionJob, workers int, gate harness.Gate) ([]*harness.SessionResult, error) {
+		return []*harness.SessionResult{nil}, &harness.SchedulerError{Jobs: []*harness.JobError{
+			{Index: 0, Err: &history.BackendError{Op: "scan", Err: errors.New("still down")}},
+		}}
+	}
+	h := srv.Handler()
+	resp, _ := doReq(t, h, http.MethodPost, "/api/v1/diagnose", `{"app":"tester"}`)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("exhausted diagnose: status %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("exhausted diagnose: no Retry-After header")
+	}
+}

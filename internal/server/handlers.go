@@ -92,8 +92,11 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	draining := s.draining
 	s.mu.Unlock()
 	status := "ok"
-	if draining {
+	switch {
+	case draining:
 		status = "draining"
+	case s.healthProbe():
+		status = "degraded"
 	}
 	writeJSON(w, http.StatusOK, HealthResponse{Status: status})
 }
@@ -137,7 +140,7 @@ func (s *Server) handleGetRun(w http.ResponseWriter, r *http.Request) {
 	}
 	rec, err := s.env.Store().Load(key.App, key.Version, key.RunID)
 	if err != nil {
-		writeErr(w, err, http.StatusBadRequest)
+		s.failStore(w, err, http.StatusBadRequest)
 		return
 	}
 	writeJSON(w, http.StatusOK, rec)
@@ -150,10 +153,14 @@ func (s *Server) handlePutRun(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, fmt.Errorf("decode run record: %w", err), http.StatusBadRequest)
 		return
 	}
-	if err := s.env.Store().Save(&rec); err != nil {
-		writeErr(w, err, http.StatusBadRequest)
+	if s.rejectWriteDegraded(w) {
 		return
 	}
+	if err := s.env.Store().Save(&rec); err != nil {
+		s.failStore(w, err, http.StatusBadRequest)
+		return
+	}
+	s.observeStoreOK()
 	writeJSON(w, http.StatusOK, PutRunResponse{Saved: rec.Key().String()})
 }
 
@@ -163,10 +170,14 @@ func (s *Server) handleDeleteRun(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, err, http.StatusBadRequest)
 		return
 	}
-	if err := s.env.Store().Delete(key.App, key.Version, key.RunID); err != nil {
-		writeErr(w, err, http.StatusBadRequest)
+	if s.rejectWriteDegraded(w) {
 		return
 	}
+	if err := s.env.Store().Delete(key.App, key.Version, key.RunID); err != nil {
+		s.failStore(w, err, http.StatusBadRequest)
+		return
+	}
+	s.observeStoreOK()
 	writeJSON(w, http.StatusOK, DeleteRunResponse{Deleted: key.String()})
 }
 
@@ -258,7 +269,7 @@ func (s *Server) handleSpecific(w http.ResponseWriter, r *http.Request) {
 	}
 	rec, err := s.env.Store().Load(key.App, key.Version, key.RunID)
 	if err != nil {
-		writeErr(w, err, http.StatusBadRequest)
+		s.failStore(w, err, http.StatusBadRequest)
 		return
 	}
 	writeJSON(w, http.StatusOK, SpecificResponse{
@@ -298,12 +309,12 @@ func (s *Server) handleCompare(w http.ResponseWriter, r *http.Request) {
 	}
 	a, err := load("a")
 	if err != nil {
-		writeErr(w, err, http.StatusBadRequest)
+		s.failStore(w, err, http.StatusBadRequest)
 		return
 	}
 	b, err := load("b")
 	if err != nil {
-		writeErr(w, err, http.StatusBadRequest)
+		s.failStore(w, err, http.StatusBadRequest)
 		return
 	}
 	resp, err := BuildCompareResponse(a, b, eps)
@@ -385,11 +396,20 @@ func (s *Server) handleDiagnose(w http.ResponseWriter, r *http.Request) {
 		ctx, cancel = context.WithTimeout(ctx, s.sessionTimeout)
 		defer cancel()
 	}
-	results, err := s.runJobs(ctx, []harness.SessionJob{*job}, 1, s.pool)
+	results, retried, err := harness.RunSessionsRetryWith(
+		s.runJobs, ctx, []harness.SessionJob{*job}, 1, s.pool, s.sessionRetries, nil)
+	s.counts.sessionRetries.Add(uint64(retried.Retried))
 	if err != nil {
 		var sched *harness.SchedulerError
 		if errors.As(err, &sched) && len(sched.Jobs) == 1 {
 			err = sched.Jobs[0].Err
+		}
+		if history.IsTransient(err) {
+			// The retries are spent and the fault persists: tell the
+			// client to come back later, not that its request was bad.
+			s.observeStoreErr(err)
+			s.writeUnavailable(w, err.Error())
+			return
 		}
 		writeErr(w, err, http.StatusBadRequest)
 		return
@@ -406,11 +426,15 @@ func (s *Server) handleDiagnose(w http.ResponseWriter, r *http.Request) {
 		Bottlenecks:       WireBottlenecks(res.Bottlenecks),
 	}
 	if req.Save {
-		rec, err := s.env.SaveResult(res)
-		if err != nil {
-			writeErr(w, err, http.StatusInternalServerError)
+		if s.rejectWriteDegraded(w) {
 			return
 		}
+		rec, err := s.env.SaveResult(res)
+		if err != nil {
+			s.failStore(w, err, http.StatusInternalServerError)
+			return
+		}
+		s.observeStoreOK()
 		resp.Saved = rec.Key().String()
 	}
 	writeJSON(w, http.StatusOK, resp)

@@ -27,6 +27,18 @@ type Options struct {
 	// SessionTimeout bounds one diagnose request's wall-clock time,
 	// including time queued for a session slot; 0 means no timeout.
 	SessionTimeout time.Duration
+	// BreakerThreshold is the number of consecutive backend failures
+	// that flips the server into degraded mode (reads from the index,
+	// writes refused with 503); <= 0 means 3.
+	BreakerThreshold int
+	// BreakerCooldown is how long degraded mode waits between backend
+	// recovery probes, and the Retry-After given to refused writes;
+	// <= 0 means 5s.
+	BreakerCooldown time.Duration
+	// SessionRetries is how many times a diagnosis session that fails
+	// with a transient (injected or backend I/O) error is re-run before
+	// the failure is reported; 0 disables.
+	SessionRetries int
 }
 
 // Server is the diagnosis service. Create with New, expose via Handler,
@@ -35,15 +47,30 @@ type Server struct {
 	env            *harness.Env
 	pool           *sessionPool
 	sessionTimeout time.Duration
+	sessionRetries int
+	brkThreshold   int
+	brkCooldown    time.Duration
 	mux            *http.ServeMux
 
-	// mu guards the drain state and the in-flight diagnose count; cond
-	// is signalled each time a diagnose request finishes so Drain can
-	// wait for the count to reach zero.
+	// counts are the resilience counters /statsz reports.
+	counts svcCounters
+	// now is a test seam for the degraded-mode clock; nil means
+	// time.Now.
+	now func() time.Time
+
+	// mu guards the drain state, the in-flight diagnose count, and the
+	// degradation breaker; cond is signalled each time a diagnose
+	// request finishes so Drain can wait for the count to reach zero.
 	mu       sync.Mutex
 	cond     *sync.Cond
 	draining bool
 	active   int
+	// backendFails counts consecutive backend failures; at
+	// brkThreshold the server turns degraded until a probe (scheduled
+	// at nextProbe) proves the backend healthy again.
+	backendFails int
+	degraded     bool
+	nextProbe    time.Time
 
 	// runJobs is harness.RunSessionsGated, replaceable by lifecycle
 	// tests that need sessions to block or fail on command.
@@ -56,10 +83,21 @@ func New(env *harness.Env, opts Options) *Server {
 	if n <= 0 {
 		n = runtime.GOMAXPROCS(0)
 	}
+	thr := opts.BreakerThreshold
+	if thr <= 0 {
+		thr = 3
+	}
+	cd := opts.BreakerCooldown
+	if cd <= 0 {
+		cd = 5 * time.Second
+	}
 	s := &Server{
 		env:            env,
 		pool:           newSessionPool(n),
 		sessionTimeout: opts.SessionTimeout,
+		sessionRetries: opts.SessionRetries,
+		brkThreshold:   thr,
+		brkCooldown:    cd,
 		runJobs:        harness.RunSessionsGated,
 	}
 	s.cond = sync.NewCond(&s.mu)
@@ -135,7 +173,7 @@ func (s *Server) endDiagnose() {
 // stats snapshots the live counters for /statsz.
 func (s *Server) stats() StatsResponse {
 	s.mu.Lock()
-	active, draining := s.active, s.draining
+	active, draining, degraded := s.active, s.draining, s.degraded
 	s.mu.Unlock()
 	hits, misses := s.env.Cache().Stats()
 	return StatsResponse{
@@ -148,6 +186,12 @@ func (s *Server) stats() StatsResponse {
 		StoreRecords:    s.env.Store().Len(),
 		StoreIssues:     len(s.env.Store().ScanIssues()),
 		Draining:        draining,
+		Degraded:        degraded,
+		BackendFaults:   s.counts.backendFaults.Load(),
+		WritesRejected:  s.counts.writesRejected.Load(),
+		BreakerOpens:    s.counts.breakerOpens.Load(),
+		BackendProbes:   s.counts.backendProbes.Load(),
+		SessionRetries:  s.counts.sessionRetries.Load(),
 	}
 }
 

@@ -29,8 +29,9 @@ type ErrorResponse struct {
 	Error string `json:"error"`
 }
 
-// HealthResponse is GET /healthz: "ok" while serving, "draining" once
-// shutdown has begun.
+// HealthResponse is GET /healthz: "ok" while serving, "degraded" while
+// the store backend is failing (reads only), "draining" once shutdown
+// has begun.
 type HealthResponse struct {
 	Status string `json:"status"`
 }
@@ -53,6 +54,20 @@ type StatsResponse struct {
 	StoreRecords int  `json:"store_records"`
 	StoreIssues  int  `json:"store_issues"`
 	Draining     bool `json:"draining"`
+	// Degraded reports whether the backend breaker is open: reads come
+	// from the index, writes are refused with 503 until a probe heals.
+	Degraded bool `json:"degraded"`
+	// BackendFaults counts store operations (and health probes) that
+	// failed with backend trouble; WritesRejected counts writes refused
+	// while degraded; BreakerOpens counts ok→degraded transitions;
+	// BackendProbes counts /healthz recovery probes.
+	BackendFaults  uint64 `json:"backend_faults"`
+	WritesRejected uint64 `json:"writes_rejected"`
+	BreakerOpens   uint64 `json:"breaker_opens"`
+	BackendProbes  uint64 `json:"backend_probes"`
+	// SessionRetries counts diagnosis sessions re-run after transient
+	// failures.
+	SessionRetries uint64 `json:"session_retries"`
 }
 
 // RunsResponse is GET /api/v1/runs: stored run display names
