@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short race race-short bench bench-store bench-server bench-resilience chaos experiments fuzz clean
+.PHONY: all build vet test test-short race race-short bench bench-store bench-server bench-resilience bench-durability chaos killrestart fsck experiments fuzz clean
 
 all: build vet test
 
@@ -50,11 +50,33 @@ bench-resilience:
 		./internal/client/ ./internal/history/ | tee bench-resilience.txt
 	$(GO) run ./internal/tools/benchjson -pr 4 -in bench-resilience.txt
 
+# Durability benchmarks: WAL append cost per sync policy, journal
+# replay cost at restart, and the per-checkpoint write a journaled
+# session pays. CI archives the summary (BENCH_PR5.json).
+bench-durability:
+	$(GO) test -run '^$$' -bench 'BenchmarkDurability' -benchmem \
+		./internal/history/ ./internal/server/ | tee bench-durability.txt
+	$(GO) run ./internal/tools/benchjson -pr 5 -in bench-durability.txt
+
 # Chaos soak under the race detector: the client→server→store pipeline
 # with a seeded fault mix must produce byte-identical diagnosis output
 # to a fault-free run (chaosSeed in internal/server/chaos_test.go).
 chaos:
 	$(GO) test -race -run 'TestChaos' -v ./internal/server/
+
+# Kill-9 recovery soak: a real pcd is SIGKILLed mid-write (under
+# injected torn writes) and mid-session, restarted, and must lose no
+# acknowledged write, resume the orphaned session byte-identically, and
+# leave a store pcfsck grades clean (killrestart_test.go).
+killrestart:
+	$(GO) test -race -run 'TestKillRestart' -v .
+
+# Offline store verification. Usage: make fsck STORE=/path/to/store
+# (add FSCK_FLAGS=-repair to fix what it finds). Exit code 0 = clean,
+# 1 = crash residue, 2 = corruption.
+STORE ?= /tmp/hist
+fsck:
+	$(GO) run ./cmd/pcfsck -store $(STORE) $(FSCK_FLAGS)
 
 # Regenerate every table and figure of the paper's evaluation.
 experiments:

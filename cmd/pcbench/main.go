@@ -3,7 +3,7 @@
 // Usage:
 //
 //	pcbench -exp table1|table2|table3|table4|ocean|combine|postmortem|ablation|scale|fig1|fig2|fig3|all
-//	        [-trials N] [-parallel N] [-store DIR]
+//	        [-trials N] [-parallel N] [-store DIR] [-wal]
 //
 // -parallel bounds the number of diagnosis sessions run concurrently
 // (default: the number of CPUs). Because every session's state is
@@ -15,6 +15,9 @@
 // experiment store, browsable afterwards with pcquery; without it the
 // experiments run against an in-memory store. The rendered output is
 // identical either way: records round-trip through the same encoding.
+// -wal additionally journals every store write ahead of the record
+// files (the pcd durability layer); it changes nothing about the
+// rendered output, only the store's crash safety.
 package main
 
 import (
@@ -34,15 +37,17 @@ func main() {
 	trials := flag.Int("trials", 3, "repeated runs per configuration (medians reported)")
 	parallel := flag.Int("parallel", runtime.NumCPU(), "max concurrent diagnosis sessions (1 = sequential)")
 	storeDir := flag.String("store", "", "directory to persist experiment run records (default: in-memory)")
+	wal := flag.Bool("wal", false, "journal -store writes ahead of record files (crash safety)")
 	flag.Parse()
 
 	var st *history.Store
 	if *storeDir != "" {
 		var err error
-		st, err = history.NewStore(*storeDir)
+		st, err = history.OpenStoreDurable(*storeDir, history.DurableOptions{Create: true, WAL: *wal})
 		if err != nil {
 			log.Fatal(err)
 		}
+		defer st.Close()
 	}
 	env := harness.NewEnv(st)
 

@@ -9,12 +9,30 @@
 //	pcd -store DIR [-create] [-addr 127.0.0.1:7133] [-sessions N]
 //	    [-session-timeout 0] [-drain-timeout 30s]
 //	    [-breaker-threshold 3] [-breaker-cooldown 5s] [-session-retries 1]
+//	    [-wal] [-wal-sync always|interval|none] [-resume-sessions]
+//	    [-checkpoint-every 2500]
+//	    [-fault-seed N] [-fault-err-rate P] [-fault-torn-rate P]
 //
 // The store directory must already exist unless -create is given — a
 // daemon pointed at a mistyped path should fail loudly, not serve an
-// empty store. Opening an existing store runs crash recovery: orphaned
-// temp files are swept and unreadable records are quarantined (moved to
-// quarantine/ with a report, never deleted) before serving begins.
+// empty store. Opening an existing store runs crash recovery: the
+// write-ahead journal's tail is replayed (re-applying acknowledged
+// writes a crash left off the record files), orphaned temp files are
+// swept, and unreadable records are quarantined (moved to quarantine/
+// with a report, never deleted) before serving begins.
+//
+// Durability: with -wal (the default) every store mutation is journaled
+// before it touches a record file, so a SIGKILL mid-write loses nothing
+// that was acknowledged; -wal-sync picks the fsync policy (always =
+// fsync per append, interval = periodic, none = leave it to the OS).
+// Diagnose requests carrying an idempotency key are journaled too:
+// after a crash the daemon re-runs the orphaned sessions
+// (-resume-sessions) and serves reconnecting clients the byte-identical
+// stored result. Verify a store offline with pcfsck.
+//
+// The -fault-* flags wrap the store backend with deterministic seeded
+// fault injection (errors and torn writes) — the chaos layer the
+// kill-restart harness drives. Never set them in production.
 //
 // When the store's backend starts failing (-breaker-threshold
 // consecutive failures), the daemon degrades instead of dying: reads
@@ -36,6 +54,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"runtime"
 	"syscall"
 	"time"
@@ -58,16 +77,39 @@ func main() {
 		brkThreshold   = flag.Int("breaker-threshold", 3, "consecutive backend failures before degraded mode")
 		brkCooldown    = flag.Duration("breaker-cooldown", 5*time.Second, "degraded-mode probe interval and Retry-After hint")
 		sessionRetries = flag.Int("session-retries", 1, "re-runs of a diagnosis session after a transient failure")
+		wal            = flag.Bool("wal", true, "journal store writes ahead of record files (crash safety)")
+		walSync        = flag.String("wal-sync", "interval", "WAL fsync policy: always | interval | none")
+		resumeSessions = flag.Bool("resume-sessions", true, "re-run diagnosis sessions a crash orphaned")
+		ckptEvery      = flag.Float64("checkpoint-every", 2500, "session checkpoint cadence in virtual seconds")
+		faultSeed      = flag.Int64("fault-seed", 1, "seed for injected backend faults (testing only)")
+		faultErrRate   = flag.Float64("fault-err-rate", 0, "injected backend error probability (testing only)")
+		faultTornRate  = flag.Float64("fault-torn-rate", 0, "injected torn-write probability (testing only)")
 	)
 	flag.Parse()
 	if *storeDir == "" {
 		log.Fatal("-store is required")
 	}
-	open := history.OpenStore
-	if *create {
-		open = history.NewStore
+	sync, err := history.ParseSyncPolicy(*walSync)
+	if err != nil {
+		log.Fatal(err)
 	}
-	st, err := open(*storeDir)
+	dopts := history.DurableOptions{
+		Create:     *create,
+		WAL:        *wal,
+		WALOptions: history.WALOptions{Sync: sync},
+	}
+	if *faultErrRate > 0 || *faultTornRate > 0 {
+		log.Printf("warning: fault injection active (seed %d, err %.3f, torn %.3f)",
+			*faultSeed, *faultErrRate, *faultTornRate)
+		dopts.Wrap = func(b history.Backend) history.Backend {
+			return history.NewFaultBackend(b, history.FaultConfig{
+				Seed:          *faultSeed,
+				ErrRate:       *faultErrRate,
+				TornWriteRate: *faultTornRate,
+			})
+		}
+	}
+	st, err := history.OpenStoreDurable(*storeDir, dopts)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -77,6 +119,13 @@ func main() {
 		}
 		for _, q := range rep.Quarantined {
 			log.Printf("recovery: quarantined %s (%s)", q.Name, q.Reason)
+		}
+		if w := rep.WAL; w != nil && !w.Empty() {
+			log.Printf("recovery: wal replayed %d of %d journaled entries (torn tail: %v)",
+				w.Replayed, w.Entries, w.TornTail)
+			for _, c := range w.Corrupt {
+				log.Printf("recovery: wal corrupt frame: %s", c)
+			}
 		}
 		log.Printf("recovery: %d temp files swept, %d records quarantined under %s/%s",
 			len(rep.SweptTemp), len(rep.Quarantined), st.Dir(), history.QuarantineDir)
@@ -92,6 +141,9 @@ func main() {
 		BreakerCooldown:  *brkCooldown,
 		SessionRetries:   *sessionRetries,
 	})
+	if err := srv.EnableSessionJournal(filepath.Join(st.Dir(), server.SessionsDirName), *ckptEvery); err != nil {
+		log.Fatal(err)
+	}
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		log.Fatal(err)
@@ -110,6 +162,22 @@ func main() {
 
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.Serve(ln) }()
+
+	// Resume crash-orphaned sessions in the background: the daemon serves
+	// immediately, and a client resending its idempotency key right now
+	// simply waits on the same journal claim instead of racing the
+	// resume.
+	if *resumeSessions {
+		go func() {
+			n, err := srv.ResumeSessions(context.Background())
+			if err != nil {
+				log.Printf("session resume: %v", err)
+			}
+			if n > 0 {
+				log.Printf("resumed %d crash-orphaned diagnosis sessions", n)
+			}
+		}()
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
@@ -130,6 +198,10 @@ func main() {
 	}
 	if err := httpSrv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		log.Printf("shutdown: %v", err)
+	}
+	// Close the store last: flushes and closes the write-ahead journal.
+	if err := st.Close(); err != nil {
+		log.Printf("store close: %v", err)
 	}
 	log.Print("stopped")
 }

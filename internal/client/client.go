@@ -7,6 +7,8 @@ package client
 import (
 	"bytes"
 	"context"
+	cryptorand "crypto/rand"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -356,10 +358,30 @@ func (c *Client) Harvest(ctx context.Context, req *server.HarvestRequest) (*serv
 // Diagnose submits one on-demand diagnosis session and waits for its
 // result. Long searches hold the connection open; bound the wait with
 // ctx.
+//
+// With req.IdempotencyKey set (see NewIdempotencyKey) the request is
+// safe to retry — a journaling server deduplicates resends and serves
+// the stored result — so the client's retry policy applies: after an
+// ErrUnavailable or a dropped connection the same key is resent, making
+// diagnose effectively exactly-once from the caller's view. Without a
+// key, Diagnose is never retried.
 func (c *Client) Diagnose(ctx context.Context, req *server.DiagnoseRequest) (*server.DiagnoseResponse, error) {
 	var resp server.DiagnoseResponse
-	if err := c.do(ctx, http.MethodPost, "/api/v1/diagnose", nil, req, &resp, false); err != nil {
+	idempotent := req != nil && req.IdempotencyKey != ""
+	if err := c.do(ctx, http.MethodPost, "/api/v1/diagnose", nil, req, &resp, idempotent); err != nil {
 		return nil, err
 	}
 	return &resp, nil
+}
+
+// NewIdempotencyKey returns a fresh random key for
+// DiagnoseRequest.IdempotencyKey: 16 random bytes, hex-encoded.
+func NewIdempotencyKey() string {
+	var b [16]byte
+	if _, err := cryptorand.Read(b[:]); err != nil {
+		// The system entropy source is gone; fall back to a time-derived
+		// key rather than failing the request path.
+		return fmt.Sprintf("t%x", time.Now().UnixNano())
+	}
+	return hex.EncodeToString(b[:])
 }

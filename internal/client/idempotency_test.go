@@ -1,0 +1,60 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/server"
+)
+
+// TestDiagnoseKeyedIsRetried proves the exactly-once client contract:
+// a Diagnose carrying an idempotency key is safe to resend, so the
+// client rides out 503s by resending the identical body — same key —
+// until the server answers. (Unkeyed Diagnose stays non-retried; see
+// TestNoRetryOnWrites.)
+func TestDiagnoseKeyedIsRetried(t *testing.T) {
+	var calls atomic.Int64
+	var keys []string
+	h := func(w http.ResponseWriter, r *http.Request) {
+		body, _ := io.ReadAll(r.Body)
+		var req struct {
+			IdempotencyKey string `json:"idempotency_key"`
+		}
+		json.Unmarshal(body, &req)
+		keys = append(keys, req.IdempotencyKey)
+		if calls.Add(1) <= 2 {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			io.WriteString(w, `{"error":"draining"}`)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		io.WriteString(w, `{"run_id":"run1"}`)
+	}
+	ts := httptest.NewServer(http.HandlerFunc(h))
+	defer ts.Close()
+
+	c, _ := seededClient(ts.URL, 4)
+	key := NewIdempotencyKey()
+	resp, err := c.Diagnose(context.Background(), &server.DiagnoseRequest{
+		App: "poisson", IdempotencyKey: key,
+	})
+	if err != nil {
+		t.Fatalf("keyed Diagnose did not ride out the 503s: %v", err)
+	}
+	if resp.RunID != "run1" {
+		t.Fatalf("RunID = %q, want run1", resp.RunID)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("server saw %d calls, want 3 (two refused + one served)", got)
+	}
+	for i, k := range keys {
+		if k != key {
+			t.Fatalf("resend %d carried key %q, want the original %q", i, k, key)
+		}
+	}
+}

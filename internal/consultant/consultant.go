@@ -157,6 +157,21 @@ func (c *Consultant) TestedPairs() int { return c.testedPairs }
 // limit.
 func (c *Consultant) StallEvents() int { return c.stallEvents }
 
+// Frontier returns the names of the search's live (hypothesis : focus)
+// pairs — pending and testing — sorted. It is a read-only snapshot for
+// session checkpointing and progress display.
+func (c *Consultant) Frontier() []string {
+	out := make([]string, 0, len(c.pending)+len(c.testing))
+	for _, n := range c.pending {
+		out = append(out, n.Hyp.Name+" "+n.Focus.Name())
+	}
+	for _, n := range c.testing {
+		out = append(out, n.Hyp.Name+" "+n.Focus.Name())
+	}
+	sort.Strings(out)
+	return out
+}
+
 // Threshold returns the effective threshold for a hypothesis.
 func (c *Consultant) Threshold(h *Hypothesis) float64 {
 	if v, ok := c.guid.Thresholds[h.Name]; ok {

@@ -3,8 +3,11 @@ package harness
 import (
 	"context"
 	"errors"
+	"runtime"
+	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"repro/internal/history"
 )
@@ -146,5 +149,98 @@ func TestRunSessionsRetryOrderDeterminism(t *testing.T) {
 		if results[i] == nil || results[i].EndTime != float64(i) {
 			t.Errorf("results[%d] = %+v, want job %d's result", i, results[i], i)
 		}
+	}
+}
+
+// saturatedGate admits its first free acquires immediately, then
+// reports saturation and parks every later acquire until the caller's
+// context dies — a deterministic stand-in for a gate another scheduler
+// has filled.
+type saturatedGate struct {
+	free      int64
+	acquires  atomic.Int64
+	once      sync.Once
+	saturated chan struct{}
+}
+
+func (g *saturatedGate) Acquire(ctx context.Context) error {
+	if g.acquires.Add(1) <= g.free {
+		return nil
+	}
+	g.once.Do(func() { close(g.saturated) })
+	<-ctx.Done()
+	return ctx.Err()
+}
+
+func (g *saturatedGate) Release() {}
+
+// TestRunSessionsRetryCancelledWhileGateSaturated cancels a retry round
+// that is parked behind a saturated gate: the call must return promptly
+// with the context error on the parked job, leak no goroutines, and
+// keep the first pass's successes spliced into their input-order slots.
+func TestRunSessionsRetryCancelledWhileGateSaturated(t *testing.T) {
+	transient := &history.BackendError{Op: "put", Err: errors.New("flap")}
+	jobs := []SessionJob{
+		flakyJob(0, 0, nil),
+		flakyJob(1, 1, transient), // would recover, but its retry never gets a slot
+		flakyJob(2, 0, nil),
+	}
+	// The first pass gets a slot per job; the retry round's single
+	// acquire parks.
+	gate := &saturatedGate{free: int64(len(jobs)), saturated: make(chan struct{})}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go func() {
+		<-gate.saturated
+		cancel()
+	}()
+	baseline := runtime.NumGoroutine()
+
+	type outcome struct {
+		results []*SessionResult
+		stats   RetryStats
+		err     error
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		results, stats, err := RunSessionsRetry(ctx, jobs, len(jobs), gate, 3, nil)
+		done <- outcome{results, stats, err}
+	}()
+	var got outcome
+	select {
+	case got = <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("RunSessionsRetry still parked 10s after cancellation")
+	}
+
+	var sched *SchedulerError
+	if !errors.As(got.err, &sched) || len(sched.Jobs) != 1 {
+		t.Fatalf("error = %v, want one surviving failure", got.err)
+	}
+	if sched.Jobs[0].Index != 1 || !errors.Is(sched.Jobs[0].Err, context.Canceled) {
+		t.Errorf("surviving failure = %+v, want job 1 with context.Canceled", sched.Jobs[0])
+	}
+	for _, i := range []int{0, 2} {
+		if got.results[i] == nil || got.results[i].EndTime != float64(i) {
+			t.Errorf("results[%d] = %+v, want job %d's first-pass result", i, got.results[i], i)
+		}
+	}
+	if got.results[1] != nil {
+		t.Errorf("cancelled job left a result: %+v", got.results[1])
+	}
+	if got.stats.Retried != 1 || got.stats.Recovered != 0 {
+		t.Errorf("stats = %+v, want 1 retried / 0 recovered", got.stats)
+	}
+
+	// No leaked goroutines: the scheduler's workers and the cancel
+	// helper must all have drained once the call returned.
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > baseline {
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			t.Fatalf("goroutines leaked: %d running, baseline %d\n%s",
+				runtime.NumGoroutine(), baseline, buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(10 * time.Millisecond)
 	}
 }

@@ -26,6 +26,33 @@ type FSBackend struct {
 	// fault-injection tests use to fail the commit step of an atomic
 	// write without touching the filesystem's behaviour.
 	renameHook func(oldpath, newpath string) error
+	// syncHook replaces syncDir when non-nil — the seam the durability
+	// tests use to observe (or fail) the directory fsync that follows a
+	// committed rename.
+	syncHook func(dir string) error
+}
+
+// syncDir fsyncs a directory, making a just-committed rename inside it
+// durable across power loss. (The rename itself only orders the metadata
+// in memory; the directory entry reaches the platter on its fsync.)
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// sync fsyncs a directory, through the test hook when set.
+func (b *FSBackend) sync(dir string) error {
+	if b.syncHook != nil {
+		return b.syncHook(dir)
+	}
+	return syncDir(dir)
 }
 
 // NewFSBackend opens (creating if needed) a record directory.
@@ -150,6 +177,11 @@ func (b *FSBackend) Put(key RecordKey, data []byte) error {
 		return fmt.Errorf("history: write: %w", werr)
 	}
 	committed = true
+	// Make the rename durable: without the directory fsync a power loss
+	// can forget the new directory entry even though the rename returned.
+	if err := b.sync(b.dir); err != nil {
+		return fmt.Errorf("history: write: sync dir: %w", err)
+	}
 	if legacy := legacyFileName(key); legacy != "" && legacy != fileName(key) {
 		// Migrate: drop the key's legacy file — but only after checking
 		// it is this key's (another key's escaped name can spell the
@@ -186,27 +218,86 @@ func (b *FSBackend) Get(key RecordKey) ([]byte, error) {
 }
 
 // Delete implements Backend, removing whichever of the escaped and
-// legacy files exist.
+// legacy files exist — the same escaped-then-legacy fallback Get reads
+// through, so a record reachable only under its pre-escaping name is
+// deletable too. A file squatting on the key's legacy name that cannot
+// be parsed at all (it belongs to no key) is quarantined rather than
+// left to shadow the name forever.
 func (b *FSBackend) Delete(key RecordKey) error {
-	err := os.Remove(filepath.Join(b.dir, fileName(key)))
-	if err != nil && !os.IsNotExist(err) {
+	name := fileName(key)
+	removed := false
+	data, err := os.ReadFile(filepath.Join(b.dir, name))
+	switch {
+	case err == nil:
+		if otherKeysLegacyFile(data, key, name) {
+			// Another key's legacy-named record spells this key's escaped
+			// name (app "a-b" run "c" squats on (a, b, c)'s canonical
+			// location); it is not this key's file, so leave it alone.
+			break
+		}
+		rerr := os.Remove(filepath.Join(b.dir, name))
+		if rerr != nil && !os.IsNotExist(rerr) {
+			return fmt.Errorf("history: delete: %w", rerr)
+		}
+		removed = rerr == nil
+	case !os.IsNotExist(err):
 		return fmt.Errorf("history: delete: %w", err)
 	}
-	removed := err == nil
 	if legacy := legacyFileName(key); legacy != "" && legacy != fileName(key) {
 		path := filepath.Join(b.dir, legacy)
-		if _, ours := legacyFileIs(path, key); ours {
-			lerr := os.Remove(path)
-			if lerr != nil && !os.IsNotExist(lerr) {
-				return fmt.Errorf("history: delete: %w", lerr)
+		if data, readable := readJSONFile(path); readable {
+			var id struct {
+				App     string `json:"app"`
+				Version string `json:"version"`
+				RunID   string `json:"run_id"`
 			}
-			removed = removed || lerr == nil
+			switch {
+			case json.Unmarshal(data, &id) != nil:
+				// Unparseable: whoever it was, it is not a readable record
+				// of any key. Set it aside restorably (best-effort — the
+				// delete outcome does not depend on it).
+				b.Quarantine(legacy, "unparseable legacy-named file found by delete")
+			case (RecordKey{App: id.App, Version: id.Version, RunID: id.RunID}) == key:
+				lerr := os.Remove(path)
+				if lerr != nil && !os.IsNotExist(lerr) {
+					return fmt.Errorf("history: delete: %w", lerr)
+				}
+				removed = removed || lerr == nil
+			}
+			// A different key's file under the colliding name is left alone.
 		}
 	}
 	if !removed {
 		return fmt.Errorf("history: delete %s: %w", key, os.ErrNotExist)
 	}
+	if err := b.sync(b.dir); err != nil {
+		return fmt.Errorf("history: delete: sync dir: %w", err)
+	}
 	return nil
+}
+
+// readJSONFile reads a file, reporting whether it exists and was
+// readable.
+func readJSONFile(path string) ([]byte, bool) {
+	data, err := os.ReadFile(path)
+	return data, err == nil
+}
+
+// otherKeysLegacyFile reports whether data, stored under basename name,
+// is a record of a key other than key whose legacy file name spells
+// name — the one way a different key's file can legitimately occupy
+// key's escaped-scheme location.
+func otherKeysLegacyFile(data []byte, key RecordKey, name string) bool {
+	var id struct {
+		App     string `json:"app"`
+		Version string `json:"version"`
+		RunID   string `json:"run_id"`
+	}
+	if json.Unmarshal(data, &id) != nil {
+		return false
+	}
+	k := RecordKey{App: id.App, Version: id.Version, RunID: id.RunID}
+	return k != key && legacyFileName(k) == name
 }
 
 // QuarantineDir is the subdirectory OpenStore moves corrupt records
@@ -255,6 +346,15 @@ func (b *FSBackend) Quarantine(name, reason string) error {
 	}
 	if err := os.Rename(filepath.Join(b.dir, name), filepath.Join(qdir, name)); err != nil {
 		return fmt.Errorf("history: quarantine: %w", err)
+	}
+	// The move is two directory mutations; fsync both so a power loss
+	// cannot resurrect the corrupt file in the store (or lose it from the
+	// quarantine).
+	if err := b.sync(qdir); err != nil {
+		return fmt.Errorf("history: quarantine: sync dir: %w", err)
+	}
+	if err := b.sync(b.dir); err != nil {
+		return fmt.Errorf("history: quarantine: sync dir: %w", err)
 	}
 	// The report is advisory; failing to append must not fail the
 	// recovery that just made the store readable again.

@@ -1,0 +1,374 @@
+package history
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Offline store verification — the engine behind cmd/pcfsck. FsckStore
+// walks a store directory without opening it as a Store: record files,
+// WAL framing and CRCs, WAL-vs-disk agreement, the session journal, and
+// quarantine accounting. Findings are graded so the CLI can exit 0
+// (clean), 1 (recoverable crash residue — what OpenStore would repair),
+// or 2 (corruption — data that cannot be reconstructed from the store
+// itself).
+
+// Fsck severities.
+const (
+	FsckClean   = 0 // nothing to report
+	FsckResidue = 1 // crash residue; recoverable mechanically
+	FsckCorrupt = 2 // corruption; cannot be reconstructed
+)
+
+// FsckFinding is one problem fsck found.
+type FsckFinding struct {
+	// Severity is FsckResidue or FsckCorrupt.
+	Severity int `json:"severity"`
+	// Path is store-relative: a record basename, wal/<segment>, ...
+	Path    string `json:"path"`
+	Problem string `json:"problem"`
+	// Repair describes the -repair action for this finding ("" when fsck
+	// cannot repair it); Repaired reports whether it was taken.
+	Repair   string `json:"repair,omitempty"`
+	Repaired bool   `json:"repaired,omitempty"`
+}
+
+// FsckReport is the outcome of one FsckStore pass.
+type FsckReport struct {
+	Dir string `json:"dir"`
+	// Records is the number of valid indexed records; Quarantined the
+	// number of set-aside files.
+	Records     int `json:"records"`
+	Quarantined int `json:"quarantined"`
+	// WALSegments/WALEntries count the readable journal.
+	WALSegments int           `json:"wal_segments"`
+	WALEntries  int           `json:"wal_entries"`
+	Findings    []FsckFinding `json:"findings,omitempty"`
+}
+
+// Severity is the report's worst finding (FsckClean when none).
+func (r *FsckReport) Severity() int {
+	max := FsckClean
+	for _, f := range r.Findings {
+		if f.Severity > max {
+			max = f.Severity
+		}
+	}
+	return max
+}
+
+func (r *FsckReport) add(sev int, path, problem, repair string, repaired bool) {
+	r.Findings = append(r.Findings, FsckFinding{
+		Severity: sev, Path: path, Problem: problem, Repair: repair, Repaired: repaired,
+	})
+}
+
+// FsckStore verifies the store rooted at dir. With repair set, it also
+// takes the per-finding repair action: temp orphans are removed, corrupt
+// records quarantined, torn WAL tails truncated at the last valid frame,
+// unapplied journal entries replayed, torn session-journal entries
+// dropped, and unrecorded quarantine files logged. Repairs mirror what
+// OpenStoreDurable does at open, so a repaired store opens clean.
+func FsckStore(dir string, repair bool) (*FsckReport, error) {
+	info, err := os.Stat(dir)
+	if err != nil {
+		return nil, fmt.Errorf("history: fsck: %w", err)
+	}
+	if !info.IsDir() {
+		return nil, fmt.Errorf("history: fsck: %s is not a directory", dir)
+	}
+	rep := &FsckReport{Dir: dir}
+
+	fsckTempFiles(dir, ".put-", rep, "", repair)
+	fold := fsckWALScan(dir, rep, repair)
+	index := fsckRecords(dir, fold, rep, repair)
+	fsckWALAgreement(dir, fold, index, rep, repair)
+	fsckSessions(dir, rep, repair)
+	fsckQuarantine(dir, rep, repair)
+	return rep, nil
+}
+
+// fsckTempFiles flags (and with repair, removes) orphaned atomic-write
+// temp files: ".put-*.tmp" in the store root, ".session-*.tmp" in the
+// session journal. They are garbage by construction — a temp file is
+// never published.
+func fsckTempFiles(dir, prefix string, rep *FsckReport, rel string, repair bool) {
+	des, err := os.ReadDir(dir)
+	if err != nil {
+		return
+	}
+	for _, de := range des {
+		name := de.Name()
+		if de.IsDir() || !strings.HasPrefix(name, prefix) || !strings.HasSuffix(name, ".tmp") {
+			continue
+		}
+		repaired := false
+		if repair {
+			repaired = os.Remove(filepath.Join(dir, name)) == nil
+		}
+		rep.add(FsckResidue, filepath.Join(rel, name),
+			"orphaned atomic-write temp file (crash between write and rename)",
+			"remove", repaired)
+	}
+}
+
+// fsckRecords verifies every top-level .json record: it must parse,
+// validate, and live under the name its key maps to (escaped or
+// legacy). A broken record whose name is covered by a journaled put is
+// NOT corruption — the journal can reconstruct it, and the agreement
+// pass reports (and replays) it. Returns the indexed bytes per key
+// (last-entry-wins, like Store.Refresh) for that pass.
+func fsckRecords(dir string, fold map[RecordKey]WALEntry, rep *FsckReport, repair bool) map[RecordKey][]byte {
+	index := make(map[RecordKey][]byte)
+	healable := make(map[string]bool, len(fold))
+	for k, e := range fold {
+		if e.Op == walOpPut {
+			healable[fileName(k)] = true
+		}
+	}
+	b := &FSBackend{dir: dir}
+	entries, issues, err := b.Scan()
+	if err != nil {
+		rep.add(FsckCorrupt, ".", fmt.Sprintf("cannot scan store: %v", err), "", false)
+		return index
+	}
+	for _, is := range issues {
+		if healable[is.Name] {
+			continue
+		}
+		rep.add(FsckCorrupt, is.Name, fmt.Sprintf("unreadable record: %v", is.Err),
+			"quarantine", repair && b.Quarantine(is.Name, "pcfsck: unreadable") == nil)
+	}
+	keyFiles := make(map[RecordKey][]string)
+	for _, e := range entries {
+		rec, derr := decodeRecord(e.Data)
+		if derr != nil {
+			if healable[e.Name] {
+				continue // the agreement pass reports and replays it
+			}
+			rep.add(FsckCorrupt, e.Name, fmt.Sprintf("invalid record: %v", derr),
+				"quarantine", repair && b.Quarantine(e.Name, "pcfsck: invalid record") == nil)
+			continue
+		}
+		key := rec.Key()
+		if e.Name != fileName(key) && e.Name != legacyFileName(key) {
+			rep.add(FsckCorrupt, e.Name,
+				fmt.Sprintf("name does not match record identity %s (want %s)", key, fileName(key)),
+				"quarantine", repair && b.Quarantine(e.Name, "pcfsck: misnamed record") == nil)
+			continue
+		}
+		index[key] = e.Data
+		keyFiles[key] = append(keyFiles[key], e.Name)
+	}
+	rep.Records = len(index)
+	// A key reachable under both its legacy and escaped names is crash
+	// residue of the naming migration: the escaped file wins indexing,
+	// the legacy one is a shadow.
+	keys := make([]RecordKey, 0, len(keyFiles))
+	for k := range keyFiles {
+		keys = append(keys, k)
+	}
+	sortKeys(keys)
+	for _, k := range keys {
+		names := keyFiles[k]
+		if len(names) < 2 {
+			continue
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			if name == fileName(k) {
+				continue
+			}
+			rep.add(FsckResidue, name,
+				fmt.Sprintf("shadowed duplicate of %s (same record key %s)", fileName(k), k),
+				"quarantine", repair && b.Quarantine(name, "pcfsck: shadowed duplicate") == nil)
+		}
+	}
+	return index
+}
+
+// fsckWALScan verifies journal framing and returns the folded journal
+// (last acknowledged state per key) for the record and agreement
+// passes.
+func fsckWALScan(dir string, rep *FsckReport, repair bool) map[RecordKey]WALEntry {
+	wdir := filepath.Join(dir, WALDirName)
+	entries, scan, err := ReadWAL(wdir)
+	if err != nil {
+		rep.add(FsckCorrupt, WALDirName, fmt.Sprintf("cannot read journal: %v", err), "", false)
+		return nil
+	}
+	rep.WALSegments, rep.WALEntries = scan.Segments, scan.Entries
+	segs, _ := walSegments(wdir)
+	if scan.TornTail && len(segs) > 0 {
+		last := segs[len(segs)-1]
+		path := filepath.Join(wdir, last)
+		repaired := false
+		if repair {
+			repaired = truncateWALSegment(path) == nil
+		}
+		rep.add(FsckResidue, filepath.Join(WALDirName, last),
+			"torn final frame (crash mid-append; the write was never acknowledged)",
+			"truncate at last valid frame", repaired)
+	}
+	for _, c := range scan.Corrupt {
+		seg := c
+		if i := strings.Index(c, ":"); i >= 0 {
+			seg = c[:i]
+		}
+		repaired := false
+		if repair {
+			repaired = truncateWALSegment(filepath.Join(wdir, seg)) == nil
+		}
+		rep.add(FsckCorrupt, filepath.Join(WALDirName, seg),
+			"bad frame before the journal tail: "+c,
+			"truncate at last valid frame (frames after it are lost)", repaired)
+	}
+	return WALFold(entries)
+}
+
+// fsckWALAgreement verifies that every acknowledged journal entry is
+// reflected on disk. Disagreement is the residue of a crash between
+// append and rename — exactly what replay repairs.
+func fsckWALAgreement(dir string, fold map[RecordKey]WALEntry, index map[RecordKey][]byte, rep *FsckReport, repair bool) {
+	keys := make([]RecordKey, 0, len(fold))
+	for k := range fold {
+		keys = append(keys, k)
+	}
+	sortKeys(keys)
+	b := &FSBackend{dir: dir}
+	for _, k := range keys {
+		e := fold[k]
+		cur, ok := index[k]
+		var problem string
+		switch {
+		case e.Op == walOpPut && !ok:
+			problem = "journaled write missing from disk"
+		case e.Op == walOpPut && string(cur) != string(e.Data):
+			problem = "record bytes differ from the journaled write"
+		case e.Op == walOpDelete && ok:
+			problem = "journaled delete still present on disk"
+		default:
+			continue
+		}
+		repaired := false
+		if repair {
+			_, rerr := replayWAL(b, []WALEntry{e})
+			repaired = rerr == nil
+		}
+		rep.add(FsckResidue, fileName(k), problem, "replay journal entry", repaired)
+	}
+}
+
+// truncateWALSegment cuts a segment back to the end of its last valid
+// frame, dropping the torn or corrupt tail.
+func truncateWALSegment(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	off := 0
+	for off < len(data) {
+		if len(data)-off < 8 {
+			break
+		}
+		n := binary.BigEndian.Uint32(data[off:])
+		sum := binary.BigEndian.Uint32(data[off+4:])
+		if n == 0 || n > maxWALFrame || len(data)-off-8 < int(n) {
+			break
+		}
+		payload := data[off+8 : off+8+int(n)]
+		if crc32.ChecksumIEEE(payload) != sum {
+			break
+		}
+		var e WALEntry
+		if json.Unmarshal(payload, &e) != nil || (e.Op != walOpPut && e.Op != walOpDelete) {
+			break
+		}
+		off += 8 + int(n)
+	}
+	if off == len(data) {
+		return nil // nothing to cut
+	}
+	return os.Truncate(path, int64(off))
+}
+
+// fsckSessions verifies the session journal (when present): every entry
+// must be parseable JSON with a plausible state. The record schema is
+// owned by the server package, so fsck checks shape, not content.
+func fsckSessions(dir string, rep *FsckReport, repair bool) {
+	sdir := filepath.Join(dir, "sessions")
+	des, err := os.ReadDir(sdir)
+	if err != nil {
+		return // no session journal — nothing to verify
+	}
+	fsckTempFiles(sdir, ".session-", rep, "sessions", repair)
+	for _, de := range des {
+		name := de.Name()
+		if de.IsDir() || !strings.HasSuffix(name, ".json") {
+			continue
+		}
+		path := filepath.Join(sdir, name)
+		data, err := os.ReadFile(path)
+		if err != nil {
+			rep.add(FsckCorrupt, filepath.Join("sessions", name),
+				fmt.Sprintf("unreadable session entry: %v", err), "", false)
+			continue
+		}
+		var entry struct {
+			State string `json:"state"`
+		}
+		if json.Unmarshal(data, &entry) != nil || (entry.State != "pending" && entry.State != "done") {
+			repaired := false
+			if repair {
+				repaired = os.Remove(path) == nil
+			}
+			rep.add(FsckResidue, filepath.Join("sessions", name),
+				"torn session-journal entry (never acknowledged)", "remove", repaired)
+		}
+	}
+}
+
+// fsckQuarantine checks quarantine accounting: every set-aside file must
+// have a REPORT.txt line saying why.
+func fsckQuarantine(dir string, rep *FsckReport, repair bool) {
+	qdir := filepath.Join(dir, QuarantineDir)
+	des, err := os.ReadDir(qdir)
+	if err != nil {
+		return // no quarantine — nothing to account for
+	}
+	recorded := make(map[string]bool)
+	rpath := filepath.Join(qdir, quarantineReport)
+	if data, err := os.ReadFile(rpath); err == nil {
+		for _, line := range strings.Split(string(data), "\n") {
+			if name, _, ok := strings.Cut(line, "\t"); ok {
+				recorded[name] = true
+			}
+		}
+	}
+	for _, de := range des {
+		name := de.Name()
+		if de.IsDir() || name == quarantineReport {
+			continue
+		}
+		rep.Quarantined++
+		if recorded[name] {
+			continue
+		}
+		repaired := false
+		if repair {
+			if f, err := os.OpenFile(rpath, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644); err == nil {
+				fmt.Fprintf(f, "%s\t%s\n", name, "pcfsck: quarantined by an earlier run; reason not recorded")
+				f.Close()
+				repaired = true
+			}
+		}
+		rep.add(FsckResidue, filepath.Join(QuarantineDir, name),
+			"quarantined file with no REPORT.txt entry", "record in REPORT.txt", repaired)
+	}
+}

@@ -1,0 +1,392 @@
+package history
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// fsckDurableStore builds a durable store with a few records and closes
+// it, returning the directory — the "daemon exited cleanly" baseline.
+func fsckDurableStore(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	st := openDurable(t, dir, DurableOptions{Create: true, WAL: true})
+	for _, run := range []string{"r1", "r2", "r3"} {
+		if err := st.Save(sampleRecord(run)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+func findingPaths(rep *FsckReport) []string {
+	var out []string
+	for _, f := range rep.Findings {
+		out = append(out, f.Path)
+	}
+	return out
+}
+
+func TestFsckCleanStore(t *testing.T) {
+	dir := fsckDurableStore(t)
+	rep, err := FsckStore(dir, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Severity() != FsckClean || len(rep.Findings) != 0 {
+		t.Fatalf("clean store graded %d with findings %v", rep.Severity(), findingPaths(rep))
+	}
+	if rep.Records != 3 {
+		t.Fatalf("Records = %d, want 3", rep.Records)
+	}
+}
+
+func TestFsckMissingDirErrors(t *testing.T) {
+	if _, err := FsckStore(filepath.Join(t.TempDir(), "nope"), false); err == nil {
+		t.Fatal("FsckStore of a missing directory did not error")
+	}
+}
+
+func TestFsckTempOrphan(t *testing.T) {
+	dir := fsckDurableStore(t)
+	tmp := filepath.Join(dir, ".put-123.tmp")
+	if err := os.WriteFile(tmp, []byte("half a record"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := FsckStore(dir, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Severity() != FsckResidue {
+		t.Fatalf("temp orphan graded %d, want residue", rep.Severity())
+	}
+	// Repair removes it; the next pass is clean.
+	if _, err := FsckStore(dir, true); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(tmp); !os.IsNotExist(err) {
+		t.Fatalf("repair left the temp orphan: %v", err)
+	}
+	rep, err = FsckStore(dir, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Severity() != FsckClean {
+		t.Fatalf("store after repair graded %d: %v", rep.Severity(), findingPaths(rep))
+	}
+}
+
+func TestFsckInvalidRecordIsCorrupt(t *testing.T) {
+	dir := fsckDurableStore(t)
+	if err := os.WriteFile(filepath.Join(dir, "junk-x-y.json"), []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := FsckStore(dir, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Severity() != FsckCorrupt {
+		t.Fatalf("invalid record graded %d, want corrupt", rep.Severity())
+	}
+	// Repair quarantines it with a REPORT.txt line; re-check accounts
+	// for it cleanly.
+	if _, err := FsckStore(dir, true); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, QuarantineDir, "junk-x-y.json")); err != nil {
+		t.Fatalf("repair did not quarantine the invalid record: %v", err)
+	}
+	rep, err = FsckStore(dir, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Severity() != FsckClean {
+		t.Fatalf("store after quarantine repair graded %d: %v", rep.Severity(), findingPaths(rep))
+	}
+	if rep.Quarantined != 1 {
+		t.Fatalf("Quarantined = %d, want 1", rep.Quarantined)
+	}
+}
+
+func TestFsckMisnamedRecordIsCorrupt(t *testing.T) {
+	dir := fsckDurableStore(t)
+	// A valid record parked under a name its key does not map to.
+	data, err := os.ReadFile(filepath.Join(dir, "poisson-A-r1.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "wrong-name-here.json"), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := FsckStore(dir, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Severity() != FsckCorrupt {
+		t.Fatalf("misnamed record graded %d, want corrupt: %v", rep.Severity(), findingPaths(rep))
+	}
+}
+
+func TestFsckTornWALTail(t *testing.T) {
+	dir := fsckDurableStore(t)
+	// Reopen so the journal holds live entries, then tear its tail.
+	st := openDurable(t, dir, DurableOptions{WAL: true})
+	if err := st.Save(sampleRecord("r9")); err != nil {
+		t.Fatal(err)
+	}
+	// Do NOT Close: a clean close is not required for a WAL store.
+	segs, err := walSegments(walDirOf(dir))
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("no wal segments: %v", err)
+	}
+	seg := filepath.Join(walDirOf(dir), segs[len(segs)-1])
+	info, err := os.Stat(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(seg, info.Size()-5); err != nil {
+		t.Fatal(err)
+	}
+
+	rep, err := FsckStore(dir, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Severity() != FsckResidue {
+		t.Fatalf("torn tail graded %d, want residue: %v", rep.Severity(), findingPaths(rep))
+	}
+	// Repair truncates at the last valid frame; the journal then reads
+	// cleanly and still agrees with disk.
+	if _, err := FsckStore(dir, true); err != nil {
+		t.Fatal(err)
+	}
+	rep, err = FsckStore(dir, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Severity() != FsckClean {
+		t.Fatalf("store after tail repair graded %d: %v", rep.Severity(), findingPaths(rep))
+	}
+}
+
+func TestFsckUnappliedJournalEntry(t *testing.T) {
+	dir := fsckDurableStore(t)
+	st := openDurable(t, dir, DurableOptions{WAL: true})
+	if err := st.Save(sampleRecord("r9")); err != nil {
+		t.Fatal(err)
+	}
+	// Crash simulation: the journaled write vanishes from disk.
+	if err := os.Remove(filepath.Join(dir, "poisson-A-r9.json")); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := FsckStore(dir, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Severity() != FsckResidue {
+		t.Fatalf("unapplied entry graded %d, want residue: %v", rep.Severity(), findingPaths(rep))
+	}
+	found := false
+	for _, f := range rep.Findings {
+		if strings.Contains(f.Problem, "journaled write missing") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no journaled-write-missing finding: %v", findingPaths(rep))
+	}
+	// Repair replays the entry; the record is back, byte-identical.
+	if _, err := FsckStore(dir, true); err != nil {
+		t.Fatal(err)
+	}
+	rep, err = FsckStore(dir, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Severity() != FsckClean {
+		t.Fatalf("store after replay repair graded %d: %v", rep.Severity(), findingPaths(rep))
+	}
+	if rep.Records != 4 {
+		t.Fatalf("Records = %d after replay, want 4", rep.Records)
+	}
+}
+
+// TestFsckTornRecordCoveredByWAL: a record torn on disk is NOT
+// corruption when the journal holds its acknowledged bytes — it grades
+// as residue and -repair replays it back byte-identical.
+func TestFsckTornRecordCoveredByWAL(t *testing.T) {
+	dir := fsckDurableStore(t)
+	st := openDurable(t, dir, DurableOptions{WAL: true})
+	if err := st.Save(sampleRecord("r9")); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "poisson-A-r9.json")
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, want[:len(want)/3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := FsckStore(dir, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Severity() != FsckResidue {
+		t.Fatalf("WAL-covered torn record graded %d, want residue: %v", rep.Severity(), findingPaths(rep))
+	}
+	if _, err := FsckStore(dir, true); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(want) {
+		t.Fatalf("replay repair did not restore the record byte-identically")
+	}
+	rep, err = FsckStore(dir, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Severity() != FsckClean {
+		t.Fatalf("store after replay repair graded %d: %v", rep.Severity(), findingPaths(rep))
+	}
+}
+
+func TestFsckCorruptMidJournal(t *testing.T) {
+	dir := fsckDurableStore(t)
+	st := openDurable(t, dir, DurableOptions{WAL: true})
+	if err := st.Save(sampleRecord("r9")); err != nil {
+		t.Fatal(err)
+	}
+	// Flip a payload byte mid-segment, then add a later segment so the
+	// damage is not the journal's tail.
+	segs, _ := walSegments(walDirOf(dir))
+	seg := filepath.Join(walDirOf(dir), segs[len(segs)-1])
+	data, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[10] ^= 0xFF
+	if err := os.WriteFile(seg, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(walDirOf(dir), "00000099.wal"), nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := FsckStore(dir, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Severity() != FsckCorrupt {
+		t.Fatalf("mid-journal corruption graded %d, want corrupt: %v", rep.Severity(), findingPaths(rep))
+	}
+}
+
+func TestFsckUnrecordedQuarantineFile(t *testing.T) {
+	dir := fsckDurableStore(t)
+	qdir := filepath.Join(dir, QuarantineDir)
+	if err := os.MkdirAll(qdir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(qdir, "mystery.json"), []byte("{}"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := FsckStore(dir, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Severity() != FsckResidue {
+		t.Fatalf("unrecorded quarantine file graded %d, want residue: %v", rep.Severity(), findingPaths(rep))
+	}
+	// Repair records it; accounting then balances.
+	if _, err := FsckStore(dir, true); err != nil {
+		t.Fatal(err)
+	}
+	rep, err = FsckStore(dir, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Severity() != FsckClean {
+		t.Fatalf("store after accounting repair graded %d: %v", rep.Severity(), findingPaths(rep))
+	}
+}
+
+func TestFsckTornSessionEntry(t *testing.T) {
+	dir := fsckDurableStore(t)
+	sdir := filepath.Join(dir, "sessions")
+	if err := os.MkdirAll(sdir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(sdir, "k.json"), []byte("{torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(sdir, "ok.json"),
+		[]byte(`{"key":"ok","state":"done","response":"cg=="}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := FsckStore(dir, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Severity() != FsckResidue {
+		t.Fatalf("torn session entry graded %d, want residue: %v", rep.Severity(), findingPaths(rep))
+	}
+	if _, err := FsckStore(dir, true); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(sdir, "k.json")); !os.IsNotExist(err) {
+		t.Fatalf("repair left the torn session entry: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(sdir, "ok.json")); err != nil {
+		t.Fatalf("repair removed a healthy session entry: %v", err)
+	}
+}
+
+func TestFsckShadowedDuplicate(t *testing.T) {
+	dir := fsckDurableStore(t)
+	// The same record under its legacy name alongside the escaped file —
+	// residue of the naming migration. sampleRecord keys contain no
+	// escapable bytes, so build one whose names differ.
+	st := openDurable(t, dir, DurableOptions{WAL: true})
+	rec := sampleRecord("r%odd")
+	if err := st.Save(rec); err != nil {
+		t.Fatal(err)
+	}
+	key := rec.Key()
+	if fileName(key) == legacyFileName(key) {
+		t.Fatalf("test key needs distinct escaped and legacy names")
+	}
+	data, err := os.ReadFile(filepath.Join(dir, fileName(key)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, legacyFileName(key)), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	st.Close()
+
+	rep, err := FsckStore(dir, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Severity() != FsckResidue {
+		t.Fatalf("shadowed duplicate graded %d, want residue: %v", rep.Severity(), findingPaths(rep))
+	}
+	if _, err := FsckStore(dir, true); err != nil {
+		t.Fatal(err)
+	}
+	rep, err = FsckStore(dir, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Severity() != FsckClean {
+		t.Fatalf("store after duplicate repair graded %d: %v", rep.Severity(), findingPaths(rep))
+	}
+}

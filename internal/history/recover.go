@@ -13,18 +13,38 @@ type QuarantinedEntry struct {
 
 func (q QuarantinedEntry) String() string { return fmt.Sprintf("%s: %s", q.Name, q.Reason) }
 
+// WALRecovery describes what the write-ahead-journal replay at open did:
+// how much journal there was, how many folded entries had to be applied
+// to the record files (zero when the crash lost nothing), whether the
+// last segment ended mid-frame (normal residue of dying mid-append), and
+// any frames that were corrupt elsewhere than the tail (never normal).
+type WALRecovery struct {
+	Segments int
+	Entries  int
+	Replayed int
+	TornTail bool
+	Corrupt  []string
+}
+
+// Empty reports whether the replay found nothing worth mentioning.
+func (w *WALRecovery) Empty() bool {
+	return w == nil || (w.Replayed == 0 && !w.TornTail && len(w.Corrupt) == 0)
+}
+
 // RecoveryReport describes what crash recovery did when a store was
-// opened: orphaned atomic-write temp files swept, and corrupt records
-// quarantined (moved into quarantine/ with a REPORT.txt line each, not
-// deleted — a human can inspect and restore them).
+// opened: orphaned atomic-write temp files swept, the write-ahead
+// journal replayed (durable stores only; see WALRecovery), and corrupt
+// records quarantined (moved into quarantine/ with a REPORT.txt line
+// each, not deleted — a human can inspect and restore them).
 type RecoveryReport struct {
 	SweptTemp   []string
 	Quarantined []QuarantinedEntry
+	WAL         *WALRecovery
 }
 
 // Empty reports whether recovery found nothing to do.
 func (r *RecoveryReport) Empty() bool {
-	return r == nil || (len(r.SweptTemp) == 0 && len(r.Quarantined) == 0)
+	return r == nil || (len(r.SweptTemp) == 0 && len(r.Quarantined) == 0 && r.WAL.Empty())
 }
 
 // Recovery returns the crash-recovery report of the OpenStore call that
@@ -36,22 +56,17 @@ func (s *Store) Recovery() *RecoveryReport {
 	return s.recovery
 }
 
-// recoverFS runs crash recovery over an open filesystem-backed store:
-// sweep temp-file orphans, quarantine every entry the scan could not
-// decode, and rescan so the surviving index is clean. Entries that
+// quarantinePass quarantines every entry the opening scan could not
+// decode and rescans so the surviving index is clean, folding the moves
+// into rep. It runs after the temp sweep and the journal replay, so only
+// damage durability could not undo ends up quarantined. Entries that
 // cannot be quarantined (a read-only store, say) stay behind as plain
 // scan issues — recovery degrades to the old skip-and-report behaviour
 // rather than failing the open.
-func (s *Store) recoverFS(b *FSBackend) (*RecoveryReport, error) {
-	rep := &RecoveryReport{}
-	swept, err := b.SweepTemp()
-	rep.SweptTemp = swept
-	if err != nil {
-		return rep, err
-	}
+func (s *Store) quarantinePass(b *FSBackend, rep *RecoveryReport) error {
 	issues := s.ScanIssues()
 	if len(issues) == 0 {
-		return rep, nil
+		return nil
 	}
 	for _, issue := range issues {
 		if qerr := b.Quarantine(issue.Name, issue.Err.Error()); qerr != nil {
@@ -66,8 +81,8 @@ func (s *Store) recoverFS(b *FSBackend) (*RecoveryReport, error) {
 		// The quarantined files are gone from the scan now; rebuild the
 		// index so ScanIssues reports only what recovery could not fix.
 		if err := s.Refresh(); err != nil {
-			return rep, err
+			return err
 		}
 	}
-	return rep, nil
+	return nil
 }

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"os"
+	"path/filepath"
 	"sort"
 	"sync"
 )
@@ -23,6 +24,12 @@ import (
 // directive harvest cache keys on it).
 type Store struct {
 	backend Backend
+
+	// wal is the write-ahead journal of durable stores (nil otherwise).
+	// walMu serializes journal append + backend mutation per write, so
+	// the journal's per-key fold always names the backend's final state.
+	wal   *WAL
+	walMu sync.Mutex
 
 	mu       sync.RWMutex
 	recs     map[RecordKey]*RunRecord
@@ -51,23 +58,93 @@ func NewStore(dir string) (*Store, error) {
 // being silently skipped forever. The Recovery method reports what was
 // done; quarantined files are restorable by moving them back.
 func OpenStore(dir string) (*Store, error) {
+	return OpenStoreDurable(dir, DurableOptions{})
+}
+
+// DurableOptions configures OpenStoreDurable.
+type DurableOptions struct {
+	// Create makes the store directory when absent instead of failing
+	// (NewStore semantics with the recovery pass of OpenStore).
+	Create bool
+	// WAL enables the write-ahead journal under <dir>/wal: Save and
+	// Delete append there before the backend mutation, and the journal
+	// tail is replayed into the record files at the next open.
+	WAL bool
+	// WALOptions tunes the journal; the zero value means fsync on every
+	// append and 4 MiB segments.
+	WALOptions WALOptions
+	// Wrap, when non-nil, wraps the filesystem backend before the store
+	// is built over it — the seam the chaos tooling uses to interpose a
+	// FaultBackend. The journal replays through the wrapped backend too.
+	Wrap func(Backend) Backend
+}
+
+// OpenStoreDurable opens a filesystem-backed store with the durability
+// ladder of DESIGN.md §10: temp-file sweep, then write-ahead-journal
+// replay (so a torn rename or a crash mid-write never loses an
+// acknowledged record), then the quarantine pass over whatever is still
+// unreadable. The order matters — a record the journal can roll forward
+// is repaired, not quarantined. The replay outcome is part of Recovery's
+// report. A store written before the journal existed (no wal/ directory)
+// opens cleanly with an empty journal.
+func OpenStoreDurable(dir string, o DurableOptions) (*Store, error) {
 	if dir == "" {
 		return nil, fmt.Errorf("history: empty store directory")
 	}
-	fi, err := os.Stat(dir)
-	if err != nil {
-		return nil, fmt.Errorf("history: open store: %w", err)
+	if !o.Create {
+		fi, err := os.Stat(dir)
+		if err != nil {
+			return nil, fmt.Errorf("history: open store: %w", err)
+		}
+		if !fi.IsDir() {
+			return nil, fmt.Errorf("history: open store: %s is not a directory", dir)
+		}
 	}
-	if !fi.IsDir() {
-		return nil, fmt.Errorf("history: open store: %s is not a directory", dir)
-	}
-	st, err := NewStore(dir)
+	fb, err := NewFSBackend(dir)
 	if err != nil {
 		return nil, err
 	}
-	fb, _ := st.backend.(*FSBackend) // NewStore always builds one
-	rep, err := st.recoverFS(fb)
+	b := Backend(fb)
+	if o.Wrap != nil {
+		b = o.Wrap(b)
+	}
+	rep := &RecoveryReport{}
+	swept, err := fb.SweepTemp()
+	rep.SweptTemp = swept
 	if err != nil {
+		return nil, fmt.Errorf("history: recover store: %w", err)
+	}
+	var wal *WAL
+	if o.WAL {
+		walDir := filepath.Join(dir, WALDirName)
+		entries, scan, err := ReadWAL(walDir)
+		if err != nil {
+			return nil, fmt.Errorf("history: recover store: %w", err)
+		}
+		applied, err := replayWAL(b, entries)
+		rep.WAL = &WALRecovery{
+			Segments: scan.Segments,
+			Entries:  scan.Entries,
+			Replayed: applied,
+			TornTail: scan.TornTail,
+			Corrupt:  scan.Corrupt,
+		}
+		if err != nil {
+			return nil, fmt.Errorf("history: recover store: %w", err)
+		}
+		// Every journaled write is folded into the record files now;
+		// truncate the journal rather than replaying it forever.
+		wal, err = StartWAL(walDir, o.WALOptions)
+		if err != nil {
+			return nil, err
+		}
+	}
+	st, err := NewStoreWith(b)
+	if err != nil {
+		return nil, err
+	}
+	st.wal = wal
+	if err := st.quarantinePass(fb, rep); err != nil {
 		return nil, fmt.Errorf("history: recover store: %w", err)
 	}
 	st.mu.Lock()
@@ -99,12 +176,21 @@ func NewStoreWith(b Backend) (*Store, error) {
 func (s *Store) Backend() Backend { return s.backend }
 
 // Dir returns the store's directory for filesystem-backed stores and ""
-// otherwise.
+// otherwise. Wrapping backends (FaultBackend, DurableOptions.Wrap) are
+// seen through, so the directory survives fault injection — the session
+// journal and quarantine paths must land inside the store either way.
 func (s *Store) Dir() string {
-	if fb, ok := s.backend.(*FSBackend); ok {
-		return fb.Dir()
+	b := s.backend
+	for {
+		if fb, ok := b.(*FSBackend); ok {
+			return fb.Dir()
+		}
+		w, ok := b.(interface{ Inner() Backend })
+		if !ok {
+			return ""
+		}
+		b = w.Inner()
 	}
-	return ""
 }
 
 // Refresh rebuilds the index from a full backend scan, picking up
@@ -170,16 +256,80 @@ func (s *Store) Save(rec *RunRecord) error {
 	if err != nil {
 		return err
 	}
-	if err := s.backend.Put(cached.Key(), data); err != nil {
+	key := cached.Key()
+	if s.wal != nil {
+		s.walMu.Lock()
+		defer s.walMu.Unlock()
+		if err := s.wal.Append(WALEntry{
+			Op:      walOpPut,
+			App:     key.App,
+			Version: key.Version,
+			RunID:   key.RunID,
+			Data:    data,
+		}); err != nil {
+			// The journal is the durability promise: if it cannot take
+			// the entry, refuse the write before the backend sees it.
+			return asBackendError("wal append", err)
+		}
+	}
+	if err := s.backend.Put(key, data); err != nil {
 		// The index must never contain a record the backend rejected:
 		// return before touching s.recs, classified as a backend failure
 		// so the service layer can degrade instead of blaming the caller.
+		// In WAL mode the journaled intent must not win either — it was
+		// never acknowledged — so append a compensating pre-image entry.
+		s.compensate(key)
 		return asBackendError("put", err)
 	}
 	s.mu.Lock()
-	s.recs[cached.Key()] = cached
+	s.recs[key] = cached
 	s.mu.Unlock()
 	return nil
+}
+
+// compensate appends the pre-image of key to the journal after a failed
+// backend mutation, so the replay fold resolves to the state the caller
+// last had acknowledged rather than to the intent that just failed. A
+// failed mutation can also leave the record file torn on disk, so
+// compensate then tries to heal the backend in place; when that also
+// fails the journal marks itself unsafe to compact, pinning the rotated
+// segments until the next open's replay repairs the file.
+//
+// Callers hold walMu. compensate is best-effort by design: the write it
+// compensates for has already been reported as failed.
+func (s *Store) compensate(key RecordKey) {
+	if s.wal == nil {
+		return
+	}
+	e := WALEntry{Op: walOpDelete, App: key.App, Version: key.Version, RunID: key.RunID}
+	s.mu.RLock()
+	prev, ok := s.recs[key]
+	s.mu.RUnlock()
+	if ok {
+		// Re-marshal the indexed copy: Save wrote exactly these bytes, so
+		// the replayed file is byte-identical to the acknowledged state.
+		data, err := json.MarshalIndent(prev, "", "  ")
+		if err != nil {
+			s.wal.markUnsafe()
+			return
+		}
+		e = WALEntry{
+			Op:      walOpPut,
+			App:     key.App,
+			Version: key.Version,
+			RunID:   key.RunID,
+			Data:    data,
+		}
+	}
+	if err := s.wal.Append(e); err != nil {
+		s.wal.markUnsafe()
+		return
+	}
+	if _, err := replayWAL(s.backend, []WALEntry{e}); err != nil {
+		// Could not heal in place (the backend may still be failing);
+		// the journal must survive rotation until the next open fixes it.
+		s.wal.markUnsafe()
+	}
 }
 
 // Load reads one record by app, version and run id. The returned record
@@ -220,13 +370,44 @@ func (s *Store) Load(app, version, runID string) (*RunRecord, error) {
 // Delete removes one record from the backend and the index.
 func (s *Store) Delete(app, version, runID string) error {
 	key := RecordKey{App: app, Version: version, RunID: runID}
+	if s.wal != nil {
+		s.walMu.Lock()
+		defer s.walMu.Unlock()
+		if err := s.wal.Append(WALEntry{
+			Op:      walOpDelete,
+			App:     key.App,
+			Version: key.Version,
+			RunID:   key.RunID,
+		}); err != nil {
+			return asBackendError("wal append", err)
+		}
+	}
 	if err := s.backend.Delete(key); err != nil {
+		if !errors.Is(err, os.ErrNotExist) {
+			// A journaled delete that the backend failed to perform must
+			// not win the replay fold; restore the pre-image entry. (A
+			// miss needs no compensation — absent is what was journaled.)
+			s.compensate(key)
+		}
 		return asBackendError("delete", err)
 	}
 	s.mu.Lock()
 	delete(s.recs, key)
 	s.mu.Unlock()
 	return nil
+}
+
+// WAL returns the store's write-ahead journal, or nil when the store was
+// not opened durable.
+func (s *Store) WAL() *WAL { return s.wal }
+
+// Close flushes and closes the store's journal (if any). The store's
+// read side keeps working; further Save/Delete calls fail in WAL mode.
+func (s *Store) Close() error {
+	if s.wal == nil {
+		return nil
+	}
+	return s.wal.Close()
 }
 
 // Keys returns every indexed record key, ordered by (app, version,

@@ -1,0 +1,479 @@
+package history
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// The write-ahead journal: the durability rung beneath the Store. Every
+// Save and Delete is framed, CRC'd and appended here before the backend
+// is touched, so a crash — a SIGKILL mid-rename, a torn write corrupting
+// a previously acknowledged record — can always be rolled forward from
+// the journal at the next open. The WAL is redo-only: replay folds the
+// journal tail per key (last entry wins) and re-applies whatever the
+// record files do not already reflect. See FORMATS.md "Write-ahead
+// journal" for the frame layout and DESIGN.md §10 for the crash model.
+
+// SyncPolicy names how often the WAL fsyncs its active segment.
+type SyncPolicy string
+
+// The sync policies. SyncAlways fsyncs after every append — an
+// acknowledged write is durable across power loss, at roughly one fsync
+// per Save. SyncIntervalPolicy fsyncs at most once per WALOptions.SyncEvery,
+// bounding the loss window to that interval. SyncNone never fsyncs
+// (process crashes still lose nothing — the OS holds the pages — but
+// power loss may truncate the tail).
+const (
+	SyncAlways         SyncPolicy = "always"
+	SyncIntervalPolicy SyncPolicy = "interval"
+	SyncNone           SyncPolicy = "none"
+)
+
+// ParseSyncPolicy parses the -wal-sync flag values.
+func ParseSyncPolicy(s string) (SyncPolicy, error) {
+	switch SyncPolicy(s) {
+	case SyncAlways, SyncIntervalPolicy, SyncNone:
+		return SyncPolicy(s), nil
+	}
+	return "", fmt.Errorf("history: unknown WAL sync policy %q (want always|interval|none)", s)
+}
+
+// WALOptions configures a journal.
+type WALOptions struct {
+	// Sync is the fsync policy; "" means SyncAlways.
+	Sync SyncPolicy
+	// SyncEvery is the SyncIntervalPolicy cadence; <= 0 means 100ms.
+	SyncEvery time.Duration
+	// SegmentBytes rotates the active segment once it grows past this
+	// size; <= 0 means 4 MiB.
+	SegmentBytes int64
+}
+
+func (o WALOptions) withDefaults() WALOptions {
+	if o.Sync == "" {
+		o.Sync = SyncAlways
+	}
+	if o.SyncEvery <= 0 {
+		o.SyncEvery = 100 * time.Millisecond
+	}
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = 4 << 20
+	}
+	return o
+}
+
+// WALDirName is the store subdirectory holding journal segments.
+const WALDirName = "wal"
+
+// walSuffix names journal segment files: NNNNNNNN.wal, ordered by
+// sequence number.
+const walSuffix = ".wal"
+
+// maxWALFrame bounds one frame's payload; anything larger is treated as
+// frame corruption rather than allocated.
+const maxWALFrame = 64 << 20
+
+// WAL operations.
+const (
+	walOpPut    = "put"
+	walOpDelete = "delete"
+)
+
+// WALEntry is one journaled mutation. Put entries carry the full encoded
+// record, so replay needs nothing but the journal; Delete entries carry
+// only the key. A failed backend mutation appends a compensating entry
+// restoring the pre-image, which keeps the fold (last entry per key)
+// equal to the last acknowledged state.
+type WALEntry struct {
+	Op      string `json:"op"` // "put" | "delete"
+	App     string `json:"app"`
+	Version string `json:"version,omitempty"`
+	RunID   string `json:"run_id"`
+	// Data is base64 in the frame ([]byte, not json.RawMessage, on
+	// purpose: the JSON encoder compacts embedded RawMessage, and replay
+	// must restore the record file byte-for-byte, indentation included).
+	Data []byte `json:"data,omitempty"`
+}
+
+// Key returns the record key the entry mutates.
+func (e WALEntry) Key() RecordKey {
+	return RecordKey{App: e.App, Version: e.Version, RunID: e.RunID}
+}
+
+// WALScanReport describes what reading a journal found.
+type WALScanReport struct {
+	// Segments and Entries count what was readable.
+	Segments int
+	Entries  int
+	// TornTail reports an incomplete or CRC-failing final frame — the
+	// normal residue of a crash mid-append. The torn frame was never
+	// acknowledged, so replay simply stops before it.
+	TornTail bool
+	// Corrupt lists bad frames that are not the journal's tail — real
+	// corruption, not crash residue. Reading stops at the first bad frame
+	// of a segment; later segments are still read.
+	Corrupt []string
+}
+
+// ReadWAL reads every decodable frame of every segment under dir, in
+// segment then append order. A missing directory is an empty journal.
+func ReadWAL(dir string) ([]WALEntry, *WALScanReport, error) {
+	rep := &WALScanReport{}
+	segs, err := walSegments(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, rep, nil
+		}
+		return nil, rep, fmt.Errorf("history: wal: %w", err)
+	}
+	rep.Segments = len(segs)
+	var entries []WALEntry
+	for i, seg := range segs {
+		last := i == len(segs)-1
+		es, bad, err := readWALSegment(filepath.Join(dir, seg))
+		if err != nil {
+			return entries, rep, fmt.Errorf("history: wal %s: %w", seg, err)
+		}
+		entries = append(entries, es...)
+		rep.Entries += len(es)
+		if bad != "" {
+			if last {
+				rep.TornTail = true
+			} else {
+				rep.Corrupt = append(rep.Corrupt, seg+": "+bad)
+			}
+		}
+	}
+	return entries, rep, nil
+}
+
+// walSegments lists segment basenames under dir in sequence order.
+func walSegments(dir string) ([]string, error) {
+	des, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var segs []string
+	for _, de := range des {
+		if de.IsDir() || !strings.HasSuffix(de.Name(), walSuffix) {
+			continue
+		}
+		segs = append(segs, de.Name())
+	}
+	sort.Strings(segs)
+	return segs, nil
+}
+
+// readWALSegment decodes one segment. bad is "" when the segment ends
+// cleanly, otherwise a description of the first undecodable frame
+// (reading stops there).
+func readWALSegment(path string) (entries []WALEntry, bad string, err error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, "", err
+	}
+	off := 0
+	for off < len(data) {
+		if len(data)-off < 8 {
+			return entries, fmt.Sprintf("short frame header at offset %d", off), nil
+		}
+		n := binary.BigEndian.Uint32(data[off:])
+		sum := binary.BigEndian.Uint32(data[off+4:])
+		if n == 0 || n > maxWALFrame {
+			return entries, fmt.Sprintf("implausible frame length %d at offset %d", n, off), nil
+		}
+		if len(data)-off-8 < int(n) {
+			return entries, fmt.Sprintf("truncated frame payload at offset %d", off), nil
+		}
+		payload := data[off+8 : off+8+int(n)]
+		if crc32.ChecksumIEEE(payload) != sum {
+			return entries, fmt.Sprintf("CRC mismatch at offset %d", off), nil
+		}
+		var e WALEntry
+		if err := json.Unmarshal(payload, &e); err != nil {
+			return entries, fmt.Sprintf("undecodable frame at offset %d: %v", off, err), nil
+		}
+		if e.Op != walOpPut && e.Op != walOpDelete {
+			return entries, fmt.Sprintf("unknown op %q at offset %d", e.Op, off), nil
+		}
+		entries = append(entries, e)
+		off += 8 + int(n)
+	}
+	return entries, "", nil
+}
+
+// WALFold computes the final intended state per key: the journal is
+// sequential, so the last entry for a key is the last acknowledged (or
+// compensated) mutation of it.
+func WALFold(entries []WALEntry) map[RecordKey]WALEntry {
+	out := make(map[RecordKey]WALEntry, len(entries))
+	for _, e := range entries {
+		out[e.Key()] = e
+	}
+	return out
+}
+
+// replayWAL re-applies the journal's folded tail onto b: puts whose
+// bytes differ from (or are missing in) the backend are rewritten,
+// deletes of still-present keys are re-deleted. It returns how many
+// entries needed re-applying; the rest were already reflected on disk.
+func replayWAL(b Backend, entries []WALEntry) (applied int, err error) {
+	fold := WALFold(entries)
+	keys := make([]RecordKey, 0, len(fold))
+	for k := range fold {
+		keys = append(keys, k)
+	}
+	sortKeys(keys)
+	for _, k := range keys {
+		e := fold[k]
+		switch e.Op {
+		case walOpPut:
+			cur, gerr := b.Get(k)
+			if gerr == nil && string(cur) == string(e.Data) {
+				continue
+			}
+			if gerr != nil && !errors.Is(gerr, os.ErrNotExist) {
+				return applied, fmt.Errorf("history: wal replay %s: %w", k, gerr)
+			}
+			if perr := b.Put(k, e.Data); perr != nil {
+				return applied, fmt.Errorf("history: wal replay %s: %w", k, perr)
+			}
+			applied++
+		case walOpDelete:
+			_, gerr := b.Get(k)
+			if errors.Is(gerr, os.ErrNotExist) {
+				continue
+			}
+			if gerr != nil {
+				return applied, fmt.Errorf("history: wal replay %s: %w", k, gerr)
+			}
+			if derr := b.Delete(k); derr != nil && !errors.Is(derr, os.ErrNotExist) {
+				return applied, fmt.Errorf("history: wal replay %s: %w", k, derr)
+			}
+			applied++
+		}
+	}
+	return applied, nil
+}
+
+// WALStats snapshots a journal's counters.
+type WALStats struct {
+	Appends   uint64 `json:"appends"`
+	Syncs     uint64 `json:"syncs"`
+	Rotations uint64 `json:"rotations"`
+	Segments  int    `json:"segments"`
+}
+
+// WAL is an open write-ahead journal: an append-only sequence of CRC32-
+// framed entries across rotated segment files. Safe for concurrent use.
+type WAL struct {
+	dir  string
+	opts WALOptions
+
+	mu       sync.Mutex
+	f        *os.File
+	seq      uint64
+	size     int64
+	lastSync time.Time
+	dirty    bool
+	// unsafeCompact is set when a compensating entry could not be healed
+	// into the backend: old segments may still be needed by replay, so
+	// rotation stops discarding them until the next open.
+	unsafeCompact bool
+	stale         []string // rotated, fully-applied segments awaiting removal
+	segments      int
+
+	appends   atomic.Uint64
+	syncs     atomic.Uint64
+	rotations atomic.Uint64
+}
+
+// StartWAL opens a fresh journal under dir, discarding any existing
+// segments — the caller (OpenStoreDurable, pcfsck -repair) has already
+// replayed them into the record files. The first segment is created
+// eagerly so an empty journal is distinguishable from an absent one.
+func StartWAL(dir string, opts WALOptions) (*WAL, error) {
+	opts = opts.withDefaults()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("history: wal: %w", err)
+	}
+	segs, err := walSegments(dir)
+	if err != nil {
+		return nil, fmt.Errorf("history: wal: %w", err)
+	}
+	for _, seg := range segs {
+		if err := os.Remove(filepath.Join(dir, seg)); err != nil {
+			return nil, fmt.Errorf("history: wal: %w", err)
+		}
+	}
+	w := &WAL{dir: dir, opts: opts}
+	if err := w.openSegment(1); err != nil {
+		return nil, err
+	}
+	return w, nil
+}
+
+// openSegment creates and switches to segment seq. Callers hold w.mu
+// (or have exclusive access during construction).
+func (w *WAL) openSegment(seq uint64) error {
+	f, err := os.OpenFile(w.segmentPath(seq), os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("history: wal: %w", err)
+	}
+	// The segment must exist by name before frames are acknowledged.
+	if err := syncDir(w.dir); err != nil {
+		f.Close()
+		return fmt.Errorf("history: wal: %w", err)
+	}
+	w.f = f
+	w.seq = seq
+	w.size = 0
+	w.segments++
+	return nil
+}
+
+func (w *WAL) segmentPath(seq uint64) string {
+	return filepath.Join(w.dir, fmt.Sprintf("%08d%s", seq, walSuffix))
+}
+
+// Append journals one entry, rotating and syncing per the options. The
+// entry is durable per the sync policy when Append returns.
+func (w *WAL) Append(e WALEntry) error {
+	payload, err := json.Marshal(e)
+	if err != nil {
+		return fmt.Errorf("history: wal: %w", err)
+	}
+	frame := make([]byte, 8+len(payload))
+	binary.BigEndian.PutUint32(frame, uint32(len(payload)))
+	binary.BigEndian.PutUint32(frame[4:], crc32.ChecksumIEEE(payload))
+	copy(frame[8:], payload)
+
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f == nil {
+		return fmt.Errorf("history: wal: closed")
+	}
+	if w.size > 0 && w.size+int64(len(frame)) > w.opts.SegmentBytes {
+		if err := w.rotateLocked(); err != nil {
+			return err
+		}
+	}
+	if _, err := w.f.Write(frame); err != nil {
+		return fmt.Errorf("history: wal append: %w", err)
+	}
+	w.size += int64(len(frame))
+	w.dirty = true
+	w.appends.Add(1)
+	switch w.opts.Sync {
+	case SyncAlways:
+		return w.syncLocked()
+	case SyncIntervalPolicy:
+		if time.Since(w.lastSync) >= w.opts.SyncEvery {
+			return w.syncLocked()
+		}
+	}
+	return nil
+}
+
+// rotateLocked closes the active segment and opens the next. Entries in
+// closed segments were either applied to the backend or compensated, so
+// the closed segments are discarded — unless a compensation could not be
+// healed, in which case every closed segment is retained for the next
+// open's replay.
+func (w *WAL) rotateLocked() error {
+	if err := w.syncLocked(); err != nil {
+		return err
+	}
+	if err := w.f.Close(); err != nil {
+		return fmt.Errorf("history: wal rotate: %w", err)
+	}
+	w.stale = append(w.stale, w.segmentPath(w.seq))
+	w.rotations.Add(1)
+	if err := w.openSegment(w.seq + 1); err != nil {
+		return err
+	}
+	if !w.unsafeCompact {
+		for _, path := range w.stale {
+			if err := os.Remove(path); err != nil && !os.IsNotExist(err) {
+				return fmt.Errorf("history: wal compact: %w", err)
+			}
+			w.segments--
+		}
+		w.stale = nil
+	}
+	return nil
+}
+
+// syncLocked fsyncs the active segment. Callers hold w.mu.
+func (w *WAL) syncLocked() error {
+	if !w.dirty {
+		return nil
+	}
+	if err := w.f.Sync(); err != nil {
+		return fmt.Errorf("history: wal sync: %w", err)
+	}
+	w.dirty = false
+	w.lastSync = time.Now()
+	w.syncs.Add(1)
+	return nil
+}
+
+// Sync flushes buffered frames to stable storage regardless of policy.
+func (w *WAL) Sync() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f == nil {
+		return nil
+	}
+	return w.syncLocked()
+}
+
+// markUnsafe records that the record files may lag the journal (a
+// compensating entry could not be healed); segment discarding stops
+// until the next open replays everything.
+func (w *WAL) markUnsafe() {
+	w.mu.Lock()
+	w.unsafeCompact = true
+	w.mu.Unlock()
+}
+
+// Close syncs and closes the journal. Further appends fail.
+func (w *WAL) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f == nil {
+		return nil
+	}
+	err := w.syncLocked()
+	if cerr := w.f.Close(); err == nil {
+		err = cerr
+	}
+	w.f = nil
+	return err
+}
+
+// Stats snapshots the journal's counters.
+func (w *WAL) Stats() WALStats {
+	w.mu.Lock()
+	segments := w.segments
+	w.mu.Unlock()
+	return WALStats{
+		Appends:   w.appends.Load(),
+		Syncs:     w.syncs.Load(),
+		Rotations: w.rotations.Load(),
+		Segments:  segments,
+	}
+}
+
+// Dir returns the journal directory.
+func (w *WAL) Dir() string { return w.dir }

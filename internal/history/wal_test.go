@@ -1,0 +1,722 @@
+package history
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// walDirOf is the journal directory of a store rooted at dir.
+func walDirOf(dir string) string { return filepath.Join(dir, WALDirName) }
+
+// openDurable opens (creating) a WAL-enabled store for tests.
+func openDurable(t *testing.T, dir string, o DurableOptions) *Store {
+	t.Helper()
+	o.Create = true
+	o.WAL = true
+	st, err := OpenStoreDurable(dir, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func TestParseSyncPolicy(t *testing.T) {
+	for _, s := range []string{"always", "interval", "none"} {
+		p, err := ParseSyncPolicy(s)
+		if err != nil || string(p) != s {
+			t.Errorf("ParseSyncPolicy(%q) = %q, %v", s, p, err)
+		}
+	}
+	if _, err := ParseSyncPolicy("sometimes"); err == nil {
+		t.Error("ParseSyncPolicy accepted an unknown policy")
+	}
+}
+
+// TestStoreDirSeesThroughWrappers: Dir must report the filesystem
+// directory even when the backend is wrapped (fault injection) — the
+// session journal and quarantine paths pcd derives from it must land
+// inside the store, not in the daemon's working directory.
+func TestStoreDirSeesThroughWrappers(t *testing.T) {
+	dir := t.TempDir()
+	st, err := OpenStoreDurable(dir, DurableOptions{
+		Create: true, WAL: true,
+		Wrap: func(b Backend) Backend { return NewFaultBackend(b, FaultConfig{Seed: 1}) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if got := st.Dir(); got != dir {
+		t.Fatalf("Dir() through a FaultBackend = %q, want %q", got, dir)
+	}
+}
+
+// TestWALAppendReadRoundTrip frames entries through a journal and reads
+// them back byte-for-byte, in order.
+func TestWALAppendReadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	w, err := StartWAL(dir, WALOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []WALEntry{
+		{Op: walOpPut, App: "a", Version: "v", RunID: "r1", Data: []byte(`{"x":1}`)},
+		{Op: walOpDelete, App: "a", Version: "v", RunID: "r1"},
+		{Op: walOpPut, App: "b", RunID: "r2", Data: []byte(`{"y":2}`)},
+	}
+	for _, e := range want {
+		if err := w.Append(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, rep, err := ReadWAL(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.TornTail || len(rep.Corrupt) != 0 {
+		t.Fatalf("clean journal read as damaged: %+v", rep)
+	}
+	if rep.Segments != 1 || rep.Entries != len(want) {
+		t.Errorf("scan report = %+v, want 1 segment, %d entries", rep, len(want))
+	}
+	if len(got) != len(want) {
+		t.Fatalf("read %d entries, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].Op != want[i].Op || got[i].Key() != want[i].Key() ||
+			!bytes.Equal(got[i].Data, want[i].Data) {
+			t.Errorf("entry %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+	stats := w.Stats()
+	if stats.Appends != 3 || stats.Syncs != 3 {
+		t.Errorf("SyncAlways stats = %+v, want 3 appends, 3 syncs", stats)
+	}
+}
+
+// TestWALMissingDirIsEmptyJournal: a store written before the WAL existed
+// has no wal/ directory, and that must read as an empty journal.
+func TestWALMissingDirIsEmptyJournal(t *testing.T) {
+	entries, rep, err := ReadWAL(filepath.Join(t.TempDir(), "nope"))
+	if err != nil || len(entries) != 0 || rep.Segments != 0 {
+		t.Fatalf("ReadWAL(missing) = %v, %+v, %v; want empty journal", entries, rep, err)
+	}
+}
+
+// TestWALTornTail truncates the final frame mid-payload — the normal
+// residue of a crash mid-append. Earlier entries stay readable and the
+// report flags the tail, not corruption.
+func TestWALTornTail(t *testing.T) {
+	dir := t.TempDir()
+	w, err := StartWAL(dir, WALOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := w.Append(WALEntry{Op: walOpDelete, App: "a", RunID: fmt.Sprintf("r%d", i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	seg := filepath.Join(dir, "00000001.wal")
+	data, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(seg, data[:len(data)-5], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	entries, rep, err := ReadWAL(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.TornTail {
+		t.Error("truncated final frame not reported as torn tail")
+	}
+	if len(rep.Corrupt) != 0 {
+		t.Errorf("torn tail misreported as corruption: %v", rep.Corrupt)
+	}
+	if len(entries) != 2 {
+		t.Errorf("read %d entries before the torn frame, want 2", len(entries))
+	}
+}
+
+// TestWALCorruptMidSegment flips a byte in a non-final frame: that is
+// real corruption, reported as such, and reading that segment stops
+// there.
+func TestWALCorruptMidSegment(t *testing.T) {
+	dir := t.TempDir()
+	w, err := StartWAL(dir, WALOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(WALEntry{Op: walOpDelete, App: "a", RunID: "r0"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(WALEntry{Op: walOpDelete, App: "a", RunID: "r1"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Second segment so the damage is not in the journal's tail segment.
+	if err := os.WriteFile(filepath.Join(dir, "00000002.wal"), nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	seg := filepath.Join(dir, "00000001.wal")
+	data, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[10] ^= 0xff // inside the first frame's payload
+	if err := os.WriteFile(seg, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	entries, rep, err := ReadWAL(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Corrupt) != 1 || !strings.Contains(rep.Corrupt[0], "00000001.wal") {
+		t.Errorf("corrupt frames = %v, want one in segment 1", rep.Corrupt)
+	}
+	if rep.TornTail {
+		t.Error("mid-journal corruption misreported as torn tail")
+	}
+	if len(entries) != 0 {
+		t.Errorf("read %d entries from the corrupted segment, want 0", len(entries))
+	}
+}
+
+// TestWALRotationCompacts drives the journal past its segment size many
+// times and proves rotation discards fully-applied segments instead of
+// retaining the whole history.
+func TestWALRotationCompacts(t *testing.T) {
+	dir := t.TempDir()
+	w, err := StartWAL(dir, WALOptions{SegmentBytes: 256, Sync: SyncNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		e := WALEntry{Op: walOpPut, App: "app", RunID: fmt.Sprintf("r%03d", i),
+			Data: []byte(`{"pad":"` + strings.Repeat("x", 64) + `"}`)}
+		if err := w.Append(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stats := w.Stats()
+	if stats.Rotations == 0 {
+		t.Fatal("journal never rotated at a 256-byte segment size")
+	}
+	segs, err := walSegments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) != 1 {
+		t.Errorf("%d segments on disk after compacting rotations, want 1: %v", len(segs), segs)
+	}
+	if stats.Segments != len(segs) {
+		t.Errorf("stats report %d segments, disk has %d", stats.Segments, len(segs))
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWALUnsafeCompactRetainsSegments: once a compensation could not be
+// healed, rotation must stop discarding old segments — replay at next
+// open needs them.
+func TestWALUnsafeCompactRetainsSegments(t *testing.T) {
+	dir := t.TempDir()
+	w, err := StartWAL(dir, WALOptions{SegmentBytes: 256, Sync: SyncNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.markUnsafe()
+	for i := 0; i < 50; i++ {
+		e := WALEntry{Op: walOpPut, App: "app", RunID: fmt.Sprintf("r%03d", i),
+			Data: []byte(`{"pad":"` + strings.Repeat("x", 64) + `"}`)}
+		if err := w.Append(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, err := walSegments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) < 2 {
+		t.Errorf("unsafe journal kept %d segments, want all rotated ones retained", len(segs))
+	}
+}
+
+// TestWALSyncPolicies checks the fsync cadence each policy promises.
+func TestWALSyncPolicies(t *testing.T) {
+	append3 := func(w *WAL) {
+		t.Helper()
+		for i := 0; i < 3; i++ {
+			if err := w.Append(WALEntry{Op: walOpDelete, App: "a", RunID: fmt.Sprintf("r%d", i)}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	w, err := StartWAL(t.TempDir(), WALOptions{Sync: SyncNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	append3(w)
+	if got := w.Stats().Syncs; got != 0 {
+		t.Errorf("SyncNone fsynced %d times, want 0", got)
+	}
+	w.Close()
+
+	w, err = StartWAL(t.TempDir(), WALOptions{Sync: SyncIntervalPolicy, SyncEvery: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	append3(w)
+	if got := w.Stats().Syncs; got > 1 {
+		t.Errorf("SyncIntervalPolicy(1h) fsynced %d times across 3 appends, want at most 1", got)
+	}
+	if err := w.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if got := w.Stats().Syncs; got == 0 {
+		t.Error("explicit Sync did not fsync a dirty journal")
+	}
+	w.Close()
+}
+
+// TestWALFoldLastWins: the fold resolves each key to its final entry.
+func TestWALFoldLastWins(t *testing.T) {
+	fold := WALFold([]WALEntry{
+		{Op: walOpPut, App: "a", RunID: "r1", Data: []byte(`1`)},
+		{Op: walOpPut, App: "a", RunID: "r2", Data: []byte(`2`)},
+		{Op: walOpPut, App: "a", RunID: "r1", Data: []byte(`3`)},
+		{Op: walOpDelete, App: "a", RunID: "r2"},
+	})
+	if len(fold) != 2 {
+		t.Fatalf("fold has %d keys, want 2", len(fold))
+	}
+	if e := fold[RecordKey{App: "a", RunID: "r1"}]; string(e.Data) != `3` {
+		t.Errorf("r1 folded to %s, want the last put", e.Data)
+	}
+	if e := fold[RecordKey{App: "a", RunID: "r2"}]; e.Op != walOpDelete {
+		t.Errorf("r2 folded to %q, want the delete", e.Op)
+	}
+}
+
+// TestReplayWALOnlyWhereDiskDiffers: entries the record files already
+// reflect are not rewritten.
+func TestReplayWALOnlyWhereDiskDiffers(t *testing.T) {
+	b := NewMemBackend()
+	k1 := RecordKey{App: "a", RunID: "r1"}
+	k2 := RecordKey{App: "a", RunID: "r2"}
+	k3 := RecordKey{App: "a", RunID: "r3"}
+	if err := b.Put(k1, []byte(`{"same":1}`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Put(k3, []byte(`{"doomed":1}`)); err != nil {
+		t.Fatal(err)
+	}
+	applied, err := replayWAL(b, []WALEntry{
+		{Op: walOpPut, App: "a", RunID: "r1", Data: []byte(`{"same":1}`)}, // already there
+		{Op: walOpPut, App: "a", RunID: "r2", Data: []byte(`{"new":1}`)},  // missing on disk
+		{Op: walOpDelete, App: "a", RunID: "r3"},                          // still on disk
+		{Op: walOpDelete, App: "a", RunID: "r4"},                          // already gone
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if applied != 2 {
+		t.Errorf("replay applied %d entries, want 2 (the missing put and the pending delete)", applied)
+	}
+	if data, err := b.Get(k2); err != nil || string(data) != `{"new":1}` {
+		t.Errorf("replayed put missing: %s, %v", data, err)
+	}
+	if _, err := b.Get(k3); !errors.Is(err, os.ErrNotExist) {
+		t.Error("replayed delete did not remove the record")
+	}
+}
+
+// TestDurableStoreCrashLosesNothing is the WAL's core promise: after
+// acked Saves and a Delete, wipe the record files behind the store's
+// back (a maximally torn crash) and reopen — the journal replays every
+// acknowledged mutation and the recovery report says so.
+func TestDurableStoreCrashLosesNothing(t *testing.T) {
+	dir := t.TempDir()
+	st := openDurable(t, dir, DurableOptions{})
+	for _, id := range []string{"r1", "r2", "r3"} {
+		if err := st.Save(sampleRecord(id)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.Delete("poisson", "A", "r2"); err != nil {
+		t.Fatal(err)
+	}
+	// Crash: no Close, and the record files vanish out from under it.
+	des, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, de := range des {
+		if !de.IsDir() && strings.HasSuffix(de.Name(), ".json") {
+			if err := os.Remove(filepath.Join(dir, de.Name())); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	st2, err := OpenStoreDurable(dir, DurableOptions{WAL: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := st2.Recovery()
+	if rep == nil || rep.WAL == nil {
+		t.Fatal("durable open produced no WAL recovery report")
+	}
+	if rep.WAL.Replayed != 2 {
+		t.Errorf("replayed %d entries, want 2 (r1 and r3; r2 was deleted)", rep.WAL.Replayed)
+	}
+	if rep.WAL.TornTail || len(rep.WAL.Corrupt) != 0 {
+		t.Errorf("clean journal reported damaged: %+v", rep.WAL)
+	}
+	if st2.Len() != 2 {
+		t.Fatalf("store holds %d records after replay, want 2", st2.Len())
+	}
+	for _, id := range []string{"r1", "r3"} {
+		rec, err := st2.Load("poisson", "A", id)
+		if err != nil {
+			t.Fatalf("load %s after replay: %v", id, err)
+		}
+		want, _ := json.MarshalIndent(sampleRecord(id), "", "  ")
+		got, _ := json.MarshalIndent(rec, "", "  ")
+		if !bytes.Equal(got, want) {
+			t.Errorf("replayed %s differs from the acknowledged record", id)
+		}
+	}
+	if _, err := st2.Load("poisson", "A", "r2"); !errors.Is(err, os.ErrNotExist) {
+		t.Error("deleted record resurrected by replay")
+	}
+}
+
+// TestDurableStoreTornRecordHealed: a crash can tear the record file of
+// an already-acked Save (rename published, data page lost). Replay must
+// restore the acked bytes rather than quarantine the file.
+func TestDurableStoreTornRecordHealed(t *testing.T) {
+	dir := t.TempDir()
+	st := openDurable(t, dir, DurableOptions{})
+	if err := st.Save(sampleRecord("r1")); err != nil {
+		t.Fatal(err)
+	}
+	// Tear the record file in place.
+	name := fileName(RecordKey{App: "poisson", Version: "A", RunID: "r1"})
+	data, err := os.ReadFile(filepath.Join(dir, name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, name), data[:len(data)/3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, err := OpenStoreDurable(dir, DurableOptions{WAL: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := st2.Recovery()
+	if rep.WAL == nil || rep.WAL.Replayed != 1 {
+		t.Fatalf("torn acked record not replayed: %+v", rep.WAL)
+	}
+	if len(rep.Quarantined) != 0 {
+		t.Errorf("journal-repairable record was quarantined: %v", rep.Quarantined)
+	}
+	rec, err := st2.Load("poisson", "A", "r1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := json.MarshalIndent(rec, "", "  ")
+	if !bytes.Equal(got, data) {
+		t.Error("healed record differs from the acknowledged bytes")
+	}
+}
+
+// TestDurableStoreCompensation: a Put the backend rejects must not win
+// the replay fold — the pre-image (or absence) is what the caller last
+// had acknowledged.
+func TestDurableStoreCompensation(t *testing.T) {
+	dir := t.TempDir()
+	st := openDurable(t, dir, DurableOptions{})
+	if err := st.Save(sampleRecord("r1")); err != nil {
+		t.Fatal(err)
+	}
+	ackedBytes, err := os.ReadFile(filepath.Join(dir, fileName(RecordKey{App: "poisson", Version: "A", RunID: "r1"})))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fb := st.Backend().(*FSBackend)
+	fb.renameHook = func(_, _ string) error { return fmt.Errorf("injected rename failure") }
+	changed := sampleRecord("r1")
+	changed.Duration = 999
+	if err := st.Save(changed); err == nil {
+		t.Fatal("Save succeeded through a failing rename")
+	}
+	// A brand-new key failing is compensated with a delete entry.
+	if err := st.Save(sampleRecord("r9")); err == nil {
+		t.Fatal("Save succeeded through a failing rename")
+	}
+	fb.renameHook = nil
+
+	// Replay the journal as the next open would: the failed writes' intent
+	// must not surface.
+	entries, _, err := ReadWAL(walDirOf(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fold := WALFold(entries)
+	e := fold[RecordKey{App: "poisson", Version: "A", RunID: "r1"}]
+	if e.Op != walOpPut || !bytes.Equal(e.Data, ackedBytes) {
+		t.Errorf("r1 folds to %q (%d bytes), want the acked pre-image put", e.Op, len(e.Data))
+	}
+	if e := fold[RecordKey{App: "poisson", Version: "A", RunID: "r9"}]; e.Op != walOpDelete {
+		t.Errorf("never-acked r9 folds to %q, want delete", e.Op)
+	}
+	// And on disk, the acked state survived the failed overwrite.
+	cur, err := os.ReadFile(filepath.Join(dir, fileName(RecordKey{App: "poisson", Version: "A", RunID: "r1"})))
+	if err != nil || !bytes.Equal(cur, ackedBytes) {
+		t.Error("acked record bytes changed despite the failed Save")
+	}
+}
+
+// TestDurableStorePreWALLayoutOpens: forward compatibility — a store
+// written before this PR (no wal/ directory) opens durably with an empty
+// journal, and a durable store's wal/ and sessions/ subdirectories are
+// invisible to the pre-WAL open path.
+func TestDurableStorePreWALLayoutOpens(t *testing.T) {
+	dir := t.TempDir()
+	st0, err := NewStore(dir) // pre-PR-5 writer: no journal
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st0.Save(sampleRecord("r1")); err != nil {
+		t.Fatal(err)
+	}
+	st, err := OpenStoreDurable(dir, DurableOptions{WAL: true})
+	if err != nil {
+		t.Fatalf("pre-WAL layout failed the durable open: %v", err)
+	}
+	if rep := st.Recovery(); !rep.WAL.Empty() {
+		t.Errorf("empty-journal open reported WAL work: %+v", rep.WAL)
+	}
+	if st.Len() != 1 {
+		t.Errorf("pre-WAL records lost: %d indexed, want 1", st.Len())
+	}
+	if err := st.Save(sampleRecord("r2")); err != nil {
+		t.Fatal(err)
+	}
+	st.Close()
+	// And backwards: the old open path must not trip over wal/.
+	stOld, err := OpenStore(dir)
+	if err != nil {
+		t.Fatalf("pre-WAL open path rejected a durable store: %v", err)
+	}
+	if stOld.Len() != 2 {
+		t.Errorf("old open path sees %d records, want 2", stOld.Len())
+	}
+	if len(stOld.Recovery().Quarantined) != 0 {
+		t.Errorf("old open path quarantined journal files: %v", stOld.Recovery().Quarantined)
+	}
+}
+
+// TestFSBackendPutFsyncsDirAfterRename is the satellite regression test:
+// the directory fsync happens after (and only after) the rename commits,
+// and a failing fsync surfaces as a Put error.
+func TestFSBackendPutFsyncsDirAfterRename(t *testing.T) {
+	dir := t.TempDir()
+	b, err := NewFSBackend(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var order []string
+	b.renameHook = func(oldpath, newpath string) error {
+		order = append(order, "rename")
+		return os.Rename(oldpath, newpath)
+	}
+	b.syncHook = func(d string) error {
+		if d == dir {
+			order = append(order, "syncdir")
+		}
+		return syncDir(d)
+	}
+	key := RecordKey{App: "a", RunID: "r1"}
+	if err := b.Put(key, []byte(`{"app":"a","run_id":"r1"}`)); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 2 || order[0] != "rename" || order[1] != "syncdir" {
+		t.Fatalf("Put ordering = %v, want rename then directory fsync", order)
+	}
+	// A failed rename must not fsync (nothing committed).
+	order = nil
+	b.renameHook = func(_, _ string) error { return fmt.Errorf("injected") }
+	if err := b.Put(key, []byte(`{}`)); err == nil {
+		t.Fatal("Put succeeded through a failing rename")
+	}
+	for _, step := range order {
+		if step == "syncdir" {
+			t.Error("directory fsynced for an uncommitted rename")
+		}
+	}
+	// A failing fsync fails the Put: the write is not durable.
+	b.renameHook = nil
+	b.syncHook = func(string) error { return fmt.Errorf("injected fsync failure") }
+	if err := b.Put(key, []byte(`{"app":"a","run_id":"r1"}`)); err == nil ||
+		!strings.Contains(err.Error(), "sync dir") {
+		t.Errorf("Put with failing dir fsync returned %v, want a sync dir error", err)
+	}
+}
+
+// TestFSBackendQuarantineFsyncsDirs: the quarantine move fsyncs both the
+// quarantine directory and the store directory.
+func TestFSBackendQuarantineFsyncsDirs(t *testing.T) {
+	dir := t.TempDir()
+	b, err := NewFSBackend(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "bad.json"), []byte("junk"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var synced []string
+	b.syncHook = func(d string) error {
+		synced = append(synced, d)
+		return syncDir(d)
+	}
+	if err := b.Quarantine("bad.json", "testing"); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{filepath.Join(dir, QuarantineDir), dir}
+	if len(synced) != 2 || synced[0] != want[0] || synced[1] != want[1] {
+		t.Fatalf("quarantine fsynced %v, want %v", synced, want)
+	}
+}
+
+// TestStoreDeleteLegacyNamedRecord is the satellite fix: a record that
+// exists only under its pre-escaping file name must be deletable through
+// the same fallback Get reads through.
+func TestStoreDeleteLegacyNamedRecord(t *testing.T) {
+	dir := t.TempDir()
+	rec := sampleRecord("r1")
+	data, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// poisson-A-r1.json: the legacy name (no escaping) of this key.
+	legacy := "poisson-A-r1.json"
+	if err := os.WriteFile(filepath.Join(dir, legacy), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	st, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Len() != 1 {
+		t.Fatalf("legacy record not indexed: %d records", st.Len())
+	}
+	if err := st.Delete("poisson", "A", "r1"); err != nil {
+		t.Fatalf("Delete of legacy-named-only record failed: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, legacy)); !errors.Is(err, os.ErrNotExist) {
+		t.Error("legacy file survived Delete")
+	}
+	if _, err := st.Load("poisson", "A", "r1"); !errors.Is(err, os.ErrNotExist) {
+		t.Errorf("Load after legacy Delete = %v, want not-exist", err)
+	}
+	// Deleting a key with no file at all is a miss.
+	if err := st.Delete("poisson", "A", "r1"); !errors.Is(err, os.ErrNotExist) {
+		t.Errorf("second Delete = %v, want not-exist", err)
+	}
+}
+
+// TestFSBackendDeleteLegacyCollision: the colliding key's legacy file —
+// app "poisson-A" run "r1" vs app "poisson" version "A" run "r1" share
+// poisson-A-r1.json — must survive a Delete of the other key, and an
+// unparseable squatter on the legacy name is quarantined.
+func TestFSBackendDeleteLegacyCollision(t *testing.T) {
+	dir := t.TempDir()
+	b, err := NewFSBackend(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	other := []byte(`{"app":"poisson-A","run_id":"r1"}`)
+	if err := os.WriteFile(filepath.Join(dir, "poisson-A-r1.json"), other, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Delete of (poisson, A, r1): nothing of that key exists; the other
+	// key's file under the colliding legacy name must be left alone.
+	err = b.Delete(RecordKey{App: "poisson", Version: "A", RunID: "r1"})
+	if !errors.Is(err, os.ErrNotExist) {
+		t.Errorf("Delete = %v, want not-exist", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "poisson-A-r1.json")); err != nil {
+		t.Error("colliding key's legacy file removed by another key's Delete")
+	}
+	// An unparseable file squatting on a key's legacy name is
+	// quarantined. Key (pois-son, "", r2) has a distinct escaped name
+	// (pois%2Dson--r2.json), so the legacy fallback is the path taken.
+	if err := os.WriteFile(filepath.Join(dir, "pois-son-r2.json"), []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err = b.Delete(RecordKey{App: "pois-son", RunID: "r2"})
+	if !errors.Is(err, os.ErrNotExist) {
+		t.Errorf("Delete = %v, want not-exist", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, QuarantineDir, "pois-son-r2.json")); err != nil {
+		t.Error("unparseable legacy squatter not quarantined by Delete")
+	}
+}
+
+// TestDurableStoreDeterminism: the WAL must not perturb what the store
+// serves — saving and loading through a durable store returns the same
+// records as a plain one.
+func TestDurableStoreDeterminism(t *testing.T) {
+	plainDir, durDir := t.TempDir(), t.TempDir()
+	plain, err := NewStore(plainDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dur := openDurable(t, durDir, DurableOptions{})
+	for _, id := range []string{"r1", "r2"} {
+		if err := plain.Save(sampleRecord(id)); err != nil {
+			t.Fatal(err)
+		}
+		if err := dur.Save(sampleRecord(id)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, id := range []string{"r1", "r2"} {
+		name := fileName(RecordKey{App: "poisson", Version: "A", RunID: id})
+		a, err := os.ReadFile(filepath.Join(plainDir, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := os.ReadFile(filepath.Join(durDir, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(a, c) {
+			t.Errorf("record %s bytes differ between plain and durable stores", id)
+		}
+	}
+}

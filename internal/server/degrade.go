@@ -22,11 +22,13 @@ import (
 // svcCounters is the atomic backing store for the resilience fields of
 // StatsResponse.
 type svcCounters struct {
-	backendFaults  atomic.Uint64
-	writesRejected atomic.Uint64
-	breakerOpens   atomic.Uint64
-	backendProbes  atomic.Uint64
-	sessionRetries atomic.Uint64
+	backendFaults   atomic.Uint64
+	writesRejected  atomic.Uint64
+	breakerOpens    atomic.Uint64
+	backendProbes   atomic.Uint64
+	sessionRetries  atomic.Uint64
+	journalHits     atomic.Uint64
+	sessionsResumed atomic.Uint64
 }
 
 // observeStoreErr feeds one store-operation failure into the breaker.

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"os"
 	"sort"
@@ -374,8 +375,13 @@ func (s *Server) handleHarvest(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleDiagnose(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		writeErr(w, fmt.Errorf("read diagnose request: %w", err), http.StatusBadRequest)
+		return
+	}
 	var req DiagnoseRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+	if err := json.Unmarshal(body, &req); err != nil {
 		writeErr(w, fmt.Errorf("decode diagnose request: %w", err), http.StatusBadRequest)
 		return
 	}
@@ -385,12 +391,97 @@ func (s *Server) handleDiagnose(w http.ResponseWriter, r *http.Request) {
 	}
 	defer s.endDiagnose()
 
-	job, cfg, err := s.diagnoseJob(&req)
-	if err != nil {
-		writeErr(w, err, http.StatusBadRequest)
+	key := req.IdempotencyKey
+	if s.journal == nil {
+		key = "" // no journal: keyed requests run like plain ones
+	}
+	if key != "" {
+		stored, owner, err := s.journal.begin(r.Context(), key, json.RawMessage(body))
+		if err != nil {
+			writeErr(w, err, http.StatusInternalServerError)
+			return
+		}
+		if !owner {
+			// The session already ran (here or before a crash-restart):
+			// replay the stored bytes verbatim.
+			s.counts.journalHits.Add(1)
+			writeStored(w, stored)
+			return
+		}
+	}
+	resp, derr := s.runDiagnose(r.Context(), &req, key)
+	if derr != nil {
+		if key != "" {
+			s.journal.fail(key)
+		}
+		s.writeDiagnoseErr(w, derr)
 		return
 	}
-	ctx := r.Context()
+	raw, err := MarshalCanonical(resp)
+	if err != nil {
+		if key != "" {
+			s.journal.fail(key)
+		}
+		http.Error(w, `{"error":"encoding failed"}`, http.StatusInternalServerError)
+		return
+	}
+	if key != "" {
+		// Journal-write failure is not a request failure: the client gets
+		// its result either way; only replay durability is lost.
+		s.journal.finish(key, json.RawMessage(body), raw)
+	}
+	writeStored(w, raw)
+}
+
+// writeStored sends pre-encoded canonical response bytes.
+func writeStored(w http.ResponseWriter, raw []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	w.Write(raw)
+}
+
+// diagnoseError carries a diagnose failure plus its wire semantics:
+// unavailable failures answer 503 + Retry-After, the rest 400.
+type diagnoseError struct {
+	err         error
+	unavailable bool
+}
+
+func (e *diagnoseError) Error() string { return e.err.Error() }
+func (e *diagnoseError) Unwrap() error { return e.err }
+
+// writeDiagnoseErr maps a runDiagnose failure onto the wire.
+func (s *Server) writeDiagnoseErr(w http.ResponseWriter, err error) {
+	var de *diagnoseError
+	if errors.As(err, &de) {
+		if de.unavailable {
+			s.writeUnavailable(w, de.err.Error())
+			return
+		}
+		writeErr(w, de.err, http.StatusBadRequest)
+		return
+	}
+	writeErr(w, err, http.StatusBadRequest)
+}
+
+// runDiagnose executes one diagnose request end to end — build, gated
+// session run with retries, response assembly, optional store save —
+// and returns the response or a *diagnoseError. Shared by the live
+// handler and crash-recovery session resume, so both produce identical
+// results for identical requests. journalKey, when non-empty, wires the
+// session's frontier checkpoints into the journal.
+func (s *Server) runDiagnose(ctx context.Context, req *DiagnoseRequest, journalKey string) (*DiagnoseResponse, error) {
+	job, cfg, err := s.diagnoseJob(req)
+	if err != nil {
+		return nil, &diagnoseError{err: err}
+	}
+	if journalKey != "" && s.journal != nil {
+		key := journalKey
+		job.Cfg.CheckpointEvery = s.checkpointEvery
+		job.Cfg.Checkpoint = func(ck harness.SessionCheckpoint) {
+			s.journal.checkpoint(key, ck)
+		}
+	}
 	if s.sessionTimeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, s.sessionTimeout)
@@ -408,14 +499,12 @@ func (s *Server) handleDiagnose(w http.ResponseWriter, r *http.Request) {
 			// The retries are spent and the fault persists: tell the
 			// client to come back later, not that its request was bad.
 			s.observeStoreErr(err)
-			s.writeUnavailable(w, err.Error())
-			return
+			return nil, &diagnoseError{err: err, unavailable: true}
 		}
-		writeErr(w, err, http.StatusBadRequest)
-		return
+		return nil, &diagnoseError{err: err}
 	}
 	res := results[0]
-	resp := DiagnoseResponse{
+	resp := &DiagnoseResponse{
 		App:               req.App,
 		Version:           req.Version,
 		RunID:             cfg.RunID,
@@ -426,18 +515,24 @@ func (s *Server) handleDiagnose(w http.ResponseWriter, r *http.Request) {
 		Bottlenecks:       WireBottlenecks(res.Bottlenecks),
 	}
 	if req.Save {
-		if s.rejectWriteDegraded(w) {
-			return
+		if s.isDegraded() {
+			s.counts.writesRejected.Add(1)
+			return nil, &diagnoseError{
+				err:         errors.New("store backend unavailable; writes are disabled while degraded"),
+				unavailable: true,
+			}
 		}
 		rec, err := s.env.SaveResult(res)
 		if err != nil {
-			s.failStore(w, err, http.StatusInternalServerError)
-			return
+			if s.observeStoreErr(err) {
+				return nil, &diagnoseError{err: err, unavailable: true}
+			}
+			return nil, &diagnoseError{err: err}
 		}
 		s.observeStoreOK()
 		resp.Saved = rec.Key().String()
 	}
-	writeJSON(w, http.StatusOK, resp)
+	return resp, nil
 }
 
 // diagnoseJob turns a wire request into a scheduler job.

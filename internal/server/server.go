@@ -9,6 +9,7 @@ package server
 
 import (
 	"context"
+	"encoding/json"
 	"net/http"
 	"runtime"
 	"sync"
@@ -51,6 +52,12 @@ type Server struct {
 	brkThreshold   int
 	brkCooldown    time.Duration
 	mux            *http.ServeMux
+
+	// journal, when non-nil, makes keyed diagnose requests durable (see
+	// sessions.go); checkpointEvery is the frontier-snapshot cadence in
+	// virtual seconds.
+	journal         *sessionJournal
+	checkpointEvery float64
 
 	// counts are the resilience counters /statsz reports.
 	counts svcCounters
@@ -107,6 +114,80 @@ func New(env *harness.Env, opts Options) *Server {
 
 // Env returns the environment the server serves.
 func (s *Server) Env() *harness.Env { return s.env }
+
+// EnableSessionJournal turns on durable diagnosis sessions: each
+// diagnose request carrying an idempotency key is journaled under dir
+// before its session runs, checkpointed every checkpointEvery virtual
+// seconds (<= 0 means 2500), and answered from the journal on resends.
+// Call before serving; pair with ResumeSessions after a restart.
+func (s *Server) EnableSessionJournal(dir string, checkpointEvery float64) error {
+	j, err := openSessionJournal(dir)
+	if err != nil {
+		return err
+	}
+	if checkpointEvery <= 0 {
+		checkpointEvery = 2500
+	}
+	s.journal = j
+	s.checkpointEvery = checkpointEvery
+	return nil
+}
+
+// ResumeSessions re-runs every session the previous process accepted
+// but never finished (the journal's pending entries), in key order,
+// through the same gated scheduler live requests use. Sessions are
+// deterministic per seed, so the resumed result is byte-identical to
+// what the dead process would have sent; reconnecting clients that
+// resend their idempotency key are served it from the journal. Returns
+// how many sessions were resumed.
+func (s *Server) ResumeSessions(ctx context.Context) (int, error) {
+	if s.journal == nil {
+		return 0, nil
+	}
+	orphans, err := s.journal.orphans()
+	if err != nil {
+		return 0, err
+	}
+	n := 0
+	for _, rec := range orphans {
+		var req DiagnoseRequest
+		if err := json.Unmarshal(rec.Request, &req); err != nil {
+			// The journaled request itself is unusable; drop it so it does
+			// not orphan forever.
+			s.journal.fail(rec.Key)
+			continue
+		}
+		// Claim through the same begin path live requests use, so a
+		// client resending the key right now waits for this resume
+		// instead of racing it.
+		_, owner, err := s.journal.begin(ctx, rec.Key, rec.Request)
+		if err != nil {
+			return n, err
+		}
+		if !owner {
+			continue // a live resend beat us to it
+		}
+		resp, derr := s.runDiagnose(ctx, &req, rec.Key)
+		if derr != nil {
+			s.journal.fail(rec.Key)
+			if ctx.Err() != nil {
+				return n, ctx.Err()
+			}
+			continue
+		}
+		raw, err := MarshalCanonical(resp)
+		if err != nil {
+			s.journal.fail(rec.Key)
+			continue
+		}
+		if err := s.journal.finish(rec.Key, rec.Request, raw); err != nil {
+			continue
+		}
+		s.counts.sessionsResumed.Add(1)
+		n++
+	}
+	return n, nil
+}
 
 // Handler returns the service's HTTP handler.
 func (s *Server) Handler() http.Handler { return s.mux }
@@ -176,6 +257,11 @@ func (s *Server) stats() StatsResponse {
 	active, draining, degraded := s.active, s.draining, s.degraded
 	s.mu.Unlock()
 	hits, misses := s.env.Cache().Stats()
+	var walAppends, walSyncs uint64
+	if w := s.env.Store().WAL(); w != nil {
+		ws := w.Stats()
+		walAppends, walSyncs = ws.Appends, ws.Syncs
+	}
 	return StatsResponse{
 		LiveSessions:    int(s.pool.live.Load()),
 		SessionCapacity: s.pool.Capacity(),
@@ -192,6 +278,10 @@ func (s *Server) stats() StatsResponse {
 		BreakerOpens:    s.counts.breakerOpens.Load(),
 		BackendProbes:   s.counts.backendProbes.Load(),
 		SessionRetries:  s.counts.sessionRetries.Load(),
+		WALAppends:      walAppends,
+		WALSyncs:        walSyncs,
+		JournalHits:     s.counts.journalHits.Load(),
+		SessionsResumed: s.counts.sessionsResumed.Load(),
 	}
 }
 

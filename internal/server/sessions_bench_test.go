@@ -1,0 +1,35 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"testing"
+
+	"repro/internal/harness"
+)
+
+// BenchmarkDurabilityCheckpointWrite prices one frontier checkpoint of
+// a running journaled session: a read-modify-rewrite of the pending
+// record (atomic temp + rename). The daemon pays this once per
+// -checkpoint-every virtual seconds per session, so it must stay far
+// below a session's cost.
+func BenchmarkDurabilityCheckpointWrite(b *testing.B) {
+	j, err := openSessionJournal(b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	req := json.RawMessage(`{"app":"poisson","version":"A","max_time":5000}`)
+	if err := j.write(&sessionRecord{Key: "bench", State: sessionPending, Request: req}); err != nil {
+		b.Fatal(err)
+	}
+	ck := harness.SessionCheckpoint{RunID: "bench", Time: 2500, TestedPairs: 300}
+	for i := 0; i < 24; i++ {
+		ck.Frontier = append(ck.Frontier,
+			fmt.Sprintf("ExcessiveSyncWaitingTime </Code/exchng%d.f,/Machine,/Process,/SyncObject>", i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ck.Time = float64(i)
+		j.checkpoint("bench", ck)
+	}
+}

@@ -1,0 +1,299 @@
+package server_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"repro/internal/client"
+	"repro/internal/harness"
+	"repro/internal/history"
+	"repro/internal/server"
+)
+
+// HTTP-level tests of durable diagnosis sessions: exactly-once resends,
+// concurrent same-key dedup, and crash-orphan resume — the tentpole's
+// acceptance behavior, exercised through the wire API.
+
+// newDurableServer starts a journaling daemon over a store rooted at
+// dir, with the session journal at dir/sessions (the layout pcd uses).
+func newDurableServer(t *testing.T, dir string) (*server.Server, *httptest.Server) {
+	t.Helper()
+	st, err := history.OpenStoreDurable(dir, history.DurableOptions{Create: true, WAL: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st.Close() })
+	srv := server.New(harness.NewEnv(st), server.Options{Sessions: 2})
+	if err := srv.EnableSessionJournal(filepath.Join(dir, server.SessionsDirName), 0); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return srv, ts
+}
+
+// postDiagnoseRaw sends one diagnose request and returns the raw
+// response body — byte-identity claims need the bytes on the wire, not
+// a decoded struct.
+func postDiagnoseRaw(t *testing.T, url string, req *server.DiagnoseRequest) (int, []byte) {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url+"/api/v1/diagnose", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, raw
+}
+
+func getStats(t *testing.T, url string) server.StatsResponse {
+	t.Helper()
+	resp, err := http.Get(url + "/statsz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st server.StatsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// TestDiagnoseResendIsExactlyOnce proves a resend with the same
+// idempotency key is served the stored bytes: one session runs, the
+// second response is byte-identical, and the journal records the hit.
+func TestDiagnoseResendIsExactlyOnce(t *testing.T) {
+	_, ts := newDurableServer(t, t.TempDir())
+	req := &server.DiagnoseRequest{
+		App: "poisson", Version: "A", MaxTime: 5000,
+		IdempotencyKey: "resend-key",
+	}
+	code1, body1 := postDiagnoseRaw(t, ts.URL, req)
+	if code1 != http.StatusOK {
+		t.Fatalf("first diagnose: status %d: %s", code1, body1)
+	}
+	code2, body2 := postDiagnoseRaw(t, ts.URL, req)
+	if code2 != http.StatusOK {
+		t.Fatalf("resend: status %d: %s", code2, body2)
+	}
+	if !bytes.Equal(body1, body2) {
+		t.Fatalf("resend body differs from original:\n got: %s\nwant: %s", body2, body1)
+	}
+	st := getStats(t, ts.URL)
+	if st.TotalSessions != 1 {
+		t.Fatalf("two keyed sends ran %d sessions, want 1", st.TotalSessions)
+	}
+	if st.JournalHits != 1 {
+		t.Fatalf("journal_hits = %d, want 1", st.JournalHits)
+	}
+}
+
+// TestDiagnoseConcurrentSameKey hammers one key from many goroutines:
+// exactly one session runs, everyone gets the identical bytes.
+func TestDiagnoseConcurrentSameKey(t *testing.T) {
+	_, ts := newDurableServer(t, t.TempDir())
+	req := &server.DiagnoseRequest{
+		App: "poisson", Version: "A", MaxTime: 5000,
+		IdempotencyKey: "herd-key",
+	}
+	const n = 6
+	bodies := make([][]byte, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			code, body := postDiagnoseRaw(t, ts.URL, req)
+			if code != http.StatusOK {
+				t.Errorf("request %d: status %d: %s", i, code, body)
+				return
+			}
+			bodies[i] = body
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < n; i++ {
+		if !bytes.Equal(bodies[0], bodies[i]) {
+			t.Fatalf("request %d got different bytes than request 0", i)
+		}
+	}
+	st := getStats(t, ts.URL)
+	if st.TotalSessions != 1 {
+		t.Fatalf("%d same-key requests ran %d sessions, want 1", n, st.TotalSessions)
+	}
+	if st.JournalHits != n-1 {
+		t.Fatalf("journal_hits = %d, want %d", st.JournalHits, n-1)
+	}
+}
+
+// TestResumeSessionsAfterCrash simulates the crash half of the tentpole
+// in-process: a pending journal entry (a request the dead daemon
+// accepted but never finished) is resumed by the next daemon, and the
+// reconnecting client's resend is served bytes identical to an
+// uninterrupted run of the same request.
+func TestResumeSessionsAfterCrash(t *testing.T) {
+	req := &server.DiagnoseRequest{
+		App: "poisson", Version: "A", MaxTime: 5000,
+		IdempotencyKey: "orphan_key",
+	}
+
+	// Reference: the same request against an unrelated daemon that never
+	// crashes.
+	_, refTS := newDurableServer(t, t.TempDir())
+	refCode, want := postDiagnoseRaw(t, refTS.URL, req)
+	if refCode != http.StatusOK {
+		t.Fatalf("reference diagnose: status %d: %s", refCode, want)
+	}
+
+	// The crashed daemon's legacy: a pending journal entry on disk. The
+	// record shape is the on-disk format of FORMATS.md.
+	dir := t.TempDir()
+	reqRaw, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pending, err := json.Marshal(map[string]any{
+		"key":     req.IdempotencyKey,
+		"state":   "pending",
+		"request": json.RawMessage(reqRaw),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sessDir := filepath.Join(dir, server.SessionsDirName)
+	if err := os.MkdirAll(sessDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(sessDir, req.IdempotencyKey+".json"), pending, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	srv, ts := newDurableServer(t, dir)
+	n, err := srv.ResumeSessions(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("ResumeSessions resumed %d sessions, want 1", n)
+	}
+
+	// The reconnecting client resends its key and must get the stored
+	// bytes — no second run, byte-identical to the uninterrupted daemon.
+	code, got := postDiagnoseRaw(t, ts.URL, req)
+	if code != http.StatusOK {
+		t.Fatalf("resend after resume: status %d: %s", code, got)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("resumed session's response differs from an uninterrupted run:\n got: %s\nwant: %s", got, want)
+	}
+	st := getStats(t, ts.URL)
+	if st.SessionsResumed != 1 {
+		t.Fatalf("sessions_resumed = %d, want 1", st.SessionsResumed)
+	}
+	if st.TotalSessions != 1 {
+		t.Fatalf("resume + resend ran %d sessions, want 1 (the resend must hit the journal)", st.TotalSessions)
+	}
+	if st.JournalHits != 1 {
+		t.Fatalf("journal_hits = %d, want 1", st.JournalHits)
+	}
+}
+
+// TestResumeSessionsDropsUnusableOrphan: a pending entry whose request
+// no longer parses is dropped, not resumed forever.
+func TestResumeSessionsDropsUnusableOrphan(t *testing.T) {
+	dir := t.TempDir()
+	sessDir := filepath.Join(dir, server.SessionsDirName)
+	if err := os.MkdirAll(sessDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	bad, err := json.Marshal(map[string]any{
+		"key": "bad", "state": "pending", "request": json.RawMessage(`"not an object"`),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(sessDir, "bad.json"), bad, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	srv, _ := newDurableServer(t, dir)
+	n, err := srv.ResumeSessions(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Fatalf("resumed %d sessions from an unusable orphan, want 0", n)
+	}
+	if _, err := os.Stat(filepath.Join(sessDir, "bad.json")); !os.IsNotExist(err) {
+		t.Fatalf("unusable orphan still journaled: %v", err)
+	}
+}
+
+// TestDiagnoseUnkeyedSkipsJournal: requests without an idempotency key
+// run as before — every send is a fresh session, nothing is journaled.
+func TestDiagnoseUnkeyedSkipsJournal(t *testing.T) {
+	_, ts := newDurableServer(t, t.TempDir())
+	req := &server.DiagnoseRequest{App: "poisson", Version: "A", MaxTime: 5000}
+	for i := 0; i < 2; i++ {
+		if code, body := postDiagnoseRaw(t, ts.URL, req); code != http.StatusOK {
+			t.Fatalf("send %d: status %d: %s", i, code, body)
+		}
+	}
+	st := getStats(t, ts.URL)
+	if st.TotalSessions != 2 {
+		t.Fatalf("two unkeyed sends ran %d sessions, want 2", st.TotalSessions)
+	}
+	if st.JournalHits != 0 {
+		t.Fatalf("journal_hits = %d, want 0", st.JournalHits)
+	}
+}
+
+// TestClientIdempotencyKeyRoundTrip: the client helper generates
+// distinct keys and a keyed Diagnose round-trips through a journaling
+// server.
+func TestClientIdempotencyKeyRoundTrip(t *testing.T) {
+	k1, k2 := client.NewIdempotencyKey(), client.NewIdempotencyKey()
+	if k1 == "" || k1 == k2 {
+		t.Fatalf("NewIdempotencyKey gave %q then %q, want distinct non-empty keys", k1, k2)
+	}
+	_, ts := newDurableServer(t, t.TempDir())
+	cl := client.New(ts.URL)
+	req := &server.DiagnoseRequest{
+		App: "poisson", Version: "A", MaxTime: 5000, IdempotencyKey: k1,
+	}
+	ctx := context.Background()
+	first, err := cl.Diagnose(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := cl.Diagnose(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := server.MarshalCanonical(first)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := server.MarshalCanonical(second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatalf("client resend decoded differently:\n got: %s\nwant: %s", b, a)
+	}
+}

@@ -68,6 +68,15 @@ type StatsResponse struct {
 	// SessionRetries counts diagnosis sessions re-run after transient
 	// failures.
 	SessionRetries uint64 `json:"session_retries"`
+	// WALAppends/WALSyncs are the store's write-ahead-journal counters
+	// (zero when the store is not durable).
+	WALAppends uint64 `json:"wal_appends"`
+	WALSyncs   uint64 `json:"wal_syncs"`
+	// JournalHits counts diagnose requests answered from the session
+	// journal (same idempotency key, stored bytes replayed);
+	// SessionsResumed counts orphaned sessions re-run after a restart.
+	JournalHits     uint64 `json:"journal_hits"`
+	SessionsResumed uint64 `json:"sessions_resumed"`
 }
 
 // RunsResponse is GET /api/v1/runs: stored run display names
@@ -193,6 +202,13 @@ type DiagnoseRequest struct {
 	Mappings   string `json:"mappings,omitempty"`
 	// Save persists the run record to the server's store.
 	Save bool `json:"save,omitempty"`
+	// IdempotencyKey, when non-empty, makes the request durable and
+	// exactly-once on a journaling server: the accepted request is
+	// journaled before the session runs, a crash-orphaned session is
+	// resumed after restart, and a resend with the same key is answered
+	// with the stored bytes instead of a re-run. Clients generate one
+	// with client.NewIdempotencyKey.
+	IdempotencyKey string `json:"idempotency_key,omitempty"`
 }
 
 // DiagnoseBottleneck is one reported problem of a diagnosis session.
