@@ -23,8 +23,11 @@
 //
 // Durability: with -wal (the default) every store mutation is journaled
 // before it touches a record file, so a SIGKILL mid-write loses nothing
-// that was acknowledged; -wal-sync picks the fsync policy (always =
-// fsync per append, interval = periodic, none = leave it to the OS).
+// that was acknowledged; -wal-sync picks the fsync policy (always, the
+// default, makes acknowledged writes survive power loss too at one
+// fsync per append; interval bounds power-loss exposure to the sync
+// interval — SIGKILL alone still loses nothing; none leaves flushing to
+// the OS).
 // Diagnose requests carrying an idempotency key are journaled too:
 // after a crash the daemon re-runs the orphaned sessions
 // (-resume-sessions) and serves reconnecting clients the byte-identical
@@ -78,7 +81,7 @@ func main() {
 		brkCooldown    = flag.Duration("breaker-cooldown", 5*time.Second, "degraded-mode probe interval and Retry-After hint")
 		sessionRetries = flag.Int("session-retries", 1, "re-runs of a diagnosis session after a transient failure")
 		wal            = flag.Bool("wal", true, "journal store writes ahead of record files (crash safety)")
-		walSync        = flag.String("wal-sync", "interval", "WAL fsync policy: always | interval | none")
+		walSync        = flag.String("wal-sync", "always", "WAL fsync policy: always | interval | none")
 		resumeSessions = flag.Bool("resume-sessions", true, "re-run diagnosis sessions a crash orphaned")
 		ckptEvery      = flag.Float64("checkpoint-every", 2500, "session checkpoint cadence in virtual seconds")
 		faultSeed      = flag.Int64("fault-seed", 1, "seed for injected backend faults (testing only)")

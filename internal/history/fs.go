@@ -30,6 +30,10 @@ type FSBackend struct {
 	// tests use to observe (or fail) the directory fsync that follows a
 	// committed rename.
 	syncHook func(dir string) error
+	// fileSyncHook replaces the temp file's fsync in Put when non-nil —
+	// the seam the durability tests use to observe (or fail) the data
+	// sync that must precede the rename.
+	fileSyncHook func(f *os.File) error
 }
 
 // syncDir fsyncs a directory, making a just-committed rename inside it
@@ -53,6 +57,14 @@ func (b *FSBackend) sync(dir string) error {
 		return b.syncHook(dir)
 	}
 	return syncDir(dir)
+}
+
+// syncFile fsyncs an open file, through the test hook when set.
+func (b *FSBackend) syncFile(f *os.File) error {
+	if b.fileSyncHook != nil {
+		return b.fileSyncHook(f)
+	}
+	return f.Sync()
 }
 
 // NewFSBackend opens (creating if needed) a record directory.
@@ -163,6 +175,13 @@ func (b *FSBackend) Put(key RecordKey, data []byte) error {
 		}
 	}()
 	_, werr := tmp.Write(data)
+	if werr == nil {
+		// Fsync the data before the rename can publish it: rename
+		// durability (the directory fsync below) is worthless if a power
+		// loss can leave the renamed file's blocks unwritten — the record
+		// would survive as a zero-length or torn file.
+		werr = b.syncFile(tmp)
+	}
 	cerr := tmp.Close()
 	if werr == nil {
 		werr = cerr

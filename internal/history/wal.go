@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"hash/crc32"
+	"io"
 	"os"
 	"path/filepath"
 	"sort"
@@ -292,6 +293,9 @@ type WAL struct {
 	unsafeCompact bool
 	stale         []string // rotated, fully-applied segments awaiting removal
 	segments      int
+	// writeHook replaces the active segment's frame write when non-nil —
+	// the seam torn-append tests use to fail a write partway through.
+	writeHook func(f *os.File, frame []byte) (int, error)
 
 	appends   atomic.Uint64
 	syncs     atomic.Uint64
@@ -368,7 +372,17 @@ func (w *WAL) Append(e WALEntry) error {
 			return err
 		}
 	}
-	if _, err := w.f.Write(frame); err != nil {
+	write := (*os.File).Write
+	if w.writeHook != nil {
+		write = w.writeHook
+	}
+	if _, err := write(w.f, frame); err != nil {
+		// A failed write may have left part of the frame on disk. No
+		// frame must ever follow a torn one — replay stops at the first
+		// bad frame, which would hide every later acknowledged entry —
+		// so restore the segment to its last good frame before any
+		// further append can land.
+		w.repairTornTailLocked()
 		return fmt.Errorf("history: wal append: %w", err)
 	}
 	w.size += int64(len(frame))
@@ -383,6 +397,28 @@ func (w *WAL) Append(e WALEntry) error {
 		}
 	}
 	return nil
+}
+
+// repairTornTailLocked recovers from a failed frame write: truncate the
+// active segment back to its last complete frame (w.size) so the next
+// append lands where the torn one began. If even the truncate fails,
+// the segment is abandoned for a fresh one — the abandoned tail reads
+// as corrupt at the next open, but every frame before it still replays
+// (the segment is retained, never compacted away). Callers hold w.mu.
+func (w *WAL) repairTornTailLocked() {
+	if w.f.Truncate(w.size) == nil {
+		if _, err := w.f.Seek(w.size, io.SeekStart); err == nil {
+			return
+		}
+	}
+	w.f.Sync() // best effort for the acknowledged frames being abandoned
+	w.f.Close()
+	w.dirty = false
+	if err := w.openSegment(w.seq + 1); err != nil {
+		// No usable segment: the journal is broken; fail later appends
+		// loudly rather than acknowledge writes it cannot hold.
+		w.f = nil
+	}
 }
 
 // rotateLocked closes the active segment and opens the next. Entries in

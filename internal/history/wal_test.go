@@ -587,6 +587,99 @@ func TestFSBackendPutFsyncsDirAfterRename(t *testing.T) {
 	}
 }
 
+// TestFSBackendPutFsyncsFileBeforeRename: the record's data reaches
+// stable storage before the rename can publish it. Without that order a
+// power loss can make the rename durable while the file's blocks are
+// not, leaving a zero-length or torn record the WAL was already trimmed
+// of.
+func TestFSBackendPutFsyncsFileBeforeRename(t *testing.T) {
+	dir := t.TempDir()
+	b, err := NewFSBackend(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var order []string
+	b.fileSyncHook = func(f *os.File) error {
+		order = append(order, "syncfile")
+		return f.Sync()
+	}
+	b.renameHook = func(oldpath, newpath string) error {
+		order = append(order, "rename")
+		return os.Rename(oldpath, newpath)
+	}
+	key := RecordKey{App: "a", RunID: "r1"}
+	if err := b.Put(key, []byte(`{"app":"a","run_id":"r1"}`)); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 2 || order[0] != "syncfile" || order[1] != "rename" {
+		t.Fatalf("Put ordering = %v, want the data fsync before the rename", order)
+	}
+	// A failing data fsync fails the Put before anything is published,
+	// and the temp file does not survive.
+	order = nil
+	b.fileSyncHook = func(*os.File) error { return fmt.Errorf("injected data fsync failure") }
+	if err := b.Put(key, []byte(`{}`)); err == nil {
+		t.Fatal("Put succeeded through a failing data fsync")
+	}
+	for _, step := range order {
+		if step == "rename" {
+			t.Error("rename ran after the data fsync failed")
+		}
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		if strings.HasPrefix(e.Name(), ".put-") {
+			t.Errorf("temp file %s survived a failed Put", e.Name())
+		}
+	}
+}
+
+// TestWALAppendTornFrameRepaired: a failed (partial) frame write must
+// not leave garbage mid-segment for later frames to follow — replay
+// stops at the first bad frame, so every later acknowledged entry would
+// be invisible. After a torn append the segment is restored to its last
+// good frame and subsequent appends replay cleanly.
+func TestWALAppendTornFrameRepaired(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), WALDirName)
+	w, err := StartWAL(dir, WALOptions{Sync: SyncNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(WALEntry{Op: walOpPut, App: "a", RunID: "r1", Data: []byte("one")}); err != nil {
+		t.Fatal(err)
+	}
+	// Tear the next frame: half its bytes land, then the write fails.
+	w.writeHook = func(f *os.File, frame []byte) (int, error) {
+		n, _ := f.Write(frame[:len(frame)/2])
+		return n, fmt.Errorf("injected torn write")
+	}
+	if err := w.Append(WALEntry{Op: walOpPut, App: "a", RunID: "r2", Data: []byte("two")}); err == nil {
+		t.Fatal("Append succeeded through a torn write")
+	}
+	w.writeHook = nil
+	// The next append must land where the torn frame began, not after
+	// its garbage.
+	if err := w.Append(WALEntry{Op: walOpPut, App: "a", RunID: "r3", Data: []byte("three")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	entries, rep, err := ReadWAL(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.TornTail || len(rep.Corrupt) != 0 {
+		t.Fatalf("journal not clean after torn-append repair: %+v", rep)
+	}
+	if len(entries) != 2 || entries[0].RunID != "r1" || entries[1].RunID != "r3" {
+		t.Fatalf("replayable entries = %+v, want the two acknowledged appends [r1 r3]", entries)
+	}
+}
+
 // TestFSBackendQuarantineFsyncsDirs: the quarantine move fsyncs both the
 // quarantine directory and the store directory.
 func TestFSBackendQuarantineFsyncsDirs(t *testing.T) {

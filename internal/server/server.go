@@ -10,6 +10,7 @@ package server
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"net/http"
 	"runtime"
 	"sync"
@@ -138,8 +139,11 @@ func (s *Server) EnableSessionJournal(dir string, checkpointEvery float64) error
 // through the same gated scheduler live requests use. Sessions are
 // deterministic per seed, so the resumed result is byte-identical to
 // what the dead process would have sent; reconnecting clients that
-// resend their idempotency key are served it from the journal. Returns
-// how many sessions were resumed.
+// resend their idempotency key are served it from the journal. A
+// session whose resume fails transiently (degraded store, timeout,
+// cancellation) stays journaled as pending for a later resume or
+// resend; only permanent failures drop the entry. Returns how many
+// sessions were resumed.
 func (s *Server) ResumeSessions(ctx context.Context) (int, error) {
 	if s.journal == nil {
 		return 0, nil
@@ -169,10 +173,23 @@ func (s *Server) ResumeSessions(ctx context.Context) (int, error) {
 		}
 		resp, derr := s.runDiagnose(ctx, &req, rec.Key)
 		if derr != nil {
-			s.journal.fail(rec.Key)
-			if ctx.Err() != nil {
-				return n, ctx.Err()
+			// A transient failure (store degraded at startup, session
+			// timeout, gate saturation, cancelled resume) must not delete
+			// the pending record: release only the in-flight claim so a
+			// later resume or client resend can still recover the session.
+			// Only a permanent failure — one a re-run would repeat — drops
+			// the journal entry.
+			var de *diagnoseError
+			transient := (errors.As(derr, &de) && de.unavailable) ||
+				errors.Is(derr, context.DeadlineExceeded) || errors.Is(derr, context.Canceled)
+			if ctx.Err() != nil || transient {
+				s.journal.release(rec.Key)
+				if ctx.Err() != nil {
+					return n, ctx.Err()
+				}
+				continue
 			}
+			s.journal.fail(rec.Key)
 			continue
 		}
 		raw, err := MarshalCanonical(resp)

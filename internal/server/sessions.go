@@ -69,16 +69,20 @@ func openSessionJournal(dir string) (*sessionJournal, error) {
 	return &sessionJournal{dir: dir, inflight: make(map[string]chan struct{})}, nil
 }
 
-// escapeKey makes an idempotency key safe as a file basename.
+// escapeKey makes an idempotency key safe as a file basename. The
+// output alphabet is caseless — lowercase letters, digits, '_', '.'
+// and lowercase-hex escapes — so on case-insensitive filesystems
+// (macOS default) two distinct keys can never map to the same journal
+// file and be answered with each other's stored response.
 func escapeKey(key string) string {
 	var out strings.Builder
 	for i := 0; i < len(key); i++ {
 		c := key[i]
 		switch {
-		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '_', c == '.':
+		case c >= 'a' && c <= 'z', c >= '0' && c <= '9', c == '_', c == '.':
 			out.WriteByte(c)
 		default:
-			fmt.Fprintf(&out, "%%%02X", c)
+			fmt.Fprintf(&out, "%%%02x", c)
 		}
 	}
 	return out.String()
@@ -86,6 +90,21 @@ func escapeKey(key string) string {
 
 func (j *sessionJournal) path(key string) string {
 	return filepath.Join(j.dir, escapeKey(key)+".json")
+}
+
+// syncDir fsyncs a directory so a just-committed rename inside it
+// survives power loss (the rename alone only orders metadata in
+// memory).
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 // read loads one record; a missing file is (nil, nil).
@@ -123,6 +142,11 @@ func (j *sessionJournal) write(rec *sessionRecord) error {
 		}
 	}()
 	_, werr := tmp.Write(data)
+	if werr == nil {
+		// Sync the data before the rename publishes it — a power loss
+		// must not leave a journaled record as a zero-length file.
+		werr = tmp.Sync()
+	}
 	cerr := tmp.Close()
 	if werr == nil {
 		werr = cerr
@@ -137,6 +161,10 @@ func (j *sessionJournal) write(rec *sessionRecord) error {
 		return fmt.Errorf("session journal: %w", werr)
 	}
 	committed = true
+	// And the directory, so the rename itself survives power loss.
+	if err := syncDir(j.dir); err != nil {
+		return fmt.Errorf("session journal: sync dir: %w", err)
+	}
 	return nil
 }
 

@@ -4,8 +4,10 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"os"
 	"path/filepath"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -183,17 +185,79 @@ func TestSessionJournalCheckpoint(t *testing.T) {
 }
 
 func TestEscapeKeyDistinct(t *testing.T) {
-	keys := []string{"abc", "a/b", "a%2Fb", "a b", "A.b_c", "../../etc/passwd"}
+	keys := []string{
+		"abc", "a/b", "a%2Fb", "a%2fb", "a b", "A.b_c",
+		"key", "Key", "KEY", // distinct keys on every filesystem, case-insensitive ones included
+		"../../etc/passwd",
+	}
 	seen := map[string]string{}
 	for _, k := range keys {
 		e := escapeKey(k)
 		if filepath.Base(e) != e || e == "" {
 			t.Fatalf("escapeKey(%q) = %q is not a safe basename", k, e)
 		}
+		// The output must be caseless: on case-insensitive filesystems
+		// (macOS default) names differing only in case are the same file,
+		// and a collision answers one key with another's stored response.
+		if e != strings.ToLower(e) {
+			t.Fatalf("escapeKey(%q) = %q contains uppercase; journal names must be caseless", k, e)
+		}
 		if prev, dup := seen[e]; dup {
 			t.Fatalf("escapeKey collision: %q and %q both map to %q", prev, k, e)
 		}
 		seen[e] = k
+	}
+}
+
+// TestResumeSessionsKeepsOrphanOnTransientFailure: a crash-orphaned
+// session whose resume fails transiently (store degraded at startup,
+// timeout, gate saturation) must stay journaled as pending — deleting
+// it would break the durability promise for any client that does not
+// happen to resend. A later resume with the fault cleared recovers it.
+func TestResumeSessionsKeepsOrphanOnTransientFailure(t *testing.T) {
+	dir := t.TempDir()
+	st, err := history.NewStore(filepath.Join(dir, "store"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(harness.NewEnv(st), Options{Sessions: 1})
+	if err := s.EnableSessionJournal(filepath.Join(dir, SessionsDirName), 0); err != nil {
+		t.Fatal(err)
+	}
+	req := json.RawMessage(`{"app":"poisson","version":"A","max_time":5000}`)
+	if err := s.journal.write(&sessionRecord{Key: "orphan", State: sessionPending, Request: req}); err != nil {
+		t.Fatal(err)
+	}
+
+	fail := true
+	s.runJobs = func(ctx context.Context, jobs []harness.SessionJob, workers int, gate harness.Gate) ([]*harness.SessionResult, error) {
+		if fail {
+			return []*harness.SessionResult{nil}, &harness.SchedulerError{Jobs: []*harness.JobError{
+				{Index: 0, Err: &history.BackendError{Op: "get", Err: errors.New("store still degraded")}},
+			}}
+		}
+		return []*harness.SessionResult{{Quiesced: true}}, nil
+	}
+
+	n, err := s.ResumeSessions(context.Background())
+	if err != nil || n != 0 {
+		t.Fatalf("resume under transient failure = (%d, %v), want (0, nil)", n, err)
+	}
+	rec, err := s.journal.read("orphan")
+	if err != nil || rec == nil || rec.State != sessionPending {
+		t.Fatalf("record after transient resume failure = %+v, %v; want still pending", rec, err)
+	}
+
+	// The in-flight claim was released with the record intact: once the
+	// fault clears, the next resume owns the key and finishes it.
+	fail = false
+	n, err = s.ResumeSessions(context.Background())
+	if err != nil || n != 1 {
+		t.Fatalf("resume after fault cleared = (%d, %v), want (1, nil)", n, err)
+	}
+	rec, err = s.journal.read("orphan")
+	if err != nil || rec == nil || rec.State != sessionDone {
+		t.Fatalf("record after recovery = %+v, %v; want done", rec, err)
 	}
 }
 
