@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short race race-short bench bench-store bench-server bench-resilience bench-durability chaos killrestart fsck experiments fuzz clean
+.PHONY: all build vet test test-short race race-short bench bench-store bench-server bench-resilience bench-durability chaos killrestart fsck load load-smoke experiments fuzz clean
 
 all: build vet test
 
@@ -77,6 +77,21 @@ killrestart:
 STORE ?= /tmp/hist
 fsck:
 	$(GO) run ./cmd/pcfsck -store $(STORE) $(FSCK_FLAGS)
+
+# Sustained-traffic load harness (cmd/pcload): drive a live pcd with a
+# declarative scenario suite and verify correctness under load. Usage:
+# make load SUITE=smoke (any suites/*.toml name, comma-separated for
+# several; defaults to every suite). LOAD_PR6.json in the repo records
+# the numbers measured when the harness landed.
+SUITE ?= smoke
+load:
+	$(GO) run ./cmd/pcload -suite $(SUITE) -check -v
+
+# The seconds-scale CI variant: the smoke suite only, with the
+# correctness bar enforced (non-zero throughput, zero acked-write loss,
+# pcfsck-clean store).
+load-smoke:
+	$(GO) run ./cmd/pcload -suite smoke -check
 
 # Regenerate every table and figure of the paper's evaluation.
 experiments:

@@ -2,6 +2,8 @@ package repro
 
 import (
 	"bufio"
+	"encoding/json"
+	"fmt"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -9,6 +11,9 @@ import (
 	"syscall"
 	"testing"
 	"time"
+
+	"repro/internal/history"
+	"repro/internal/loadgen"
 )
 
 // TestCLIPipeline builds every command-line tool and drives the complete
@@ -232,5 +237,125 @@ func TestCLIPipeline(t *testing.T) {
 		if err != nil || !strings.Contains(string(data), f.want) {
 			t.Fatalf("artifact %s missing %q: %v", f.path, f.want, err)
 		}
+	}
+}
+
+// TestCLIFsckExitCodes pins pcfsck's scripting contract: exit 0 on a
+// clean store, 1 on recoverable crash residue, 2 on corruption — with
+// -json output that parses into history.FsckReport and carries the
+// matching findings.
+func TestCLIFsckExitCodes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	bin := filepath.Join(t.TempDir(), "pcfsck")
+	if out, err := exec.Command("go", "build", "-o", bin, "./cmd/pcfsck").CombinedOutput(); err != nil {
+		t.Fatalf("build pcfsck: %v\n%s", err, out)
+	}
+	fsck := func(dir string) (int, *history.FsckReport) {
+		t.Helper()
+		cmd := exec.Command(bin, "-json", "-store", dir)
+		out, err := cmd.Output()
+		code := 0
+		if err != nil {
+			ee, ok := err.(*exec.ExitError)
+			if !ok {
+				t.Fatalf("pcfsck -store %s: %v", dir, err)
+			}
+			code = ee.ExitCode()
+		}
+		var rep history.FsckReport
+		if jerr := json.Unmarshal(out, &rep); jerr != nil {
+			t.Fatalf("pcfsck -json output does not parse: %v\n%s", jerr, out)
+		}
+		return code, &rep
+	}
+
+	// A cleanly closed store grades 0 with no findings.
+	dir := t.TempDir()
+	st, err := history.OpenStoreDurable(dir, history.DurableOptions{Create: true, WAL: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := st.Save(loadgen.SyntheticRecord(1, i, fmt.Sprintf("r%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	code, rep := fsck(dir)
+	if code != 0 || len(rep.Findings) != 0 {
+		t.Fatalf("clean store: exit %d, findings %+v", code, rep.Findings)
+	}
+	if rep.Records != 3 {
+		t.Errorf("clean store report: %d records, want 3", rep.Records)
+	}
+
+	// An orphaned atomic-write temp file is residue: exit 1.
+	orphan := filepath.Join(dir, ".put-orphan.tmp")
+	if err := os.WriteFile(orphan, []byte("half a record"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, rep = fsck(dir)
+	if code != 1 {
+		t.Fatalf("residue store: exit %d, want 1", code)
+	}
+	found := false
+	for _, f := range rep.Findings {
+		if f.Severity == history.FsckResidue && strings.Contains(f.Path, ".put-orphan.tmp") {
+			found = true
+		}
+		if f.Severity == history.FsckCorrupt {
+			t.Errorf("residue store graded corrupt: %+v", f)
+		}
+	}
+	if !found {
+		t.Fatalf("orphan temp file not reported: %+v", rep.Findings)
+	}
+	if err := os.Remove(orphan); err != nil {
+		t.Fatal(err)
+	}
+
+	// Overwriting a journaled record with garbage is only residue — the
+	// WAL holds the acknowledged bytes and replay restores them.
+	recFile := filepath.Join(dir, "loadapp-v1-r1.json")
+	good, err := os.ReadFile(recFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(recFile, []byte("{ not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, rep = fsck(dir)
+	if code != 1 {
+		t.Fatalf("journal-covered damage: exit %d, want 1 (WAL can replay it)", code)
+	}
+	if err := os.WriteFile(recFile, good, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// A garbage record the journal never saw cannot be reconstructed:
+	// exit 2, and it outranks any residue also present.
+	bogus := filepath.Join(dir, "loadapp-v1-zz.json")
+	if err := os.WriteFile(bogus, []byte("{ not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(orphan, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, rep = fsck(dir)
+	if code != 2 {
+		t.Fatalf("corrupt store: exit %d, want 2", code)
+	}
+	corrupt := false
+	for _, f := range rep.Findings {
+		if f.Severity == history.FsckCorrupt && strings.Contains(f.Path, "loadapp-v1-zz.json") {
+			corrupt = true
+		}
+	}
+	if !corrupt {
+		t.Fatalf("corrupt record not reported: %+v", rep.Findings)
 	}
 }

@@ -1,0 +1,184 @@
+package loadgen
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+const sampleSuite = `
+# A comment line.
+[suite]
+name = "sample"        # trailing comment
+duration = "2s"
+arrival = "open"
+rate = 150.5
+workers = 4
+seed = 42
+key-dist = "zipf"
+zipf-s = 1.5
+prefill = 32
+wal-sync = "interval"
+diagnose-max-time = 1500
+breaker-cooldown = "250ms"
+
+[mix]
+get = 5
+put = 2
+query = 1
+diagnose = 0.25
+
+[faults]
+seed = 7
+err-rate = 0.01
+torn-rate = 0.005
+latency = "1ms"
+`
+
+func TestParseScenario(t *testing.T) {
+	sc, err := ParseScenario(strings.NewReader(sampleSuite), "fallback")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Name != "sample" {
+		t.Errorf("Name = %q", sc.Name)
+	}
+	if sc.Duration != 2*time.Second || sc.Arrival != "open" || sc.Rate != 150.5 {
+		t.Errorf("traffic: duration=%v arrival=%q rate=%v", sc.Duration, sc.Arrival, sc.Rate)
+	}
+	if sc.Workers != 4 || sc.Seed != 42 || sc.Prefill != 32 {
+		t.Errorf("sizing: workers=%d seed=%d prefill=%d", sc.Workers, sc.Seed, sc.Prefill)
+	}
+	if sc.KeyDist != "zipf" || sc.ZipfS != 1.5 || sc.ZipfV != 1 {
+		t.Errorf("key-dist: %q s=%v v=%v (v should default to 1)", sc.KeyDist, sc.ZipfS, sc.ZipfV)
+	}
+	if sc.WALSync != "interval" || sc.DiagnoseMaxTime != 1500 || sc.BreakerCooldown != 250*time.Millisecond {
+		t.Errorf("tuning: wal-sync=%q max-time=%v cooldown=%v", sc.WALSync, sc.DiagnoseMaxTime, sc.BreakerCooldown)
+	}
+	if got := sc.MixString(); got != "diagnose:0.25 get:5 put:2 query:1" {
+		t.Errorf("MixString = %q", got)
+	}
+	if got := sc.MixClasses(); strings.Join(got, ",") != "get,put,query,diagnose" {
+		t.Errorf("MixClasses = %v (want OpClasses order)", got)
+	}
+	if sc.Faults.Seed != 7 || sc.Faults.ErrRate != 0.01 ||
+		sc.Faults.TornWriteRate != 0.005 || sc.Faults.Latency != time.Millisecond {
+		t.Errorf("faults: %+v", sc.Faults)
+	}
+}
+
+func TestParseScenarioDefaults(t *testing.T) {
+	minimal := `
+[suite]
+duration = "1s"
+arrival = "closed"
+[mix]
+get = 1
+`
+	sc, err := ParseScenario(strings.NewReader(minimal), "tiny")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Name != "tiny" {
+		t.Errorf("Name = %q, want fallback file name", sc.Name)
+	}
+	if sc.Workers != 8 || sc.Prefill != 16 || sc.KeyDist != "uniform" ||
+		sc.WALSync != "always" || sc.DiagnoseMaxTime != 2000 {
+		t.Errorf("defaults: workers=%d prefill=%d key-dist=%q wal-sync=%q max-time=%v",
+			sc.Workers, sc.Prefill, sc.KeyDist, sc.WALSync, sc.DiagnoseMaxTime)
+	}
+}
+
+func TestParseScenarioErrors(t *testing.T) {
+	cases := map[string]string{
+		"unknown section":   "[nope]\nx = 1\n",
+		"unknown suite key": "[suite]\nduration = \"1s\"\narrival = \"closed\"\nbogus = 3\n[mix]\nget = 1\n",
+		"unknown mix class": "[suite]\nduration = \"1s\"\narrival = \"closed\"\n[mix]\nteleport = 1\n",
+		"duplicate key":     "[suite]\nduration = \"1s\"\nduration = \"2s\"\narrival = \"closed\"\n[mix]\nget = 1\n",
+		"missing equals":    "[suite]\nduration\n",
+		"bad arrival":       "[suite]\nduration = \"1s\"\narrival = \"sideways\"\n[mix]\nget = 1\n",
+		"open needs rate":   "[suite]\nduration = \"1s\"\narrival = \"open\"\n[mix]\nget = 1\n",
+		"no positive mix":   "[suite]\nduration = \"1s\"\narrival = \"closed\"\n[mix]\nget = 0\n",
+		"bad wal-sync":      "[suite]\nduration = \"1s\"\narrival = \"closed\"\nwal-sync = \"sometimes\"\n[mix]\nget = 1\n",
+		"rate outside 0..1": "[suite]\nduration = \"1s\"\narrival = \"closed\"\n[mix]\nget = 1\n[faults]\nerr-rate = 1.5\n",
+		"unquoted string":   "[suite]\nduration = 1s\n",
+		"negative duration": "[suite]\nduration = \"-1s\"\n",
+	}
+	for name, text := range cases {
+		if _, err := ParseScenario(strings.NewReader(text), "t"); err == nil {
+			t.Errorf("%s: parsed without error", name)
+		}
+	}
+}
+
+// TestScheduleDeterministic pins the replay contract at the schedule
+// level: same scenario and seed, same op sequence.
+func TestScheduleDeterministic(t *testing.T) {
+	mk := func() *Scenario {
+		sc := &Scenario{
+			Name: "d", Duration: 2 * time.Second, Arrival: "open", Rate: 500,
+			Seed: 99, Mix: map[string]float64{"get": 3, "put": 1, "compare": 1},
+		}
+		if err := sc.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		return sc
+	}
+	a, b := Schedule(mk()), Schedule(mk())
+	if len(a) == 0 {
+		t.Fatal("empty schedule")
+	}
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("op %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	// Arrival times are non-decreasing and within the horizon.
+	for i, op := range a {
+		if i > 0 && op.At < a[i-1].At {
+			t.Fatalf("arrival times not monotonic at %d", i)
+		}
+		if op.At > 2.0 {
+			t.Fatalf("op %d past horizon: %v", i, op.At)
+		}
+	}
+}
+
+// TestZipfSkew sanity-checks the hotkey distribution: rank 0 must
+// dominate a uniform spread.
+func TestZipfSkew(t *testing.T) {
+	sc := &Scenario{
+		Name: "z", Duration: time.Second, Arrival: "closed", Seed: 5,
+		KeyDist: "zipf", Prefill: 64, Mix: map[string]float64{"get": 1},
+	}
+	if err := sc.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	g := newOpGen(sc, sc.Seed)
+	hits := map[int]int{}
+	const n = 10_000
+	for i := 0; i < n; i++ {
+		hits[g.key()]++
+	}
+	if frac := float64(hits[0]) / n; frac < 0.05 {
+		t.Errorf("hot key drew %.1f%% of traffic, want well above uniform 1.6%%", frac*100)
+	}
+}
+
+func TestSyntheticRecordValidAndDeterministic(t *testing.T) {
+	a := SyntheticRecord(42, 7, "p00007")
+	if err := a.Validate(); err != nil {
+		t.Fatalf("synthetic record invalid: %v", err)
+	}
+	b := SyntheticRecord(42, 7, "p00007")
+	if !canonicalEqual(a, b) {
+		t.Error("same (seed, idx) produced different records")
+	}
+	c := SyntheticRecord(42, 8, "p00008")
+	if canonicalEqual(a, c) {
+		t.Error("different idx produced identical records")
+	}
+}

@@ -1,0 +1,212 @@
+package loadgen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/history"
+)
+
+// StoreApp is the application name every synthetic store record carries;
+// StoreVersion its version. Read-class ops (get, query, compare,
+// harvest) target this namespace, so they never collide with records a
+// shared store may already hold.
+const (
+	StoreApp     = "loadapp"
+	StoreVersion = "v1"
+)
+
+// DiagnoseApp is the registry application diagnosis ops run; it is the
+// cheapest buildable app, keeping session cost proportional to the
+// scenario's diagnose weight rather than dominating it.
+const DiagnoseApp = "tester"
+
+// Op is one scheduled request. The schedule is a pure function of the
+// scenario and its seed: replaying a (suite, seed) pair yields the same
+// ops in the same order with the same keys and payloads.
+type Op struct {
+	// Seq is the op's global sequence number (order of arrival draw).
+	Seq int
+	// At is the open-loop arrival offset from the start of the measured
+	// phase; zero in closed mode (workers run back to back).
+	At float64 // seconds
+	// Class is one of OpClasses.
+	Class string
+	// Key selects the target: a prefill index for read-class ops. Writes
+	// ignore it — each put creates a unique record named after Seq, so
+	// the final store contents are independent of completion order.
+	Key int
+	// Key2 is the second prefill index of a compare op.
+	Key2 int
+}
+
+// String renders the op for the deterministic op log (and its hash).
+func (o Op) String() string {
+	switch o.Class {
+	case "compare":
+		return fmt.Sprintf("%06d %s k%d k%d", o.Seq, o.Class, o.Key, o.Key2)
+	case "put":
+		return fmt.Sprintf("%06d %s w%06d", o.Seq, o.Class, o.Seq)
+	default:
+		return fmt.Sprintf("%06d %s k%d", o.Seq, o.Class, o.Key)
+	}
+}
+
+// PrefillRunID names the idx-th prefill record.
+func PrefillRunID(idx int) string { return fmt.Sprintf("p%05d", idx) }
+
+// PutRunID names the record a put op with the given sequence number
+// writes. Sequence-derived names make every write target unique, so two
+// runs of the same schedule converge to identical store contents no
+// matter how their in-flight ops interleave.
+func PutRunID(seq int) string { return fmt.Sprintf("w%06d", seq) }
+
+// PrefillRef is the VERSION:RUNID reference of the idx-th prefill
+// record, as the wire API wants it.
+func PrefillRef(idx int) string { return StoreVersion + ":" + PrefillRunID(idx) }
+
+// opGen draws op classes and keys from one seeded RNG. Draw order per op
+// is fixed (class, then key, then key2 for compares), so the stream is
+// reproducible.
+type opGen struct {
+	rng     *rand.Rand
+	zipf    *rand.Zipf
+	classes []string
+	cum     []float64 // cumulative weights over classes
+	total   float64
+	prefill int
+}
+
+func newOpGen(sc *Scenario, seed int64) *opGen {
+	g := &opGen{
+		rng:     rand.New(rand.NewSource(seed)),
+		classes: sc.MixClasses(),
+		prefill: sc.Prefill,
+	}
+	for _, c := range g.classes {
+		g.total += sc.Mix[c]
+		g.cum = append(g.cum, g.total)
+	}
+	if sc.KeyDist == "zipf" {
+		// Zipf over the prefill key space: rank 0 is the hot key.
+		g.zipf = rand.NewZipf(g.rng, sc.ZipfS, sc.ZipfV, uint64(sc.Prefill-1))
+	}
+	return g
+}
+
+// key draws one prefill index from the scenario's key distribution.
+func (g *opGen) key() int {
+	if g.zipf != nil {
+		return int(g.zipf.Uint64())
+	}
+	return g.rng.Intn(g.prefill)
+}
+
+// next draws the op with the given sequence number.
+func (g *opGen) next(seq int) Op {
+	op := Op{Seq: seq}
+	x := g.rng.Float64() * g.total
+	op.Class = g.classes[len(g.classes)-1]
+	for i, c := range g.cum {
+		if x < c {
+			op.Class = g.classes[i]
+			break
+		}
+	}
+	op.Key = g.key()
+	if op.Class == "compare" {
+		op.Key2 = g.key()
+	}
+	return op
+}
+
+// Schedule precomputes the open-loop arrival schedule: Poisson arrivals
+// at the scenario's rate (exponential inter-arrival gaps from the seeded
+// RNG) until the scenario duration is covered. Every scheduled op is
+// executed even if the server falls behind — that is the open-loop
+// contract, and it makes the executed op sequence a deterministic
+// function of (suite, seed).
+func Schedule(sc *Scenario) []Op {
+	g := newOpGen(sc, sc.Seed)
+	var ops []Op
+	at := 0.0
+	horizon := sc.Duration.Seconds()
+	for seq := 0; ; seq++ {
+		at += g.rng.ExpFloat64() / sc.Rate
+		if at > horizon {
+			return ops
+		}
+		op := g.next(seq)
+		op.At = at
+		ops = append(ops, op)
+	}
+}
+
+// workerGen returns the op generator of one closed-loop worker. Each
+// worker draws from its own seeded stream, so per-worker sequences are
+// reproducible even though the total executed count depends on how fast
+// the server answers.
+func workerGen(sc *Scenario, worker int) *opGen {
+	return newOpGen(sc, sc.Seed+1_000_003*int64(worker+1))
+}
+
+// SyntheticRecord builds the deterministic run record the load harness
+// stores: prefill records (idx < Prefill, named PrefillRunID) and put
+// payloads (named PutRunID, idx = Prefill + seq). Contents vary with idx
+// so queries, comparisons, and harvests over them do real work, and are
+// a pure function of (seed, idx) so read-back verification can rebuild
+// the expected bytes.
+func SyntheticRecord(seed int64, idx int, runID string) *history.RunRecord {
+	// Small deterministic mixer; avoids importing a full PRNG for a
+	// handful of derived values.
+	mix := func(k int64) float64 {
+		x := uint64(seed*2654435761 + int64(idx)*40503 + k*9176)
+		x ^= x >> 33
+		x *= 0xff51afd7ed558ccd
+		x ^= x >> 33
+		return float64(x%10_000) / 10_000
+	}
+	rec := &history.RunRecord{
+		App:      StoreApp,
+		Version:  StoreVersion,
+		RunID:    runID,
+		Duration: 1000 + 500*mix(1),
+		Resources: map[string][]string{
+			"Code":    {"/Code", "/Code/main.f", "/Code/solve.f", "/Code/exchange.f"},
+			"Machine": {"/Machine", "/Machine/node1", "/Machine/node2"},
+			"Process": {"/Process", "/Process/p1", "/Process/p2"},
+		},
+		ProcNodes: map[string]string{"p1": "node1", "p2": "node2"},
+		Usage: map[string]float64{
+			"/Code/main.f":     0.10 + 0.30*mix(2),
+			"/Code/solve.f":    0.20 + 0.40*mix(3),
+			"/Code/exchange.f": 0.05 + 0.10*mix(4),
+		},
+	}
+	states := []string{"true", "false", "false", "pruned"}
+	hyps := []string{"CPUbound", "SyncWaiting", "IOBlocked"}
+	// Foci use the canonical <paths> selection form core expects.
+	foci := []string{
+		"</Code/main.f,/Machine,/Process>",
+		"</Code/solve.f,/Machine,/Process>",
+		"</Code/exchange.f,/Machine,/Process>",
+	}
+	for i := 0; i < 3; i++ {
+		state := states[(idx+i)%len(states)]
+		nr := history.NodeResult{
+			Hyp:         hyps[i%len(hyps)],
+			Focus:       foci[(idx+i)%len(foci)],
+			State:       state,
+			Value:       0.1 + 0.8*mix(int64(10+i)),
+			Threshold:   0.2,
+			ConcludedAt: 100 * float64(i+1),
+			Priority:    "normal",
+		}
+		if state == "true" {
+			rec.TrueCount++
+		}
+		rec.Results = append(rec.Results, nr)
+	}
+	rec.PairsTested = 3 + idx%5
+	return rec
+}

@@ -1,0 +1,190 @@
+package metric
+
+import (
+	"math"
+	"time"
+)
+
+// latGrowth is the geometric bucket growth factor of a LatencyHistogram.
+// Each bucket's upper bound is ~5% above the previous one, so any
+// reported quantile is within 5% (one bucket width) of the true sample
+// — the resolution the load harness's p50/p99/p999 numbers carry.
+const latGrowth = 1.05
+
+// latMaxNanos caps the bucket table at ~4.6 hours; slower samples clamp
+// into the last bucket (Max still reports the exact value).
+const latMaxNanos = int64(1) << 44
+
+// latBounds[i] is the inclusive upper bound, in nanoseconds, of bucket
+// i. Bucket 0 covers (0, 1]; bucket i covers (latBounds[i-1],
+// latBounds[i]]. The table is immutable after init, so histograms can
+// share it without locking.
+var latBounds = func() []int64 {
+	var bounds []int64
+	b := int64(1)
+	for b < latMaxNanos {
+		bounds = append(bounds, b)
+		next := int64(math.Ceil(float64(b) * latGrowth))
+		if next <= b {
+			next = b + 1
+		}
+		b = next
+	}
+	return append(bounds, latMaxNanos)
+}()
+
+// latBucket returns the bucket index for a sample of n nanoseconds.
+func latBucket(n int64) int {
+	if n <= 1 {
+		return 0
+	}
+	// Binary search the immutable bounds table: first bucket whose upper
+	// bound is >= n.
+	lo, hi := 0, len(latBounds)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if latBounds[mid] >= n {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
+// LatencyHistogram accumulates duration samples into geometric buckets
+// (5% growth) and answers quantile queries with bounded relative error:
+// a reported quantile is at most one bucket width (~5%) above the true
+// sample value, and never outside the observed [Min, Max] range.
+//
+// Histograms merge exactly — recording a sample stream into one
+// histogram and recording a partition of it into several then Merging
+// them produce identical state — which is how the load harness combines
+// per-worker recordings without cross-worker locking. A LatencyHistogram
+// is not safe for concurrent use; give each goroutine its own and Merge.
+type LatencyHistogram struct {
+	counts   []uint64
+	count    uint64
+	sum      int64 // nanoseconds
+	min, max int64 // nanoseconds; valid when count > 0
+}
+
+// NewLatencyHistogram returns an empty latency histogram.
+func NewLatencyHistogram() *LatencyHistogram {
+	return &LatencyHistogram{}
+}
+
+// Record adds one duration sample. Non-positive durations count as 1ns
+// (the smallest representable sample).
+func (h *LatencyHistogram) Record(d time.Duration) {
+	n := int64(d)
+	if n < 1 {
+		n = 1
+	}
+	b := latBucket(n)
+	if b >= len(h.counts) {
+		grown := make([]uint64, b+1)
+		copy(grown, h.counts)
+		h.counts = grown
+	}
+	h.counts[b]++
+	h.count++
+	h.sum += n
+	if h.count == 1 || n < h.min {
+		h.min = n
+	}
+	if n > h.max {
+		h.max = n
+	}
+}
+
+// Count returns the number of recorded samples.
+func (h *LatencyHistogram) Count() uint64 { return h.count }
+
+// Min returns the smallest recorded sample (0 when empty).
+func (h *LatencyHistogram) Min() time.Duration {
+	if h.count == 0 {
+		return 0
+	}
+	return time.Duration(h.min)
+}
+
+// Max returns the largest recorded sample (0 when empty).
+func (h *LatencyHistogram) Max() time.Duration {
+	if h.count == 0 {
+		return 0
+	}
+	return time.Duration(h.max)
+}
+
+// Mean returns the arithmetic mean of the recorded samples (0 when
+// empty). Unlike quantiles it is exact: the sum is tracked outside the
+// buckets.
+func (h *LatencyHistogram) Mean() time.Duration {
+	if h.count == 0 {
+		return 0
+	}
+	return time.Duration(h.sum / int64(h.count))
+}
+
+// Quantile returns the q-quantile (q in [0, 1]) of the recorded
+// samples: the upper bound of the bucket holding the ceil(q*count)-th
+// smallest sample, clamped to the observed [Min, Max]. The clamp makes
+// Quantile exact for empty (0), single-sample, and extreme-q queries;
+// elsewhere the answer is within one bucket width (~5%) above the true
+// sample. q outside [0, 1] is clamped.
+func (h *LatencyHistogram) Quantile(q float64) time.Duration {
+	if h.count == 0 {
+		return 0
+	}
+	if math.IsNaN(q) || q <= 0 {
+		return time.Duration(h.min)
+	}
+	if q >= 1 {
+		return time.Duration(h.max)
+	}
+	rank := uint64(math.Ceil(q * float64(h.count)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum uint64
+	for b, c := range h.counts {
+		cum += c
+		if cum >= rank {
+			v := latBounds[b]
+			if v < h.min {
+				v = h.min
+			}
+			if v > h.max {
+				v = h.max
+			}
+			return time.Duration(v)
+		}
+	}
+	return time.Duration(h.max)
+}
+
+// Merge folds other into h. Merging is exact: the result is identical
+// to having recorded other's samples into h directly. other is left
+// unchanged; a nil or empty other is a no-op.
+func (h *LatencyHistogram) Merge(other *LatencyHistogram) {
+	if other == nil || other.count == 0 {
+		return
+	}
+	if len(other.counts) > len(h.counts) {
+		grown := make([]uint64, len(other.counts))
+		copy(grown, h.counts)
+		h.counts = grown
+	}
+	for b, c := range other.counts {
+		h.counts[b] += c
+	}
+	if h.count == 0 || other.min < h.min {
+		h.min = other.min
+	}
+	if other.max > h.max {
+		h.max = other.max
+	}
+	h.count += other.count
+	h.sum += other.sum
+}

@@ -1,0 +1,161 @@
+package metric
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+)
+
+func TestLatencyEmpty(t *testing.T) {
+	h := NewLatencyHistogram()
+	if h.Count() != 0 {
+		t.Errorf("Count = %d", h.Count())
+	}
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := h.Quantile(q); got != 0 {
+			t.Errorf("Quantile(%v) on empty = %v, want 0", q, got)
+		}
+	}
+	if h.Mean() != 0 || h.Min() != 0 || h.Max() != 0 {
+		t.Errorf("empty stats: mean=%v min=%v max=%v", h.Mean(), h.Min(), h.Max())
+	}
+}
+
+func TestLatencyOneSample(t *testing.T) {
+	h := NewLatencyHistogram()
+	h.Record(123456 * time.Nanosecond)
+	want := 123456 * time.Nanosecond
+	// Every quantile of a single sample is that sample exactly: the
+	// min/max clamp must defeat bucket rounding.
+	for _, q := range []float64{0, 0.001, 0.5, 0.999, 1} {
+		if got := h.Quantile(q); got != want {
+			t.Errorf("Quantile(%v) = %v, want %v", q, got, want)
+		}
+	}
+	if h.Count() != 1 || h.Mean() != want || h.Min() != want || h.Max() != want {
+		t.Errorf("single-sample stats: count=%d mean=%v min=%v max=%v",
+			h.Count(), h.Mean(), h.Min(), h.Max())
+	}
+}
+
+func TestLatencyNonPositiveClampsToOneNano(t *testing.T) {
+	h := NewLatencyHistogram()
+	h.Record(0)
+	h.Record(-time.Second)
+	if h.Count() != 2 || h.Min() != time.Nanosecond || h.Max() != time.Nanosecond {
+		t.Errorf("clamp: count=%d min=%v max=%v", h.Count(), h.Min(), h.Max())
+	}
+}
+
+// TestLatencyQuantileAccuracyBound pins the documented accuracy
+// contract against known distributions: the reported quantile lies in
+// [true sample, true sample * growth], i.e. never below the true value
+// and at most one bucket width (5%) above it.
+func TestLatencyQuantileAccuracyBound(t *testing.T) {
+	distributions := map[string]func(r *rand.Rand) int64{
+		// Uniform over four decades.
+		"uniform": func(r *rand.Rand) int64 { return 1 + r.Int63n(10_000_000) },
+		// Exponential with a 1ms mean — the arrival-process shape.
+		"exponential": func(r *rand.Rand) int64 { return 1 + int64(r.ExpFloat64()*1e6) },
+		// Log-normal: heavy tail, the worst case for linear bucketing.
+		"lognormal": func(r *rand.Rand) int64 {
+			return 1 + int64(math.Exp(r.NormFloat64()*2+10))
+		},
+	}
+	for name, draw := range distributions {
+		t.Run(name, func(t *testing.T) {
+			r := rand.New(rand.NewSource(42))
+			h := NewLatencyHistogram()
+			const n = 50_000
+			samples := make([]int64, n)
+			for i := range samples {
+				samples[i] = draw(r)
+				h.Record(time.Duration(samples[i]))
+			}
+			sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+			for _, q := range []float64{0.01, 0.25, 0.5, 0.9, 0.99, 0.999, 0.9999} {
+				rank := int(math.Ceil(q*float64(n))) - 1
+				exact := samples[rank]
+				got := int64(h.Quantile(q))
+				if got < exact {
+					t.Errorf("q=%v: got %d below exact %d", q, got, exact)
+				}
+				if limit := int64(math.Ceil(float64(exact) * latGrowth)); got > limit {
+					t.Errorf("q=%v: got %d exceeds %d (exact %d +5%%)", q, got, limit, exact)
+				}
+			}
+			if got, want := int64(h.Quantile(0)), samples[0]; got != want {
+				t.Errorf("q=0: got %d, want min %d", got, want)
+			}
+			if got, want := int64(h.Quantile(1)), samples[n-1]; got != want {
+				t.Errorf("q=1: got %d, want max %d", got, want)
+			}
+		})
+	}
+}
+
+// TestLatencyMergeExact proves merging per-worker histograms is
+// byte-for-byte the same as recording everything into one — counts,
+// quantiles, and moments all agree.
+func TestLatencyMergeExact(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	whole := NewLatencyHistogram()
+	parts := []*LatencyHistogram{
+		NewLatencyHistogram(), NewLatencyHistogram(), NewLatencyHistogram(),
+	}
+	for i := 0; i < 30_000; i++ {
+		d := time.Duration(1 + r.Int63n(5_000_000))
+		whole.Record(d)
+		parts[i%len(parts)].Record(d)
+	}
+	merged := NewLatencyHistogram()
+	for _, p := range parts {
+		merged.Merge(p)
+	}
+	if merged.Count() != whole.Count() || merged.Mean() != whole.Mean() ||
+		merged.Min() != whole.Min() || merged.Max() != whole.Max() {
+		t.Fatalf("merged stats differ: count %d/%d mean %v/%v min %v/%v max %v/%v",
+			merged.Count(), whole.Count(), merged.Mean(), whole.Mean(),
+			merged.Min(), whole.Min(), merged.Max(), whole.Max())
+	}
+	for q := 0.0; q <= 1.0; q += 0.001 {
+		if m, w := merged.Quantile(q), whole.Quantile(q); m != w {
+			t.Fatalf("Quantile(%v): merged %v != whole %v", q, m, w)
+		}
+	}
+}
+
+func TestLatencyMergeEmptyAndNil(t *testing.T) {
+	h := NewLatencyHistogram()
+	h.Record(time.Millisecond)
+	h.Merge(nil)
+	h.Merge(NewLatencyHistogram())
+	if h.Count() != 1 || h.Quantile(0.5) != time.Millisecond {
+		t.Errorf("merge of nil/empty changed state: count=%d p50=%v", h.Count(), h.Quantile(0.5))
+	}
+	// Merging into an empty histogram adopts the other's extrema.
+	dst := NewLatencyHistogram()
+	dst.Merge(h)
+	if dst.Min() != time.Millisecond || dst.Max() != time.Millisecond || dst.Count() != 1 {
+		t.Errorf("merge into empty: min=%v max=%v count=%d", dst.Min(), dst.Max(), dst.Count())
+	}
+}
+
+func TestLatencyBucketTableMonotonic(t *testing.T) {
+	for i := 1; i < len(latBounds); i++ {
+		if latBounds[i] <= latBounds[i-1] {
+			t.Fatalf("bounds not strictly increasing at %d: %d <= %d", i, latBounds[i], latBounds[i-1])
+		}
+	}
+	// Oversized samples clamp into the last bucket instead of growing it.
+	h := NewLatencyHistogram()
+	h.Record(time.Duration(latMaxNanos * 2))
+	if h.Count() != 1 || h.Max() != time.Duration(latMaxNanos*2) {
+		t.Errorf("oversized sample: count=%d max=%v", h.Count(), h.Max())
+	}
+	if got := h.Quantile(0.5); got != time.Duration(latMaxNanos*2) {
+		t.Errorf("oversized quantile clamps to observed max, got %v", got)
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync/atomic"
 
 	"repro/internal/app"
 	"repro/internal/core"
@@ -18,22 +19,38 @@ import (
 	"repro/internal/history"
 )
 
-// routes builds the service mux.
+// routes builds the service mux. Every handler is wrapped in counted,
+// which maintains the /statsz in-flight gauge and the per-endpoint op
+// counters.
 func (s *Server) routes() *http.ServeMux {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /healthz", s.handleHealth)
-	mux.HandleFunc("GET /statsz", s.handleStats)
-	mux.HandleFunc("GET /api/v1/runs", s.handleRuns)
-	mux.HandleFunc("GET /api/v1/run", s.handleGetRun)
-	mux.HandleFunc("PUT /api/v1/run", s.handlePutRun)
-	mux.HandleFunc("DELETE /api/v1/run", s.handleDeleteRun)
-	mux.HandleFunc("GET /api/v1/query", s.handleQuery)
-	mux.HandleFunc("GET /api/v1/persistent", s.handlePersistent)
-	mux.HandleFunc("GET /api/v1/specific", s.handleSpecific)
-	mux.HandleFunc("GET /api/v1/compare", s.handleCompare)
-	mux.HandleFunc("POST /api/v1/harvest", s.handleHarvest)
-	mux.HandleFunc("POST /api/v1/diagnose", s.handleDiagnose)
+	mux.HandleFunc("GET /healthz", s.counted("healthz", s.handleHealth))
+	mux.HandleFunc("GET /statsz", s.counted("statsz", s.handleStats))
+	mux.HandleFunc("GET /api/v1/runs", s.counted("runs", s.handleRuns))
+	mux.HandleFunc("GET /api/v1/run", s.counted("get_run", s.handleGetRun))
+	mux.HandleFunc("PUT /api/v1/run", s.counted("put_run", s.handlePutRun))
+	mux.HandleFunc("DELETE /api/v1/run", s.counted("delete_run", s.handleDeleteRun))
+	mux.HandleFunc("GET /api/v1/query", s.counted("query", s.handleQuery))
+	mux.HandleFunc("GET /api/v1/persistent", s.counted("persistent", s.handlePersistent))
+	mux.HandleFunc("GET /api/v1/specific", s.counted("specific", s.handleSpecific))
+	mux.HandleFunc("GET /api/v1/compare", s.counted("compare", s.handleCompare))
+	mux.HandleFunc("POST /api/v1/harvest", s.counted("harvest", s.handleHarvest))
+	mux.HandleFunc("POST /api/v1/diagnose", s.counted("diagnose", s.handleDiagnose))
 	return mux
+}
+
+// counted registers a cumulative op counter under name and wraps h to
+// bump it and the in-flight gauge. The counter map is written only here,
+// during construction; serving reads it lock-free.
+func (s *Server) counted(name string, h http.HandlerFunc) http.HandlerFunc {
+	ctr := &atomic.Uint64{}
+	s.opCounts[name] = ctr
+	return func(w http.ResponseWriter, r *http.Request) {
+		s.inFlight.Add(1)
+		defer s.inFlight.Add(-1)
+		ctr.Add(1)
+		h(w, r)
+	}
 }
 
 // writeJSON writes v in the canonical encoding with the given status.

@@ -62,6 +62,11 @@ type Server struct {
 
 	// counts are the resilience counters /statsz reports.
 	counts svcCounters
+	// inFlight gauges HTTP requests currently being served; opCounts
+	// holds one cumulative counter per endpoint, registered in routes()
+	// so reads stay lock-free.
+	inFlight atomic.Int64
+	opCounts map[string]*atomic.Uint64
 	// now is a test seam for the degraded-mode clock; nil means
 	// time.Now.
 	now func() time.Time
@@ -107,6 +112,7 @@ func New(env *harness.Env, opts Options) *Server {
 		brkThreshold:   thr,
 		brkCooldown:    cd,
 		runJobs:        harness.RunSessionsGated,
+		opCounts:       map[string]*atomic.Uint64{},
 	}
 	s.cond = sync.NewCond(&s.mu)
 	s.mux = s.routes()
@@ -279,6 +285,10 @@ func (s *Server) stats() StatsResponse {
 		ws := w.Stats()
 		walAppends, walSyncs = ws.Appends, ws.Syncs
 	}
+	ops := make(map[string]uint64, len(s.opCounts))
+	for name, ctr := range s.opCounts {
+		ops[name] = ctr.Load()
+	}
 	return StatsResponse{
 		LiveSessions:    int(s.pool.live.Load()),
 		SessionCapacity: s.pool.Capacity(),
@@ -299,6 +309,8 @@ func (s *Server) stats() StatsResponse {
 		WALSyncs:        walSyncs,
 		JournalHits:     s.counts.journalHits.Load(),
 		SessionsResumed: s.counts.sessionsResumed.Load(),
+		InFlight:        s.inFlight.Load(),
+		OpCounts:        ops,
 	}
 }
 

@@ -1,0 +1,115 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/history"
+)
+
+// getStats fetches and decodes /statsz over HTTP — through the counted
+// middleware, like a real client, so the request observes itself in the
+// in-flight gauge.
+func getStats(t *testing.T, url string) StatsResponse {
+	t.Helper()
+	resp, err := http.Get(url + "/statsz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st StatsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// TestStatszOpCountersAndInFlight proves the request instrumentation:
+// every endpoint hit moves its cumulative op counter, and the in-flight
+// gauge tracks concurrently served requests.
+func TestStatszOpCountersAndInFlight(t *testing.T) {
+	release := make(chan struct{})
+	srv := newLifecycleServer(Options{Sessions: 2}, release)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	st := getStats(t, ts.URL)
+	// The /statsz request reporting the gauge is itself in flight.
+	if st.InFlight != 1 {
+		t.Errorf("idle InFlight = %d, want 1 (the statsz request itself)", st.InFlight)
+	}
+	if st.OpCounts["statsz"] != 1 {
+		t.Errorf("op_counts[statsz] = %d, want 1", st.OpCounts["statsz"])
+	}
+
+	// Drive a few endpoints and require their counters to move.
+	for i := 0; i < 2; i++ {
+		resp, err := http.Get(ts.URL + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+	resp, err := http.Get(ts.URL + "/api/v1/runs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	rec := &history.RunRecord{App: "statsz-app", RunID: "r1"}
+	body, err := json.Marshal(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest(http.MethodPut, ts.URL+"/api/v1/run", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("put run: status %d", resp.StatusCode)
+	}
+
+	st = getStats(t, ts.URL)
+	want := map[string]uint64{"healthz": 2, "runs": 1, "put_run": 1, "statsz": 2}
+	for op, n := range want {
+		if st.OpCounts[op] != n {
+			t.Errorf("op_counts[%s] = %d, want %d", op, st.OpCounts[op], n)
+		}
+	}
+	if st.OpCounts["diagnose"] != 0 {
+		t.Errorf("op_counts[diagnose] = %d before any diagnose", st.OpCounts["diagnose"])
+	}
+
+	// A request blocked in its handler holds the gauge up: park a
+	// diagnose on the lifecycle seam and read the gauge past it.
+	done := make(chan error, 1)
+	go func() {
+		resp, err := postDiagnose(t, ts.URL)
+		if err == nil {
+			resp.Body.Close()
+		}
+		done <- err
+	}()
+	waitFor(t, "diagnosis in flight", func() bool { return srv.stats().ActiveDiagnoses == 1 })
+	st = getStats(t, ts.URL)
+	if st.InFlight < 2 {
+		t.Errorf("InFlight = %d with a blocked diagnose, want >= 2", st.InFlight)
+	}
+	if st.OpCounts["diagnose"] != 1 {
+		t.Errorf("op_counts[diagnose] = %d, want 1", st.OpCounts["diagnose"])
+	}
+	close(release)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+
+	// With everything drained, the gauge falls back to just the reader.
+	waitFor(t, "requests to retire", func() bool { return getStats(t, ts.URL).InFlight == 1 })
+}

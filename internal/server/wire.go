@@ -77,6 +77,13 @@ type StatsResponse struct {
 	// SessionsResumed counts orphaned sessions re-run after a restart.
 	JournalHits     uint64 `json:"journal_hits"`
 	SessionsResumed uint64 `json:"sessions_resumed"`
+	// InFlight is the number of HTTP requests being served right now.
+	// The /statsz request reporting it is itself in flight, so an
+	// otherwise idle server reports 1.
+	InFlight int64 `json:"in_flight"`
+	// OpCounts are cumulative request counts per endpoint, keyed by op
+	// name (get_run, put_run, query, compare, harvest, diagnose, ...).
+	OpCounts map[string]uint64 `json:"op_counts"`
 }
 
 // RunsResponse is GET /api/v1/runs: stored run display names
