@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short race race-short bench bench-store bench-server bench-resilience bench-durability chaos killrestart fsck load load-smoke experiments fuzz clean
+.PHONY: all build vet test test-short race race-short bench bench-store bench-server bench-resilience bench-durability chaos killrestart fsck load load-smoke shard experiments fuzz clean
 
 all: build vet test
 
@@ -92,6 +92,17 @@ load:
 # pcfsck-clean store).
 load-smoke:
 	$(GO) run ./cmd/pcload -suite smoke -check
+
+# Sharded-store smoke: the smoke suite against a self-hosted pcd over a
+# 4-shard store kept at SHARD_DIR, an explicit offline pcfsck of the
+# resulting sharded layout (exit 0 required), then the scatter-gather
+# suite over its own 4-shard store.
+SHARD_DIR ?= /tmp/pcshard-store
+shard:
+	rm -rf $(SHARD_DIR)
+	$(GO) run ./cmd/pcload -suite smoke -shards 4 -dir $(SHARD_DIR) -check
+	$(GO) run ./cmd/pcfsck -store $(SHARD_DIR)
+	$(GO) run ./cmd/pcload -suite shard-scatter -check
 
 # Regenerate every table and figure of the paper's evaluation.
 experiments:

@@ -320,7 +320,8 @@ func TestCLIFsckExitCodes(t *testing.T) {
 
 	// Overwriting a journaled record with garbage is only residue — the
 	// WAL holds the acknowledged bytes and replay restores them.
-	recFile := filepath.Join(dir, "loadapp-v1-r1.json")
+	// (Record r1 has index 1, so it carries version v2.)
+	recFile := filepath.Join(dir, "loadapp-v2-r1.json")
 	good, err := os.ReadFile(recFile)
 	if err != nil {
 		t.Fatal(err)
@@ -357,5 +358,144 @@ func TestCLIFsckExitCodes(t *testing.T) {
 	}
 	if !corrupt {
 		t.Fatalf("corrupt record not reported: %+v", rep.Findings)
+	}
+}
+
+// TestCLIFsckShardedExitCodes pins the same 0/1/2 scripting contract on
+// a sharded store: exit 0 when every shard is clean, 1 for a record
+// sitting on the wrong shard (with -repair moving it home), 2 when one
+// shard holds corruption — and -json reports carrying per-shard
+// sections plus the misplaced count throughout.
+func TestCLIFsckShardedExitCodes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	bin := filepath.Join(t.TempDir(), "pcfsck")
+	if out, err := exec.Command("go", "build", "-o", bin, "./cmd/pcfsck").CombinedOutput(); err != nil {
+		t.Fatalf("build pcfsck: %v\n%s", err, out)
+	}
+	fsck := func(args ...string) (int, *history.FsckReport) {
+		t.Helper()
+		cmd := exec.Command(bin, append([]string{"-json"}, args...)...)
+		out, err := cmd.Output()
+		code := 0
+		if err != nil {
+			ee, ok := err.(*exec.ExitError)
+			if !ok {
+				t.Fatalf("pcfsck %s: %v", strings.Join(args, " "), err)
+			}
+			code = ee.ExitCode()
+		}
+		var rep history.FsckReport
+		if jerr := json.Unmarshal(out, &rep); jerr != nil {
+			t.Fatalf("pcfsck -json output does not parse: %v\n%s", jerr, out)
+		}
+		return code, &rep
+	}
+
+	// Build a 4-shard store whose records cover at least two shards.
+	dir := t.TempDir()
+	st, err := history.OpenSharded(dir, 4, history.DurableOptions{Create: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shardsUsed := map[int]bool{}
+	for i := 0; i < 8; i++ {
+		rec := loadgen.SyntheticRecord(1, i, "r0")
+		rec.Version = fmt.Sprintf("v%d", i)
+		if err := st.Save(rec); err != nil {
+			t.Fatal(err)
+		}
+		shardsUsed[history.ShardForKey(rec.App, rec.Version, 4)] = true
+	}
+	if len(shardsUsed) < 2 {
+		t.Fatalf("fixture landed on %d shards, need at least 2", len(shardsUsed))
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Clean: exit 0, sharded report with one section per shard.
+	code, rep := fsck("-store", dir)
+	if code != 0 {
+		t.Fatalf("clean sharded store: exit %d, findings %+v", code, rep.Findings)
+	}
+	if !rep.Sharded || rep.ShardCount != 4 || len(rep.Shards) != 4 {
+		t.Fatalf("report sharded=%v count=%d sections=%d, want a 4-shard report", rep.Sharded, rep.ShardCount, len(rep.Shards))
+	}
+	if rep.Records != 8 || rep.Misplaced != 0 {
+		t.Fatalf("clean report: %d records, %d misplaced, want 8 and 0", rep.Records, rep.Misplaced)
+	}
+	perShard := 0
+	for _, sh := range rep.Shards {
+		perShard += sh.Records
+	}
+	if perShard != 8 {
+		t.Errorf("per-shard sections count %d records, want 8", perShard)
+	}
+
+	// A record on the wrong shard is residue: exit 1, misplaced counted,
+	// the finding in the holding shard's section.
+	app := loadgen.StoreApp
+	home := history.ShardForKey(app, "v0", 4)
+	wrong := (home + 1) % 4
+	name := fmt.Sprintf("%s-v0-r0.json", app)
+	shardDir := func(i int) string {
+		return filepath.Join(dir, history.ShardsDirName, fmt.Sprintf("%02d", i))
+	}
+	if err := os.Rename(filepath.Join(shardDir(home), name), filepath.Join(shardDir(wrong), name)); err != nil {
+		t.Fatal(err)
+	}
+	code, rep = fsck("-store", dir)
+	if code != 1 {
+		t.Fatalf("misplaced record: exit %d, want 1", code)
+	}
+	if rep.Misplaced != 1 {
+		t.Fatalf("misplaced count = %d, want 1", rep.Misplaced)
+	}
+	found := false
+	for _, sh := range rep.Shards {
+		for _, f := range sh.Findings {
+			if sh.Shard == wrong && f.Path == name && f.Severity == history.FsckResidue {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("placement finding missing from shard %02d section: %+v", wrong, rep.Shards)
+	}
+
+	// -repair moves it home (exit still reflects what was found), after
+	// which the store grades clean again.
+	if code, _ = fsck("-repair", "-store", dir); code != 1 {
+		t.Fatalf("repair pass: exit %d, want 1", code)
+	}
+	if code, rep = fsck("-store", dir); code != 0 || rep.Misplaced != 0 {
+		t.Fatalf("after repair: exit %d, %d misplaced, want clean", code, rep.Misplaced)
+	}
+
+	// Corruption inside one shard grades the whole store 2, outranking
+	// any residue, and names the shard section holding it.
+	bogus := filepath.Join(shardDir(home), app+"-v0-zz.json")
+	if err := os.WriteFile(bogus, []byte("{ not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Rename(filepath.Join(shardDir(home), name), filepath.Join(shardDir(wrong), name)); err != nil {
+		t.Fatal(err)
+	}
+	code, rep = fsck("-store", dir)
+	if code != 2 {
+		t.Fatalf("corrupt shard: exit %d, want 2", code)
+	}
+	corruptFound := false
+	for _, sh := range rep.Shards {
+		for _, f := range sh.Findings {
+			if sh.Shard == home && f.Severity == history.FsckCorrupt && strings.Contains(f.Path, "v0-zz") {
+				corruptFound = true
+			}
+		}
+	}
+	if !corruptFound {
+		t.Fatalf("corrupt record not reported in shard %02d section: %+v", home, rep.Shards)
 	}
 }

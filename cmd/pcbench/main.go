@@ -3,7 +3,7 @@
 // Usage:
 //
 //	pcbench -exp table1|table2|table3|table4|ocean|combine|postmortem|ablation|scale|fig1|fig2|fig3|all
-//	        [-trials N] [-parallel N] [-store DIR] [-wal]
+//	        [-trials N] [-parallel N] [-store DIR] [-wal] [-shards N]
 //
 // -parallel bounds the number of diagnosis sessions run concurrently
 // (default: the number of CPUs). Because every session's state is
@@ -17,7 +17,10 @@
 // identical either way: records round-trip through the same encoding.
 // -wal additionally journals every store write ahead of the record
 // files (the pcd durability layer); it changes nothing about the
-// rendered output, only the store's crash safety.
+// rendered output, only the store's crash safety. -shards N lays the
+// store out as N consistent-hash shards; scatter-gather reads merge in
+// canonical order, so the rendered output is byte-identical to the
+// single-store (and in-memory) layouts at any shard count.
 package main
 
 import (
@@ -38,16 +41,19 @@ func main() {
 	parallel := flag.Int("parallel", runtime.NumCPU(), "max concurrent diagnosis sessions (1 = sequential)")
 	storeDir := flag.String("store", "", "directory to persist experiment run records (default: in-memory)")
 	wal := flag.Bool("wal", false, "journal -store writes ahead of record files (crash safety)")
+	shards := flag.Int("shards", 0, "open -store as a consistent-hash sharded layout with N shards (0 = single store, or whatever layout exists)")
 	flag.Parse()
 
-	var st *history.Store
+	var st history.Storage
 	if *storeDir != "" {
 		var err error
-		st, err = history.OpenStoreDurable(*storeDir, history.DurableOptions{Create: true, WAL: *wal})
+		st, err = history.OpenStoreAuto(*storeDir, *shards, history.DurableOptions{Create: true, WAL: *wal})
 		if err != nil {
 			log.Fatal(err)
 		}
 		defer st.Close()
+	} else if *shards > 0 {
+		log.Fatal("-shards needs -store (an in-memory store has no shard layout)")
 	}
 	env := harness.NewEnv(st)
 

@@ -65,7 +65,7 @@ func main() {
 			log.Fatal(err)
 		}
 	} else {
-		st, err := history.OpenStore(*storeDir)
+		st, err := history.OpenStoreAuto(*storeDir, 0, history.DurableOptions{})
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	pcd -store DIR [-create] [-addr 127.0.0.1:7133] [-sessions N]
+//	pcd -store DIR [-create] [-shards N] [-addr 127.0.0.1:7133] [-sessions N]
 //	    [-session-timeout 0] [-drain-timeout 30s]
 //	    [-breaker-threshold 3] [-breaker-cooldown 5s] [-session-retries 1]
 //	    [-wal] [-wal-sync always|interval|none] [-resume-sessions]
@@ -20,6 +20,15 @@
 // writes a crash left off the record files), orphaned temp files are
 // swept, and unreadable records are quarantined (moved to quarantine/
 // with a report, never deleted) before serving begins.
+//
+// -shards N serves a consistent-hash sharded store: records route by
+// (app, version) across N full stores under <store>/shards/NN/ (each
+// with its own WAL, quarantine and recovery), reads scatter-gather and
+// merge in canonical order, and one failed shard degrades its keyspace
+// (reads skip it, writes to it get 503) instead of taking the daemon
+// down — /statsz carries per-shard gauges. The layout is detected
+// automatically on later opens, so -shards is only needed at -create
+// time; a mismatched count is an error, not a reshard.
 //
 // Durability: with -wal (the default) every store mutation is journaled
 // before it touches a record file, so a SIGKILL mid-write loses nothing
@@ -74,6 +83,7 @@ func main() {
 		addr           = flag.String("addr", "127.0.0.1:7133", "listen address (host:port; port 0 picks a free port)")
 		storeDir       = flag.String("store", "", "history store directory (required)")
 		create         = flag.Bool("create", false, "create the store directory if it does not exist")
+		shards         = flag.Int("shards", 0, "consistent-hash shard count for the store layout (0 = single store, or whatever layout exists)")
 		sessions       = flag.Int("sessions", 0, "max concurrent diagnosis sessions (0 = GOMAXPROCS)")
 		sessionTimeout = flag.Duration("session-timeout", 0, "per-request diagnosis timeout, queueing included (0 = none)")
 		drainTimeout   = flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight sessions")
@@ -112,11 +122,16 @@ func main() {
 			})
 		}
 	}
-	st, err := history.OpenStoreDurable(*storeDir, dopts)
+	st, err := history.OpenStoreAuto(*storeDir, *shards, dopts)
 	if err != nil {
 		log.Fatal(err)
 	}
 	if rep := st.Recovery(); rep != nil && !rep.Empty() {
+		for _, sr := range rep.Shards {
+			if sr.Err != "" {
+				log.Printf("recovery: shard %02d down: %s (its keyspace is absent until a probe revives it)", sr.Shard, sr.Err)
+			}
+		}
 		for _, name := range rep.SweptTemp {
 			log.Printf("recovery: swept orphaned temp file %s", name)
 		}
@@ -160,8 +175,12 @@ func main() {
 	if slots <= 0 {
 		slots = runtime.GOMAXPROCS(0)
 	}
-	fmt.Printf("pcd: serving on http://%s (store %s, %d records, %d session slots)\n",
-		ln.Addr(), st.Dir(), st.Len(), slots)
+	layout := ""
+	if ss, ok := st.(*history.ShardedStore); ok {
+		layout = fmt.Sprintf(", %d shards", ss.Shards())
+	}
+	fmt.Printf("pcd: serving on http://%s (store %s%s, %d records, %d session slots)\n",
+		ln.Addr(), st.Dir(), layout, st.Len(), slots)
 
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.Serve(ln) }()

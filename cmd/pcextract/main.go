@@ -69,7 +69,7 @@ func main() {
 		log.Fatal("-store is required (or use -trace)")
 	}
 	// Open-existing: a mistyped -store must fail, not harvest nothing.
-	st, err := history.OpenStore(*storeDir)
+	st, err := history.OpenStoreAuto(*storeDir, 0, history.DurableOptions{})
 	if err != nil {
 		log.Fatal(err)
 	}

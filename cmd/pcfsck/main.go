@@ -4,6 +4,12 @@
 // daemon has open — after a crash, before restarting pcd, or from cron
 // as a consistency audit.
 //
+// A sharded store (a shards/ layout) is verified end-to-end: the layout
+// manifest, every shard as a full store, and the cross-shard placement
+// invariant — each record must live on the shard its (app, version)
+// hashes to. Misplaced records grade as residue; -repair moves them
+// home. -json reports carry per-shard sections and a misplaced count.
+//
 // Usage:
 //
 //	pcfsck [-repair] [-json] -store DIR
@@ -65,24 +71,43 @@ func main() {
 
 // render prints the human-readable report.
 func render(rep *history.FsckReport) {
-	fmt.Printf("store %s: %d records, %d quarantined, wal %d segments / %d entries\n",
-		rep.Dir, rep.Records, rep.Quarantined, rep.WALSegments, rep.WALEntries)
-	if len(rep.Findings) == 0 {
-		fmt.Println("clean")
-		return
+	if rep.Sharded {
+		fmt.Printf("store %s: %d shards, %d records, %d quarantined, %d misplaced, wal %d segments / %d entries\n",
+			rep.Dir, rep.ShardCount, rep.Records, rep.Quarantined, rep.Misplaced, rep.WALSegments, rep.WALEntries)
+	} else {
+		fmt.Printf("store %s: %d records, %d quarantined, wal %d segments / %d entries\n",
+			rep.Dir, rep.Records, rep.Quarantined, rep.WALSegments, rep.WALEntries)
 	}
+	clean := true
 	for _, f := range rep.Findings {
-		grade := "residue"
-		if f.Severity == history.FsckCorrupt {
-			grade = "CORRUPT"
-		}
-		line := fmt.Sprintf("%-7s %s: %s", grade, f.Path, f.Problem)
-		switch {
-		case f.Repaired:
-			line += " [repaired: " + f.Repair + "]"
-		case f.Repair != "":
-			line += " [-repair would: " + f.Repair + "]"
-		}
-		fmt.Println(line)
+		renderFinding("", f)
+		clean = false
 	}
+	for _, sh := range rep.Shards {
+		prefix := fmt.Sprintf("%s/%02d/", history.ShardsDirName, sh.Shard)
+		for _, f := range sh.Findings {
+			renderFinding(prefix, f)
+			clean = false
+		}
+	}
+	if clean {
+		fmt.Println("clean")
+	}
+}
+
+// renderFinding prints one finding, its path prefixed with the shard
+// directory when it came from a shard section.
+func renderFinding(prefix string, f history.FsckFinding) {
+	grade := "residue"
+	if f.Severity == history.FsckCorrupt {
+		grade = "CORRUPT"
+	}
+	line := fmt.Sprintf("%-7s %s%s: %s", grade, prefix, f.Path, f.Problem)
+	switch {
+	case f.Repaired:
+		line += " [repaired: " + f.Repair + "]"
+	case f.Repair != "":
+		line += " [-repair would: " + f.Repair + "]"
+	}
+	fmt.Println(line)
 }

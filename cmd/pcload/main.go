@@ -9,7 +9,7 @@
 // Usage:
 //
 //	pcload [-suites DIR] [-suite NAME[,NAME...]] [-out FILE] [-pr N]
-//	       [-server URL] [-check] [-v]
+//	       [-server URL] [-dir DIR] [-shards N] [-check] [-v]
 //
 // By default pcload self-hosts a fresh pcd per suite over a temporary
 // store, so suites control the full serving stack (-wal-sync policy,
@@ -42,6 +42,8 @@ func main() {
 	out := flag.String("out", "", "write the JSON artifact to this file")
 	pr := flag.Int("pr", 0, "PR number to stamp into the artifact")
 	serverURL := flag.String("server", "", "drive an existing pcd at this URL instead of self-hosting")
+	dir := flag.String("dir", "", "self-hosted store directory, kept afterwards (default: fresh temp dir, removed)")
+	shards := flag.Int("shards", 0, "override the suites' shard count (self-hosted only)")
 	check := flag.Bool("check", false, "exit non-zero unless every suite passes the correctness bar")
 	verbose := flag.Bool("v", false, "log per-suite progress")
 	flag.Parse()
@@ -55,7 +57,7 @@ func main() {
 		log.Fatal(err)
 	}
 
-	opt := loadgen.Options{ServerURL: *serverURL}
+	opt := loadgen.Options{ServerURL: *serverURL, Dir: *dir}
 	if *verbose {
 		opt.Logf = log.Printf
 	}
@@ -65,6 +67,9 @@ func main() {
 		sc, err := loadgen.LoadScenario(path)
 		if err != nil {
 			log.Fatal(err)
+		}
+		if *shards > 0 {
+			sc.Shards = *shards
 		}
 		rep, err := loadgen.RunSuite(sc, opt)
 		if err != nil {

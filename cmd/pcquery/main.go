@@ -64,7 +64,7 @@ func main() {
 	if *serverURL != "" {
 		src = &remoteSource{c: client.NewResilient(*serverURL, *retries), timeout: *timeout}
 	} else {
-		st, err := history.OpenStore(*storeDir)
+		st, err := history.OpenStoreAuto(*storeDir, 0, history.DurableOptions{})
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -171,7 +171,7 @@ type source interface {
 	Specific(app, ref string) (*server.SpecificResponse, error)
 }
 
-type storeSource struct{ st *history.Store }
+type storeSource struct{ st history.Storage }
 
 func (s *storeSource) List() ([]string, error) { return s.st.List() }
 

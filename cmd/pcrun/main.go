@@ -140,11 +140,17 @@ func main() {
 		fmt.Printf("HTML report written to %s\n", *reportFile)
 	}
 	if *storeDir != "" {
-		st, err := history.NewStore(*storeDir)
+		// The recovering open path every other entry point uses: temp
+		// sweep, journal replay and quarantine before the save, and a
+		// sharded layout handled transparently.
+		st, err := history.OpenStoreAuto(*storeDir, 0, history.DurableOptions{Create: true})
 		if err != nil {
 			log.Fatal(err)
 		}
 		if err := st.Save(res.Record); err != nil {
+			log.Fatal(err)
+		}
+		if err := st.Close(); err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("record saved to %s\n", st.Dir())

@@ -21,13 +21,14 @@ import (
 // still round-trip through the store's encoding, so results match a
 // disk-backed Env byte for byte.
 type Env struct {
-	store *history.Store
+	store history.Storage
 	cache *core.HarvestCache
 }
 
-// NewEnv creates an experiment environment over st, or over a fresh
-// in-memory store when st is nil.
-func NewEnv(st *history.Store) *Env {
+// NewEnv creates an experiment environment over st — a single durable
+// Store or a ShardedStore, anything speaking history.Storage — or over
+// a fresh in-memory store when st is nil.
+func NewEnv(st history.Storage) *Env {
 	if st == nil {
 		st = history.NewMemStore()
 	}
@@ -35,7 +36,7 @@ func NewEnv(st *history.Store) *Env {
 }
 
 // Store returns the environment's experiment store.
-func (e *Env) Store() *history.Store { return e.store }
+func (e *Env) Store() history.Storage { return e.store }
 
 // Cache returns the environment's harvest cache.
 func (e *Env) Cache() *core.HarvestCache { return e.cache }

@@ -39,7 +39,10 @@ type FsckFinding struct {
 	Repaired bool   `json:"repaired,omitempty"`
 }
 
-// FsckReport is the outcome of one FsckStore pass.
+// FsckReport is the outcome of one FsckStore pass. For a sharded store
+// the counters aggregate every shard, Findings holds only root-level
+// problems (manifest, layout, records outside any shard), and the
+// per-shard detail lives in Shards.
 type FsckReport struct {
 	Dir string `json:"dir"`
 	// Records is the number of valid indexed records; Quarantined the
@@ -50,14 +53,42 @@ type FsckReport struct {
 	WALSegments int           `json:"wal_segments"`
 	WALEntries  int           `json:"wal_entries"`
 	Findings    []FsckFinding `json:"findings,omitempty"`
+	// Sharded layout only: the manifest's shard count, the number of
+	// records living on a shard their key does not hash to, and one
+	// section per shard.
+	Sharded    bool               `json:"sharded,omitempty"`
+	ShardCount int                `json:"shard_count,omitempty"`
+	Misplaced  int                `json:"misplaced,omitempty"`
+	Shards     []*FsckShardReport `json:"shards,omitempty"`
 }
 
-// Severity is the report's worst finding (FsckClean when none).
+// FsckShardReport is one shard's slice of a sharded fsck pass. Finding
+// paths are shard-relative; the shard's directory is in Dir.
+type FsckShardReport struct {
+	Shard       int           `json:"shard"`
+	Dir         string        `json:"dir"`
+	Records     int           `json:"records"`
+	Quarantined int           `json:"quarantined"`
+	WALSegments int           `json:"wal_segments"`
+	WALEntries  int           `json:"wal_entries"`
+	Misplaced   int           `json:"misplaced"`
+	Findings    []FsckFinding `json:"findings,omitempty"`
+}
+
+// Severity is the report's worst finding across the root and every
+// shard section (FsckClean when none).
 func (r *FsckReport) Severity() int {
 	max := FsckClean
 	for _, f := range r.Findings {
 		if f.Severity > max {
 			max = f.Severity
+		}
+	}
+	for _, sh := range r.Shards {
+		for _, f := range sh.Findings {
+			if f.Severity > max {
+				max = f.Severity
+			}
 		}
 	}
 	return max
@@ -82,6 +113,9 @@ func FsckStore(dir string, repair bool) (*FsckReport, error) {
 	}
 	if !info.IsDir() {
 		return nil, fmt.Errorf("history: fsck: %s is not a directory", dir)
+	}
+	if IsShardedLayout(dir) {
+		return fsckSharded(dir, repair)
 	}
 	rep := &FsckReport{Dir: dir}
 
@@ -296,6 +330,210 @@ func truncateWALSegment(path string) error {
 		return nil // nothing to cut
 	}
 	return os.Truncate(path, int64(off))
+}
+
+// fsckSharded verifies a sharded store end-to-end: the layout manifest,
+// a full single-store pass per shard, the cross-shard placement
+// invariant (every record lives on the shard its key hashes to), the
+// shared session journal at the root, and stray files at the root or in
+// shards/. With repair, per-shard repairs run as usual and misplaced or
+// root-level records are moved onto their home shard — which is also
+// the migration path: drop a legacy store's record files at the root
+// and -repair distributes them onto the ring.
+func fsckSharded(dir string, repair bool) (*FsckReport, error) {
+	rep := &FsckReport{Dir: dir, Sharded: true}
+	shardsDir := filepath.Join(dir, ShardsDirName)
+	manifestRel := filepath.Join(ShardsDirName, shardManifestName)
+
+	n := 0
+	data, err := os.ReadFile(filepath.Join(shardsDir, shardManifestName))
+	switch {
+	case err == nil:
+		var m shardManifest
+		if jerr := json.Unmarshal(data, &m); jerr != nil {
+			rep.add(FsckCorrupt, manifestRel, fmt.Sprintf("corrupt manifest: %v", jerr), "", false)
+		} else if m.Hash != shardHashScheme {
+			rep.add(FsckCorrupt, manifestRel, fmt.Sprintf("unknown hash scheme %q (want %q)", m.Hash, shardHashScheme), "", false)
+		} else if m.Shards < 1 {
+			rep.add(FsckCorrupt, manifestRel, fmt.Sprintf("implausible shard count %d", m.Shards), "", false)
+		} else {
+			n = m.Shards
+		}
+	case os.IsNotExist(err):
+		rep.add(FsckCorrupt, manifestRel, "manifest missing (shard count and hash scheme unpinned)", "", false)
+	default:
+		rep.add(FsckCorrupt, manifestRel, fmt.Sprintf("unreadable manifest: %v", err), "", false)
+	}
+	if n == 0 {
+		// No trustworthy manifest: infer the count from the NN
+		// directories so the per-shard and placement passes still run
+		// against the best available witness of the ring size.
+		n = inferShardCount(shardsDir)
+	}
+	rep.ShardCount = n
+
+	fsckTempFiles(dir, ".put-", rep, "", repair)
+	fsckRootRecords(dir, n, rep, repair)
+	fsckSessions(dir, rep, repair)
+	fsckShardsDirStrays(shardsDir, n, rep)
+
+	for i := 0; i < n; i++ {
+		sdir := filepath.Join(shardsDir, shardDirName(i))
+		rel := filepath.Join(ShardsDirName, shardDirName(i))
+		if fi, serr := os.Stat(sdir); serr != nil || !fi.IsDir() {
+			rep.add(FsckCorrupt, rel, "shard directory missing (records hashed to it are unreachable)", "", false)
+			rep.Shards = append(rep.Shards, &FsckShardReport{Shard: i, Dir: sdir})
+			continue
+		}
+		srep, serr := FsckStore(sdir, repair)
+		if serr != nil {
+			rep.add(FsckCorrupt, rel, fmt.Sprintf("cannot fsck shard: %v", serr), "", false)
+			rep.Shards = append(rep.Shards, &FsckShardReport{Shard: i, Dir: sdir})
+			continue
+		}
+		shard := &FsckShardReport{
+			Shard: i, Dir: sdir,
+			Records: srep.Records, Quarantined: srep.Quarantined,
+			WALSegments: srep.WALSegments, WALEntries: srep.WALEntries,
+			Findings: srep.Findings,
+		}
+		fsckShardPlacement(shardsDir, i, n, shard, repair)
+		rep.Records += shard.Records
+		rep.Quarantined += shard.Quarantined
+		rep.WALSegments += shard.WALSegments
+		rep.WALEntries += shard.WALEntries
+		rep.Misplaced += shard.Misplaced
+		rep.Shards = append(rep.Shards, shard)
+	}
+	return rep, nil
+}
+
+// inferShardCount infers the ring size from the NN directories when the
+// manifest cannot be trusted.
+func inferShardCount(shardsDir string) int {
+	des, err := os.ReadDir(shardsDir)
+	if err != nil {
+		return 0
+	}
+	max := -1
+	for _, de := range des {
+		if !de.IsDir() {
+			continue
+		}
+		if i, ok := parseShardDirName(de.Name()); ok && i > max {
+			max = i
+		}
+	}
+	return max + 1
+}
+
+// parseShardDirName parses a zero-padded NN shard directory name.
+func parseShardDirName(name string) (int, bool) {
+	if len(name) != 2 || name[0] < '0' || name[0] > '9' || name[1] < '0' || name[1] > '9' {
+		return 0, false
+	}
+	return int(name[0]-'0')*10 + int(name[1]-'0'), true
+}
+
+// fsckShardPlacement verifies that every readable record in shard i
+// hashes to shard i. A misplaced record is residue, not corruption —
+// the bytes are intact, but point reads miss it and a Save would
+// duplicate it — and -repair moves it home (unless a record already
+// holds that spot, which needs a human).
+func fsckShardPlacement(shardsDir string, i, n int, shard *FsckShardReport, repair bool) {
+	if n <= 1 {
+		return
+	}
+	sdir := filepath.Join(shardsDir, shardDirName(i))
+	b := &FSBackend{dir: sdir}
+	entries, _, err := b.Scan()
+	if err != nil {
+		return // the per-shard pass already reported the scan failure
+	}
+	for _, e := range entries {
+		rec, derr := decodeRecord(e.Data)
+		if derr != nil {
+			continue // already reported by the per-shard pass
+		}
+		key := rec.Key()
+		if e.Name != fileName(key) && e.Name != legacyFileName(key) {
+			continue // misnamed: already reported
+		}
+		want := ShardForKey(key.App, key.Version, n)
+		if want == i {
+			continue
+		}
+		shard.Misplaced++
+		dest := filepath.Join(shardsDir, shardDirName(want), fileName(key))
+		repaired := false
+		if repair {
+			if _, serr := os.Stat(dest); os.IsNotExist(serr) {
+				repaired = os.Rename(filepath.Join(sdir, e.Name), dest) == nil
+			}
+		}
+		shard.Findings = append(shard.Findings, FsckFinding{
+			Severity: FsckResidue,
+			Path:     e.Name,
+			Problem:  fmt.Sprintf("record %s hashes to shard %s (point reads miss it; a Save would duplicate it)", key, shardDirName(want)),
+			Repair:   "move to " + filepath.Join(ShardsDirName, shardDirName(want)),
+			Repaired: repaired,
+		})
+	}
+}
+
+// fsckRootRecords flags record files sitting at the root of a sharded
+// store, outside any shard, and with repair moves readable ones onto
+// the shard their key hashes to.
+func fsckRootRecords(dir string, n int, rep *FsckReport, repair bool) {
+	b := &FSBackend{dir: dir}
+	entries, issues, err := b.Scan()
+	if err != nil {
+		return
+	}
+	for _, is := range issues {
+		rep.add(FsckCorrupt, is.Name, fmt.Sprintf("unreadable record outside the shard layout: %v", is.Err),
+			"quarantine", repair && b.Quarantine(is.Name, "pcfsck: unreadable") == nil)
+	}
+	for _, e := range entries {
+		rec, derr := decodeRecord(e.Data)
+		if derr != nil {
+			rep.add(FsckCorrupt, e.Name, fmt.Sprintf("invalid record outside the shard layout: %v", derr),
+				"quarantine", repair && b.Quarantine(e.Name, "pcfsck: invalid record") == nil)
+			continue
+		}
+		key := rec.Key()
+		want := ShardForKey(key.App, key.Version, n)
+		repaired := false
+		if repair && n > 0 {
+			dest := filepath.Join(dir, ShardsDirName, shardDirName(want), fileName(key))
+			if _, serr := os.Stat(dest); os.IsNotExist(serr) {
+				repaired = os.Rename(filepath.Join(dir, e.Name), dest) == nil
+			}
+		}
+		rep.add(FsckResidue, e.Name,
+			fmt.Sprintf("record %s outside the shard layout", key),
+			"move to "+filepath.Join(ShardsDirName, shardDirName(want)), repaired)
+	}
+}
+
+// fsckShardsDirStrays flags entries in shards/ that are neither the
+// manifest nor a shard directory on the ring.
+func fsckShardsDirStrays(shardsDir string, n int, rep *FsckReport) {
+	des, err := os.ReadDir(shardsDir)
+	if err != nil {
+		return
+	}
+	for _, de := range des {
+		name := de.Name()
+		if name == shardManifestName {
+			continue
+		}
+		if i, ok := parseShardDirName(name); ok && de.IsDir() && i < n {
+			continue
+		}
+		rep.add(FsckResidue, filepath.Join(ShardsDirName, name),
+			"unexpected entry in the shard layout", "", false)
+	}
 }
 
 // fsckSessions verifies the session journal (when present): every entry

@@ -75,6 +75,15 @@ func (s *Store) Query(app, version string, f ResultFilter) ([]QueryHit, error) {
 	if err != nil {
 		return nil, err
 	}
+	return collectQueryHits(recs, f), nil
+}
+
+// collectQueryHits applies the filter to records already in canonical
+// (app, version, run id) order and sorts the hits by descending value
+// then run identity. Store and ShardedStore share this so a sharded
+// query over the merged record set is byte-identical to a single-store
+// one.
+func collectQueryHits(recs []*RunRecord, f ResultFilter) []QueryHit {
 	var out []QueryHit
 	for _, rec := range recs {
 		for _, nr := range rec.Select(f) {
@@ -90,7 +99,7 @@ func (s *Store) Query(app, version string, f ResultFilter) ([]QueryHit, error) {
 		}
 		return out[i].RunID < out[j].RunID
 	})
-	return out, nil
+	return out
 }
 
 // PersistentBottlenecks returns the (hypothesis : focus) pairs that
@@ -101,6 +110,15 @@ func (s *Store) PersistentBottlenecks(app, version string, minRuns int) (map[str
 	if err != nil {
 		return nil, err
 	}
+	return countPersistent(recs, minRuns), nil
+}
+
+// countPersistent counts, per (hypothesis : focus) pair, the records in
+// which it tested true, then drops pairs below minRuns. The minRuns cut
+// happens after counting the full record set, so a sharded store must
+// count across all shards before filtering (a version-spanning query
+// touches every shard).
+func countPersistent(recs []*RunRecord, minRuns int) map[string]int {
 	counts := make(map[string]int)
 	for _, rec := range recs {
 		seen := make(map[string]bool)
@@ -117,5 +135,5 @@ func (s *Store) PersistentBottlenecks(app, version string, minRuns int) (map[str
 			delete(counts, k)
 		}
 	}
-	return counts, nil
+	return counts
 }

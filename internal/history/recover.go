@@ -40,11 +40,23 @@ type RecoveryReport struct {
 	SweptTemp   []string
 	Quarantined []QuarantinedEntry
 	WAL         *WALRecovery
+	// Shards carries per-shard detail for sharded stores (nil for a
+	// single store); the aggregate fields above fold every shard
+	// together with shards/NN/-prefixed names.
+	Shards []*ShardRecovery
 }
 
 // Empty reports whether recovery found nothing to do.
 func (r *RecoveryReport) Empty() bool {
-	return r == nil || (len(r.SweptTemp) == 0 && len(r.Quarantined) == 0 && r.WAL.Empty())
+	if r == nil {
+		return true
+	}
+	for _, sr := range r.Shards {
+		if sr.Err != "" {
+			return false
+		}
+	}
+	return len(r.SweptTemp) == 0 && len(r.Quarantined) == 0 && r.WAL.Empty()
 }
 
 // Recovery returns the crash-recovery report of the OpenStore call that

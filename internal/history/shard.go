@@ -1,0 +1,690 @@
+package history
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"os"
+	"path"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+)
+
+// ShardsDirName is the subdirectory of a sharded store root that holds
+// the per-shard stores and the layout manifest.
+const ShardsDirName = "shards"
+
+// shardManifestName is the layout manifest inside the shards directory.
+// It pins the shard count and hash scheme; opening with a mismatched
+// -shards value is an error, not a silent resharding.
+const shardManifestName = "MANIFEST.json"
+
+// shardHashScheme names the routing function the manifest pins:
+// FNV-1a(64) over app NUL version, folded through the jump consistent
+// hash. Changing the scheme would silently orphan every stored record,
+// so opens reject manifests naming anything else.
+const shardHashScheme = "fnv64a-jump"
+
+type shardManifest struct {
+	Version int    `json:"version"`
+	Shards  int    `json:"shards"`
+	Hash    string `json:"hash"`
+}
+
+// errShardDown marks operations refused because the target shard is
+// down (failed to open, or breaker-tripped on consecutive backend
+// failures). It is always wrapped in a BackendError, so the service
+// layer classifies it as storage trouble (503 + Retry-After), and it is
+// transient: a later Ping can revive the shard.
+var errShardDown = errors.New("history: shard down")
+
+// ShardForKey routes a record key to its shard: FNV-1a over
+// (app, version) folded through the jump consistent hash. Version-blind
+// it is not — the pair is the paper's unit of cross-execution
+// comparison, so keeping all runs of one (app, version) on one shard
+// makes the common Query/CompareRuns case single-shard.
+func ShardForKey(app, version string, shards int) int {
+	if shards <= 1 {
+		return 0
+	}
+	h := fnv.New64a()
+	io.WriteString(h, app)
+	h.Write([]byte{0})
+	io.WriteString(h, version)
+	return jumpHash(h.Sum64(), shards)
+}
+
+// jumpHash is the Lamping–Veach jump consistent hash: O(ln n), no
+// tables, and growing the bucket count moves only 1/n of the keys.
+func jumpHash(key uint64, buckets int) int {
+	var b, j int64 = -1, 0
+	for j < int64(buckets) {
+		b = j
+		key = key*2862933555777941757 + 1
+		j = int64(float64(b+1) * (float64(int64(1)<<31) / float64((key>>33)+1)))
+	}
+	return int(b)
+}
+
+// shardDirName renders the zero-padded per-shard directory name.
+func shardDirName(i int) string { return fmt.Sprintf("%02d", i) }
+
+// ShardRecovery is one shard's slice of a sharded store's recovery
+// report: either the shard's own report, or the error that kept it from
+// opening at all (in which case the shard starts down).
+type ShardRecovery struct {
+	Shard int
+	// Err is the open failure, "" when the shard opened.
+	Err string
+	// Report is the shard's own recovery report (nil when open failed).
+	Report *RecoveryReport
+}
+
+// ShardInfo is one shard's health gauge set — record count, degraded
+// flag, last recovery outcome — exported through /statsz.
+type ShardInfo struct {
+	Shard        int    `json:"shard"`
+	Records      int    `json:"records"`
+	Degraded     bool   `json:"degraded"`
+	LastRecovery string `json:"last_recovery"`
+}
+
+// shardState is one shard plus its health: a breaker counting
+// consecutive backend failures, the down flag, and the last error for
+// operators. st is nil while the shard failed to open.
+type shardState struct {
+	idx int
+	dir string
+
+	mu           sync.Mutex
+	st           *Store
+	down         bool
+	fails        int
+	lastErr      string
+	lastRecovery string
+}
+
+// live returns the shard's store when it is up.
+func (sh *shardState) live() (*Store, bool) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if sh.down || sh.st == nil {
+		return nil, false
+	}
+	return sh.st, true
+}
+
+// noteErr feeds the shard breaker with one backend failure; threshold
+// consecutive failures mark the shard down until a Ping revives it.
+func (sh *shardState) noteErr(threshold int, err error) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	sh.lastErr = err.Error()
+	sh.fails++
+	if sh.fails >= threshold {
+		sh.down = true
+	}
+}
+
+// noteOK resets the consecutive-failure count. It does not clear the
+// down flag — only a successful Ping re-admits a shard, so one lucky
+// read cannot flap a broken shard back in.
+func (sh *shardState) noteOK() {
+	sh.mu.Lock()
+	sh.fails = 0
+	sh.mu.Unlock()
+}
+
+// downErr is the error a down shard returns for point operations.
+func (sh *shardState) downErr(op string) error {
+	sh.mu.Lock()
+	msg := sh.lastErr
+	sh.mu.Unlock()
+	if msg == "" {
+		msg = "failed to open"
+	}
+	return &BackendError{Op: op, Err: fmt.Errorf("%w: shard %s (%s)", errShardDown, shardDirName(sh.idx), msg)}
+}
+
+// ShardedStore consistent-hash-routes records by (app, version) across
+// N per-shard directories under <root>/shards/NN/, each shard a full
+// durable Store with its own WAL, index, quarantine and recovery. Point
+// operations route to one shard; Query, List, LoadAll and
+// PersistentBottlenecks scatter-gather across live shards under a
+// per-shard timeout and merge in canonical key order, which keeps their
+// output byte-identical to a single store holding the same records. A
+// failed shard degrades to absent (reads skip it, writes to its
+// keyspace fail fast as backend errors) instead of taking the store
+// down; Ping probes every shard and revives the ones that answer.
+type ShardedStore struct {
+	dir       string
+	n         int
+	opts      DurableOptions
+	timeout   time.Duration
+	threshold int
+	shards    []*shardState
+	recovery  *RecoveryReport
+}
+
+// Shards returns the shard count pinned by the store's manifest.
+func (s *ShardedStore) Shards() int { return s.n }
+
+// Dir returns the sharded store's root directory.
+func (s *ShardedStore) Dir() string { return s.dir }
+
+// shardOptions derives one shard's open options: every shard is a full
+// durable store with the root's WAL settings, wrapped per shard when a
+// fault seam is installed.
+func (s *ShardedStore) shardOptions(i int, create bool) DurableOptions {
+	so := DurableOptions{
+		Create:     create,
+		WAL:        s.opts.WAL,
+		WALOptions: s.opts.WALOptions,
+		Wrap:       s.opts.Wrap,
+	}
+	if s.opts.WrapShard != nil {
+		so.Wrap = func(b Backend) Backend { return s.opts.WrapShard(i, b) }
+	}
+	return so
+}
+
+// openShard opens (never creates) one shard store.
+func (s *ShardedStore) openShard(i int) (*Store, error) {
+	return OpenStoreDurable(s.shards[i].dir, s.shardOptions(i, false))
+}
+
+// OpenSharded opens (or, with o.Create and n > 0, creates) the sharded
+// store rooted at dir. n == 0 takes the shard count from the manifest;
+// a non-zero n must match an existing manifest. A shard that fails to
+// open does not fail the whole store — it starts down, reported through
+// Recovery and ShardStats — unless every shard fails, which is a
+// configuration error worth dying for.
+func OpenSharded(dir string, n int, o DurableOptions) (*ShardedStore, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("history: empty store directory")
+	}
+	shardsDir := filepath.Join(dir, ShardsDirName)
+	manifestPath := filepath.Join(shardsDir, shardManifestName)
+
+	var m shardManifest
+	data, err := os.ReadFile(manifestPath)
+	switch {
+	case err == nil:
+		if err := json.Unmarshal(data, &m); err != nil {
+			return nil, fmt.Errorf("history: sharded store %s: corrupt manifest: %w", dir, err)
+		}
+		if m.Hash != shardHashScheme {
+			return nil, fmt.Errorf("history: sharded store %s: manifest hash scheme %q, this build speaks %q", dir, m.Hash, shardHashScheme)
+		}
+		if m.Shards < 1 {
+			return nil, fmt.Errorf("history: sharded store %s: manifest shard count %d", dir, m.Shards)
+		}
+		if n != 0 && n != m.Shards {
+			return nil, fmt.Errorf("history: sharded store %s has %d shards, -shards %d would orphan records (resharding is not automatic)", dir, m.Shards, n)
+		}
+		n = m.Shards
+	case os.IsNotExist(err):
+		if !o.Create || n < 1 {
+			return nil, fmt.Errorf("history: %s is not a sharded store (no %s)", dir, filepath.Join(ShardsDirName, shardManifestName))
+		}
+		if n > 99 {
+			return nil, fmt.Errorf("history: %d shards exceed the layout's two-digit naming (max 99)", n)
+		}
+	default:
+		return nil, fmt.Errorf("history: sharded store %s: read manifest: %w", dir, err)
+	}
+	creating := data == nil
+
+	s := &ShardedStore{
+		dir:       dir,
+		n:         n,
+		opts:      o,
+		timeout:   o.ShardTimeout,
+		threshold: o.ShardBreakerThreshold,
+	}
+	if s.timeout <= 0 {
+		s.timeout = 2 * time.Second
+	}
+	if s.threshold <= 0 {
+		s.threshold = 3
+	}
+
+	rep := &RecoveryReport{}
+	opened := 0
+	var firstErr error
+	for i := 0; i < n; i++ {
+		sh := &shardState{idx: i, dir: filepath.Join(shardsDir, shardDirName(i))}
+		st, err := OpenStoreDurable(sh.dir, s.shardOptions(i, creating))
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			sh.down = true
+			sh.lastErr = err.Error()
+			sh.lastRecovery = "open failed: " + err.Error()
+			rep.Shards = append(rep.Shards, &ShardRecovery{Shard: i, Err: err.Error()})
+			s.shards = append(s.shards, sh)
+			continue
+		}
+		opened++
+		sh.st = st
+		srep := st.Recovery()
+		sh.lastRecovery = recoverySummary(srep)
+		rep.Shards = append(rep.Shards, &ShardRecovery{Shard: i, Report: srep})
+		foldShardRecovery(rep, i, srep)
+		s.shards = append(s.shards, sh)
+	}
+	if opened == 0 {
+		return nil, fmt.Errorf("history: sharded store %s: no shard opened: %w", dir, firstErr)
+	}
+	if creating {
+		// The manifest is the layout's commit point: written after the
+		// shard directories exist, atomically, so a crash mid-create
+		// leaves a re-creatable layout rather than a half-pinned one.
+		mdata, err := json.MarshalIndent(shardManifest{Version: 1, Shards: n, Hash: shardHashScheme}, "", "  ")
+		if err != nil {
+			return nil, fmt.Errorf("history: sharded store %s: encode manifest: %w", dir, err)
+		}
+		tmp := manifestPath + ".tmp"
+		if err := os.WriteFile(tmp, append(mdata, '\n'), 0o644); err != nil {
+			return nil, fmt.Errorf("history: sharded store %s: write manifest: %w", dir, err)
+		}
+		if err := os.Rename(tmp, manifestPath); err != nil {
+			return nil, fmt.Errorf("history: sharded store %s: write manifest: %w", dir, err)
+		}
+	}
+	s.recovery = rep
+	return s, nil
+}
+
+// foldShardRecovery folds one shard's recovery report into the root
+// aggregate, prefixing names with the shard's directory so the pcd
+// startup log names repairable files unambiguously.
+func foldShardRecovery(rep *RecoveryReport, i int, srep *RecoveryReport) {
+	if srep == nil {
+		return
+	}
+	prefix := path.Join(ShardsDirName, shardDirName(i)) + "/"
+	for _, t := range srep.SweptTemp {
+		rep.SweptTemp = append(rep.SweptTemp, prefix+t)
+	}
+	for _, q := range srep.Quarantined {
+		rep.Quarantined = append(rep.Quarantined, QuarantinedEntry{Name: prefix + q.Name, Reason: q.Reason})
+	}
+	if srep.WAL != nil {
+		if rep.WAL == nil {
+			rep.WAL = &WALRecovery{}
+		}
+		rep.WAL.Segments += srep.WAL.Segments
+		rep.WAL.Entries += srep.WAL.Entries
+		rep.WAL.Replayed += srep.WAL.Replayed
+		rep.WAL.TornTail = rep.WAL.TornTail || srep.WAL.TornTail
+		for _, c := range srep.WAL.Corrupt {
+			rep.WAL.Corrupt = append(rep.WAL.Corrupt, prefix+c)
+		}
+	}
+}
+
+// recoverySummary renders a shard's recovery outcome as the one-line
+// gauge /statsz exports.
+func recoverySummary(rep *RecoveryReport) string {
+	if rep.Empty() {
+		return "clean"
+	}
+	out := fmt.Sprintf("swept %d, quarantined %d", len(rep.SweptTemp), len(rep.Quarantined))
+	if !rep.WAL.Empty() {
+		out += fmt.Sprintf(", wal replayed %d", rep.WAL.Replayed)
+	}
+	return out
+}
+
+// OpenStoreAuto opens the store at dir in whichever layout is present:
+// sharded when <dir>/shards exists, single otherwise. shards > 0 forces
+// the sharded layout (creating it when o.Create is set; matching the
+// manifest otherwise), so `pcd -shards N -create` and every read-only
+// tool can share one open path.
+func OpenStoreAuto(dir string, shards int, o DurableOptions) (Storage, error) {
+	if shards > 0 {
+		return OpenSharded(dir, shards, o)
+	}
+	if fi, err := os.Stat(filepath.Join(dir, ShardsDirName)); err == nil && fi.IsDir() {
+		return OpenSharded(dir, 0, o)
+	}
+	return OpenStoreDurable(dir, o)
+}
+
+// IsShardedLayout reports whether dir holds a sharded store layout.
+func IsShardedLayout(dir string) bool {
+	fi, err := os.Stat(filepath.Join(dir, ShardsDirName))
+	return err == nil && fi.IsDir()
+}
+
+// route returns the shard owning (app, version).
+func (s *ShardedStore) route(app, version string) *shardState {
+	return s.shards[ShardForKey(app, version, s.n)]
+}
+
+// observe feeds the shard breaker from one operation's outcome. Only
+// backend-grade failures count — validation errors and definitive
+// misses say nothing about the shard's health.
+func (s *ShardedStore) observe(sh *shardState, err error) {
+	if err == nil {
+		sh.noteOK()
+		return
+	}
+	if IsBackendError(err) && !errors.Is(err, os.ErrNotExist) {
+		sh.noteErr(s.threshold, err)
+	}
+}
+
+// Save routes the record to its shard. Writes to a down shard fail fast
+// with a transient backend error (the service layer answers 503 +
+// Retry-After) instead of blocking or spilling onto the wrong shard.
+func (s *ShardedStore) Save(rec *RunRecord) error {
+	if err := rec.Validate(); err != nil {
+		return err
+	}
+	sh := s.route(rec.App, rec.Version)
+	st, ok := sh.live()
+	if !ok {
+		return sh.downErr("put")
+	}
+	err := st.Save(rec)
+	s.observe(sh, err)
+	return err
+}
+
+// Load routes the read to the shard owning (app, version).
+func (s *ShardedStore) Load(app, version, runID string) (*RunRecord, error) {
+	sh := s.route(app, version)
+	st, ok := sh.live()
+	if !ok {
+		return nil, sh.downErr("get")
+	}
+	rec, err := st.Load(app, version, runID)
+	s.observe(sh, err)
+	return rec, err
+}
+
+// Delete routes the delete to the shard owning (app, version).
+func (s *ShardedStore) Delete(app, version, runID string) error {
+	sh := s.route(app, version)
+	st, ok := sh.live()
+	if !ok {
+		return sh.downErr("delete")
+	}
+	err := st.Delete(app, version, runID)
+	s.observe(sh, err)
+	return err
+}
+
+// shardResult carries one shard's scatter contribution back by index,
+// so merges are deterministic regardless of completion order.
+type shardResult[T any] struct {
+	idx int
+	val T
+	err error
+}
+
+// scatter runs f over every live shard concurrently under the
+// per-shard timeout. A shard that errors or misses the deadline
+// contributes nothing to this call and feeds the shard breaker — the
+// degradation ladder's "failed shard turns its keyspace absent" rung.
+// Results are gathered in shard order.
+func scatter[T any](s *ShardedStore, op string, f func(st *Store) (T, error)) []T {
+	ch := make(chan shardResult[T], s.n)
+	launched := make([]bool, s.n)
+	pending := 0
+	for i, sh := range s.shards {
+		st, ok := sh.live()
+		if !ok {
+			continue
+		}
+		launched[i] = true
+		pending++
+		go func(i int, st *Store) {
+			v, err := f(st)
+			ch <- shardResult[T]{idx: i, val: v, err: err}
+		}(i, st)
+	}
+	timer := time.NewTimer(s.timeout)
+	defer timer.Stop()
+	got := make([]*shardResult[T], s.n)
+	received := 0
+	for received < pending {
+		select {
+		case r := <-ch:
+			got[r.idx] = &r
+			received++
+		case <-timer.C:
+			// Late shards are absent for this call; the buffered channel
+			// lets their goroutines finish without leaking.
+			received = pending
+		}
+	}
+	out := make([]T, 0, s.n)
+	for i, sh := range s.shards {
+		r := got[i]
+		if r == nil {
+			if launched[i] {
+				sh.noteErr(s.threshold, fmt.Errorf("history: shard %s: %s timed out after %s", shardDirName(i), op, s.timeout))
+			}
+			continue
+		}
+		if r.err != nil {
+			s.observe(sh, r.err)
+			continue
+		}
+		sh.noteOK()
+		out = append(out, r.val)
+	}
+	return out
+}
+
+// Keys merges every live shard's keys into canonical (app, version,
+// run id) order.
+func (s *ShardedStore) Keys() []RecordKey {
+	parts := scatter(s, "keys", func(st *Store) ([]RecordKey, error) { return st.Keys(), nil })
+	var keys []RecordKey
+	for _, p := range parts {
+		keys = append(keys, p...)
+	}
+	sortKeys(keys)
+	return keys
+}
+
+// Len sums the live shards' record counts.
+func (s *ShardedStore) Len() int {
+	parts := scatter(s, "len", func(st *Store) (int, error) { return st.Len(), nil })
+	n := 0
+	for _, c := range parts {
+		n += c
+	}
+	return n
+}
+
+// List merges the live shards' display names, sorted — byte-identical
+// to a single store holding the same records.
+func (s *ShardedStore) List() ([]string, error) {
+	keys := s.Keys()
+	out := make([]string, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, k.String())
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// LoadAll scatter-gathers the matching records and merges them in
+// canonical key order. Records stay interned per shard: treat them as
+// read-only.
+func (s *ShardedStore) LoadAll(app, version string) ([]*RunRecord, error) {
+	parts := scatter(s, "scan", func(st *Store) ([]*RunRecord, error) { return st.LoadAll(app, version) })
+	var recs []*RunRecord
+	for _, p := range parts {
+		recs = append(recs, p...)
+	}
+	sort.Slice(recs, func(i, j int) bool { return recs[i].Key().less(recs[j].Key()) })
+	return recs, nil
+}
+
+// Query scatter-gathers the app's records and applies the same filter
+// and ordering as a single store, so results are byte-identical. When
+// version is non-empty the whole keyspace lives on one shard; a blank
+// version fans out to all of them.
+func (s *ShardedStore) Query(app, version string, f ResultFilter) ([]QueryHit, error) {
+	if app == "" {
+		return nil, fmt.Errorf("history: query needs an application name")
+	}
+	recs, err := s.LoadAll(app, version)
+	if err != nil {
+		return nil, err
+	}
+	return collectQueryHits(recs, f), nil
+}
+
+// PersistentBottlenecks counts (hypothesis : focus) pairs across the
+// merged record set before applying the minRuns cut — a blank version
+// spans shards, so per-shard counts must be summed first.
+func (s *ShardedStore) PersistentBottlenecks(app, version string, minRuns int) (map[string]int, error) {
+	recs, err := s.LoadAll(app, version)
+	if err != nil {
+		return nil, err
+	}
+	return countPersistent(recs, minRuns), nil
+}
+
+// ScanIssues concatenates the live shards' scan issues, names prefixed
+// with the shard directory.
+func (s *ShardedStore) ScanIssues() []ScanIssue {
+	var out []ScanIssue
+	for _, sh := range s.shards {
+		st, ok := sh.live()
+		if !ok {
+			continue
+		}
+		prefix := path.Join(ShardsDirName, shardDirName(sh.idx)) + "/"
+		for _, is := range st.ScanIssues() {
+			out = append(out, ScanIssue{Name: prefix + is.Name, Err: is.Err})
+		}
+	}
+	return out
+}
+
+// Recovery returns the aggregated recovery report of the open, with
+// per-shard detail in its Shards field.
+func (s *ShardedStore) Recovery() *RecoveryReport { return s.recovery }
+
+// WALStats sums the live shards' journal counters.
+func (s *ShardedStore) WALStats() WALStats {
+	var total WALStats
+	for _, sh := range s.shards {
+		st, ok := sh.live()
+		if !ok {
+			continue
+		}
+		w := st.WALStats()
+		total.Appends += w.Appends
+		total.Syncs += w.Syncs
+		total.Rotations += w.Rotations
+		total.Segments += w.Segments
+	}
+	return total
+}
+
+// Ping probes every shard and revives the ones that answer: a
+// breaker-tripped shard whose store responds is re-admitted, and a
+// shard that failed to open is reopened in place (replaying its WAL).
+// Ping returns nil while at least one shard serves — a single dead
+// shard degrades its keyspace, it does not take the daemon down — and
+// the first failure when the whole store is dark.
+func (s *ShardedStore) Ping() error {
+	live := 0
+	var firstErr error
+	for _, sh := range s.shards {
+		if err := s.pingShard(sh); err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		live++
+	}
+	if live == 0 {
+		return firstErr
+	}
+	return nil
+}
+
+// pingShard probes one shard, reviving it on success.
+func (s *ShardedStore) pingShard(sh *shardState) error {
+	sh.mu.Lock()
+	st := sh.st
+	sh.mu.Unlock()
+	if st == nil {
+		st, err := s.openShard(sh.idx)
+		if err != nil {
+			sh.mu.Lock()
+			sh.lastErr = err.Error()
+			sh.lastRecovery = "open failed: " + err.Error()
+			sh.mu.Unlock()
+			return err
+		}
+		sh.mu.Lock()
+		sh.st = st
+		sh.down = false
+		sh.fails = 0
+		sh.lastErr = ""
+		sh.lastRecovery = recoverySummary(st.Recovery())
+		sh.mu.Unlock()
+		return nil
+	}
+	if err := st.Ping(); err != nil {
+		sh.mu.Lock()
+		sh.lastErr = err.Error()
+		sh.mu.Unlock()
+		return err
+	}
+	sh.mu.Lock()
+	sh.down = false
+	sh.fails = 0
+	sh.mu.Unlock()
+	return nil
+}
+
+// Close closes every shard that opened, returning the first error.
+func (s *ShardedStore) Close() error {
+	var firstErr error
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		st := sh.st
+		sh.mu.Unlock()
+		if st == nil {
+			continue
+		}
+		if err := st.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// ShardStats snapshots every shard's health gauges in shard order.
+func (s *ShardedStore) ShardStats() []ShardInfo {
+	out := make([]ShardInfo, 0, s.n)
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		info := ShardInfo{Shard: sh.idx, Degraded: sh.down, LastRecovery: sh.lastRecovery}
+		st := sh.st
+		sh.mu.Unlock()
+		if st != nil {
+			info.Records = st.Len()
+		}
+		out = append(out, info)
+	}
+	return out
+}

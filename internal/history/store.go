@@ -8,6 +8,7 @@ import (
 	"path/filepath"
 	"sort"
 	"sync"
+	"time"
 )
 
 // Store is the experiment-store service layer: a concurrency-safe façade
@@ -77,6 +78,20 @@ type DurableOptions struct {
 	// is built over it — the seam the chaos tooling uses to interpose a
 	// FaultBackend. The journal replays through the wrapped backend too.
 	Wrap func(Backend) Backend
+
+	// The remaining fields apply only to sharded layouts (OpenSharded /
+	// OpenStoreAuto); OpenStoreDurable ignores them.
+
+	// WrapShard wraps each shard's backend individually, taking
+	// precedence over Wrap — the seam for faulting a single shard.
+	WrapShard func(shard int, b Backend) Backend
+	// ShardTimeout bounds each shard's contribution to a scatter-gather
+	// read; a shard missing the deadline is treated as absent for that
+	// call. Zero means 2s.
+	ShardTimeout time.Duration
+	// ShardBreakerThreshold is the consecutive-backend-failure count
+	// that marks a shard down until a Ping revives it. Zero means 3.
+	ShardBreakerThreshold int
 }
 
 // OpenStoreDurable opens a filesystem-backed store with the durability

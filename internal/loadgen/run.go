@@ -336,7 +336,7 @@ func (r *runner) execute(col *collector, op Op) {
 	case "query":
 		_, err = r.c.Query(ctx, client.QueryParams{
 			App:     StoreApp,
-			Version: StoreVersion,
+			Version: VersionOf(op.Key),
 			State:   "true",
 			Min:     0.1 + 0.05*float64(op.Key%8),
 		})
@@ -465,7 +465,7 @@ func statsDelta(before, after *server.StatsResponse) *ServerDelta {
 type localPCD struct {
 	dir     string
 	url     string
-	store   *history.Store
+	store   history.Storage
 	srv     *server.Server
 	httpSrv *http.Server
 	ln      net.Listener
@@ -484,11 +484,13 @@ func startLocal(sc *Scenario, dir string) (*localPCD, error) {
 	}
 	if armed(sc.Faults) {
 		faults := sc.Faults
+		// In a sharded layout this wraps each shard's backend with its
+		// own injector (same seed, independent schedule per shard).
 		dopts.Wrap = func(b history.Backend) history.Backend {
 			return history.NewFaultBackend(b, faults)
 		}
 	}
-	st, err := history.OpenStoreDurable(dir, dopts)
+	st, err := history.OpenStoreAuto(dir, sc.Shards, dopts)
 	if err != nil {
 		return nil, err
 	}
@@ -542,13 +544,13 @@ func (p *localPCD) stop() error {
 // write against its rebuilt expected bytes, hash the full contents in
 // canonical encoding, close, and run the offline fsck grade.
 func verifyStore(dir string, sc *Scenario, acked *ackedSet, v *Verification) error {
-	st, err := history.OpenStoreDurable(dir, history.DurableOptions{WAL: true})
+	st, err := history.OpenStoreAuto(dir, 0, history.DurableOptions{WAL: true})
 	if err != nil {
 		return fmt.Errorf("loadgen: reopening store for verification: %w", err)
 	}
 	v.AckedWrites = len(acked.ids)
 	for _, runID := range acked.sorted() {
-		rec, err := st.Load(StoreApp, StoreVersion, runID)
+		rec, err := st.Load(StoreApp, VersionOf(acked.idx(runID)), runID)
 		if err != nil {
 			v.ReadBackMissing++
 			continue
@@ -575,6 +577,12 @@ func verifyStore(dir string, sc *Scenario, acked *ackedSet, v *Verification) err
 	for _, f := range fsck.Findings {
 		v.FsckFindings = append(v.FsckFindings, fmt.Sprintf("%s: %s", f.Path, f.Problem))
 	}
+	for _, sh := range fsck.Shards {
+		for _, f := range sh.Findings {
+			v.FsckFindings = append(v.FsckFindings,
+				fmt.Sprintf("%s/%02d/%s: %s", history.ShardsDirName, sh.Shard, f.Path, f.Problem))
+		}
+	}
 	return nil
 }
 
@@ -586,7 +594,7 @@ func verifyWire(ctx context.Context, c *client.Client, sc *Scenario, acked *acke
 	v.FsckSeverity = -1
 	for _, runID := range acked.sorted() {
 		rctx, cancel := context.WithTimeout(ctx, opTimeout)
-		rec, err := c.GetRun(rctx, StoreApp, StoreVersion+":"+runID)
+		rec, err := c.GetRun(rctx, StoreApp, VersionOf(acked.idx(runID))+":"+runID)
 		cancel()
 		if err != nil {
 			v.ReadBackMissing++
@@ -608,8 +616,9 @@ func canonicalEqual(a, b *history.RunRecord) bool {
 }
 
 // storeHash fingerprints the full store contents: every record's
-// canonical encoding, folded in key order.
-func storeHash(st *history.Store) (string, error) {
+// canonical encoding, folded in key order. It speaks history.Storage,
+// so a sharded and a single store holding the same records hash alike.
+func storeHash(st history.Storage) (string, error) {
 	keys := st.Keys()
 	sort.Slice(keys, func(i, j int) bool {
 		a, b := keys[i], keys[j]

@@ -60,6 +60,9 @@ type Scenario struct {
 	// WALSync is the store's write-ahead-journal fsync policy for
 	// self-hosted runs: "always", "interval", or "none".
 	WALSync string
+	// Shards lays the self-hosted store out as N consistent-hash shards
+	// (0 = a single store). Ignored against an external -server.
+	Shards int
 	// DiagnoseMaxTime bounds each diagnosis session in virtual seconds
 	// (<= 0 means 2000 — small enough for sustained traffic).
 	DiagnoseMaxTime float64
@@ -118,6 +121,9 @@ func (s *Scenario) Validate() error {
 	}
 	if _, err := history.ParseSyncPolicy(s.WALSync); err != nil {
 		return fmt.Errorf("loadgen: suite %s: %w", s.Name, err)
+	}
+	if s.Shards < 0 || s.Shards > 99 {
+		return fmt.Errorf("loadgen: suite %s: shards %d outside [0,99]", s.Name, s.Shards)
 	}
 	if s.DiagnoseMaxTime <= 0 {
 		s.DiagnoseMaxTime = 2000
@@ -335,6 +341,10 @@ func (s *Scenario) set(section, key, value string) error {
 		case "wal-sync":
 			v, err := parseString(value)
 			s.WALSync = v
+			return err
+		case "shards":
+			n, err := parseInt(value)
+			s.Shards = int(n)
 			return err
 		case "diagnose-max-time":
 			f, err := parseFloat(value)

@@ -8,13 +8,20 @@ import (
 )
 
 // StoreApp is the application name every synthetic store record carries;
-// StoreVersion its version. Read-class ops (get, query, compare,
-// harvest) target this namespace, so they never collide with records a
-// shared store may already hold.
+// StoreVersion the first of the StoreVersions code versions records
+// cycle through. Read-class ops (get, query, compare, harvest) target
+// this namespace, so they never collide with records a shared store may
+// already hold. Spreading records across versions spreads them across a
+// sharded store's ring too, since shards key on (app, version).
 const (
-	StoreApp     = "loadapp"
-	StoreVersion = "v1"
+	StoreApp      = "loadapp"
+	StoreVersion  = "v1"
+	StoreVersions = 4
 )
+
+// VersionOf is the code version of the idx-th synthetic record — a pure
+// function of the index, so read-back verification can rebuild it.
+func VersionOf(idx int) string { return fmt.Sprintf("v%d", 1+idx%StoreVersions) }
 
 // DiagnoseApp is the registry application diagnosis ops run; it is the
 // cheapest buildable app, keeping session cost proportional to the
@@ -63,7 +70,7 @@ func PutRunID(seq int) string { return fmt.Sprintf("w%06d", seq) }
 
 // PrefillRef is the VERSION:RUNID reference of the idx-th prefill
 // record, as the wire API wants it.
-func PrefillRef(idx int) string { return StoreVersion + ":" + PrefillRunID(idx) }
+func PrefillRef(idx int) string { return VersionOf(idx) + ":" + PrefillRunID(idx) }
 
 // opGen draws op classes and keys from one seeded RNG. Draw order per op
 // is fixed (class, then key, then key2 for compares), so the stream is
@@ -168,7 +175,7 @@ func SyntheticRecord(seed int64, idx int, runID string) *history.RunRecord {
 	}
 	rec := &history.RunRecord{
 		App:      StoreApp,
-		Version:  StoreVersion,
+		Version:  VersionOf(idx),
 		RunID:    runID,
 		Duration: 1000 + 500*mix(1),
 		Resources: map[string][]string{

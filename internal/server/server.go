@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"repro/internal/harness"
+	"repro/internal/history"
 )
 
 // Options configures a Server.
@@ -280,10 +281,10 @@ func (s *Server) stats() StatsResponse {
 	active, draining, degraded := s.active, s.draining, s.degraded
 	s.mu.Unlock()
 	hits, misses := s.env.Cache().Stats()
-	var walAppends, walSyncs uint64
-	if w := s.env.Store().WAL(); w != nil {
-		ws := w.Stats()
-		walAppends, walSyncs = ws.Appends, ws.Syncs
+	ws := s.env.Store().WALStats()
+	var shards []history.ShardInfo
+	if ss, ok := s.env.Store().(interface{ ShardStats() []history.ShardInfo }); ok {
+		shards = ss.ShardStats()
 	}
 	ops := make(map[string]uint64, len(s.opCounts))
 	for name, ctr := range s.opCounts {
@@ -305,12 +306,13 @@ func (s *Server) stats() StatsResponse {
 		BreakerOpens:    s.counts.breakerOpens.Load(),
 		BackendProbes:   s.counts.backendProbes.Load(),
 		SessionRetries:  s.counts.sessionRetries.Load(),
-		WALAppends:      walAppends,
-		WALSyncs:        walSyncs,
+		WALAppends:      ws.Appends,
+		WALSyncs:        ws.Syncs,
 		JournalHits:     s.counts.journalHits.Load(),
 		SessionsResumed: s.counts.sessionsResumed.Load(),
 		InFlight:        s.inFlight.Load(),
 		OpCounts:        ops,
+		Shards:          shards,
 	}
 }
 

@@ -113,3 +113,55 @@ func TestStatszOpCountersAndInFlight(t *testing.T) {
 	// With everything drained, the gauge falls back to just the reader.
 	waitFor(t, "requests to retire", func() bool { return getStats(t, ts.URL).InFlight == 1 })
 }
+
+// TestStatszShardGauges proves /statsz exports one gauge set per shard
+// of a sharded store — record count, degraded flag, last recovery
+// outcome — and that the gauges move: a write bumps exactly its home
+// shard's count, and a shard whose backend dies reports degraded.
+func TestStatszShardGauges(t *testing.T) {
+	srv, faults := shardedFaultServer(t, Options{Sessions: 1, BreakerThreshold: 100})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	st := getStats(t, ts.URL)
+	if len(st.Shards) != 4 {
+		t.Fatalf("statsz shards = %d entries, want 4", len(st.Shards))
+	}
+	for i, sh := range st.Shards {
+		if sh.Shard != i || sh.Records != 0 || sh.Degraded {
+			t.Errorf("fresh shard gauge %d = %+v", i, sh)
+		}
+		if sh.LastRecovery != "clean" {
+			t.Errorf("fresh shard %d last recovery = %q, want clean", i, sh.LastRecovery)
+		}
+	}
+
+	// A write moves exactly its home shard's record count.
+	home := history.ShardForKey("poisson", "A", 4)
+	h := srv.Handler()
+	if resp := putPoisson(t, h, "A", "r1", 0.5); resp.StatusCode != http.StatusOK {
+		t.Fatalf("put: status %d", resp.StatusCode)
+	}
+	st = getStats(t, ts.URL)
+	for i, sh := range st.Shards {
+		want := 0
+		if i == home {
+			want = 1
+		}
+		if sh.Records != want {
+			t.Errorf("shard %d records = %d after one put to shard %d, want %d", i, sh.Records, home, want)
+		}
+	}
+
+	// A dying shard flips its degraded gauge; the others stay healthy.
+	faults[home].SetConfig(history.FaultConfig{ErrRate: 1})
+	for i := 0; i < 2; i++ {
+		putPoisson(t, h, "A", "r2", 0.5)
+	}
+	st = getStats(t, ts.URL)
+	for i, sh := range st.Shards {
+		if got, want := sh.Degraded, i == home; got != want {
+			t.Errorf("shard %d degraded = %v, want %v", i, got, want)
+		}
+	}
+}

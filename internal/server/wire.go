@@ -84,6 +84,9 @@ type StatsResponse struct {
 	// OpCounts are cumulative request counts per endpoint, keyed by op
 	// name (get_run, put_run, query, compare, harvest, diagnose, ...).
 	OpCounts map[string]uint64 `json:"op_counts"`
+	// Shards carries per-shard gauges (record count, degraded flag, last
+	// recovery outcome) when the store is sharded; absent otherwise.
+	Shards []history.ShardInfo `json:"shards,omitempty"`
 }
 
 // RunsResponse is GET /api/v1/runs: stored run display names

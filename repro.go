@@ -140,7 +140,14 @@ type ExperimentEnv = harness.Env
 
 // NewExperimentEnv creates an experiment environment over st, or over a
 // fresh in-memory store when st is nil.
-func NewExperimentEnv(st *Store) *ExperimentEnv { return harness.NewEnv(st) }
+func NewExperimentEnv(st *Store) *ExperimentEnv {
+	if st == nil {
+		// A typed-nil *Store must become a true nil interface, or NewEnv
+		// would wrap it instead of substituting the in-memory store.
+		return harness.NewEnv(nil)
+	}
+	return harness.NewEnv(st)
+}
 
 // HarvestAll enables every directive kind with default tuning.
 func HarvestAll() HarvestOptions { return core.HarvestAll() }
