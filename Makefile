@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short race race-short bench bench-store bench-server bench-resilience bench-durability chaos killrestart fsck load load-smoke shard experiments fuzz clean
+.PHONY: all build vet test test-short race race-short bench bench-store bench-server bench-resilience bench-durability chaos killrestart fsck load load-smoke shard ingest experiments fuzz clean
 
 all: build vet test
 
@@ -103,6 +103,17 @@ shard:
 	$(GO) run ./cmd/pcload -suite smoke -shards 4 -dir $(SHARD_DIR) -check
 	$(GO) run ./cmd/pcfsck -store $(SHARD_DIR)
 	$(GO) run ./cmd/pcload -suite shard-scatter -check
+
+# Streaming-ingestion smoke: pcfeed drives 8 concurrent archetype
+# streams per wave into a self-hosted pcd with harvesting on (the
+# post-run read-back sweep is part of -check), then the kept store must
+# pcfsck clean. BENCH_PR8.json in the repo records the harvest-on vs
+# harvest-off steps-to-signature numbers (pcfeed -compare).
+INGEST_DIR ?= /tmp/pcingest-store
+ingest:
+	rm -rf $(INGEST_DIR)
+	$(GO) run ./cmd/pcfeed -store $(INGEST_DIR) -streams 8 -waves 2 -harvest -check -v
+	$(GO) run ./cmd/pcfsck -store $(INGEST_DIR)
 
 # Regenerate every table and figure of the paper's evaluation.
 experiments:

@@ -11,6 +11,8 @@
 //	    [-breaker-threshold 3] [-breaker-cooldown 5s] [-session-retries 1]
 //	    [-wal] [-wal-sync always|interval|none] [-resume-sessions]
 //	    [-checkpoint-every 2500]
+//	    [-ingest-queue 8] [-ingest-streams 64] [-ingest-idle-timeout 2m]
+//	    [-ingest-eval-budget 16] [-ingest-harvest-sources 8]
 //	    [-fault-seed N] [-fault-err-rate P] [-fault-torn-rate P]
 //
 // The store directory must already exist unless -create is given — a
@@ -41,6 +43,17 @@
 // after a crash the daemon re-runs the orphaned sessions
 // (-resume-sessions) and serves reconnecting clients the byte-identical
 // stored result. Verify a store offline with pcfsck.
+//
+// The daemon also accepts live metric streams (FORMATS.md "Streaming
+// ingestion"): pcfeed or any ingest.Reporter opens one stream per
+// running (app, version, run), ships seq-numbered sample batches that
+// an incremental diagnosis session folds in as they arrive, and
+// finalizes the run into the store on the end-of-stream marker — or
+// after -ingest-idle-timeout of silence. -ingest-queue bounds the
+// batches buffered per stream (overflow answers 429 + Retry-After),
+// -ingest-streams caps concurrent streams, -ingest-eval-budget paces
+// each stream's incremental search, and -ingest-harvest-sources caps
+// how many stored runs steer a stream that opted into harvesting.
 //
 // The -fault-* flags wrap the store backend with deterministic seeded
 // fault injection (errors and torn writes) — the chaos layer the
@@ -73,6 +86,7 @@ import (
 
 	"repro/internal/harness"
 	"repro/internal/history"
+	"repro/internal/ingest"
 	"repro/internal/server"
 )
 
@@ -97,6 +111,11 @@ func main() {
 		faultSeed      = flag.Int64("fault-seed", 1, "seed for injected backend faults (testing only)")
 		faultErrRate   = flag.Float64("fault-err-rate", 0, "injected backend error probability (testing only)")
 		faultTornRate  = flag.Float64("fault-torn-rate", 0, "injected torn-write probability (testing only)")
+		ingQueue       = flag.Int("ingest-queue", 8, "sample batches queued per ingest stream before 429 backpressure")
+		ingStreams     = flag.Int("ingest-streams", 64, "max concurrently active ingest streams")
+		ingIdle        = flag.Duration("ingest-idle-timeout", 2*time.Minute, "finalize an ingest stream idle this long (implicit end-of-stream)")
+		ingBudget      = flag.Int("ingest-eval-budget", 16, "incremental pair evaluations per ingest sample batch")
+		ingSources     = flag.Int("ingest-harvest-sources", 8, "stored runs harvested to steer one ingest stream")
 	)
 	flag.Parse()
 	if *storeDir == "" {
@@ -158,6 +177,13 @@ func main() {
 		BreakerThreshold: *brkThreshold,
 		BreakerCooldown:  *brkCooldown,
 		SessionRetries:   *sessionRetries,
+		Ingest: ingest.ManagerOptions{
+			QueueDepth:     *ingQueue,
+			MaxStreams:     *ingStreams,
+			IdleTimeout:    *ingIdle,
+			EvalBudget:     *ingBudget,
+			HarvestSources: *ingSources,
+		},
 	})
 	if err := srv.EnableSessionJournal(filepath.Join(st.Dir(), server.SessionsDirName), *ckptEvery); err != nil {
 		log.Fatal(err)
@@ -210,12 +236,12 @@ func main() {
 		log.Fatal(err)
 	}
 
-	// Drain: refuse new diagnoses, wait for in-flight sessions, then
-	// stop accepting connections.
-	srv.BeginDrain()
+	// Drain: refuse new diagnoses, close the streaming intake (leftover
+	// streams are discarded — clients resume by restarting the run), wait
+	// for in-flight sessions, then stop accepting connections.
 	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
-	if err := srv.Drain(ctx); err != nil {
+	if err := srv.Shutdown(ctx); err != nil {
 		log.Printf("drain incomplete: %v", err)
 	}
 	if err := httpSrv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {

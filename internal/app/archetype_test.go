@@ -1,0 +1,123 @@
+package app
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/postmortem"
+	"repro/internal/sim"
+)
+
+// focusHasPath reports whether a canonical focus name constrains the
+// given selection path (exactly — "/Process/mw:1" does not match a
+// focus at "/Process/mw:10").
+func focusHasPath(name, path string) bool {
+	return strings.Contains(name, path+",") || strings.Contains(name, path+">")
+}
+
+// diagnoseArchetype runs the named archetype for maxTime virtual
+// seconds and evaluates the full hypothesis search over the trace.
+func diagnoseArchetype(t *testing.T, name string, opt Options, maxTime float64) ([]Bottleneck, map[string]string) {
+	t.Helper()
+	a, err := Build(name, "", opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := a.NewSimulator(sim.Config{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := postmortem.NewRecorder()
+	s.AddObserver(rec)
+	if err := s.Run(maxTime); err != nil {
+		t.Fatal(err)
+	}
+	sp, procs, err := rec.InferExecution()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev, err := postmortem.NewEvaluator(sp, procs, rec, maxTime)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := ev.BuildRecord(a.Name, a.Version, "sig", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	states := make(map[string]string, len(full.Results))
+	for _, nr := range full.Results {
+		states[nr.Hyp+" "+nr.Focus] = nr.State
+	}
+	sig, err := KnownBottlenecks(name, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sig, states
+}
+
+// TestArchetypeSignatures proves each new workload archetype has the
+// bottleneck signature it advertises: every KnownBottlenecks pair
+// concludes true in a full offline diagnosis, and the off-signature
+// peers (fast workers, fast stages) test false under CPUbound.
+func TestArchetypeSignatures(t *testing.T) {
+	for _, name := range []string{"mw", "pipeline"} {
+		sig, states := diagnoseArchetype(t, name, Options{}, 20)
+		// A signature pair is reached when at least one focus
+		// constraining its path concludes true (the search also tests
+		// cross-product foci — straggler process on the wrong machine —
+		// that are correctly false).
+		for _, b := range sig {
+			reached := false
+			for key, st := range states {
+				if strings.HasPrefix(key, b.Hyp+" ") && focusHasPath(key, b.Path) && st == "true" {
+					reached = true
+					break
+				}
+			}
+			if !reached {
+				t.Errorf("%s: signature pair %s %s never concluded true", name, b.Hyp, b.Path)
+			}
+		}
+		// The non-straggler compute processes must not be CPU bound.
+		var off []string
+		switch name {
+		case "mw":
+			off = []string{"/Process/" + procName("mw", 1, Options{}.normalize()), "/Process/" + procName("mw", 2, Options{}.normalize())}
+		case "pipeline":
+			off = []string{"/Process/" + procName("pipeline", 1, Options{}.normalize()), "/Process/" + procName("pipeline", 5, Options{}.normalize())}
+		}
+		for _, p := range off {
+			for key, st := range states {
+				if strings.HasPrefix(key, "CPUbound ") && focusHasPath(key, p) && st == "true" {
+					t.Errorf("%s: off-signature process %s concluded CPU bound (%s)", name, p, key)
+				}
+			}
+		}
+	}
+}
+
+// TestArchetypeRegistry checks the registry round trip and the version
+// guard for the new archetypes.
+func TestArchetypeRegistry(t *testing.T) {
+	for _, name := range []string{"mw", "pipeline"} {
+		a, err := Build(name, "", Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.NProcs() < 3 {
+			t.Fatalf("%s: %d procs", name, a.NProcs())
+		}
+		if _, err := Build(name, "A", Options{}); err == nil {
+			t.Errorf("%s: versioned build did not fail", name)
+		}
+		if _, err := Build(name, "", Options{Procs: 2}); err == nil {
+			t.Errorf("%s: 2-proc build did not fail", name)
+		}
+		if _, err := KnownBottlenecks(name, Options{}); err != nil {
+			t.Errorf("KnownBottlenecks(%s): %v", name, err)
+		}
+	}
+	if _, err := KnownBottlenecks("tester", Options{}); err == nil {
+		t.Error("tester signature did not fail")
+	}
+}

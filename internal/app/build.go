@@ -3,7 +3,7 @@ package app
 import "fmt"
 
 // Names lists the buildable applications in display order.
-func Names() []string { return []string{"poisson", "ocean", "tester", "seismic"} }
+func Names() []string { return []string{"poisson", "ocean", "tester", "seismic", "mw", "pipeline"} }
 
 // Build constructs an application by name — the single registry behind
 // pcrun/pctrace's -app flag and the diagnosis service's session
@@ -13,7 +13,7 @@ func Build(name, version string, opt Options) (*App, error) {
 	switch name {
 	case "poisson":
 		return Poisson(version, opt)
-	case "ocean", "tester", "seismic":
+	case "ocean", "tester", "seismic", "mw", "pipeline":
 		if version != "" {
 			return nil, fmt.Errorf("app: %s has no versions (got %q)", name, version)
 		}
@@ -22,10 +22,14 @@ func Build(name, version string, opt Options) (*App, error) {
 			return Ocean(opt)
 		case "tester":
 			return Tester(opt)
+		case "mw":
+			return MasterWorker(opt)
+		case "pipeline":
+			return Pipeline(opt)
 		default:
 			return Seismic(opt)
 		}
 	default:
-		return nil, fmt.Errorf("unknown application %q (want poisson, ocean, tester or seismic)", name)
+		return nil, fmt.Errorf("unknown application %q (want poisson, ocean, tester, seismic, mw or pipeline)", name)
 	}
 }

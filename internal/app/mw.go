@@ -1,0 +1,75 @@
+package app
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Message tags of the master/worker archetype.
+const (
+	TagTask   = "tag_task"
+	TagResult = "tag_result"
+)
+
+// MasterWorker builds the master/worker archetype with straggler
+// imbalance — the first of the SPMD bottleneck shapes the performance-
+// debugging literature catalogues (see PAPERS.md). Rank 0 is the
+// master: each iteration it dispatches one task to every worker
+// (eager sends), then collects the results in rank order. Workers
+// receive their task, compute, and send the result back. The last
+// worker is a straggler carrying ~4x the compute of its peers, so
+// every iteration ends with the master (and the fast workers, already
+// blocked on their next task) waiting on it.
+//
+// Known signature: CPUbound true at the straggler's process (and at
+// mw.c/do_task), ExcessiveSyncWaitingTime true at the master's
+// process and at the whole program; the fast workers test false under
+// CPUbound. See KnownBottlenecks("mw", opt).
+func MasterWorker(opt Options) (*App, error) {
+	opt = opt.normalize()
+	nprocs := opt.Procs
+	if nprocs == 0 {
+		nprocs = 5
+	}
+	if nprocs < 3 || nprocs > 64 {
+		return nil, fmt.Errorf("app: mw needs 3..64 processes (got %d)", nprocs)
+	}
+	const mod = "mw.c"
+	a := &App{Name: "mw", Version: ""}
+	for r := 0; r < nprocs; r++ {
+		var iter []sim.Stmt
+		if r == 0 {
+			// Master: dispatch a task to every worker, then collect.
+			iter = append(iter, sim.Compute{Module: mod, Function: "dispatch", Mean: 0.012, Jitter: 0.04})
+			for w := 1; w < nprocs; w++ {
+				iter = append(iter, sim.Send{Module: mod, Function: "dispatch", Tag: TagTask, Dst: w, Bytes: 512})
+			}
+			for w := 1; w < nprocs; w++ {
+				iter = append(iter, sim.Recv{Module: mod, Function: "collect", Tag: TagResult, Src: w})
+			}
+			iter = append(iter, sim.Compute{Module: mod, Function: "collect", Mean: 0.004, Jitter: 0.04})
+		} else {
+			work := 0.07
+			if r == nprocs-1 {
+				// The straggler: the imbalance the consultant must find.
+				work = 0.07 * 4 * opt.ComputeScale
+			}
+			iter = append(iter,
+				sim.Recv{Module: mod, Function: "do_task", Tag: TagTask, Src: 0},
+				sim.Compute{Module: mod, Function: "do_task", Mean: work, Jitter: 0.04},
+				sim.Send{Module: mod, Function: "do_task", Tag: TagResult, Dst: 0, Bytes: 1024},
+			)
+		}
+		prog := []sim.Stmt{
+			sim.IO{Module: mod, Function: "load_input", Mean: 0.02},
+			sim.Loop{Count: opt.Iterations, Body: iter},
+		}
+		a.Procs = append(a.Procs, ProcSpec{
+			Name: procName("mw", r, opt),
+			Node: nodeName("wk_", r, opt),
+			Prog: prog,
+		})
+	}
+	return a, nil
+}

@@ -1,0 +1,72 @@
+package app
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// TagStage is the message tag carrying items between pipeline stages.
+const TagStage = "tag_stage"
+
+// Pipeline builds the pipeline-stage chain archetype: rank r is stage
+// r of a software pipeline, receiving items from stage r-1, working on
+// them, and passing them (rendezvous sends, so backpressure propagates
+// upstream) to stage r+1. The middle stage carries ~4x the compute of
+// its neighbours, so the whole chain runs at its rate: upstream stages
+// block in their sends, downstream stages starve in their receives.
+//
+// Known signature: CPUbound true at the slow stage's process,
+// ExcessiveSyncWaitingTime true at the whole program and at the final
+// stage's process; the other stages test false under CPUbound. See
+// KnownBottlenecks("pipeline", opt).
+func Pipeline(opt Options) (*App, error) {
+	opt = opt.normalize()
+	nprocs := opt.Procs
+	if nprocs == 0 {
+		nprocs = 6
+	}
+	if nprocs < 3 || nprocs > 64 {
+		return nil, fmt.Errorf("app: pipeline needs 3..64 processes (got %d)", nprocs)
+	}
+	slow := nprocs / 2
+	const mod = "pipe.c"
+	a := &App{Name: "pipeline", Version: ""}
+	for r := 0; r < nprocs; r++ {
+		work := 0.06
+		if r == slow {
+			// The bottleneck stage that paces the whole chain.
+			work = 0.06 * 4 * opt.ComputeScale
+		}
+		var iter []sim.Stmt
+		switch {
+		case r == 0:
+			iter = []sim.Stmt{
+				sim.Compute{Module: mod, Function: "produce", Mean: work, Jitter: 0.04},
+				sim.Send{Module: mod, Function: "produce", Tag: TagStage, Dst: 1, Bytes: 2048, Blocking: true},
+			}
+		case r == nprocs-1:
+			iter = []sim.Stmt{
+				sim.Recv{Module: mod, Function: "consume", Tag: TagStage, Src: r - 1},
+				sim.Compute{Module: mod, Function: "consume", Mean: work, Jitter: 0.04},
+			}
+		default:
+			fn := "transform"
+			iter = []sim.Stmt{
+				sim.Recv{Module: mod, Function: fn, Tag: TagStage, Src: r - 1},
+				sim.Compute{Module: mod, Function: fn, Mean: work, Jitter: 0.04},
+				sim.Send{Module: mod, Function: fn, Tag: TagStage, Dst: r + 1, Bytes: 2048, Blocking: true},
+			}
+		}
+		prog := []sim.Stmt{
+			sim.IO{Module: mod, Function: "open_stream", Mean: 0.02},
+			sim.Loop{Count: opt.Iterations, Body: iter},
+		}
+		a.Procs = append(a.Procs, ProcSpec{
+			Name: procName("pipeline", r, opt),
+			Node: nodeName("st_", r, opt),
+			Prog: prog,
+		})
+	}
+	return a, nil
+}

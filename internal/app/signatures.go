@@ -1,0 +1,42 @@
+package app
+
+import "fmt"
+
+// Bottleneck names one expected true (hypothesis : focus) conclusion of
+// an archetype: the hypothesis by name and the single constrained
+// selection path of the focus. It is the machine-checkable form of "this
+// workload's bottleneck signature" that the streaming harness and the
+// historical-directive experiments watch for.
+type Bottleneck struct {
+	Hyp  string // hypothesis name, e.g. "CPUbound"
+	Path string // selection path, e.g. "/Process/mw:5"
+}
+
+// KnownBottlenecks returns the known bottleneck signature of an
+// archetype built with opt — the pairs a correct diagnosis must
+// conclude true. Only the workload archetypes with a designed-in
+// bottleneck (mw, pipeline) have one; other apps return an error.
+func KnownBottlenecks(name string, opt Options) ([]Bottleneck, error) {
+	opt = opt.normalize()
+	nprocs := opt.Procs
+	switch name {
+	case "mw":
+		if nprocs == 0 {
+			nprocs = 5
+		}
+		return []Bottleneck{
+			{Hyp: "CPUbound", Path: "/Process/" + procName("mw", nprocs-1, opt)},
+			{Hyp: "ExcessiveSyncWaitingTime", Path: "/Process/" + procName("mw", 0, opt)},
+		}, nil
+	case "pipeline":
+		if nprocs == 0 {
+			nprocs = 6
+		}
+		return []Bottleneck{
+			{Hyp: "CPUbound", Path: "/Process/" + procName("pipeline", nprocs/2, opt)},
+			{Hyp: "ExcessiveSyncWaitingTime", Path: "/Process/" + procName("pipeline", nprocs-1, opt)},
+		}, nil
+	default:
+		return nil, fmt.Errorf("app: %s has no known bottleneck signature", name)
+	}
+}

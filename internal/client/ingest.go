@@ -1,0 +1,60 @@
+package client
+
+import (
+	"context"
+	"net/http"
+
+	"repro/internal/history"
+	"repro/internal/ingest"
+	"repro/internal/server"
+)
+
+// The streaming-ingestion surface: the client satisfies ingest.Sender,
+// so an ingest.Reporter pointed at a Client ships its sample batches
+// over the wire. All three calls are idempotent by protocol — the seq
+// numbers make batch resends no-ops and the daemon memoizes end-of-
+// stream responses — so the client's retry ladder applies: a 429
+// (backpressure, Retry-After honored as the backoff floor) or a dropped
+// connection is retried rather than surfaced.
+var _ ingest.Sender = (*Client)(nil)
+
+// IngestStart opens one sample stream on the daemon.
+func (c *Client) IngestStart(ctx context.Context, req *ingest.StartRequest) (*ingest.StartResponse, error) {
+	var resp ingest.StartResponse
+	if err := c.do(ctx, http.MethodPost, "/api/v1/ingest/start", nil, req, &resp, true); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// IngestSamples ships one seq-numbered sample batch.
+func (c *Client) IngestSamples(ctx context.Context, req *ingest.SamplesRequest) (*ingest.SamplesResponse, error) {
+	var resp ingest.SamplesResponse
+	if err := c.do(ctx, http.MethodPost, "/api/v1/ingest/samples", nil, req, &resp, true); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// IngestEnd sends the end-of-stream marker and returns the finalized
+// diagnosis.
+func (c *Client) IngestEnd(ctx context.Context, req *ingest.EndRequest) (*ingest.EndResponse, error) {
+	var resp ingest.EndResponse
+	if err := c.do(ctx, http.MethodPost, "/api/v1/ingest/end", nil, req, &resp, true); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// PutRuns stores several run records in one round trip through the
+// store's batch path, returning their display names in input order.
+// Save is an overwrite, so resending a batch whose response was lost is
+// safe; the call is retried like other idempotent requests.
+func (c *Client) PutRuns(ctx context.Context, recs []*history.RunRecord) ([]string, error) {
+	var resp server.PutRunsResponse
+	req := server.PutRunsRequest{Runs: recs}
+	if err := c.do(ctx, http.MethodPost, "/api/v1/runs/batch", nil, req, &resp, true); err != nil {
+		return nil, err
+	}
+	return resp.Saved, nil
+}

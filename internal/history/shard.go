@@ -398,6 +398,48 @@ func (s *ShardedStore) Save(rec *RunRecord) error {
 	return err
 }
 
+// PutBatch validates every record, then groups the batch by owning
+// shard and writes each group through its shard's batch path — one
+// routing decision and one breaker check per group instead of per
+// record. Groups are written in ascending shard order (input order
+// within a group); the first failing group stops the batch, reporting
+// how many records landed.
+func (s *ShardedStore) PutBatch(recs []*RunRecord) (int, error) {
+	for i, rec := range recs {
+		if rec == nil {
+			return 0, fmt.Errorf("history: batch record %d is nil", i)
+		}
+		if err := rec.Validate(); err != nil {
+			return 0, fmt.Errorf("history: batch record %d: %w", i, err)
+		}
+	}
+	groups := make(map[int][]*RunRecord)
+	for _, rec := range recs {
+		idx := ShardForKey(rec.App, rec.Version, s.n)
+		groups[idx] = append(groups[idx], rec)
+	}
+	idxs := make([]int, 0, len(groups))
+	for idx := range groups {
+		idxs = append(idxs, idx)
+	}
+	sort.Ints(idxs)
+	saved := 0
+	for _, idx := range idxs {
+		sh := s.shards[idx]
+		st, ok := sh.live()
+		if !ok {
+			return saved, sh.downErr("put")
+		}
+		n, err := st.PutBatch(groups[idx])
+		saved += n
+		s.observe(sh, err)
+		if err != nil {
+			return saved, err
+		}
+	}
+	return saved, nil
+}
+
 // Load routes the read to the shard owning (app, version).
 func (s *ShardedStore) Load(app, version, runID string) (*RunRecord, error) {
 	sh := s.route(app, version)

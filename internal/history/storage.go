@@ -12,6 +12,10 @@ package history
 type Storage interface {
 	// Save writes (or overwrites) a record.
 	Save(rec *RunRecord) error
+	// PutBatch writes records in order, stopping at the first failure;
+	// it returns how many were saved. Sharded storage groups the batch
+	// by owning shard so each shard is visited once.
+	PutBatch(recs []*RunRecord) (int, error)
 	// Load reads one record by app, version and run id.
 	Load(app, version, runID string) (*RunRecord, error)
 	// Delete removes one record.

@@ -302,6 +302,28 @@ func (s *Store) Save(rec *RunRecord) error {
 	return nil
 }
 
+// PutBatch writes records in input order, stopping at the first
+// failure. Every record is validated before anything is written, so a
+// malformed batch fails whole without partial effects; a backend
+// failure mid-batch leaves the earlier records saved and reports how
+// many.
+func (s *Store) PutBatch(recs []*RunRecord) (int, error) {
+	for i, rec := range recs {
+		if rec == nil {
+			return 0, fmt.Errorf("history: batch record %d is nil", i)
+		}
+		if err := rec.Validate(); err != nil {
+			return 0, fmt.Errorf("history: batch record %d: %w", i, err)
+		}
+	}
+	for i, rec := range recs {
+		if err := s.Save(rec); err != nil {
+			return i, err
+		}
+	}
+	return len(recs), nil
+}
+
 // compensate appends the pre-image of key to the journal after a failed
 // backend mutation, so the replay fold resolves to the state the caller
 // last had acknowledged rather than to the intent that just failed. A

@@ -1,0 +1,265 @@
+package ingest_test
+
+import (
+	"encoding/json"
+	"testing"
+
+	"repro/internal/app"
+	"repro/internal/core"
+	"repro/internal/harness"
+	"repro/internal/history"
+	"repro/internal/ingest"
+	"repro/internal/postmortem"
+	"repro/internal/sim"
+)
+
+// collectSamples runs the named archetype for maxTime virtual seconds
+// and returns its complete interval stream in wire form, in event order.
+func collectSamples(t *testing.T, name string, seed int64, maxTime float64) []ingest.Sample {
+	t.Helper()
+	a, err := app.Build(name, "", app.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := a.NewSimulator(sim.Config{Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []ingest.Sample
+	s.AddObserver(observerFunc(func(iv sim.Interval) {
+		out = append(out, ingest.FromInterval(iv))
+	}))
+	if err := s.Run(maxTime); err != nil {
+		t.Fatal(err)
+	}
+	if len(out) == 0 {
+		t.Fatalf("%s produced no samples", name)
+	}
+	return out
+}
+
+type observerFunc func(sim.Interval)
+
+func (f observerFunc) OnInterval(iv sim.Interval) { f(iv) }
+
+// batchDiagnose is the canonical offline path: every sample at once
+// through the postmortem evaluator.
+func batchDiagnose(t *testing.T, appName, runID string, samples []ingest.Sample, elapsed float64) *history.RunRecord {
+	t.Helper()
+	rec := postmortem.NewRecorder()
+	for _, s := range samples {
+		iv, err := s.Interval()
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec.OnInterval(iv)
+	}
+	sp, procs, err := rec.InferExecution()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev, err := postmortem.NewEvaluator(sp, procs, rec, elapsed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := ev.BuildRecord(appName, "", runID, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return full
+}
+
+func recordBytes(t *testing.T, rec *history.RunRecord) []byte {
+	t.Helper()
+	data, err := json.Marshal(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// TestIncrementalMatchesBatch is the equivalence property: feeding the
+// same sample stream through the incremental engine — in any batching,
+// with or without directives steering the live search — finalizes into
+// a record byte-identical to diagnosing the whole run at once.
+func TestIncrementalMatchesBatch(t *testing.T) {
+	const elapsed = 20.0
+	for _, appName := range []string{"mw", "pipeline"} {
+		samples := collectSamples(t, appName, 11, elapsed)
+		want := recordBytes(t, batchDiagnose(t, appName, "r0", samples, elapsed))
+
+		// Harvest directives from the batch record so one variant streams
+		// under live steering.
+		ds := core.Harvest(batchDiagnose(t, appName, "r0", samples, elapsed), core.HarvestAll())
+
+		for _, tc := range []struct {
+			name  string
+			batch int
+			ds    *core.DirectiveSet
+		}{
+			{"one-by-one", 1, nil},
+			{"batch7", 7, nil},
+			{"whole", len(samples), nil},
+			{"batch25-directed", 25, ds},
+		} {
+			eng := ingest.NewEngine(appName, "", "r0", ingest.EngineOptions{Directives: tc.ds})
+			for i := 0; i < len(samples); i += tc.batch {
+				end := i + tc.batch
+				if end > len(samples) {
+					end = len(samples)
+				}
+				if err := eng.Feed(samples[i:end]); err != nil {
+					t.Fatalf("%s/%s: feed: %v", appName, tc.name, err)
+				}
+			}
+			rec, _, err := eng.Finalize(elapsed)
+			if err != nil {
+				t.Fatalf("%s/%s: finalize: %v", appName, tc.name, err)
+			}
+			if got := recordBytes(t, rec); string(got) != string(want) {
+				t.Errorf("%s/%s: finalized record differs from batch diagnosis", appName, tc.name)
+			}
+			if eng.Samples() != len(samples) {
+				t.Errorf("%s/%s: samples = %d, want %d", appName, tc.name, eng.Samples(), len(samples))
+			}
+		}
+	}
+}
+
+// TestEngineIncrementalProgress checks the live search actually runs
+// while samples arrive: steps accrue, provisional conclusions appear,
+// and a watched signature reports the step it concluded at.
+func TestEngineIncrementalProgress(t *testing.T) {
+	samples := collectSamples(t, "mw", 11, 20)
+	sig, err := app.KnownBottlenecks("mw", app.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var watch []ingest.Watch
+	for _, b := range sig {
+		watch = append(watch, ingest.Watch{Hyp: b.Hyp, Path: b.Path})
+	}
+	eng := ingest.NewEngine("mw", "", "r0", ingest.EngineOptions{Watch: watch, EvalBudget: 24})
+	for i := 0; i < len(samples); i += 100 {
+		end := i + 100
+		if end > len(samples) {
+			end = len(samples)
+		}
+		if err := eng.Feed(samples[i:end]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if eng.Steps() == 0 {
+		t.Error("no incremental evaluations ran")
+	}
+	if eng.TrueCount() == 0 {
+		t.Error("no provisional conclusions")
+	}
+	if eng.WatchSteps() == 0 {
+		t.Error("watched signature never concluded mid-stream")
+	}
+	if eng.WatchSteps() > eng.Steps() {
+		t.Errorf("watch steps %d > total steps %d", eng.WatchSteps(), eng.Steps())
+	}
+}
+
+// TestEngineRejectsBadSamples covers the validation path.
+func TestEngineRejectsBadSamples(t *testing.T) {
+	eng := ingest.NewEngine("x", "", "r", ingest.EngineOptions{})
+	for _, s := range []ingest.Sample{
+		{Proc: "p:1", Node: "n01", Kind: "warp", Start: 0, End: 1},
+		{Proc: "", Node: "n01", Kind: "cpu", Start: 0, End: 1},
+		{Proc: "p:1", Node: "n01", Kind: "cpu", Start: 2, End: 1},
+	} {
+		if err := eng.Feed([]ingest.Sample{s}); err == nil {
+			t.Errorf("sample %+v accepted", s)
+		}
+	}
+	// A process hopping nodes is a corrupt stream.
+	ok := ingest.Sample{Proc: "p:1", Node: "n01", Kind: "cpu", Start: 0, End: 1}
+	if err := eng.Feed([]ingest.Sample{ok}); err != nil {
+		t.Fatal(err)
+	}
+	hop := ok
+	hop.Node = "n02"
+	if err := eng.Feed([]ingest.Sample{hop}); err == nil {
+		t.Error("node hop accepted")
+	}
+}
+
+// TestHarvestReducesStepsToSignature is the online-value property from
+// the paper: with harvesting on, a later stream of the same workload
+// reaches the known bottleneck signature in measurably fewer refinement
+// steps than the cold search did.
+func TestHarvestReducesStepsToSignature(t *testing.T) {
+	const elapsed = 20.0
+	samples := collectSamples(t, "mw", 11, elapsed)
+	sig, err := app.KnownBottlenecks("mw", app.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var watch []ingest.Watch
+	for _, b := range sig {
+		watch = append(watch, ingest.Watch{Hyp: b.Hyp, Path: b.Path})
+	}
+
+	env := harness.NewEnv(nil)
+	mgr := ingest.NewManager(env, ingest.ManagerOptions{EvalBudget: 24})
+	defer mgr.Close()
+
+	run := func(runID string, harvest bool) *ingest.EndResponse {
+		t.Helper()
+		start, err := mgr.Start(&ingest.StartRequest{App: "mw", RunID: runID, Harvest: harvest, Watch: watch})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if harvest && start.Directives == 0 {
+			t.Fatalf("%s: harvesting found no directives", runID)
+		}
+		seq := 1
+		for i := 0; i < len(samples); i += 100 {
+			end := i + 100
+			if end > len(samples) {
+				end = len(samples)
+			}
+			req := &ingest.SamplesRequest{App: "mw", RunID: runID, Seq: seq, Samples: samples[i:end]}
+			for {
+				if _, err := mgr.Samples(req); err == nil {
+					break
+				} else if err == ingest.ErrStreamBusy {
+					continue
+				} else {
+					t.Fatal(err)
+				}
+			}
+			seq++
+		}
+		resp, err := mgr.End(&ingest.EndRequest{App: "mw", RunID: runID, Seq: seq, Elapsed: elapsed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+
+	cold := run("r1", false)
+	warm := run("r2", true)
+	if cold.WatchSteps == 0 || warm.WatchSteps == 0 {
+		t.Fatalf("signature not reached: cold %d, warm %d", cold.WatchSteps, warm.WatchSteps)
+	}
+	if warm.WatchSteps >= cold.WatchSteps {
+		t.Errorf("harvesting did not reduce steps to signature: cold %d, warm %d", cold.WatchSteps, warm.WatchSteps)
+	}
+	// Identical sample streams finalize identically, steered or not.
+	recCold, err := env.Store().Load("mw", "", "r1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	recWarm, err := env.Store().Load("mw", "", "r2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	recWarm.RunID = recCold.RunID
+	if string(recordBytes(t, recWarm)) != string(recordBytes(t, recCold)) {
+		t.Error("steered stream finalized differently from cold stream")
+	}
+}

@@ -1,0 +1,189 @@
+// Package ingest is the streaming intake subsystem: it turns pcd from a
+// batch service (diagnose complete runs sitting in the store) into the
+// online tool the paper describes — live metric samples arrive over the
+// wire from running (simulated) applications, an incremental diagnosis
+// session per active run feeds them into the consultant's refinement
+// frontier as they land, historically harvested directives prune and
+// prioritize the search from the first sample, and the finished run is
+// finalized into the history store where the next stream immediately
+// harvests it.
+//
+// The package has three parts: the wire schema (this file), the
+// incremental diagnosis engine (engine.go) plus the per-daemon session
+// manager that owns one engine per active stream (manager.go), and the
+// client-side Reporter (reporter.go) that watches a simulation and
+// ships its intervals in batches.
+package ingest
+
+import (
+	"fmt"
+
+	"repro/internal/history"
+	"repro/internal/sim"
+)
+
+// Sample is one attributed activity interval on the wire. The field
+// set and JSON keys are exactly the postmortem trace-file schema
+// (FORMATS.md "Trace files"), so anything that can emit a trace line
+// can report live samples.
+type Sample struct {
+	Proc  string  `json:"proc"`
+	Node  string  `json:"node"`
+	Mod   string  `json:"mod,omitempty"`
+	Fn    string  `json:"fn,omitempty"`
+	Tag   string  `json:"tag,omitempty"`
+	Kind  string  `json:"kind"`
+	Start float64 `json:"start"`
+	End   float64 `json:"end"`
+	Msgs  int     `json:"msgs,omitempty"`
+	Bytes int     `json:"bytes,omitempty"`
+	Calls int     `json:"calls,omitempty"`
+}
+
+// KindName renders a sim activity kind in its wire form.
+func KindName(k sim.Kind) string { return k.String() }
+
+// ParseKind parses the wire form of an activity kind.
+func ParseKind(s string) (sim.Kind, error) {
+	switch s {
+	case "cpu":
+		return sim.KindCPU, nil
+	case "sync_wait":
+		return sim.KindSyncWait, nil
+	case "io_wait":
+		return sim.KindIOWait, nil
+	}
+	return 0, fmt.Errorf("ingest: unknown activity kind %q", s)
+}
+
+// FromInterval converts a simulator interval to its wire form.
+func FromInterval(iv sim.Interval) Sample {
+	return Sample{
+		Proc: iv.Process, Node: iv.Node,
+		Mod: iv.Module, Fn: iv.Function, Tag: iv.Tag,
+		Kind:  KindName(iv.Kind),
+		Start: iv.Start, End: iv.End,
+		Msgs: iv.Msgs, Bytes: iv.Bytes, Calls: iv.Calls,
+	}
+}
+
+// Interval converts a wire sample back to a simulator interval.
+func (s Sample) Interval() (sim.Interval, error) {
+	k, err := ParseKind(s.Kind)
+	if err != nil {
+		return sim.Interval{}, err
+	}
+	if s.Proc == "" || s.Node == "" {
+		return sim.Interval{}, fmt.Errorf("ingest: sample missing proc or node")
+	}
+	if s.End < s.Start {
+		return sim.Interval{}, fmt.Errorf("ingest: sample interval ends (%g) before it starts (%g)", s.End, s.Start)
+	}
+	return sim.Interval{
+		Process: s.Proc, Node: s.Node,
+		Module: s.Mod, Function: s.Fn, Tag: s.Tag,
+		Kind:  k,
+		Start: s.Start, End: s.End,
+		Msgs: s.Msgs, Bytes: s.Bytes, Calls: s.Calls,
+	}, nil
+}
+
+// Watch names one (hypothesis : selection-path) pair of a workload's
+// known bottleneck signature. The engine reports the number of
+// refinement steps it took until every watched pair had concluded true
+// — the paper's time-to-diagnosis metric in step form.
+type Watch struct {
+	Hyp  string `json:"hyp"`
+	Path string `json:"path"`
+}
+
+// StartRequest opens one sample stream for a run. The (app, version,
+// run_id) triple is the stream's identity; starting an already-active
+// triple is an error, and a triple already finalized in the store is
+// rejected before any sample is accepted.
+type StartRequest struct {
+	App     string `json:"app"`
+	Version string `json:"version,omitempty"`
+	RunID   string `json:"run_id"`
+	// Harvest asks the daemon to harvest prune/priority/threshold
+	// directives from the runs of (app, version) already in the store
+	// and steer this stream's incremental search with them.
+	Harvest bool `json:"harvest,omitempty"`
+	// Watch optionally registers the known bottleneck signature the
+	// caller expects, for the steps-to-signature report.
+	Watch []Watch `json:"watch,omitempty"`
+}
+
+// StartResponse acknowledges an opened stream.
+type StartResponse struct {
+	Stream string `json:"stream"` // canonical APP/VERSION:RUNID key
+	// Directives is how many harvested directives steer this stream
+	// (0 when harvesting was off or no history existed yet);
+	// SourceRuns is how many stored runs they were harvested from.
+	Directives int `json:"directives"`
+	SourceRuns int `json:"source_runs"`
+}
+
+// SamplesRequest ships one batch of samples. Seq numbers batches
+// 1,2,3,... per stream: a batch is applied exactly once, a resend of
+// an already-applied Seq is acknowledged idempotently, and a gap is an
+// error (the transport below a single reporter is ordered).
+type SamplesRequest struct {
+	App     string   `json:"app"`
+	Version string   `json:"version,omitempty"`
+	RunID   string   `json:"run_id"`
+	Seq     int      `json:"seq"`
+	Samples []Sample `json:"samples"`
+}
+
+// SamplesResponse acknowledges a batch and reports the stream's
+// incremental progress as of the last applied batch.
+type SamplesResponse struct {
+	Accepted int `json:"accepted"` // samples accepted this call (0 on a duplicate)
+	Queued   int `json:"queued"`   // batches waiting in the stream's queue
+	// Progress of the incremental search so far (asynchronous: the
+	// just-accepted batch may not be folded in yet).
+	Steps     int `json:"steps"`
+	TrueCount int `json:"true_count"`
+}
+
+// EndRequest is the end-of-stream marker: no more samples will arrive,
+// finalize the run. Seq must be one past the last samples batch, which
+// proves no batch was lost in transit.
+type EndRequest struct {
+	App     string  `json:"app"`
+	Version string  `json:"version,omitempty"`
+	RunID   string  `json:"run_id"`
+	Seq     int     `json:"seq"`
+	Elapsed float64 `json:"elapsed,omitempty"` // run wall length in virtual seconds; 0 means last sample end
+	// Discard drops the stream without writing the history store (a
+	// client abandoning a run).
+	Discard bool `json:"discard,omitempty"`
+}
+
+// EndResponse reports the finalized diagnosis of the stream.
+type EndResponse struct {
+	Saved string `json:"saved,omitempty"` // store key, empty when discarded
+	// Bottlenecks is the final true set in canonical order — identical
+	// to what a batch diagnosis of the same samples would conclude.
+	Bottlenecks []string `json:"bottlenecks"`
+	// Steps counts every mid-stream pair evaluation the incremental
+	// search performed; WatchSteps is the step count at which the
+	// watched signature had fully concluded true (0 when no watch was
+	// registered or it never concluded).
+	Steps      int `json:"steps"`
+	WatchSteps int `json:"watch_steps,omitempty"`
+	Samples    int `json:"samples"`
+	Directives int `json:"directives"`
+}
+
+// StreamKey is the identity of one active stream.
+type StreamKey struct {
+	App     string
+	Version string
+	RunID   string
+}
+
+func (k StreamKey) String() string {
+	return history.RecordKey{App: k.App, Version: k.Version, RunID: k.RunID}.String()
+}

@@ -48,6 +48,12 @@ type ServerDelta struct {
 	WALSyncs        uint64            `json:"wal_syncs,omitempty"`
 	JournalHits     uint64            `json:"journal_hits,omitempty"`
 	SessionsResumed uint64            `json:"sessions_resumed,omitempty"`
+	// IngestStreams/IngestSamples/IngestRejected are the streaming
+	// intake's movement: streams opened, samples accepted, batches
+	// refused with backpressure.
+	IngestStreams  uint64 `json:"ingest_streams,omitempty"`
+	IngestSamples  uint64 `json:"ingest_samples,omitempty"`
+	IngestRejected uint64 `json:"ingest_rejected,omitempty"`
 }
 
 // Verification is the post-run correctness sweep: what the harness

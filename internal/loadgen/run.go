@@ -19,6 +19,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/harness"
 	"repro/internal/history"
+	"repro/internal/ingest"
 	"repro/internal/metric"
 	"repro/internal/server"
 )
@@ -116,7 +117,7 @@ func RunSuite(sc *Scenario, opt Options) (*SuiteReport, error) {
 
 	// acked maps acknowledged-write run ids to the synthetic-record index
 	// that rebuilds their expected contents.
-	acked := &ackedSet{ids: map[string]int{}}
+	acked := &ackedSet{ids: map[string]ackInfo{}}
 	if err := prefill(ctx, c, sc, acked); err != nil {
 		return nil, err
 	}
@@ -203,15 +204,30 @@ func armed(f history.FaultConfig) bool {
 	return f.ErrRate > 0 || f.TornWriteRate > 0 || f.ENOSPCRate > 0 || f.Latency > 0
 }
 
+// ackInfo locates one acknowledged write's expected contents: the
+// synthetic-record index that rebuilds it, and whether it arrived
+// through the streaming intake (StreamApp namespace, engine-derived
+// contents) or a plain put (StoreApp, SyntheticRecord contents).
+type ackInfo struct {
+	idx    int
+	stream bool
+}
+
 // ackedSet records acknowledged writes for the read-back sweep.
 type ackedSet struct {
 	mu  sync.Mutex
-	ids map[string]int // run id -> synthetic record index
+	ids map[string]ackInfo // run id -> expected contents
 }
 
 func (a *ackedSet) add(runID string, idx int) {
 	a.mu.Lock()
-	a.ids[runID] = idx
+	a.ids[runID] = ackInfo{idx: idx}
+	a.mu.Unlock()
+}
+
+func (a *ackedSet) addStream(runID string, idx int) {
+	a.mu.Lock()
+	a.ids[runID] = ackInfo{idx: idx, stream: true}
 	a.mu.Unlock()
 }
 
@@ -227,10 +243,20 @@ func (a *ackedSet) sorted() []string {
 	return out
 }
 
-func (a *ackedSet) idx(runID string) int {
+func (a *ackedSet) info(runID string) ackInfo {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	return a.ids[runID]
+}
+
+// expected rebuilds the record an acknowledged write must read back as,
+// and the app namespace it lives under.
+func expected(sc *Scenario, runID string, info ackInfo) (string, *history.RunRecord, error) {
+	if info.stream {
+		rec, err := StreamExpected(sc.Seed, info.idx, runID)
+		return StreamApp, rec, err
+	}
+	return StoreApp, SyntheticRecord(sc.Seed, info.idx, runID), nil
 }
 
 // prefill stores the scenario's starting records. Puts are not
@@ -333,6 +359,18 @@ func (r *runner) execute(col *collector, op Op) {
 		if _, err = r.c.PutRun(ctx, rec); err == nil {
 			r.acked.add(rec.RunID, idx)
 		}
+	case "putbatch":
+		recs := make([]*history.RunRecord, PutBatchSize)
+		for j := range recs {
+			recs[j] = SyntheticRecord(r.sc.Seed, batchIdx(op.Seq, j), PutBatchRunID(op.Seq, j))
+		}
+		if _, err = r.c.PutRuns(ctx, recs); err == nil {
+			for j, rec := range recs {
+				r.acked.add(rec.RunID, batchIdx(op.Seq, j))
+			}
+		}
+	case "stream":
+		err = r.stream(ctx, op)
 	case "query":
 		_, err = r.c.Query(ctx, client.QueryParams{
 			App:     StoreApp,
@@ -359,6 +397,48 @@ func (r *runner) execute(col *collector, op Op) {
 		err = fmt.Errorf("loadgen: unknown op class %q", op.Class)
 	}
 	col.record(op.Class, time.Since(start), err)
+}
+
+// stream executes one stream-class op: open a live stream, ship the
+// deterministic sample set in seq-numbered batches, and finalize with
+// the end-of-stream marker. A failure mid-stream discards the stream so
+// the daemon does not hold it until the idle timeout.
+func (r *runner) stream(ctx context.Context, op Op) error {
+	runID, version := StreamRunID(op.Seq), VersionOf(op.Seq)
+	samples := StreamSamples(r.sc.Seed, op.Seq)
+	if _, err := r.c.IngestStart(ctx, &ingest.StartRequest{
+		App: StreamApp, Version: version, RunID: runID,
+	}); err != nil {
+		return err
+	}
+	seq := 1
+	for i := 0; i < len(samples); i += StreamBatchSize {
+		end := i + StreamBatchSize
+		if end > len(samples) {
+			end = len(samples)
+		}
+		if _, err := r.c.IngestSamples(ctx, &ingest.SamplesRequest{
+			App: StreamApp, Version: version, RunID: runID,
+			Seq: seq, Samples: samples[i:end],
+		}); err != nil {
+			r.c.IngestEnd(ctx, &ingest.EndRequest{
+				App: StreamApp, Version: version, RunID: runID, Discard: true,
+			})
+			return err
+		}
+		seq++
+	}
+	resp, err := r.c.IngestEnd(ctx, &ingest.EndRequest{
+		App: StreamApp, Version: version, RunID: runID,
+		Seq: seq, Elapsed: StreamElapsed,
+	})
+	if err != nil {
+		return err
+	}
+	if resp.Saved != "" {
+		r.acked.addStream(runID, op.Seq)
+	}
+	return nil
 }
 
 // openLoop plays the precomputed Poisson schedule: each op is launched
@@ -449,6 +529,9 @@ func statsDelta(before, after *server.StatsResponse) *ServerDelta {
 		WALSyncs:        after.WALSyncs - before.WALSyncs,
 		JournalHits:     after.JournalHits - before.JournalHits,
 		SessionsResumed: after.SessionsResumed - before.SessionsResumed,
+		IngestStreams:   after.Ingest.Started - before.Ingest.Started,
+		IngestSamples:   after.Ingest.Samples - before.Ingest.Samples,
+		IngestRejected:  after.Ingest.RejectedFull - before.Ingest.RejectedFull,
 	}
 	for ep, n := range after.OpCounts {
 		if delta := n - before.OpCounts[ep]; delta > 0 {
@@ -528,8 +611,10 @@ func (p *localPCD) stop() error {
 	p.stopped = true
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
-	p.srv.BeginDrain()
-	if err := p.srv.Drain(ctx); err != nil {
+	// Shutdown (not just drain) so the streaming intake closes before
+	// the store does: leftover streams are discarded, never finalized
+	// into a closing journal.
+	if err := p.srv.Shutdown(ctx); err != nil {
 		return err
 	}
 	if err := p.httpSrv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
@@ -550,12 +635,16 @@ func verifyStore(dir string, sc *Scenario, acked *ackedSet, v *Verification) err
 	}
 	v.AckedWrites = len(acked.ids)
 	for _, runID := range acked.sorted() {
-		rec, err := st.Load(StoreApp, VersionOf(acked.idx(runID)), runID)
+		info := acked.info(runID)
+		app, want, werr := expected(sc, runID, info)
+		if werr != nil {
+			return fmt.Errorf("loadgen: rebuilding expected record %s: %w", runID, werr)
+		}
+		rec, err := st.Load(app, VersionOf(info.idx), runID)
 		if err != nil {
 			v.ReadBackMissing++
 			continue
 		}
-		want := SyntheticRecord(sc.Seed, acked.idx(runID), runID)
 		if !canonicalEqual(rec, want) {
 			v.ReadBackMismatches++
 		}
@@ -593,14 +682,18 @@ func verifyWire(ctx context.Context, c *client.Client, sc *Scenario, acked *acke
 	v.AckedWrites = len(acked.ids)
 	v.FsckSeverity = -1
 	for _, runID := range acked.sorted() {
+		info := acked.info(runID)
+		app, want, werr := expected(sc, runID, info)
+		if werr != nil {
+			return fmt.Errorf("loadgen: rebuilding expected record %s: %w", runID, werr)
+		}
 		rctx, cancel := context.WithTimeout(ctx, opTimeout)
-		rec, err := c.GetRun(rctx, StoreApp, VersionOf(acked.idx(runID))+":"+runID)
+		rec, err := c.GetRun(rctx, app, VersionOf(info.idx)+":"+runID)
 		cancel()
 		if err != nil {
 			v.ReadBackMissing++
 			continue
 		}
-		want := SyntheticRecord(sc.Seed, acked.idx(runID), runID)
 		if !canonicalEqual(rec, want) {
 			v.ReadBackMismatches++
 		}

@@ -21,7 +21,8 @@ func shortSuite(name, arrival string) *Scenario {
 		Prefill:  12,
 		WALSync:  "interval",
 		Mix: map[string]float64{
-			"get": 6, "put": 3, "query": 2, "compare": 1, "harvest": 1,
+			"get": 6, "put": 3, "putbatch": 1, "query": 2,
+			"compare": 1, "harvest": 1, "stream": 1,
 		},
 	}
 }

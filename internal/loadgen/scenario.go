@@ -22,9 +22,11 @@ import (
 )
 
 // OpClasses are the request classes a scenario mix may weight, in
-// report order: store reads and writes, cross-run queries, run
-// comparisons, directive harvests, and gated diagnosis sessions.
-var OpClasses = []string{"get", "put", "query", "compare", "harvest", "diagnose"}
+// report order: store reads and writes, batch writes, cross-run
+// queries, run comparisons, directive harvests, gated diagnosis
+// sessions, and streamed-ingestion runs (start + sample batches + end
+// through the live intake).
+var OpClasses = []string{"get", "put", "putbatch", "query", "compare", "harvest", "diagnose", "stream"}
 
 // Scenario is one declarative load suite (one suites/*.toml file).
 type Scenario struct {

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 
 	"repro/internal/history"
+	"repro/internal/ingest"
 )
 
 // StoreApp is the application name every synthetic store record carries;
@@ -27,6 +28,28 @@ func VersionOf(idx int) string { return fmt.Sprintf("v%d", 1+idx%StoreVersions) 
 // cheapest buildable app, keeping session cost proportional to the
 // scenario's diagnose weight rather than dominating it.
 const DiagnoseApp = "tester"
+
+// StreamApp is the application namespace stream-class ops run under —
+// separate from StoreApp so streamed records never collide with the
+// synthetic read/write key space. StreamElapsed is every streamed run's
+// virtual wall length, StreamBatchSize the samples-per-batch split, and
+// PutBatchSize how many records one putbatch op ships.
+const (
+	StreamApp       = "loadstream"
+	StreamElapsed   = 12.0
+	StreamBatchSize = 8
+	PutBatchSize    = 4
+)
+
+// StreamRunID names the record a stream op with the given sequence
+// number finalizes; PutBatchRunID the j-th record of a putbatch op.
+func StreamRunID(seq int) string { return fmt.Sprintf("s%06d", seq) }
+
+func PutBatchRunID(seq, j int) string { return fmt.Sprintf("b%06d-%d", seq, j) }
+
+// batchIdx is the synthetic-record index of the j-th record of a
+// putbatch op — disjoint per (seq, j), so rebuilt contents are unique.
+func batchIdx(seq, j int) int { return seq*PutBatchSize + j }
 
 // Op is one scheduled request. The schedule is a pure function of the
 // scenario and its seed: replaying a (suite, seed) pair yields the same
@@ -54,6 +77,10 @@ func (o Op) String() string {
 		return fmt.Sprintf("%06d %s k%d k%d", o.Seq, o.Class, o.Key, o.Key2)
 	case "put":
 		return fmt.Sprintf("%06d %s w%06d", o.Seq, o.Class, o.Seq)
+	case "putbatch":
+		return fmt.Sprintf("%06d %s b%06d", o.Seq, o.Class, o.Seq)
+	case "stream":
+		return fmt.Sprintf("%06d %s s%06d", o.Seq, o.Class, o.Seq)
 	default:
 		return fmt.Sprintf("%06d %s k%d", o.Seq, o.Class, o.Key)
 	}
@@ -216,4 +243,54 @@ func SyntheticRecord(seed int64, idx int, runID string) *history.RunRecord {
 	}
 	rec.PairsTested = 3 + idx%5
 	return rec
+}
+
+// StreamSamples builds the deterministic sample stream a stream-class
+// op ships: two processes on two nodes alternating cpu, sync-wait and
+// io-wait intervals whose lengths are a pure function of (seed, idx).
+// Per-process time is monotonic, like a real trace.
+func StreamSamples(seed int64, idx int) []ingest.Sample {
+	mix := func(k int64) float64 {
+		x := uint64(seed*2654435761 + int64(idx)*40503 + k*9176)
+		x ^= x >> 33
+		x *= 0xff51afd7ed558ccd
+		x ^= x >> 33
+		return float64(x%10_000) / 10_000
+	}
+	type pn struct{ proc, node string }
+	procs := []pn{{"p1", "node1"}, {"p2", "node2"}}
+	fns := []string{"work.f", "exchange.f"}
+	kinds := []string{"cpu", "cpu", "sync_wait", "io_wait"}
+	clock := map[string]float64{}
+	out := make([]ingest.Sample, 0, 24)
+	for i := 0; i < 24; i++ {
+		p := procs[i%len(procs)]
+		d := 0.1 + 0.35*mix(int64(20+i))
+		s := ingest.Sample{
+			Proc: p.proc, Node: p.node,
+			Mod: "load.c", Fn: fns[(i/2)%len(fns)],
+			Kind:  kinds[i%len(kinds)],
+			Start: clock[p.proc], End: clock[p.proc] + d,
+		}
+		if s.Kind == "sync_wait" {
+			s.Tag = "lock0"
+			s.Msgs = 1
+		}
+		clock[p.proc] = s.End
+		out = append(out, s)
+	}
+	return out
+}
+
+// StreamExpected rebuilds the record a stream op's samples finalize
+// into, for read-back verification: the incremental engine's Finalize
+// is equivalent-by-construction to the batch path, so feeding the same
+// samples through a fresh engine reproduces the server's stored bytes.
+func StreamExpected(seed int64, idx int, runID string) (*history.RunRecord, error) {
+	eng := ingest.NewEngine(StreamApp, VersionOf(idx), runID, ingest.EngineOptions{})
+	if err := eng.Feed(StreamSamples(seed, idx)); err != nil {
+		return nil, err
+	}
+	rec, _, err := eng.Finalize(StreamElapsed)
+	return rec, err
 }

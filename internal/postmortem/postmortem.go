@@ -89,18 +89,7 @@ func (r *Recorder) InferExecution() (*resource.Space, []dyninst.ProcEntry, error
 	for k := range r.seconds {
 		keys = append(keys, k)
 	}
-	sort.Slice(keys, func(i, j int) bool {
-		if keys[i].process != keys[j].process {
-			return keys[i].process < keys[j].process
-		}
-		if keys[i].module != keys[j].module {
-			return keys[i].module < keys[j].module
-		}
-		if keys[i].function != keys[j].function {
-			return keys[i].function < keys[j].function
-		}
-		return keys[i].tag < keys[j].tag
-	})
+	sortKeys(keys)
 	for _, k := range keys {
 		if prev, ok := procNodes[k.process]; ok && prev != k.node {
 			return nil, nil, fmt.Errorf("postmortem: process %q observed on two nodes (%q, %q)", k.process, prev, k.node)
@@ -141,6 +130,35 @@ type Evaluator struct {
 	procs   []dyninst.ProcEntry
 	rec     *Recorder
 	elapsed float64
+	// keys is the recorder's attribution set snapshotted in a total
+	// order at construction. Every float accumulation (Value sums,
+	// BuildRecord usage fractions) walks this slice instead of ranging
+	// the maps: float addition is not associative, so a fixed order is
+	// what makes two evaluations of the same trace byte-identical.
+	keys []aggKey
+}
+
+// sortKeys puts an attribution key set into its canonical total order.
+func sortKeys(keys []aggKey) {
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.process != b.process {
+			return a.process < b.process
+		}
+		if a.node != b.node {
+			return a.node < b.node
+		}
+		if a.module != b.module {
+			return a.module < b.module
+		}
+		if a.function != b.function {
+			return a.function < b.function
+		}
+		if a.tag != b.tag {
+			return a.tag < b.tag
+		}
+		return a.kind < b.kind
+	})
 }
 
 // NewEvaluator creates an evaluator for a trace of the given execution.
@@ -159,7 +177,12 @@ func NewEvaluator(space *resource.Space, procs []dyninst.ProcEntry, rec *Recorde
 	if elapsed <= 0 {
 		return nil, fmt.Errorf("postmortem: empty trace")
 	}
-	return &Evaluator{space: space, procs: procs, rec: rec, elapsed: elapsed}, nil
+	keys := make([]aggKey, 0, len(rec.seconds))
+	for k := range rec.seconds {
+		keys = append(keys, k)
+	}
+	sortKeys(keys)
+	return &Evaluator{space: space, procs: procs, rec: rec, elapsed: elapsed, keys: keys}, nil
 }
 
 // Value computes the normalized metric value for a (metric : focus) pair
@@ -182,7 +205,7 @@ func (e *Evaluator) Value(met metric.ID, focus resource.Focus) (float64, error) 
 	}
 	var secs float64
 	var events int
-	for k := range e.rec.seconds {
+	for _, k := range e.keys {
 		iv := sim.Interval{
 			Process: k.process, Node: k.node,
 			Module: k.module, Function: k.function,
@@ -296,8 +319,8 @@ func (e *Evaluator) BuildRecord(appName, version, runID string, thresholds map[s
 	// Per-resource usage fractions from the aggregated trace (the same
 	// quantities history.UsageCollector derives online).
 	denom := e.elapsed * float64(len(e.procs))
-	for k, secs := range e.rec.seconds {
-		frac := secs / denom
+	for _, k := range e.keys {
+		frac := e.rec.seconds[k] / denom
 		if k.module != "" {
 			rec.Usage["/"+resource.HierCode+"/"+k.module] += frac
 			if k.function != "" {

@@ -19,24 +19,43 @@ import (
 	"repro/internal/history"
 )
 
-// routes builds the service mux. Every handler is wrapped in counted,
-// which maintains the /statsz in-flight gauge and the per-endpoint op
-// counters.
+// routes builds the service mux. Every route goes through handle, which
+// wraps the handler in counted — the /statsz in-flight gauge and the
+// per-endpoint op counters — and records the (pattern, op) pair so the
+// statsz coverage test can enumerate the full surface.
 func (s *Server) routes() *http.ServeMux {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /healthz", s.counted("healthz", s.handleHealth))
-	mux.HandleFunc("GET /statsz", s.counted("statsz", s.handleStats))
-	mux.HandleFunc("GET /api/v1/runs", s.counted("runs", s.handleRuns))
-	mux.HandleFunc("GET /api/v1/run", s.counted("get_run", s.handleGetRun))
-	mux.HandleFunc("PUT /api/v1/run", s.counted("put_run", s.handlePutRun))
-	mux.HandleFunc("DELETE /api/v1/run", s.counted("delete_run", s.handleDeleteRun))
-	mux.HandleFunc("GET /api/v1/query", s.counted("query", s.handleQuery))
-	mux.HandleFunc("GET /api/v1/persistent", s.counted("persistent", s.handlePersistent))
-	mux.HandleFunc("GET /api/v1/specific", s.counted("specific", s.handleSpecific))
-	mux.HandleFunc("GET /api/v1/compare", s.counted("compare", s.handleCompare))
-	mux.HandleFunc("POST /api/v1/harvest", s.counted("harvest", s.handleHarvest))
-	mux.HandleFunc("POST /api/v1/diagnose", s.counted("diagnose", s.handleDiagnose))
+	s.handle(mux, "GET /healthz", "healthz", s.handleHealth)
+	s.handle(mux, "GET /statsz", "statsz", s.handleStats)
+	s.handle(mux, "GET /api/v1/runs", "runs", s.handleRuns)
+	s.handle(mux, "GET /api/v1/run", "get_run", s.handleGetRun)
+	s.handle(mux, "PUT /api/v1/run", "put_run", s.handlePutRun)
+	s.handle(mux, "POST /api/v1/runs/batch", "put_runs", s.handlePutRuns)
+	s.handle(mux, "DELETE /api/v1/run", "delete_run", s.handleDeleteRun)
+	s.handle(mux, "GET /api/v1/query", "query", s.handleQuery)
+	s.handle(mux, "GET /api/v1/persistent", "persistent", s.handlePersistent)
+	s.handle(mux, "GET /api/v1/specific", "specific", s.handleSpecific)
+	s.handle(mux, "GET /api/v1/compare", "compare", s.handleCompare)
+	s.handle(mux, "POST /api/v1/harvest", "harvest", s.handleHarvest)
+	s.handle(mux, "POST /api/v1/diagnose", "diagnose", s.handleDiagnose)
+	s.handle(mux, "POST /api/v1/ingest/start", "ingest_start", s.handleIngestStart)
+	s.handle(mux, "POST /api/v1/ingest/samples", "ingest_samples", s.handleIngestSamples)
+	s.handle(mux, "POST /api/v1/ingest/end", "ingest_end", s.handleIngestEnd)
 	return mux
+}
+
+// route is one registered endpoint: its mux pattern and the op name its
+// /statsz counter is keyed by.
+type route struct {
+	Pattern string
+	Op      string
+}
+
+// handle registers pattern on mux through the counted middleware and
+// records the route for enumeration.
+func (s *Server) handle(mux *http.ServeMux, pattern, op string, h http.HandlerFunc) {
+	s.routeTable = append(s.routeTable, route{Pattern: pattern, Op: op})
+	mux.HandleFunc(pattern, s.counted(op, h))
 }
 
 // counted registers a cumulative op counter under name and wraps h to

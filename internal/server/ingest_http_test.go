@@ -1,0 +1,174 @@
+package server_test
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http/httptest"
+	"os"
+	"testing"
+
+	"repro/internal/app"
+	"repro/internal/client"
+	"repro/internal/harness"
+	"repro/internal/history"
+	"repro/internal/ingest"
+	"repro/internal/server"
+	"repro/internal/sim"
+)
+
+// streamRun drives one simulated run of the named archetype through a
+// Reporter shipping to snd, and returns the finalized end response.
+func streamRun(t *testing.T, snd ingest.Sender, name, runID string, seed int64, maxTime float64) *ingest.EndResponse {
+	t.Helper()
+	a, err := app.Build(name, "", app.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := a.NewSimulator(sim.Config{Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := ingest.NewReporter(context.Background(), snd, name, "", runID, ingest.ReporterOptions{BatchSize: 32})
+	if _, err := rep.Start(); err != nil {
+		t.Fatal(err)
+	}
+	s.AddObserver(rep)
+	if err := s.Run(maxTime); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := rep.Finish(maxTime)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+// TestIngestOverHTTP proves the wire adds nothing and loses nothing:
+// a run streamed through the HTTP client finalizes into a record
+// byte-identical to the same run streamed through an in-process
+// manager, the /statsz ingest block moves, and the intake's sentinel
+// errors arrive as their documented statuses.
+func TestIngestOverHTTP(t *testing.T) {
+	opts := ingest.ManagerOptions{EvalBudget: 24}
+	srv := server.New(harness.NewEnv(nil), server.Options{Sessions: 1, Ingest: opts})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	cl := client.NewResilient(ts.URL, 6) // the ladder absorbs 429 backpressure
+	ctx := context.Background()
+
+	resp := streamRun(t, cl, "mw", "wire1", 11, 20)
+	if resp.Saved == "" || len(resp.Bottlenecks) == 0 {
+		t.Fatalf("wire stream finalized empty: %+v", resp)
+	}
+
+	// The same run through an in-process manager, for the byte-identity
+	// claim.
+	env2 := harness.NewEnv(nil)
+	mgr := ingest.NewManager(env2, opts)
+	defer mgr.Close()
+	local := streamRun(t, ingest.LocalSender{M: mgr}, "mw", "wire1", 11, 20)
+	if local.Saved != resp.Saved {
+		t.Fatalf("saved keys differ: wire %q, local %q", resp.Saved, local.Saved)
+	}
+	wireRec, err := srv.Env().Store().Load("mw", "", "wire1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	localRec, err := env2.Store().Load("mw", "", "wire1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wb, _ := json.Marshal(wireRec)
+	lb, _ := json.Marshal(localRec)
+	if string(wb) != string(lb) {
+		t.Error("wire-streamed record differs from the in-process stream")
+	}
+
+	st, err := cl.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Ingest.Started != 1 || st.Ingest.Finalized != 1 {
+		t.Errorf("ingest stats = %+v, want one started, one finalized", st.Ingest)
+	}
+	for _, op := range []string{"ingest_start", "ingest_samples", "ingest_end"} {
+		if st.OpCounts[op] == 0 {
+			t.Errorf("op_counts[%s] = 0 after a streamed run", op)
+		}
+	}
+
+	// Sentinel-to-status mapping, through a client that does not retry.
+	plain := client.New(ts.URL)
+	var se *client.StatusError
+	_, err = plain.IngestEnd(ctx, &ingest.EndRequest{App: "mw", RunID: "nosuch"})
+	if !errors.As(err, &se) || se.Status != 404 || !errors.Is(err, os.ErrNotExist) {
+		t.Errorf("end of unknown stream: %v", err)
+	}
+	// A finalized run cannot restart.
+	if _, err := plain.IngestStart(ctx, &ingest.StartRequest{App: "mw", RunID: "wire1"}); err == nil {
+		t.Error("restart of a finalized run succeeded")
+	}
+	// A double start of an active stream is a conflict.
+	if _, err := plain.IngestStart(ctx, &ingest.StartRequest{App: "mw", RunID: "wire2"}); err != nil {
+		t.Fatal(err)
+	}
+	_, err = plain.IngestStart(ctx, &ingest.StartRequest{App: "mw", RunID: "wire2"})
+	if !errors.As(err, &se) || se.Status != 409 {
+		t.Errorf("double start: %v", err)
+	}
+	if _, err := plain.IngestEnd(ctx, &ingest.EndRequest{App: "mw", RunID: "wire2", Discard: true}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Shutdown closes the intake: new streams are refused 503.
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	_, err = plain.IngestStart(ctx, &ingest.StartRequest{App: "mw", RunID: "wire3"})
+	if !errors.As(err, &se) || se.Status != 503 {
+		t.Errorf("start after shutdown: %v", err)
+	}
+}
+
+// TestPutRunsBatchHTTP exercises the batch write endpoint: one round
+// trip lands several records through Storage.PutBatch, and an empty or
+// malformed batch is refused whole.
+func TestPutRunsBatchHTTP(t *testing.T) {
+	srv := server.New(harness.NewEnv(nil), server.Options{Sessions: 1})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	cl := client.New(ts.URL)
+	ctx := context.Background()
+
+	recs := []*history.RunRecord{
+		{App: "batch-app", Version: "A", RunID: "r1"},
+		{App: "batch-app", Version: "A", RunID: "r2"},
+		{App: "batch-app", Version: "B", RunID: "r1"},
+	}
+	saved, err := cl.PutRuns(ctx, recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(saved) != 3 {
+		t.Fatalf("saved %d names, want 3: %v", len(saved), saved)
+	}
+	runs, err := cl.ListRuns(ctx, "batch-app", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) != 3 {
+		t.Errorf("stored %d runs, want 3: %v", len(runs), runs)
+	}
+
+	if _, err := cl.PutRuns(ctx, nil); err == nil {
+		t.Error("empty batch accepted")
+	}
+	bad := &history.RunRecord{App: "batch-app", RunID: "r9", TrueCount: 5}
+	if _, err := cl.PutRuns(ctx, []*history.RunRecord{bad}); err == nil {
+		t.Error("malformed batch accepted")
+	}
+	if _, err := srv.Env().Store().Load("batch-app", "", "r9"); err == nil {
+		t.Error("malformed batch left a partial write")
+	}
+}

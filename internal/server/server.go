@@ -19,6 +19,7 @@ import (
 
 	"repro/internal/harness"
 	"repro/internal/history"
+	"repro/internal/ingest"
 )
 
 // Options configures a Server.
@@ -42,6 +43,10 @@ type Options struct {
 	// with a transient (injected or backend I/O) error is re-run before
 	// the failure is reported; 0 disables.
 	SessionRetries int
+	// Ingest tunes the streaming intake (per-stream queue depth, stream
+	// cap, idle timeout, engine budget); the zero value means the
+	// ingest.ManagerOptions defaults.
+	Ingest ingest.ManagerOptions
 }
 
 // Server is the diagnosis service. Create with New, expose via Handler,
@@ -54,6 +59,13 @@ type Server struct {
 	brkThreshold   int
 	brkCooldown    time.Duration
 	mux            *http.ServeMux
+
+	// intake is the streaming-ingestion manager: one incremental
+	// diagnosis session per active sample stream (see internal/ingest).
+	intake *ingest.Manager
+	// routeTable records every registered endpoint (pattern, op name);
+	// built once in routes().
+	routeTable []route
 
 	// journal, when non-nil, makes keyed diagnose requests durable (see
 	// sessions.go); checkpointEvery is the frontier-snapshot cadence in
@@ -115,6 +127,7 @@ func New(env *harness.Env, opts Options) *Server {
 		runJobs:        harness.RunSessionsGated,
 		opCounts:       map[string]*atomic.Uint64{},
 	}
+	s.intake = ingest.NewManager(env, opts.Ingest)
 	s.cond = sync.NewCond(&s.mu)
 	s.mux = s.routes()
 	return s
@@ -248,10 +261,13 @@ func (s *Server) Drain(ctx context.Context) error {
 	}
 }
 
-// Shutdown gracefully stops the service: refuse new diagnoses, then
+// Shutdown gracefully stops the service: refuse new diagnoses, shut the
+// streaming intake down (active streams are discarded — a client that
+// wants its run kept must send the end-of-stream marker first), then
 // wait (bounded by ctx) for in-flight sessions to complete.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.BeginDrain()
+	s.intake.Close()
 	return s.Drain(ctx)
 }
 
@@ -313,6 +329,7 @@ func (s *Server) stats() StatsResponse {
 		InFlight:        s.inFlight.Load(),
 		OpCounts:        ops,
 		Shards:          shards,
+		Ingest:          s.intake.Snapshot(),
 	}
 }
 

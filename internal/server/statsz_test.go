@@ -5,8 +5,10 @@ import (
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"testing"
 
+	"repro/internal/harness"
 	"repro/internal/history"
 )
 
@@ -112,6 +114,56 @@ func TestStatszOpCountersAndInFlight(t *testing.T) {
 
 	// With everything drained, the gauge falls back to just the reader.
 	waitFor(t, "requests to retire", func() bool { return getStats(t, ts.URL).InFlight == 1 })
+}
+
+// TestStatszCoversEveryRoute is the catch-all for request
+// instrumentation: every route the server registers must surface in
+// /statsz op_counts, and one request to each pattern — well-formed or
+// not, the middleware counts either way — must move exactly its own
+// counter. A new endpoint registered outside handle() (and so invisible
+// to /statsz) fails the enumeration below.
+func TestStatszCoversEveryRoute(t *testing.T) {
+	srv := New(harness.NewEnv(nil), Options{Sessions: 1})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	if len(srv.routeTable) < 16 {
+		t.Fatalf("route table has %d entries; registration moved off handle()?", len(srv.routeTable))
+	}
+	st := getStats(t, ts.URL)
+	for _, rt := range srv.routeTable {
+		if _, ok := st.OpCounts[rt.Op]; !ok {
+			t.Errorf("route %q: op %q missing from /statsz op_counts", rt.Pattern, rt.Op)
+		}
+	}
+
+	// Drive every pattern once with an empty body: handlers answer 400
+	// or 404, but the counted middleware sees the request regardless.
+	for _, rt := range srv.routeTable {
+		method, path, ok := strings.Cut(rt.Pattern, " ")
+		if !ok {
+			t.Fatalf("route pattern %q has no method", rt.Pattern)
+		}
+		req, err := http.NewRequest(method, ts.URL+path, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+	after := getStats(t, ts.URL)
+	for _, rt := range srv.routeTable {
+		want := uint64(1)
+		if rt.Op == "statsz" {
+			want = 3 // the two enumeration reads plus the driven request
+		}
+		if got := after.OpCounts[rt.Op]; got != want {
+			t.Errorf("op_counts[%s] = %d after one %s, want %d", rt.Op, got, rt.Pattern, want)
+		}
+	}
 }
 
 // TestStatszShardGauges proves /statsz exports one gauge set per shard

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/history"
+	"repro/internal/ingest"
 )
 
 // The wire types of the pcd diagnosis service (see FORMATS.md "Wire
@@ -87,6 +88,9 @@ type StatsResponse struct {
 	// Shards carries per-shard gauges (record count, degraded flag, last
 	// recovery outcome) when the store is sharded; absent otherwise.
 	Shards []history.ShardInfo `json:"shards,omitempty"`
+	// Ingest is the streaming intake's counter block: active streams,
+	// lifecycle counts, accepted volume, backpressure rejections.
+	Ingest ingest.Stats `json:"ingest"`
 }
 
 // RunsResponse is GET /api/v1/runs: stored run display names
@@ -103,6 +107,20 @@ type PutRunResponse struct {
 // DeleteRunResponse is DELETE /api/v1/run.
 type DeleteRunResponse struct {
 	Deleted string `json:"deleted"`
+}
+
+// PutRunsRequest is POST /api/v1/runs/batch: save several run records
+// in one round trip. The batch is validated whole before any write and
+// applied through Storage.PutBatch, so a sharded store visits each
+// owning shard once.
+type PutRunsRequest struct {
+	Runs []*history.RunRecord `json:"runs"`
+}
+
+// PutRunsResponse reports the saved records' display names, in input
+// order.
+type PutRunsResponse struct {
+	Saved []string `json:"saved"`
 }
 
 // QueryHit is one matching result of a cross-run query. The application
