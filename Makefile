@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short race race-short bench bench-store bench-server bench-resilience bench-durability chaos killrestart fsck load load-smoke shard ingest experiments fuzz clean
+.PHONY: all build vet test test-short race race-short bench bench-store bench-server bench-resilience bench-durability chaos killrestart fsck load load-smoke shard ingest replicate experiments fuzz clean
 
 all: build vet test
 
@@ -114,6 +114,16 @@ ingest:
 	rm -rf $(INGEST_DIR)
 	$(GO) run ./cmd/pcfeed -store $(INGEST_DIR) -streams 8 -waves 2 -harvest -check -v
 	$(GO) run ./cmd/pcfsck -store $(INGEST_DIR)
+
+# Replication smoke: the kill-the-primary and kill-the-follower process
+# harnesses under the race detector (a real replicated pcd pair,
+# SIGKILL, promotion, zero acked-write loss, cross-replica pcfsck), the
+# replica layer's unit tests, then the replica-failover load suite (a
+# shard primary killed mid-traffic, the follower taking over).
+replicate:
+	$(GO) test -race -run 'TestKillPrimaryFailover|TestKillFollowerMidApply' -v .
+	$(GO) test -race ./internal/replica/
+	$(GO) run ./cmd/pcload -suite replica-failover -check -v
 
 # Regenerate every table and figure of the paper's evaluation.
 experiments:

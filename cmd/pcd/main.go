@@ -13,6 +13,7 @@
 //	    [-checkpoint-every 2500]
 //	    [-ingest-queue 8] [-ingest-streams 64] [-ingest-idle-timeout 2m]
 //	    [-ingest-eval-budget 16] [-ingest-harvest-sources 8]
+//	    [-replicas N] [-promote] [-follow URL] [-advertise URL]
 //	    [-fault-seed N] [-fault-err-rate P] [-fault-torn-rate P]
 //
 // The store directory must already exist unless -create is given — a
@@ -55,6 +56,21 @@
 // each stream's incremental search, and -ingest-harvest-sources caps
 // how many stored runs steer a stream that opted into harvesting.
 //
+// Replication (DESIGN.md §14): -replicas N declares this daemon the
+// primary of N follower daemons and arms the semi-sync write gate —
+// every acknowledged write has reached a follower (or, before the first
+// follower attaches, is counted as async). Followers run the same
+// binary with -follow URL pointing at the primary; each pulls the
+// primary's write-ahead journal per shard, folds the frames into its
+// own durable store (byte-identical records), and persists its applied
+// position. When a shard's backend fails on the primary, reads fail
+// over to the most-caught-up follower automatically; with -promote the
+// failed shard's keyspace is additionally handed to that follower for
+// writes, so the whole keyspace stays writable through the fault.
+// -advertise overrides the URL the primary reaches this follower at
+// (default: the actual listen address). /statsz carries a replication
+// block on both roles.
+//
 // The -fault-* flags wrap the store backend with deterministic seeded
 // fault injection (errors and torn writes) — the chaos layer the
 // kill-restart harness drives. Never set them in production.
@@ -71,6 +87,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -87,6 +104,7 @@ import (
 	"repro/internal/harness"
 	"repro/internal/history"
 	"repro/internal/ingest"
+	"repro/internal/replica"
 	"repro/internal/server"
 )
 
@@ -116,10 +134,20 @@ func main() {
 		ingIdle        = flag.Duration("ingest-idle-timeout", 2*time.Minute, "finalize an ingest stream idle this long (implicit end-of-stream)")
 		ingBudget      = flag.Int("ingest-eval-budget", 16, "incremental pair evaluations per ingest sample batch")
 		ingSources     = flag.Int("ingest-harvest-sources", 8, "stored runs harvested to steer one ingest stream")
+		replicas       = flag.Int("replicas", 0, "expected follower count; arms WAL shipping and the semi-sync write gate (primary role)")
+		promote        = flag.Bool("promote", false, "promote the most-caught-up follower when a shard fails, keeping its keyspace writable")
+		follow         = flag.String("follow", "", "primary base URL to replicate from (follower role)")
+		advertise      = flag.String("advertise", "", "URL the primary reaches this follower at (default http://<listen addr>)")
 	)
 	flag.Parse()
 	if *storeDir == "" {
 		log.Fatal("-store is required")
+	}
+	if *follow != "" && *replicas > 0 {
+		log.Fatal("-follow and -replicas are mutually exclusive (a node is primary or follower)")
+	}
+	if (*follow != "" || *replicas > 0) && !*wal {
+		log.Fatal("replication ships the write-ahead journal; -wal must stay on")
 	}
 	sync, err := history.ParseSyncPolicy(*walSync)
 	if err != nil {
@@ -129,6 +157,22 @@ func main() {
 		Create:     *create,
 		WAL:        *wal,
 		WALOptions: history.WALOptions{Sync: sync},
+		Replicas:   *replicas,
+	}
+	shardCount := *shards
+	if *follow != "" {
+		// The layout handshake: a follower mirrors the primary's shard
+		// count, so its store can fold each shard's journal one to one.
+		info, err := replicaInfo(*follow, 30*time.Second)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if info.Role != "primary" {
+			log.Fatalf("-follow %s: node is %q, not a primary", *follow, info.Role)
+		}
+		if shardCount == 0 && info.Shards > 1 {
+			shardCount = info.Shards
+		}
 	}
 	if *faultErrRate > 0 || *faultTornRate > 0 {
 		log.Printf("warning: fault injection active (seed %d, err %.3f, torn %.3f)",
@@ -141,7 +185,7 @@ func main() {
 			})
 		}
 	}
-	st, err := history.OpenStoreAuto(*storeDir, *shards, dopts)
+	st, err := history.OpenStoreAuto(*storeDir, shardCount, dopts)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -171,7 +215,47 @@ func main() {
 		log.Printf("warning: skipped %s", issue)
 	}
 
-	srv := server.New(harness.NewEnv(st), server.Options{
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Replication roles. A primary hooks every shard journal's append
+	// stream and gates acknowledged writes on follower progress; a
+	// follower pulls those streams into its own store and refuses public
+	// writes for shards it has not been promoted on.
+	var (
+		node      *replica.Node
+		fol       *replica.Follower
+		serveSt   = st
+		writeGate func(app, version string) error
+	)
+	switch {
+	case *replicas > 0:
+		prim, err := replica.NewPrimary(st, *replicas)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if ss, ok := st.(*history.ShardedStore); ok {
+			ss.SetFailover(replica.NewFailover(prim), *promote)
+		}
+		serveSt = replica.Gate(st, prim)
+		node = &replica.Node{Primary: prim}
+	case *follow != "":
+		self := *advertise
+		if self == "" {
+			self = "http://" + ln.Addr().String()
+		}
+		fol, err = replica.NewFollower(*follow, self, st)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fol.Start()
+		node = &replica.Node{Follower: fol}
+		writeGate = fol.Writable
+	}
+
+	srv := server.New(harness.NewEnv(serveSt), server.Options{
 		Sessions:         *sessions,
 		SessionTimeout:   *sessionTimeout,
 		BreakerThreshold: *brkThreshold,
@@ -184,12 +268,10 @@ func main() {
 			EvalBudget:     *ingBudget,
 			HarvestSources: *ingSources,
 		},
+		Replication: node,
+		WriteGate:   writeGate,
 	})
 	if err := srv.EnableSessionJournal(filepath.Join(st.Dir(), server.SessionsDirName), *ckptEvery); err != nil {
-		log.Fatal(err)
-	}
-	ln, err := net.Listen("tcp", *addr)
-	if err != nil {
 		log.Fatal(err)
 	}
 	httpSrv := &http.Server{Handler: srv.Handler()}
@@ -205,8 +287,15 @@ func main() {
 	if ss, ok := st.(*history.ShardedStore); ok {
 		layout = fmt.Sprintf(", %d shards", ss.Shards())
 	}
-	fmt.Printf("pcd: serving on http://%s (store %s%s, %d records, %d session slots)\n",
-		ln.Addr(), st.Dir(), layout, st.Len(), slots)
+	role := ""
+	switch {
+	case *replicas > 0:
+		role = fmt.Sprintf(", primary of %d replicas", *replicas)
+	case fol != nil:
+		role = ", follower of " + *follow
+	}
+	fmt.Printf("pcd: serving on http://%s (store %s%s%s, %d records, %d session slots)\n",
+		ln.Addr(), st.Dir(), layout, role, st.Len(), slots)
 
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.Serve(ln) }()
@@ -247,9 +336,59 @@ func main() {
 	if err := httpSrv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		log.Printf("shutdown: %v", err)
 	}
+	if fol != nil {
+		fol.Stop()
+	}
+	// Final durability barrier: force the journal to disk before exiting,
+	// so an interval/none sync policy cannot leave the tail of a clean
+	// drain exposed to power loss. Close then flushes whatever remains.
+	if err := st.SyncWAL(); err != nil {
+		log.Printf("final wal sync: %v", err)
+	} else {
+		log.Print("final wal sync: journal flushed")
+	}
 	// Close the store last: flushes and closes the write-ahead journal.
 	if err := st.Close(); err != nil {
 		log.Printf("store close: %v", err)
 	}
 	log.Print("stopped")
+}
+
+// replicaInfo fetches the primary's layout handshake, retrying while
+// the primary is still coming up (a follower is typically started
+// seconds after — or concurrently with — its primary).
+func replicaInfo(base string, patience time.Duration) (*replica.InfoResponse, error) {
+	deadline := time.Now().Add(patience)
+	for {
+		info, err := fetchReplicaInfo(base)
+		if err == nil {
+			return info, nil
+		}
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("primary %s unreachable: %w", base, err)
+		}
+		time.Sleep(250 * time.Millisecond)
+	}
+}
+
+func fetchReplicaInfo(base string) (*replica.InfoResponse, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/api/v1/replica/info", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET %s/api/v1/replica/info: %s", base, resp.Status)
+	}
+	var info replica.InfoResponse
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		return nil, err
+	}
+	return &info, nil
 }

@@ -10,9 +10,16 @@
 // hashes to. Misplaced records grade as residue; -repair moves them
 // home. -json reports carry per-shard sections and a misplaced count.
 //
+// A replica is cross-verified with -primary DIR: the follower store
+// named by -store must be a subset of the primary's fold (record files
+// overlaid with its journal) with byte-identical records. A shared key
+// whose bytes differ grades corrupt — the replication stream or the
+// follower's fold is damaged. A follower-only key (a write taken after
+// promotion) and replication lag grade as residue.
+//
 // Usage:
 //
-//	pcfsck [-repair] [-json] -store DIR
+//	pcfsck [-repair] [-json] [-primary DIR] -store DIR
 //
 // Exit codes:
 //
@@ -44,9 +51,10 @@ func main() {
 	storeDir := flag.String("store", "", "experiment store directory to verify (required)")
 	repair := flag.Bool("repair", false, "repair what can be repaired in place")
 	jsonOut := flag.Bool("json", false, "emit the report as JSON")
+	primaryDir := flag.String("primary", "", "primary store directory; cross-verify -store (a follower) against its fold")
 	flag.Parse()
 	if *storeDir == "" {
-		log.Println("usage: pcfsck [-repair] [-json] -store DIR")
+		log.Println("usage: pcfsck [-repair] [-json] [-primary DIR] -store DIR")
 		os.Exit(2)
 	}
 
@@ -54,6 +62,16 @@ func main() {
 	if err != nil {
 		log.Println(err)
 		os.Exit(2)
+	}
+	if *primaryDir != "" {
+		crep, err := history.FsckReplica(*storeDir, *primaryDir)
+		if err != nil {
+			log.Println(err)
+			os.Exit(2)
+		}
+		// The cross-replica findings join the store's own report, so one
+		// exit code covers both checks.
+		rep.Findings = append(rep.Findings, crep.Findings...)
 	}
 
 	if *jsonOut {

@@ -70,8 +70,10 @@ func NewResilient(baseURL string, retries int) *Client {
 
 // StatusError is a non-2xx response: the HTTP status plus the server's
 // error message. Missing records (404) unwrap to os.ErrNotExist so
-// callers can errors.Is them like local store misses; 503 unwraps to
-// ErrUnavailable so callers can tell "retry later" from fatal.
+// callers can errors.Is them like local store misses; 503 and 429 both
+// unwrap to ErrUnavailable so callers can tell "retry later" from
+// fatal — a 429 (ingest backpressure, stream busy) is the same "come
+// back after Retry-After" contract as a draining or degraded server.
 type StatusError struct {
 	Status  int
 	Message string
@@ -84,12 +86,13 @@ func (e *StatusError) Error() string {
 	return fmt.Sprintf("server: %s (HTTP %d)", e.Message, e.Status)
 }
 
-// Unwrap maps 404 onto os.ErrNotExist and 503 onto ErrUnavailable.
+// Unwrap maps 404 onto os.ErrNotExist, and 503 and 429 onto
+// ErrUnavailable.
 func (e *StatusError) Unwrap() error {
 	switch e.Status {
 	case http.StatusNotFound:
 		return os.ErrNotExist
-	case http.StatusServiceUnavailable:
+	case http.StatusServiceUnavailable, http.StatusTooManyRequests:
 		return ErrUnavailable
 	}
 	return nil

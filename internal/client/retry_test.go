@@ -10,6 +10,8 @@ import (
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"repro/internal/ingest"
 )
 
 // seededClient returns a client whose jitter is deterministic and whose
@@ -159,6 +161,46 @@ func TestRetryAfterIsBackoffFloor(t *testing.T) {
 	}
 }
 
+// TestRetryAfter429IngestBackpressure is the regression test for the
+// 429 gap: an ingest endpoint answering 429 + Retry-After (stream busy,
+// full queue) must floor the backoff and unwrap to ErrUnavailable
+// exactly like a 503 — previously only 503 got the floor treatment
+// through the typed-error path.
+func TestRetryAfter429IngestBackpressure(t *testing.T) {
+	h, calls := flaky(1, http.StatusTooManyRequests, "2",
+		okJSON(`{"accepted":3,"queued":0,"steps":0,"true_count":0}`))
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+
+	c, slept := seededClient(ts.URL, 1)
+	resp, err := c.IngestSamples(context.Background(), &ingest.SamplesRequest{
+		App: "poisson", RunID: "r1", Seq: 1,
+		Samples: []ingest.Sample{{Proc: "p1", Node: "n1", Kind: "cpu", Start: 0, End: 1}},
+	})
+	if err != nil || resp.Accepted != 3 {
+		t.Fatalf("IngestSamples = %+v, %v, want success after one 429 retry", resp, err)
+	}
+	if got := calls.Load(); got != 2 {
+		t.Errorf("server saw %d attempts, want 2", got)
+	}
+	if len(*slept) != 1 || (*slept)[0] < 2*time.Second {
+		t.Errorf("slept %v, want >= 2s from the 429's Retry-After", *slept)
+	}
+
+	// And an exhausted 429 budget surfaces as ErrUnavailable.
+	h2, _ := flaky(100, http.StatusTooManyRequests, "1", okJSON(`{}`))
+	ts2 := httptest.NewServer(h2)
+	defer ts2.Close()
+	c2, _ := seededClient(ts2.URL, 1)
+	_, err = c2.IngestSamples(context.Background(), &ingest.SamplesRequest{
+		App: "poisson", RunID: "r1", Seq: 1,
+		Samples: []ingest.Sample{{Proc: "p1", Node: "n1", Kind: "cpu", Start: 0, End: 1}},
+	})
+	if !errors.Is(err, ErrUnavailable) {
+		t.Errorf("exhausted 429 error %v does not unwrap to ErrUnavailable", err)
+	}
+}
+
 // TestRetryHonorsContext proves an expired context stops the loop
 // between attempts with the context's error.
 func TestRetryHonorsContext(t *testing.T) {
@@ -259,11 +301,12 @@ func TestBreakerReopensOnFailedProbe(t *testing.T) {
 	}
 }
 
-// TestErrUnavailableMapping pins the satellite fix: a 503 is a typed,
-// distinguishable error; other statuses are not.
+// TestErrUnavailableMapping pins the "retry later" statuses: 503 and
+// 429 are typed, distinguishable errors; other statuses are not.
 func TestErrUnavailableMapping(t *testing.T) {
 	for status, want := range map[int]bool{
 		http.StatusServiceUnavailable:  true,
+		http.StatusTooManyRequests:     true,
 		http.StatusInternalServerError: false,
 		http.StatusBadRequest:          false,
 		http.StatusNotFound:            false,

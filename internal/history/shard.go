@@ -33,6 +33,10 @@ type shardManifest struct {
 	Version int    `json:"version"`
 	Shards  int    `json:"shards"`
 	Hash    string `json:"hash"`
+	// Replicas is the follower count the deployment expects per shard
+	// (0 = unreplicated). Manifest version 2 introduced it; version 1
+	// manifests read back as Replicas 0 and stay valid.
+	Replicas int `json:"replicas,omitempty"`
 }
 
 // errShardDown marks operations refused because the target shard is
@@ -91,6 +95,34 @@ type ShardInfo struct {
 	Records      int    `json:"records"`
 	Degraded     bool   `json:"degraded"`
 	LastRecovery string `json:"last_recovery"`
+	// Failover reports replica involvement: "" while the local store
+	// serves, "reads" while a down shard's reads come from a follower,
+	// "promoted" once a follower took over the keyspace for writes too.
+	Failover string `json:"failover,omitempty"`
+}
+
+// ShardReplica is a replica's serving surface for one shard — the point
+// and scan operations ShardedStore redirects to a follower when the
+// local shard store is down. The replication layer implements it over
+// HTTP; it lives here so the store does not import the transport.
+type ShardReplica interface {
+	Save(rec *RunRecord) error
+	PutBatch(recs []*RunRecord) (int, error)
+	Load(app, version, runID string) (*RunRecord, error)
+	Delete(app, version, runID string) error
+	Keys() []RecordKey
+	Len() int
+	LoadAll(app, version string) ([]*RunRecord, error)
+}
+
+// ShardFailover picks replicas for failed shards: Reader returns the
+// most-caught-up follower able to serve a shard's reads, Promote hands
+// the shard's keyspace to a follower for writes as well (after which the
+// local store must never serve it again in this process — promotion is
+// one-way until restart).
+type ShardFailover interface {
+	Reader(shard int) (ShardReplica, bool)
+	Promote(shard int) (ShardReplica, error)
 }
 
 // shardState is one shard plus its health: a breaker counting
@@ -106,16 +138,32 @@ type shardState struct {
 	fails        int
 	lastErr      string
 	lastRecovery string
+	// promoted, once set, is the follower that owns this shard's keyspace:
+	// every later operation goes there and the local store stays retired
+	// (reviving it would fork the keyspace — split brain).
+	promoted ShardReplica
+	// servedByReplica notes that the last degraded read came from a
+	// follower, for the /statsz failover gauge.
+	servedByReplica bool
 }
 
-// live returns the shard's store when it is up.
+// live returns the shard's store when it is up. A promoted shard is
+// never live — its keyspace belongs to the follower now.
 func (sh *shardState) live() (*Store, bool) {
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	if sh.down || sh.st == nil {
+	if sh.down || sh.st == nil || sh.promoted != nil {
 		return nil, false
 	}
 	return sh.st, true
+}
+
+// replica returns the promoted handle when the shard has been handed
+// over.
+func (sh *shardState) replica() (ShardReplica, bool) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.promoted, sh.promoted != nil
 }
 
 // noteErr feeds the shard breaker with one backend failure; threshold
@@ -168,10 +216,39 @@ type ShardedStore struct {
 	threshold int
 	shards    []*shardState
 	recovery  *RecoveryReport
+	replicas  int
+	failover  ShardFailover
+	promote   bool
 }
 
 // Shards returns the shard count pinned by the store's manifest.
 func (s *ShardedStore) Shards() int { return s.n }
+
+// Replicas returns the per-shard follower count the manifest expects
+// (0 = unreplicated layout).
+func (s *ShardedStore) Replicas() int { return s.replicas }
+
+// Shard returns shard i's local store, even while its breaker is open —
+// the replication layer needs the journal handle regardless of serving
+// state. ok is false when the shard never opened or i is out of range.
+func (s *ShardedStore) Shard(i int) (*Store, bool) {
+	if i < 0 || i >= s.n {
+		return nil, false
+	}
+	sh := s.shards[i]
+	sh.mu.Lock()
+	st := sh.st
+	sh.mu.Unlock()
+	return st, st != nil
+}
+
+// SetFailover installs (or replaces) the replica seam after open — the
+// daemon wires replication up once the HTTP side exists, which is after
+// the store is built.
+func (s *ShardedStore) SetFailover(f ShardFailover, promote bool) {
+	s.failover = f
+	s.promote = promote
+}
 
 // Dir returns the sharded store's root directory.
 func (s *ShardedStore) Dir() string { return s.dir }
@@ -239,12 +316,19 @@ func OpenSharded(dir string, n int, o DurableOptions) (*ShardedStore, error) {
 	}
 	creating := data == nil
 
+	replicas := o.Replicas
+	if data != nil && o.Replicas == 0 {
+		replicas = m.Replicas
+	}
 	s := &ShardedStore{
 		dir:       dir,
 		n:         n,
 		opts:      o,
 		timeout:   o.ShardTimeout,
 		threshold: o.ShardBreakerThreshold,
+		replicas:  replicas,
+		failover:  o.Failover,
+		promote:   o.Promote,
 	}
 	if s.timeout <= 0 {
 		s.timeout = 2 * time.Second
@@ -285,7 +369,15 @@ func OpenSharded(dir string, n int, o DurableOptions) (*ShardedStore, error) {
 		// The manifest is the layout's commit point: written after the
 		// shard directories exist, atomically, so a crash mid-create
 		// leaves a re-creatable layout rather than a half-pinned one.
-		mdata, err := json.MarshalIndent(shardManifest{Version: 1, Shards: n, Hash: shardHashScheme}, "", "  ")
+		mv := shardManifest{Version: 1, Shards: n, Hash: shardHashScheme}
+		if replicas > 0 {
+			// Version 2 = replication-aware manifest. Version is
+			// informational (opens validate hash + shard count), so v1
+			// readers still open the layout.
+			mv.Version = 2
+			mv.Replicas = replicas
+		}
+		mdata, err := json.MarshalIndent(mv, "", "  ")
 		if err != nil {
 			return nil, fmt.Errorf("history: sharded store %s: encode manifest: %w", dir, err)
 		}
@@ -381,9 +473,50 @@ func (s *ShardedStore) observe(sh *shardState, err error) {
 	}
 }
 
+// fallback returns the replica handle able to serve a down shard: the
+// promoted follower when the keyspace was handed over, else a caught-up
+// reader for reads, else — when write failover is allowed — the follower
+// a one-way promotion elects. ok is false when no replica can serve and
+// the operation must fail as before.
+func (s *ShardedStore) fallback(sh *shardState, write bool) (ShardReplica, bool) {
+	if r, ok := sh.replica(); ok {
+		return r, true
+	}
+	if s.failover == nil {
+		return nil, false
+	}
+	if !write {
+		r, ok := s.failover.Reader(sh.idx)
+		if ok {
+			sh.mu.Lock()
+			sh.servedByReplica = true
+			sh.mu.Unlock()
+		}
+		return r, ok
+	}
+	if !s.promote {
+		return nil, false
+	}
+	r, err := s.failover.Promote(sh.idx)
+	if err != nil || r == nil {
+		return nil, false
+	}
+	sh.mu.Lock()
+	// First promotion wins; Promote is idempotent on the replica side, so
+	// a concurrent racer got the same follower anyway.
+	if sh.promoted == nil {
+		sh.promoted = r
+	} else {
+		r = sh.promoted
+	}
+	sh.mu.Unlock()
+	return r, true
+}
+
 // Save routes the record to its shard. Writes to a down shard fail fast
 // with a transient backend error (the service layer answers 503 +
-// Retry-After) instead of blocking or spilling onto the wrong shard.
+// Retry-After) — unless a replica seam with promotion is installed, in
+// which case the keyspace is handed to a follower and stays writable.
 func (s *ShardedStore) Save(rec *RunRecord) error {
 	if err := rec.Validate(); err != nil {
 		return err
@@ -391,6 +524,9 @@ func (s *ShardedStore) Save(rec *RunRecord) error {
 	sh := s.route(rec.App, rec.Version)
 	st, ok := sh.live()
 	if !ok {
+		if r, ok := s.fallback(sh, true); ok {
+			return r.Save(rec)
+		}
 		return sh.downErr("put")
 	}
 	err := st.Save(rec)
@@ -428,7 +564,16 @@ func (s *ShardedStore) PutBatch(recs []*RunRecord) (int, error) {
 		sh := s.shards[idx]
 		st, ok := sh.live()
 		if !ok {
-			return saved, sh.downErr("put")
+			r, rok := s.fallback(sh, true)
+			if !rok {
+				return saved, sh.downErr("put")
+			}
+			n, err := r.PutBatch(groups[idx])
+			saved += n
+			if err != nil {
+				return saved, err
+			}
+			continue
 		}
 		n, err := st.PutBatch(groups[idx])
 		saved += n
@@ -440,11 +585,15 @@ func (s *ShardedStore) PutBatch(recs []*RunRecord) (int, error) {
 	return saved, nil
 }
 
-// Load routes the read to the shard owning (app, version).
+// Load routes the read to the shard owning (app, version), failing over
+// to a caught-up follower when the shard is down.
 func (s *ShardedStore) Load(app, version, runID string) (*RunRecord, error) {
 	sh := s.route(app, version)
 	st, ok := sh.live()
 	if !ok {
+		if r, ok := s.fallback(sh, false); ok {
+			return r.Load(app, version, runID)
+		}
 		return nil, sh.downErr("get")
 	}
 	rec, err := st.Load(app, version, runID)
@@ -452,11 +601,16 @@ func (s *ShardedStore) Load(app, version, runID string) (*RunRecord, error) {
 	return rec, err
 }
 
-// Delete routes the delete to the shard owning (app, version).
+// Delete routes the delete to the shard owning (app, version). Like
+// Save, a down shard's delete goes to the promoted follower when write
+// failover is enabled.
 func (s *ShardedStore) Delete(app, version, runID string) error {
 	sh := s.route(app, version)
 	st, ok := sh.live()
 	if !ok {
+		if r, ok := s.fallback(sh, true); ok {
+			return r.Delete(app, version, runID)
+		}
 		return sh.downErr("delete")
 	}
 	err := st.Delete(app, version, runID)
@@ -472,26 +626,43 @@ type shardResult[T any] struct {
 	err error
 }
 
-// scatter runs f over every live shard concurrently under the
-// per-shard timeout. A shard that errors or misses the deadline
-// contributes nothing to this call and feeds the shard breaker — the
-// degradation ladder's "failed shard turns its keyspace absent" rung.
-// Results are gathered in shard order.
-func scatter[T any](s *ShardedStore, op string, f func(st *Store) (T, error)) []T {
+// shardSource is the scan surface scatter reads from: a live local
+// store, or the replica standing in for a down shard. Both *Store and
+// ShardReplica satisfy it.
+type shardSource interface {
+	Keys() []RecordKey
+	Len() int
+	LoadAll(app, version string) ([]*RunRecord, error)
+}
+
+// scatter runs f over every serving shard concurrently under the
+// per-shard timeout. A live shard serves from its local store; a down
+// shard serves from a follower when the replica seam can supply one, so
+// its keyspace contributes to merged reads instead of turning absent.
+// A shard that errors or misses the deadline contributes nothing to this
+// call and — local sources only — feeds the shard breaker. Results are
+// gathered in shard order.
+func scatter[T any](s *ShardedStore, op string, f func(src shardSource) (T, error)) []T {
 	ch := make(chan shardResult[T], s.n)
 	launched := make([]bool, s.n)
+	viaReplica := make([]bool, s.n)
 	pending := 0
 	for i, sh := range s.shards {
-		st, ok := sh.live()
-		if !ok {
+		var src shardSource
+		if st, ok := sh.live(); ok {
+			src = st
+		} else if r, ok := s.fallback(sh, false); ok {
+			src = r
+			viaReplica[i] = true
+		} else {
 			continue
 		}
 		launched[i] = true
 		pending++
-		go func(i int, st *Store) {
-			v, err := f(st)
+		go func(i int, src shardSource) {
+			v, err := f(src)
 			ch <- shardResult[T]{idx: i, val: v, err: err}
-		}(i, st)
+		}(i, src)
 	}
 	timer := time.NewTimer(s.timeout)
 	defer timer.Stop()
@@ -512,25 +683,29 @@ func scatter[T any](s *ShardedStore, op string, f func(st *Store) (T, error)) []
 	for i, sh := range s.shards {
 		r := got[i]
 		if r == nil {
-			if launched[i] {
+			if launched[i] && !viaReplica[i] {
 				sh.noteErr(s.threshold, fmt.Errorf("history: shard %s: %s timed out after %s", shardDirName(i), op, s.timeout))
 			}
 			continue
 		}
 		if r.err != nil {
-			s.observe(sh, r.err)
+			if !viaReplica[i] {
+				s.observe(sh, r.err)
+			}
 			continue
 		}
-		sh.noteOK()
+		if !viaReplica[i] {
+			sh.noteOK()
+		}
 		out = append(out, r.val)
 	}
 	return out
 }
 
-// Keys merges every live shard's keys into canonical (app, version,
+// Keys merges every serving shard's keys into canonical (app, version,
 // run id) order.
 func (s *ShardedStore) Keys() []RecordKey {
-	parts := scatter(s, "keys", func(st *Store) ([]RecordKey, error) { return st.Keys(), nil })
+	parts := scatter(s, "keys", func(src shardSource) ([]RecordKey, error) { return src.Keys(), nil })
 	var keys []RecordKey
 	for _, p := range parts {
 		keys = append(keys, p...)
@@ -541,7 +716,7 @@ func (s *ShardedStore) Keys() []RecordKey {
 
 // Len sums the live shards' record counts.
 func (s *ShardedStore) Len() int {
-	parts := scatter(s, "len", func(st *Store) (int, error) { return st.Len(), nil })
+	parts := scatter(s, "len", func(src shardSource) (int, error) { return src.Len(), nil })
 	n := 0
 	for _, c := range parts {
 		n += c
@@ -565,7 +740,7 @@ func (s *ShardedStore) List() ([]string, error) {
 // canonical key order. Records stay interned per shard: treat them as
 // read-only.
 func (s *ShardedStore) LoadAll(app, version string) ([]*RunRecord, error) {
-	parts := scatter(s, "scan", func(st *Store) ([]*RunRecord, error) { return st.LoadAll(app, version) })
+	parts := scatter(s, "scan", func(src shardSource) ([]*RunRecord, error) { return src.LoadAll(app, version) })
 	var recs []*RunRecord
 	for _, p := range parts {
 		recs = append(recs, p...)
@@ -662,9 +837,16 @@ func (s *ShardedStore) Ping() error {
 	return nil
 }
 
-// pingShard probes one shard, reviving it on success.
+// pingShard probes one shard, reviving it on success. A promoted shard
+// is never revived: its keyspace lives on the follower now, and letting
+// the local store answer again would fork it (split brain). The shard
+// counts as serving — through the replica — for Ping's liveness tally.
 func (s *ShardedStore) pingShard(sh *shardState) error {
 	sh.mu.Lock()
+	if sh.promoted != nil {
+		sh.mu.Unlock()
+		return nil
+	}
 	st := sh.st
 	sh.mu.Unlock()
 	if st == nil {
@@ -721,6 +903,12 @@ func (s *ShardedStore) ShardStats() []ShardInfo {
 	for _, sh := range s.shards {
 		sh.mu.Lock()
 		info := ShardInfo{Shard: sh.idx, Degraded: sh.down, LastRecovery: sh.lastRecovery}
+		switch {
+		case sh.promoted != nil:
+			info.Failover = "promoted"
+		case sh.servedByReplica && sh.down:
+			info.Failover = "reads"
+		}
 		st := sh.st
 		sh.mu.Unlock()
 		if st != nil {
@@ -729,4 +917,22 @@ func (s *ShardedStore) ShardStats() []ShardInfo {
 		out = append(out, info)
 	}
 	return out
+}
+
+// SyncWAL flushes every open shard journal to stable storage — the
+// graceful-shutdown barrier, independent of each journal's sync policy.
+func (s *ShardedStore) SyncWAL() error {
+	var firstErr error
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		st := sh.st
+		sh.mu.Unlock()
+		if st == nil {
+			continue
+		}
+		if err := st.SyncWAL(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
 }

@@ -47,6 +47,9 @@ type Storage interface {
 	// WALStats totals the write-ahead journal's counters (the zero value
 	// when journaling is off).
 	WALStats() WALStats
+	// SyncWAL flushes the journal(s) to stable storage regardless of the
+	// configured sync policy — the graceful-shutdown barrier.
+	SyncWAL() error
 	// Dir returns the store's root directory, or "" for in-memory
 	// storage.
 	Dir() string

@@ -92,6 +92,17 @@ type DurableOptions struct {
 	// ShardBreakerThreshold is the consecutive-backend-failure count
 	// that marks a shard down until a Ping revives it. Zero means 3.
 	ShardBreakerThreshold int
+	// Replicas records the follower count the deployment expects per
+	// shard in the layout manifest (0 = unreplicated). Informational for
+	// the store itself; the replication layer reads it back.
+	Replicas int
+	// Failover, when non-nil, supplies replica handles for down shards:
+	// reads fail over to a follower instead of degrading to absent, and —
+	// with Promote set — writes do too, via one-way promotion.
+	Failover ShardFailover
+	// Promote allows a down shard's keyspace to be handed to a follower
+	// for writes. Without it failover is read-only.
+	Promote bool
 }
 
 // OpenStoreDurable opens a filesystem-backed store with the durability
@@ -437,6 +448,107 @@ func (s *Store) Delete(app, version, runID string) error {
 // WAL returns the store's write-ahead journal, or nil when the store was
 // not opened durable.
 func (s *Store) WAL() *WAL { return s.wal }
+
+// SyncWAL flushes the journal to stable storage regardless of the sync
+// policy — the shutdown barrier pcd runs before exit so an interval or
+// none policy loses nothing on a graceful stop. A store without a
+// journal has nothing to flush.
+func (s *Store) SyncWAL() error {
+	if s.wal == nil {
+		return nil
+	}
+	return s.wal.Sync()
+}
+
+// ApplyReplicated folds one replicated journal entry into the store: the
+// entry is appended to this store's own journal (the follower's
+// durability holds independently of the primary's) and the exact
+// journaled bytes are written to the backend, so a replicated record
+// file is byte-identical to the primary's. Re-applying an entry the
+// store already reflects is a no-op in effect — replication retries and
+// restarts converge rather than diverge.
+func (s *Store) ApplyReplicated(e WALEntry) error {
+	key := e.Key()
+	var cached *RunRecord
+	switch e.Op {
+	case walOpPut:
+		rec, err := decodeRecord(e.Data)
+		if err != nil {
+			return fmt.Errorf("history: replicated entry %s: %w", key, err)
+		}
+		if rec.Key() != key {
+			return fmt.Errorf("history: replicated entry %s: record identifies as %s", key, rec.Key())
+		}
+		cached = rec
+	case walOpDelete:
+	default:
+		return fmt.Errorf("history: replicated entry %s: unknown op %q", key, e.Op)
+	}
+	if s.wal != nil {
+		s.walMu.Lock()
+		defer s.walMu.Unlock()
+		if err := s.wal.Append(e); err != nil {
+			return asBackendError("wal append", err)
+		}
+	}
+	if e.Op == walOpDelete {
+		if err := s.backend.Delete(key); err != nil {
+			if !errors.Is(err, os.ErrNotExist) {
+				s.compensate(key)
+				return asBackendError("delete", err)
+			}
+		}
+		s.mu.Lock()
+		delete(s.recs, key)
+		s.mu.Unlock()
+		return nil
+	}
+	if err := s.backend.Put(key, e.Data); err != nil {
+		s.compensate(key)
+		return asBackendError("put", err)
+	}
+	s.mu.Lock()
+	s.recs[key] = cached
+	s.mu.Unlock()
+	return nil
+}
+
+// ReplicaSnapshot captures a consistent image of the store for follower
+// bootstrap: the journal position (epoch, seq) plus every record as a
+// put entry carrying the exact stored bytes. The snapshot is taken under
+// the journal lock, so it reflects a point between writes — a follower
+// that installs it and then replays frames after seq converges to the
+// primary. Requires a durable (journaled) store.
+func (s *Store) ReplicaSnapshot() (epoch, seq uint64, entries []WALEntry, err error) {
+	if s.wal == nil {
+		return 0, 0, nil, fmt.Errorf("history: replica snapshot: store has no journal")
+	}
+	s.walMu.Lock()
+	defer s.walMu.Unlock()
+	epoch = s.wal.Epoch()
+	seq = s.wal.Stats().Appends
+	s.mu.RLock()
+	keys := make([]RecordKey, 0, len(s.recs))
+	for k := range s.recs {
+		keys = append(keys, k)
+	}
+	sortKeys(keys)
+	entries = make([]WALEntry, 0, len(keys))
+	for _, k := range keys {
+		// Re-marshal the indexed copy: Save wrote exactly these bytes, so
+		// the follower's record files come out byte-identical.
+		data, merr := json.MarshalIndent(s.recs[k], "", "  ")
+		if merr != nil {
+			s.mu.RUnlock()
+			return 0, 0, nil, fmt.Errorf("history: replica snapshot %s: %w", k, merr)
+		}
+		entries = append(entries, WALEntry{
+			Op: walOpPut, App: k.App, Version: k.Version, RunID: k.RunID, Data: data,
+		})
+	}
+	s.mu.RUnlock()
+	return epoch, seq, entries, nil
+}
 
 // Close flushes and closes the store's journal (if any). The store's
 // read side keeps working; further Save/Delete calls fail in WAL mode.

@@ -90,6 +90,49 @@ const (
 	walOpDelete = "delete"
 )
 
+// The exported aliases let replication code construct and classify
+// entries without re-spelling the wire strings.
+const (
+	WALOpPut    = walOpPut
+	WALOpDelete = walOpDelete
+)
+
+// walEpochName is the per-journal epoch counter file. StartWAL truncates
+// the segment history at every open, so frame sequence numbers restart
+// from 1 each generation; the epoch disambiguates generations for
+// replication consumers (a follower holding (epoch, seq) can tell a
+// primary restart from a gap in the stream).
+const walEpochName = "EPOCH"
+
+// readWALEpoch returns the epoch recorded under dir, or 0 when absent.
+func readWALEpoch(dir string) (uint64, error) {
+	data, err := os.ReadFile(filepath.Join(dir, walEpochName))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return 0, nil
+		}
+		return 0, err
+	}
+	var epoch uint64
+	if _, err := fmt.Sscanf(strings.TrimSpace(string(data)), "%d", &epoch); err != nil {
+		return 0, fmt.Errorf("bad epoch file: %w", err)
+	}
+	return epoch, nil
+}
+
+// writeWALEpoch persists epoch under dir via tmp+rename+dirsync, so a
+// crash never leaves a torn counter.
+func writeWALEpoch(dir string, epoch uint64) error {
+	tmp := filepath.Join(dir, walEpochName+".tmp")
+	if err := os.WriteFile(tmp, []byte(fmt.Sprintf("%d\n", epoch)), 0o644); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, walEpochName)); err != nil {
+		return err
+	}
+	return syncDir(dir)
+}
+
 // WALEntry is one journaled mutation. Put entries carry the full encoded
 // record, so replay needs nothing but the journal; Delete entries carry
 // only the key. A failed backend mutation appends a compensating entry
@@ -296,6 +339,14 @@ type WAL struct {
 	// writeHook replaces the active segment's frame write when non-nil —
 	// the seam torn-append tests use to fail a write partway through.
 	writeHook func(f *os.File, frame []byte) (int, error)
+	// onAppend, when set, observes every successfully journaled entry
+	// (under w.mu, in append order) together with its sequence number
+	// within this epoch. The replication shipper hangs off this seam.
+	onAppend func(seq uint64, e WALEntry)
+
+	// epoch counts journal generations: StartWAL discards segments, so
+	// (epoch, append seq) uniquely names a frame across restarts.
+	epoch uint64
 
 	appends   atomic.Uint64
 	syncs     atomic.Uint64
@@ -320,11 +371,33 @@ func StartWAL(dir string, opts WALOptions) (*WAL, error) {
 			return nil, fmt.Errorf("history: wal: %w", err)
 		}
 	}
-	w := &WAL{dir: dir, opts: opts}
+	epoch, err := readWALEpoch(dir)
+	if err != nil {
+		return nil, fmt.Errorf("history: wal: %w", err)
+	}
+	epoch++
+	if err := writeWALEpoch(dir, epoch); err != nil {
+		return nil, fmt.Errorf("history: wal: %w", err)
+	}
+	w := &WAL{dir: dir, opts: opts, epoch: epoch}
 	if err := w.openSegment(1); err != nil {
 		return nil, err
 	}
 	return w, nil
+}
+
+// Epoch returns the journal generation: incremented (and persisted) at
+// every StartWAL, so frame sequence numbers — which restart from 1 each
+// generation — are globally ordered as (epoch, seq).
+func (w *WAL) Epoch() uint64 { return w.epoch }
+
+// SetOnAppend installs fn to observe every journaled entry, called under
+// the journal lock in append order with the entry's sequence number
+// within the current epoch. Install before concurrent appends begin.
+func (w *WAL) SetOnAppend(fn func(seq uint64, e WALEntry)) {
+	w.mu.Lock()
+	w.onAppend = fn
+	w.mu.Unlock()
 }
 
 // openSegment creates and switches to segment seq. Callers hold w.mu
@@ -387,7 +460,10 @@ func (w *WAL) Append(e WALEntry) error {
 	}
 	w.size += int64(len(frame))
 	w.dirty = true
-	w.appends.Add(1)
+	seq := w.appends.Add(1)
+	if w.onAppend != nil {
+		w.onAppend(seq, e)
+	}
 	switch w.opts.Sync {
 	case SyncAlways:
 		return w.syncLocked()

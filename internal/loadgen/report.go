@@ -66,10 +66,21 @@ type Verification struct {
 	AckedWrites        int `json:"acked_writes"`
 	ReadBackMissing    int `json:"read_back_missing"`
 	ReadBackMismatches int `json:"read_back_mismatches"`
+	// ReadBackFailedOver counts acknowledged writes the sweep found on
+	// the follower replica instead of the primary — writes a promoted
+	// shard took after its primary died. They are not losses.
+	ReadBackFailedOver int `json:"read_back_failed_over,omitempty"`
 	// FsckSeverity is pcfsck's grade of the quiesced store: 0 clean,
 	// 1 residue, 2 corrupt, -1 not checked (external server).
 	FsckSeverity int      `json:"fsck_severity"`
 	FsckFindings []string `json:"fsck_findings,omitempty"`
+	// FollowerRecords and FollowerFsckSeverity grade the follower
+	// replica's store when the suite armed replication (severity -1 when
+	// there was no follower). A cross-replica divergence — a shared key
+	// whose bytes differ between the follower and the primary's fold —
+	// raises the follower severity to 2.
+	FollowerRecords      int `json:"follower_records,omitempty"`
+	FollowerFsckSeverity int `json:"follower_fsck_severity"`
 	// StoreRecords is the final record count; StoreHash a SHA-256 over
 	// every record's canonical encoding in key order — two runs of the
 	// same (suite, seed) produce the same hash.
@@ -91,6 +102,10 @@ type SuiteReport struct {
 	WALSync    string  `json:"wal_sync"`
 	Mix        string  `json:"mix"`
 	FaultMix   string  `json:"fault_mix,omitempty"`
+	// Replicas and Failover carry the suite's replication shape: the
+	// armed follower count, and the scripted shard-kill (when any).
+	Replicas int    `json:"replicas,omitempty"`
+	Failover string `json:"failover,omitempty"`
 
 	// WallSeconds is the measured window (first dispatch to last
 	// completion); Ops/OpsPerSec the completed total and throughput.
@@ -130,6 +145,10 @@ func (r *SuiteReport) Passed() error {
 	if r.Verify.FsckSeverity > 0 {
 		return fmt.Errorf("loadgen: suite %s: pcfsck severity %d: %v",
 			r.Suite, r.Verify.FsckSeverity, r.Verify.FsckFindings)
+	}
+	if r.Verify.FollowerFsckSeverity > 0 {
+		return fmt.Errorf("loadgen: suite %s: follower replica pcfsck severity %d: %v",
+			r.Suite, r.Verify.FollowerFsckSeverity, r.Verify.FsckFindings)
 	}
 	return nil
 }

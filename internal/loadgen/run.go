@@ -21,6 +21,7 @@ import (
 	"repro/internal/history"
 	"repro/internal/ingest"
 	"repro/internal/metric"
+	"repro/internal/replica"
 	"repro/internal/server"
 )
 
@@ -67,6 +68,10 @@ func RunSuite(sc *Scenario, opt Options) (*SuiteReport, error) {
 		Prefill:    sc.Prefill,
 		WALSync:    sc.WALSync,
 		Mix:        sc.MixString(),
+		Replicas:   sc.Replicas,
+	}
+	if sc.KillAt > 0 {
+		rep.Failover = fmt.Sprintf("kill-shard:%d at:%s promote:%v", sc.KillShard, sc.KillAt, sc.Promote)
 	}
 	if armed(sc.Faults) {
 		rep.FaultMix = fmt.Sprintf("seed:%d err:%g torn:%g enospc:%g",
@@ -83,6 +88,7 @@ func RunSuite(sc *Scenario, opt Options) (*SuiteReport, error) {
 				return nil, fmt.Errorf("loadgen: %w", err)
 			}
 			defer os.RemoveAll(tmp)
+			defer os.RemoveAll(tmp + followerDirSuffix)
 			dir = tmp
 		}
 		var err error
@@ -93,6 +99,9 @@ func RunSuite(sc *Scenario, opt Options) (*SuiteReport, error) {
 		defer local.stop() // idempotent; normally stopped before verification
 		url = local.url
 		opt.logf("suite %s: serving %s (store %s, wal-sync %s)", sc.Name, url, dir, sc.WALSync)
+		if local.fol != nil {
+			opt.logf("suite %s: follower replica at %s (store %s)", sc.Name, local.folURL, local.folDir)
+		}
 	} else {
 		opt.logf("suite %s: driving external pcd at %s", sc.Name, url)
 	}
@@ -148,12 +157,27 @@ func RunSuite(sc *Scenario, opt Options) (*SuiteReport, error) {
 		return nil, err
 	}
 
+	// The scripted shard-primary death: KillAt into the measured phase,
+	// one shard's backend starts failing every op. The breaker trips and
+	// the failover seam keeps the keyspace readable (and, with promote,
+	// writable) through the follower.
+	var killTimer *time.Timer
+	if local != nil && sc.KillAt > 0 && local.shardFaults != nil {
+		killTimer = time.AfterFunc(sc.KillAt, func() {
+			local.killShard(sc.KillShard)
+			opt.logf("suite %s: shard %02d backend killed at +%s; follower takes over", sc.Name, sc.KillShard, sc.KillAt)
+		})
+	}
+
 	run := &runner{sc: sc, c: c, acked: acked, col: newCollector(sc.MixClasses())}
 	var wall time.Duration
 	if sc.Arrival == "open" {
 		wall = run.openLoop()
 	} else {
 		wall = run.closedLoop()
+	}
+	if killTimer != nil {
+		killTimer.Stop()
 	}
 	after, err := c.Stats(ctx)
 	stopPoll()
@@ -186,7 +210,7 @@ func RunSuite(sc *Scenario, opt Options) (*SuiteReport, error) {
 		if err := local.stop(); err != nil {
 			return rep, fmt.Errorf("loadgen: stopping pcd: %w", err)
 		}
-		if err := verifyStore(local.dir, sc, acked, &rep.Verify); err != nil {
+		if err := verifyStore(local.dir, local.folDir, sc, acked, &rep.Verify); err != nil {
 			return rep, err
 		}
 	} else {
@@ -541,10 +565,18 @@ func statsDelta(before, after *server.StatsResponse) *ServerDelta {
 	return d
 }
 
+// followerDirSuffix names the in-process follower replica's store
+// directory next to the primary's ("<dir>-follower") — outside the
+// primary's tree, so each store can be fscked on its own.
+const followerDirSuffix = "-follower"
+
 // localPCD is a self-hosted pcd: a real server.Server over a durable
 // (optionally fault-injected) store, served over loopback HTTP — the
 // live daemon the harness drives, minus process isolation (the kill-9
-// harness covers that).
+// harness covers that). With Scenario.Replicas it is a replication
+// primary: writes gate on follower acks and an in-process follower
+// replica (its own durable store, its own loopback endpoint for the
+// failover seam) pulls the WAL stream alongside.
 type localPCD struct {
 	dir     string
 	url     string
@@ -553,6 +585,16 @@ type localPCD struct {
 	httpSrv *http.Server
 	ln      net.Listener
 	stopped bool
+
+	// shardFaults holds the per-shard injectors when a scripted shard
+	// kill is armed; killShard flips one to a 100% error rate.
+	shardFaults []*history.FaultBackend
+
+	folDir   string
+	folURL   string
+	folStore history.Storage
+	fol      *replica.Follower
+	folSrv   *http.Server
 }
 
 func startLocal(sc *Scenario, dir string) (*localPCD, error) {
@@ -565,7 +607,19 @@ func startLocal(sc *Scenario, dir string) (*localPCD, error) {
 		WAL:        true,
 		WALOptions: history.WALOptions{Sync: sync},
 	}
-	if armed(sc.Faults) {
+	p := &localPCD{dir: dir}
+	switch {
+	case sc.KillAt > 0:
+		// A scripted shard kill needs a handle on each shard's injector;
+		// any scenario fault rates ride on the same wrapper.
+		faults := sc.Faults
+		p.shardFaults = make([]*history.FaultBackend, sc.Shards)
+		dopts.WrapShard = func(shard int, b history.Backend) history.Backend {
+			fb := history.NewFaultBackend(b, faults)
+			p.shardFaults[shard] = fb
+			return fb
+		}
+	case armed(sc.Faults):
 		faults := sc.Faults
 		// In a sharded layout this wraps each shard's backend with its
 		// own injector (same seed, independent schedule per shard).
@@ -577,9 +631,31 @@ func startLocal(sc *Scenario, dir string) (*localPCD, error) {
 	if err != nil {
 		return nil, err
 	}
-	srv := server.New(harness.NewEnv(st), server.Options{
+	p.store = st
+
+	// Replication: arm the primary before the server mounts, so the
+	// serving storage is the gated decorator and the replication
+	// endpoints come up with the daemon.
+	serveSt := st
+	var node *replica.Node
+	var prim *replica.Primary
+	if sc.Replicas > 0 {
+		prim, err = replica.NewPrimary(st, sc.Replicas)
+		if err != nil {
+			st.Close()
+			return nil, err
+		}
+		if ss, ok := st.(*history.ShardedStore); ok {
+			ss.SetFailover(replica.NewFailover(prim), sc.Promote)
+		}
+		serveSt = replica.Gate(st, prim)
+		node = &replica.Node{Primary: prim}
+	}
+
+	srv := server.New(harness.NewEnv(serveSt), server.Options{
 		Sessions:        sc.Workers,
 		BreakerCooldown: sc.BreakerCooldown,
+		Replication:     node,
 	})
 	if err := srv.EnableSessionJournal(filepath.Join(dir, server.SessionsDirName), 0); err != nil {
 		st.Close()
@@ -590,16 +666,60 @@ func startLocal(sc *Scenario, dir string) (*localPCD, error) {
 		st.Close()
 		return nil, err
 	}
-	p := &localPCD{
-		dir:     dir,
-		url:     "http://" + ln.Addr().String(),
-		store:   st,
-		srv:     srv,
-		httpSrv: &http.Server{Handler: srv.Handler()},
-		ln:      ln,
-	}
+	p.url = "http://" + ln.Addr().String()
+	p.srv = srv
+	p.httpSrv = &http.Server{Handler: srv.Handler()}
+	p.ln = ln
 	go p.httpSrv.Serve(ln)
+
+	if sc.Replicas > 0 {
+		if err := p.startFollower(sc); err != nil {
+			p.stop()
+			return nil, err
+		}
+	}
 	return p, nil
+}
+
+// startFollower brings up the in-process follower replica: a durable
+// store of the primary's layout, a pull loop against the primary's WAL
+// endpoints, and a loopback HTTP endpoint serving the promote and
+// redirected-op routes the failover seam drives.
+func (p *localPCD) startFollower(sc *Scenario) error {
+	p.folDir = p.dir + followerDirSuffix
+	folSt, err := history.OpenStoreAuto(p.folDir, sc.Shards, history.DurableOptions{Create: true, WAL: true})
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		folSt.Close()
+		return err
+	}
+	p.folURL = "http://" + ln.Addr().String()
+	fol, err := replica.NewFollower(p.url, p.folURL, folSt)
+	if err != nil {
+		ln.Close()
+		folSt.Close()
+		return err
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /api/v1/replica/promote", fol.HandlePromote)
+	mux.HandleFunc("POST /api/v1/replica/op", fol.HandleOp)
+	p.folStore = folSt
+	p.fol = fol
+	p.folSrv = &http.Server{Handler: mux}
+	go p.folSrv.Serve(ln)
+	fol.Start()
+	return nil
+}
+
+// killShard fails one shard's backend outright — every op errors from
+// here on, the shard-primary death the failover seam exists for.
+func (p *localPCD) killShard(shard int) {
+	if shard >= 0 && shard < len(p.shardFaults) && p.shardFaults[shard] != nil {
+		p.shardFaults[shard].SetConfig(history.FaultConfig{ErrRate: 1})
+	}
 }
 
 // stop drains and shuts the daemon down the way pcd's SIGTERM path
@@ -611,6 +731,12 @@ func (p *localPCD) stop() error {
 	p.stopped = true
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
+	// The follower stops pulling first so no replication request holds
+	// the primary's drain open.
+	if p.fol != nil {
+		p.fol.Stop()
+		p.folSrv.Close()
+	}
 	// Shutdown (not just drain) so the streaming intake closes before
 	// the store does: leftover streams are discarded, never finalized
 	// into a closing journal.
@@ -620,20 +746,39 @@ func (p *localPCD) stop() error {
 	if err := p.httpSrv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		return err
 	}
-	return p.store.Close()
+	if err := p.store.Close(); err != nil {
+		return err
+	}
+	if p.folStore != nil {
+		return p.folStore.Close()
+	}
+	return nil
 }
 
 // verifyStore is the self-hosted correctness sweep: reopen the quiesced
 // store with the standard recovery pass (no fault injection — the chaos
 // layer wrapped the serving phase only), read back every acknowledged
 // write against its rebuilt expected bytes, hash the full contents in
-// canonical encoding, close, and run the offline fsck grade.
-func verifyStore(dir string, sc *Scenario, acked *ackedSet, v *Verification) error {
+// canonical encoding, close, and run the offline fsck grade. With a
+// follower replica (folDir non-empty) an acknowledged write may live on
+// the follower instead — a write taken after promotion — and the sweep
+// accepts it from either store; the follower store then gets its own
+// fsck grade plus the cross-replica fold comparison.
+func verifyStore(dir, folDir string, sc *Scenario, acked *ackedSet, v *Verification) error {
 	st, err := history.OpenStoreAuto(dir, 0, history.DurableOptions{WAL: true})
 	if err != nil {
 		return fmt.Errorf("loadgen: reopening store for verification: %w", err)
 	}
+	var folSt history.Storage
+	if folDir != "" {
+		folSt, err = history.OpenStoreAuto(folDir, 0, history.DurableOptions{WAL: true})
+		if err != nil {
+			st.Close()
+			return fmt.Errorf("loadgen: reopening follower store for verification: %w", err)
+		}
+	}
 	v.AckedWrites = len(acked.ids)
+	v.FollowerFsckSeverity = -1
 	for _, runID := range acked.sorted() {
 		info := acked.info(runID)
 		app, want, werr := expected(sc, runID, info)
@@ -641,11 +786,18 @@ func verifyStore(dir string, sc *Scenario, acked *ackedSet, v *Verification) err
 			return fmt.Errorf("loadgen: rebuilding expected record %s: %w", runID, werr)
 		}
 		rec, err := st.Load(app, VersionOf(info.idx), runID)
-		if err != nil {
-			v.ReadBackMissing++
+		if err == nil && canonicalEqual(rec, want) {
 			continue
 		}
-		if !canonicalEqual(rec, want) {
+		if folSt != nil {
+			if frec, ferr := folSt.Load(app, VersionOf(info.idx), runID); ferr == nil && canonicalEqual(frec, want) {
+				v.ReadBackFailedOver++
+				continue
+			}
+		}
+		if err != nil {
+			v.ReadBackMissing++
+		} else {
 			v.ReadBackMismatches++
 		}
 	}
@@ -672,6 +824,41 @@ func verifyStore(dir string, sc *Scenario, acked *ackedSet, v *Verification) err
 				fmt.Sprintf("%s/%02d/%s: %s", history.ShardsDirName, sh.Shard, f.Path, f.Problem))
 		}
 	}
+	if folSt == nil {
+		return nil
+	}
+	v.FollowerRecords = folSt.Len()
+	if err := folSt.Close(); err != nil {
+		return err
+	}
+	folFsck, err := history.FsckStore(folDir, false)
+	if err != nil {
+		return fmt.Errorf("loadgen: follower fsck: %w", err)
+	}
+	v.FollowerFsckSeverity = folFsck.Severity()
+	for _, f := range folFsck.Findings {
+		v.FsckFindings = append(v.FsckFindings, fmt.Sprintf("follower:%s: %s", f.Path, f.Problem))
+	}
+	for _, sh := range folFsck.Shards {
+		for _, f := range sh.Findings {
+			v.FsckFindings = append(v.FsckFindings,
+				fmt.Sprintf("follower:%s/%02d/%s: %s", history.ShardsDirName, sh.Shard, f.Path, f.Problem))
+		}
+	}
+	// Cross-replica: the follower must be a subset of the primary's fold
+	// with byte-identical shared records. Post-promotion extras and
+	// replication lag grade as residue; divergence is corruption, and
+	// only that fails the bar.
+	cross, err := history.FsckReplica(folDir, dir)
+	if err != nil {
+		return fmt.Errorf("loadgen: cross-replica fsck: %w", err)
+	}
+	for _, f := range cross.Findings {
+		if f.Severity == history.FsckCorrupt && v.FollowerFsckSeverity < 2 {
+			v.FollowerFsckSeverity = 2
+		}
+		v.FsckFindings = append(v.FsckFindings, fmt.Sprintf("replica:%s: %s", f.Path, f.Problem))
+	}
 	return nil
 }
 
@@ -681,6 +868,7 @@ func verifyStore(dir string, sc *Scenario, acked *ackedSet, v *Verification) err
 func verifyWire(ctx context.Context, c *client.Client, sc *Scenario, acked *ackedSet, v *Verification) error {
 	v.AckedWrites = len(acked.ids)
 	v.FsckSeverity = -1
+	v.FollowerFsckSeverity = -1
 	for _, runID := range acked.sorted() {
 		info := acked.info(runID)
 		app, want, werr := expected(sc, runID, info)

@@ -72,6 +72,19 @@ type Scenario struct {
 	// interval; load runs want a short one so a fault burst heals within
 	// the run (0 means the server default).
 	BreakerCooldown time.Duration
+	// Replicas arms replication on the self-hosted pcd: the primary
+	// gates writes on follower acks (semi-sync) and the harness runs one
+	// in-process follower replica alongside it. Ignored against an
+	// external -server.
+	Replicas int
+	// KillAt, when positive, fails shard KillShard's backend that far
+	// into the measured phase — the shard-primary death the failover
+	// seam exists for. Requires Replicas > 0 and a sharded layout.
+	// Promote lets the follower take the dead shard's keyspace for
+	// writes; without it the failover serves reads only.
+	KillAt    time.Duration
+	KillShard int
+	Promote   bool
 	// Mix weights the op classes; weights are relative, not
 	// probabilities. Classes absent from the file get weight 0.
 	Mix map[string]float64
@@ -129,6 +142,20 @@ func (s *Scenario) Validate() error {
 	}
 	if s.DiagnoseMaxTime <= 0 {
 		s.DiagnoseMaxTime = 2000
+	}
+	if s.Replicas < 0 {
+		return fmt.Errorf("loadgen: suite %s: replicas %d is negative", s.Name, s.Replicas)
+	}
+	if s.KillAt > 0 {
+		if s.Replicas <= 0 {
+			return fmt.Errorf("loadgen: suite %s: kill-at needs replicas > 0 (no follower, nothing to fail over to)", s.Name)
+		}
+		if s.Shards <= 0 {
+			return fmt.Errorf("loadgen: suite %s: kill-at needs a sharded layout (shards >= 1)", s.Name)
+		}
+		if s.KillShard < 0 || s.KillShard >= s.Shards {
+			return fmt.Errorf("loadgen: suite %s: kill-shard %d outside [0,%d)", s.Name, s.KillShard, s.Shards)
+		}
 	}
 	total := 0.0
 	for class, w := range s.Mix {
@@ -356,6 +383,22 @@ func (s *Scenario) set(section, key, value string) error {
 			d, err := parseDuration(value)
 			s.BreakerCooldown = d
 			return err
+		case "replicas":
+			n, err := parseInt(value)
+			s.Replicas = int(n)
+			return err
+		case "kill-at":
+			d, err := parseDuration(value)
+			s.KillAt = d
+			return err
+		case "kill-shard":
+			n, err := parseInt(value)
+			s.KillShard = int(n)
+			return err
+		case "promote":
+			b, err := parseBool(value)
+			s.Promote = b
+			return err
 		}
 		return fmt.Errorf("unknown key suite.%s", key)
 	}
@@ -367,6 +410,16 @@ func parseString(value string) (string, error) {
 		return strconv.Unquote(value)
 	}
 	return "", fmt.Errorf("want a quoted string, got %s", value)
+}
+
+func parseBool(value string) (bool, error) {
+	switch value {
+	case "true":
+		return true, nil
+	case "false":
+		return false, nil
+	}
+	return false, fmt.Errorf("want true or false, got %s", value)
 }
 
 func parseFloat(value string) (float64, error) {

@@ -1,0 +1,516 @@
+package replica
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"net/http"
+	"net/url"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"repro/internal/history"
+)
+
+// stateDirName is the per-shard-store subdirectory holding replication
+// state; stateFileName records the follower's durable position.
+const (
+	stateDirName  = "replica"
+	stateFileName = "STATE.json"
+)
+
+// replState is a follower shard's durable position: the primary journal
+// position it has applied through, and whether the shard was promoted.
+// Persisted after each applied batch — a crash between apply and
+// persist just re-pulls from the older position, and re-apply is
+// idempotent (same entries, same bytes).
+type replState struct {
+	Epoch    uint64 `json:"epoch"`
+	Applied  uint64 `json:"applied_seq"`
+	Promoted bool   `json:"promoted,omitempty"`
+}
+
+func statePath(storeDir string) string {
+	return filepath.Join(storeDir, stateDirName, stateFileName)
+}
+
+func loadState(storeDir string) (replState, error) {
+	var st replState
+	data, err := os.ReadFile(statePath(storeDir))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return st, nil
+		}
+		return st, err
+	}
+	if err := json.Unmarshal(data, &st); err != nil {
+		// A torn state file is crash residue: restart from zero and let
+		// anti-entropy re-derive the position.
+		return replState{}, nil
+	}
+	return st, nil
+}
+
+func saveState(storeDir string, st replState) error {
+	dir := filepath.Join(storeDir, stateDirName)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(st, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp := filepath.Join(dir, stateFileName+".tmp")
+	if err := os.WriteFile(tmp, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, filepath.Join(dir, stateFileName))
+}
+
+// Follower replicates every shard of one primary into a local durable
+// store of the same layout: per shard, a pull loop long-polls the
+// primary's WAL endpoint, CRC-verifies and folds frames through
+// Store.ApplyReplicated, and persists its applied position. Promotion
+// stops a shard's loop and opens its keyspace for writes.
+type Follower struct {
+	primary string // primary base URL
+	self    string // this node's advertised URL, the registry id
+	stores  []*history.Store
+	httpc   *http.Client
+	ctx     context.Context // canceled by Stop: aborts in-flight pulls
+	cancel  context.CancelFunc
+
+	mu       sync.Mutex
+	states   []replState
+	stopped  bool
+	lastErr  string
+	stop     chan struct{}
+	wg       sync.WaitGroup
+	pollWait time.Duration
+}
+
+// NewFollower builds a follower of primaryURL over the local storage
+// layout. selfURL is the address the primary (and its failover seam)
+// can reach this node at; it doubles as the follower's registry id.
+// Previously persisted positions — including promotion — are reloaded,
+// so a restarted promoted follower stays writable.
+func NewFollower(primaryURL, selfURL string, st history.Storage) (*Follower, error) {
+	stores, err := StoreShards(st)
+	if err != nil {
+		return nil, err
+	}
+	f := &Follower{
+		primary:  primaryURL,
+		self:     selfURL,
+		stores:   stores,
+		httpc:    &http.Client{},
+		stop:     make(chan struct{}),
+		pollWait: 20 * time.Second,
+	}
+	f.ctx, f.cancel = context.WithCancel(context.Background())
+	for i, s := range stores {
+		dir := s.Dir()
+		if dir == "" {
+			return nil, fmt.Errorf("replica: shard %02d has no directory (follower needs a filesystem store)", i)
+		}
+		rs, err := loadState(dir)
+		if err != nil {
+			return nil, fmt.Errorf("replica: shard %02d state: %w", i, err)
+		}
+		f.states = append(f.states, rs)
+	}
+	return f, nil
+}
+
+// Shards returns the shard count.
+func (f *Follower) Shards() int { return len(f.stores) }
+
+// Start launches one pull loop per unpromoted shard.
+func (f *Follower) Start() {
+	for i := range f.stores {
+		f.mu.Lock()
+		promoted := f.states[i].Promoted
+		f.mu.Unlock()
+		if promoted {
+			continue
+		}
+		f.wg.Add(1)
+		go func(shard int) {
+			defer f.wg.Done()
+			f.pullLoop(shard)
+		}(i)
+	}
+}
+
+// Stop halts every pull loop and waits for them.
+func (f *Follower) Stop() {
+	f.mu.Lock()
+	if f.stopped {
+		f.mu.Unlock()
+		return
+	}
+	f.stopped = true
+	close(f.stop)
+	f.mu.Unlock()
+	// Abort in-flight pulls too: a caught-up shard's long-poll would
+	// otherwise hold the drain for the full poll window.
+	f.cancel()
+	f.wg.Wait()
+}
+
+// pullLoop replicates one shard until stop or promotion.
+func (f *Follower) pullLoop(shard int) {
+	for {
+		select {
+		case <-f.stop:
+			return
+		default:
+		}
+		f.mu.Lock()
+		if f.states[shard].Promoted {
+			f.mu.Unlock()
+			return
+		}
+		f.mu.Unlock()
+		if _, err := f.pullOnce(shard, f.pollWait); err != nil {
+			f.noteErr(err)
+			select {
+			case <-f.stop:
+				return
+			case <-time.After(250 * time.Millisecond):
+			}
+		}
+	}
+}
+
+// pullOnce issues one pull at the shard's current position and applies
+// whatever comes back. It returns the number of frames applied.
+func (f *Follower) pullOnce(shard int, wait time.Duration) (int, error) {
+	f.mu.Lock()
+	rs := f.states[shard]
+	f.mu.Unlock()
+
+	u := fmt.Sprintf("%s/api/v1/replica/wal?shard=%d&epoch=%d&from=%d&id=%s&wait=%d",
+		f.primary, shard, rs.Epoch, rs.Applied, url.QueryEscape(f.self), wait.Milliseconds())
+	ctx, cancel := context.WithTimeout(f.ctx, wait+15*time.Second)
+	defer cancel()
+	var resp PullResponse
+	if err := f.getJSON(ctx, u, &resp); err != nil {
+		return 0, err
+	}
+	if resp.NeedSnapshot {
+		return 0, f.bootstrap(shard)
+	}
+	applied := 0
+	for _, fr := range resp.Frames {
+		if fr.Seq <= rs.Applied {
+			continue // idempotent re-delivery
+		}
+		if fr.Seq != rs.Applied+1 {
+			break // gap: re-pull from the persisted position
+		}
+		if crc32.ChecksumIEEE(fr.Payload) != fr.CRC {
+			return applied, fmt.Errorf("replica: shard %02d frame %d failed CRC", shard, fr.Seq)
+		}
+		var e history.WALEntry
+		if err := json.Unmarshal(fr.Payload, &e); err != nil {
+			return applied, fmt.Errorf("replica: shard %02d frame %d: %w", shard, fr.Seq, err)
+		}
+		if err := f.stores[shard].ApplyReplicated(e); err != nil {
+			return applied, fmt.Errorf("replica: shard %02d frame %d: %w", shard, fr.Seq, err)
+		}
+		rs.Applied = fr.Seq
+		applied++
+	}
+	if applied > 0 {
+		f.setState(shard, rs)
+		if err := saveState(f.stores[shard].Dir(), rs); err != nil {
+			return applied, fmt.Errorf("replica: shard %02d persist state: %w", shard, err)
+		}
+	}
+	return applied, nil
+}
+
+// bootstrap installs a primary snapshot: local records not in the image
+// are deleted, every snapshot entry is folded in (exact bytes), and the
+// shard's position jumps to the snapshot's (epoch, seq).
+func (f *Follower) bootstrap(shard int) error {
+	ctx, cancel := context.WithTimeout(f.ctx, 60*time.Second)
+	defer cancel()
+	var snap SnapshotResponse
+	u := fmt.Sprintf("%s/api/v1/replica/snapshot?shard=%d", f.primary, shard)
+	if err := f.getJSON(ctx, u, &snap); err != nil {
+		return err
+	}
+	sst := f.stores[shard]
+	keep := make(map[history.RecordKey]bool, len(snap.Entries))
+	for _, e := range snap.Entries {
+		keep[e.Key()] = true
+	}
+	for _, k := range sst.Keys() {
+		if keep[k] {
+			continue
+		}
+		if err := sst.Delete(k.App, k.Version, k.RunID); err != nil {
+			return fmt.Errorf("replica: shard %02d snapshot prune %s: %w", shard, k, err)
+		}
+	}
+	for _, e := range snap.Entries {
+		if err := sst.ApplyReplicated(e); err != nil {
+			return fmt.Errorf("replica: shard %02d snapshot %s: %w", shard, e.Key(), err)
+		}
+	}
+	rs := replState{Epoch: snap.Epoch, Applied: snap.Seq}
+	f.setState(shard, rs)
+	if err := saveState(sst.Dir(), rs); err != nil {
+		return fmt.Errorf("replica: shard %02d persist state: %w", shard, err)
+	}
+	return nil
+}
+
+func (f *Follower) setState(shard int, rs replState) {
+	f.mu.Lock()
+	// Promotion may have raced the apply loop; never un-promote.
+	rs.Promoted = rs.Promoted || f.states[shard].Promoted
+	f.states[shard] = rs
+	f.mu.Unlock()
+}
+
+func (f *Follower) noteErr(err error) {
+	f.mu.Lock()
+	f.lastErr = err.Error()
+	f.mu.Unlock()
+}
+
+// Promote hands shard (or every shard, with shard == -1) to this
+// follower: a bounded final catch-up pull drains what the primary can
+// still serve, then the shard stops replicating and accepts writes.
+// Idempotent; persisted, so the role survives restart.
+func (f *Follower) Promote(shard int) ([]int, error) {
+	if shard >= len(f.stores) {
+		return nil, fmt.Errorf("replica: no shard %d", shard)
+	}
+	targets := []int{shard}
+	if shard < 0 {
+		targets = targets[:0]
+		for i := range f.stores {
+			targets = append(targets, i)
+		}
+	}
+	var promoted []int
+	for _, i := range targets {
+		f.mu.Lock()
+		already := f.states[i].Promoted
+		f.mu.Unlock()
+		if !already {
+			// Final catch-up, best-effort: the primary may already be dead,
+			// in which case whatever was applied — which, under the write
+			// gate, includes every acknowledged write — is the keyspace.
+			deadline := time.Now().Add(2 * time.Second)
+			for time.Now().Before(deadline) {
+				n, err := f.pullOnce(i, 0)
+				if err != nil || n == 0 {
+					break
+				}
+			}
+			f.mu.Lock()
+			f.states[i].Promoted = true
+			rs := f.states[i]
+			f.mu.Unlock()
+			if err := saveState(f.stores[i].Dir(), rs); err != nil {
+				return promoted, fmt.Errorf("replica: shard %02d persist promotion: %w", i, err)
+			}
+		}
+		promoted = append(promoted, i)
+	}
+	return promoted, nil
+}
+
+// Writable reports whether this node may accept a public write for
+// (app, version): nil once the owning shard has been promoted, an error
+// while the shard is still replicating (the server answers 503 and the
+// client retries — against the promoted holder, eventually).
+func (f *Follower) Writable(app, version string) error {
+	shard := history.ShardForKey(app, version, len(f.stores))
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.states[shard].Promoted {
+		return nil
+	}
+	return fmt.Errorf("replica: shard %02d is a read-only follower (not promoted)", shard)
+}
+
+// HandlePromote serves POST /api/v1/replica/promote.
+func (f *Follower) HandlePromote(w http.ResponseWriter, r *http.Request) {
+	var req PromoteRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Sprintf("decode promote request: %v", err))
+		return
+	}
+	promoted, err := f.Promote(req.Shard)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	writeWire(w, http.StatusOK, PromoteResponse{Promoted: promoted})
+}
+
+// HandleOp serves POST /api/v1/replica/op — the redirected store
+// operations a primary's failover seam sends. Reads are always served;
+// writes require the shard to have been promoted first (the seam
+// promotes before it writes).
+func (f *Follower) HandleOp(w http.ResponseWriter, r *http.Request) {
+	var req OpRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Sprintf("decode op request: %v", err))
+		return
+	}
+	if req.Shard < 0 || req.Shard >= len(f.stores) {
+		httpError(w, http.StatusBadRequest, fmt.Sprintf("no shard %d", req.Shard))
+		return
+	}
+	sst := f.stores[req.Shard]
+	switch req.Op {
+	case "save", "putbatch", "delete":
+		f.mu.Lock()
+		promoted := f.states[req.Shard].Promoted
+		f.mu.Unlock()
+		if !promoted {
+			httpError(w, http.StatusServiceUnavailable, fmt.Sprintf("shard %02d is not promoted; refusing replicated write", req.Shard))
+			return
+		}
+	}
+	switch req.Op {
+	case "save":
+		rec, err := decodeWireRecord(req.Record)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		if err := sst.Save(rec); err != nil {
+			httpError(w, http.StatusServiceUnavailable, err.Error())
+			return
+		}
+		writeWire(w, http.StatusOK, OpResponse{Saved: 1})
+	case "putbatch":
+		recs := make([]*history.RunRecord, 0, len(req.Records))
+		for _, raw := range req.Records {
+			rec, err := decodeWireRecord(raw)
+			if err != nil {
+				httpError(w, http.StatusBadRequest, err.Error())
+				return
+			}
+			recs = append(recs, rec)
+		}
+		n, err := sst.PutBatch(recs)
+		if err != nil {
+			writeWire(w, http.StatusServiceUnavailable, OpResponse{Saved: n})
+			return
+		}
+		writeWire(w, http.StatusOK, OpResponse{Saved: n})
+	case "delete":
+		if err := sst.Delete(req.App, req.Version, req.RunID); err != nil {
+			status := http.StatusServiceUnavailable
+			if errors.Is(err, os.ErrNotExist) {
+				status = http.StatusNotFound
+			}
+			httpError(w, status, err.Error())
+			return
+		}
+		writeWire(w, http.StatusOK, OpResponse{})
+	case "load":
+		rec, err := sst.Load(req.App, req.Version, req.RunID)
+		if err != nil {
+			status := http.StatusServiceUnavailable
+			if errors.Is(err, os.ErrNotExist) {
+				status = http.StatusNotFound
+			}
+			httpError(w, status, err.Error())
+			return
+		}
+		raw, err := json.Marshal(rec)
+		if err != nil {
+			httpError(w, http.StatusInternalServerError, err.Error())
+			return
+		}
+		writeWire(w, http.StatusOK, OpResponse{Record: raw})
+	case "keys":
+		keys := sst.Keys()
+		out := make([]Key, 0, len(keys))
+		for _, k := range keys {
+			out = append(out, Key{App: k.App, Version: k.Version, RunID: k.RunID})
+		}
+		writeWire(w, http.StatusOK, OpResponse{Keys: out})
+	case "len":
+		writeWire(w, http.StatusOK, OpResponse{Len: sst.Len()})
+	case "loadall":
+		recs, err := sst.LoadAll(req.App, req.Version)
+		if err != nil {
+			httpError(w, http.StatusServiceUnavailable, err.Error())
+			return
+		}
+		raws := make([]json.RawMessage, 0, len(recs))
+		for _, rec := range recs {
+			raw, err := json.Marshal(rec)
+			if err != nil {
+				httpError(w, http.StatusInternalServerError, err.Error())
+				return
+			}
+			raws = append(raws, raw)
+		}
+		writeWire(w, http.StatusOK, OpResponse{Records: raws})
+	default:
+		httpError(w, http.StatusBadRequest, fmt.Sprintf("unknown op %q", req.Op))
+	}
+}
+
+// Stats snapshots the follower's replication gauges.
+func (f *Follower) Stats() Stats {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := Stats{Role: "follower"}
+	for i, rs := range f.states {
+		out.Shards = append(out.Shards, ShardReplStats{
+			Shard:      i,
+			Epoch:      rs.Epoch,
+			AppliedSeq: rs.Applied,
+			Promoted:   rs.Promoted,
+		})
+	}
+	return out
+}
+
+// getJSON fetches u and decodes the JSON body into v.
+func (f *Follower) getJSON(ctx context.Context, u string, v any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := f.httpc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("replica: GET %s: %s: %s", u, resp.Status, body)
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
+}
+
+// decodeWireRecord unmarshals and validates one wire record.
+func decodeWireRecord(raw json.RawMessage) (*history.RunRecord, error) {
+	rec := &history.RunRecord{}
+	if err := json.Unmarshal(raw, rec); err != nil {
+		return nil, fmt.Errorf("decode record: %w", err)
+	}
+	if err := rec.Validate(); err != nil {
+		return nil, err
+	}
+	return rec, nil
+}

@@ -1,0 +1,264 @@
+package replica
+
+import (
+	"encoding/json"
+	"hash/crc32"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/history"
+)
+
+// defaultRingBytes bounds one shard log's in-memory frame ring. The
+// journal itself is truncated at every open and compacted at rotation,
+// so the ring is the only frame history the primary can serve; a
+// follower that falls further behind than this re-bootstraps from a
+// snapshot instead.
+const defaultRingBytes = 8 << 20
+
+// frameRec is one retained frame: the marshaled WALEntry payload, its
+// CRC, and its sequence number within the current epoch.
+type frameRec struct {
+	seq     uint64
+	crc     uint32
+	payload []byte
+}
+
+// followerAck is one follower's registry entry: the highest sequence it
+// reported applied, and when it last pulled.
+type followerAck struct {
+	ack  uint64
+	last time.Time
+}
+
+// shardLog is one shard's replication state on the primary: a bounded
+// ring of recent journal frames, the follower registry, and a notify
+// channel both long-polling followers and the semi-sync write gate wait
+// on. Appends arrive from the WAL's OnAppend hook (under the journal
+// lock, in order); everything else comes from HTTP handlers.
+type shardLog struct {
+	shard int
+
+	mu        sync.Mutex
+	epoch     uint64
+	frames    []frameRec
+	floor     uint64 // highest seq evicted from the ring (ring starts at floor+1)
+	head      uint64 // last appended seq (0 = none this epoch)
+	bytes     int64
+	maxBytes  int64
+	followers map[string]*followerAck
+	notify    chan struct{} // closed and replaced on every append or ack
+	clock     func() time.Time
+}
+
+func newShardLog(shard int, epoch uint64) *shardLog {
+	return &shardLog{
+		shard:     shard,
+		epoch:     epoch,
+		maxBytes:  defaultRingBytes,
+		followers: make(map[string]*followerAck),
+		notify:    make(chan struct{}),
+		clock:     time.Now,
+	}
+}
+
+// bumpLocked wakes every waiter. Callers hold l.mu.
+func (l *shardLog) bumpLocked() {
+	close(l.notify)
+	l.notify = make(chan struct{})
+}
+
+// append retains one journaled entry. Called from the WAL OnAppend hook:
+// seq is the entry's sequence within the journal epoch, strictly
+// increasing.
+func (l *shardLog) append(seq uint64, e history.WALEntry) {
+	payload, err := json.Marshal(e)
+	if err != nil {
+		return // a WALEntry the journal accepted always marshals
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.frames = append(l.frames, frameRec{seq: seq, crc: crc32.ChecksumIEEE(payload), payload: payload})
+	l.head = seq
+	l.bytes += int64(len(payload))
+	for l.bytes > l.maxBytes && len(l.frames) > 1 {
+		l.bytes -= int64(len(l.frames[0].payload))
+		l.floor = l.frames[0].seq
+		l.frames = l.frames[1:]
+	}
+	l.bumpLocked()
+}
+
+// registerAck records a follower's applied position at pull time (the
+// ack rides on the pull request, before any long-poll wait, so the
+// write gate releases as soon as the follower comes back for more).
+func (l *shardLog) registerAck(id string, ack uint64) {
+	if id == "" {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	fa := l.followers[id]
+	if fa == nil {
+		fa = &followerAck{}
+		l.followers[id] = fa
+	}
+	if ack > fa.ack {
+		fa.ack = ack
+	}
+	fa.last = l.clock()
+	l.bumpLocked()
+}
+
+// pull answers one follower pull from position (epoch, from): the
+// contiguous frames after from, capped at maxFrames, or a snapshot
+// demand when the position is unserveable. Blocks up to wait for new
+// frames when already caught up.
+func (l *shardLog) pull(epoch, from uint64, maxFrames int, wait time.Duration) PullResponse {
+	deadline := time.Now().Add(wait)
+	l.mu.Lock()
+	for {
+		if epoch != l.epoch || from < l.floor {
+			resp := PullResponse{Epoch: l.epoch, HeadSeq: l.head, NeedSnapshot: true}
+			l.mu.Unlock()
+			return resp
+		}
+		if l.head > from {
+			resp := PullResponse{Epoch: l.epoch, HeadSeq: l.head}
+			for _, fr := range l.frames {
+				if fr.seq <= from {
+					continue
+				}
+				resp.Frames = append(resp.Frames, Frame{Seq: fr.seq, CRC: fr.crc, Payload: fr.payload})
+				if len(resp.Frames) >= maxFrames {
+					break
+				}
+			}
+			l.mu.Unlock()
+			return resp
+		}
+		remain := time.Until(deadline)
+		if remain <= 0 {
+			resp := PullResponse{Epoch: l.epoch, HeadSeq: l.head}
+			l.mu.Unlock()
+			return resp
+		}
+		ch := l.notify
+		l.mu.Unlock()
+		t := time.NewTimer(remain)
+		select {
+		case <-ch:
+			t.Stop()
+		case <-t.C:
+		}
+		l.mu.Lock()
+	}
+}
+
+// maxAck returns the highest applied position among followers seen
+// within window, and whether any follower qualified.
+func (l *shardLog) maxAck(window time.Duration) (uint64, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.maxAckLocked(window)
+}
+
+func (l *shardLog) maxAckLocked(window time.Duration) (uint64, bool) {
+	cutoff := l.clock().Add(-window)
+	best, ok := uint64(0), false
+	for _, fa := range l.followers {
+		if fa.last.Before(cutoff) {
+			continue
+		}
+		if !ok || fa.ack > best {
+			best, ok = fa.ack, true
+		}
+	}
+	return best, ok
+}
+
+// bestFollower returns the id of the most-caught-up follower seen
+// within window — the failover seam's replica election.
+func (l *shardLog) bestFollower(window time.Duration) (string, uint64, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	cutoff := l.clock().Add(-window)
+	bestID, best, ok := "", uint64(0), false
+	for id, fa := range l.followers {
+		if fa.last.Before(cutoff) {
+			continue
+		}
+		if !ok || fa.ack > best || (fa.ack == best && id < bestID) {
+			bestID, best, ok = id, fa.ack, true
+		}
+	}
+	return bestID, best, ok
+}
+
+// waitAck blocks until a follower seen within window has applied seq.
+// It returns (true, _) on ack; (false, attached) on timeout, where
+// attached reports whether any follower was in the window at the end —
+// the caller distinguishes "no follower yet" (degrade to async) from
+// "follower lagging" (refuse the write).
+func (l *shardLog) waitAck(seq uint64, timeout, window time.Duration) (acked, attached bool) {
+	deadline := time.Now().Add(timeout)
+	l.mu.Lock()
+	for {
+		ack, ok := l.maxAckLocked(window)
+		if ok && ack >= seq {
+			l.mu.Unlock()
+			return true, true
+		}
+		if !ok {
+			// Nobody attached: the gate degrades to async immediately
+			// rather than stalling every write until a follower joins.
+			l.mu.Unlock()
+			return false, false
+		}
+		remain := time.Until(deadline)
+		if remain <= 0 {
+			l.mu.Unlock()
+			return false, ok
+		}
+		ch := l.notify
+		l.mu.Unlock()
+		t := time.NewTimer(remain)
+		select {
+		case <-ch:
+			t.Stop()
+		case <-t.C:
+		}
+		l.mu.Lock()
+	}
+}
+
+// headSeq returns the last appended sequence.
+func (l *shardLog) headSeq() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.head
+}
+
+// stats snapshots the shard's gauges.
+func (l *shardLog) stats() ShardReplStats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := ShardReplStats{Shard: l.shard, Epoch: l.epoch, HeadSeq: l.head}
+	for id, fa := range l.followers {
+		fs := FollowerStats{ID: id, AckSeq: fa.ack}
+		if l.head > fa.ack {
+			fs.LagFrames = l.head - fa.ack
+			// Bytes still unacked that the ring retains; a lag beyond the
+			// ring floor reports the whole ring.
+			for _, fr := range l.frames {
+				if fr.seq > fa.ack {
+					fs.LagBytes += int64(len(fr.payload))
+				}
+			}
+		}
+		out.Followers = append(out.Followers, fs)
+	}
+	sort.Slice(out.Followers, func(i, j int) bool { return out.Followers[i].ID < out.Followers[j].ID })
+	return out
+}

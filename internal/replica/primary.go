@@ -1,0 +1,195 @@
+package replica
+
+import (
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/history"
+)
+
+const (
+	// defaultGateTimeout bounds how long a semi-sync write waits for a
+	// follower ack before being refused as unavailable.
+	defaultGateTimeout = 5 * time.Second
+	// defaultFollowerWindow is how recently a follower must have pulled
+	// to count as attached (for the gate) or electable (for failover).
+	// Followers long-poll with short waits, so an attached follower is
+	// never older than a few seconds.
+	defaultFollowerWindow = 15 * time.Second
+	// maxPullFrames caps one pull response.
+	maxPullFrames = 512
+	// maxPullWait caps the long-poll a pull may request.
+	maxPullWait = 30 * time.Second
+)
+
+// Primary is a node's replication source: one shardLog per shard store,
+// fed by the journals' append hooks, served to followers over the pull
+// and snapshot endpoints, and consulted by the semi-sync write gate.
+type Primary struct {
+	stores   []*history.Store
+	logs     []*shardLog
+	replicas int
+	window   time.Duration
+	gate     time.Duration
+
+	asyncWrites  atomic.Uint64
+	gateTimeouts atomic.Uint64
+}
+
+// StoreShards flattens a storage layout into its per-shard stores: a
+// plain Store is one shard, a ShardedStore contributes each shard's
+// store. Every shard must be open — replication cannot hook a journal
+// that never opened.
+func StoreShards(st history.Storage) ([]*history.Store, error) {
+	switch s := st.(type) {
+	case *history.Store:
+		return []*history.Store{s}, nil
+	case *history.ShardedStore:
+		out := make([]*history.Store, s.Shards())
+		for i := range out {
+			sst, ok := s.Shard(i)
+			if !ok {
+				return nil, fmt.Errorf("replica: shard %02d is not open", i)
+			}
+			out[i] = sst
+		}
+		return out, nil
+	}
+	return nil, fmt.Errorf("replica: unsupported storage layout %T", st)
+}
+
+// NewPrimary builds the replication source over st's shards and hooks
+// every journal's append stream. replicas is the follower count the
+// deployment expects; with replicas > 0 the write gate is armed.
+// Requires a durable (journaled) store.
+func NewPrimary(st history.Storage, replicas int) (*Primary, error) {
+	stores, err := StoreShards(st)
+	if err != nil {
+		return nil, err
+	}
+	p := &Primary{
+		stores:   stores,
+		replicas: replicas,
+		window:   defaultFollowerWindow,
+		gate:     defaultGateTimeout,
+	}
+	for i, s := range stores {
+		w := s.WAL()
+		if w == nil {
+			return nil, fmt.Errorf("replica: shard %02d has no journal (replication requires -wal)", i)
+		}
+		l := newShardLog(i, w.Epoch())
+		p.logs = append(p.logs, l)
+		w.SetOnAppend(l.append)
+	}
+	return p, nil
+}
+
+// Shards returns the shard count.
+func (p *Primary) Shards() int { return len(p.logs) }
+
+// Replicas returns the expected follower count.
+func (p *Primary) Replicas() int { return p.replicas }
+
+// WaitWrite is the semi-sync gate: after a local write, wait until a
+// follower has applied up to the shard log's head. With no follower
+// attached the gate degrades to async (counted) rather than refusing
+// every write before the first follower joins; with an attached but
+// lagging follower the write is refused as unavailable, so the client
+// retries and the acked-write set stays a subset of what a promoted
+// follower holds.
+func (p *Primary) WaitWrite(shard int) error {
+	if p.replicas <= 0 || shard < 0 || shard >= len(p.logs) {
+		return nil
+	}
+	l := p.logs[shard]
+	seq := l.headSeq()
+	if seq == 0 {
+		return nil
+	}
+	acked, attached := l.waitAck(seq, p.gate, p.window)
+	if acked {
+		return nil
+	}
+	if !attached {
+		p.asyncWrites.Add(1)
+		return nil
+	}
+	p.gateTimeouts.Add(1)
+	return &history.BackendError{
+		Op:  "replicate",
+		Err: fmt.Errorf("replica: shard %02d write not acknowledged by any follower within %s", shard, p.gate),
+	}
+}
+
+// HandleWAL serves GET /api/v1/replica/wal — the follower pull.
+// Query: shard, epoch, from (last applied seq), id (the follower's
+// advertised URL, its registry key), wait (long-poll milliseconds).
+func (p *Primary) HandleWAL(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	shard, err := strconv.Atoi(q.Get("shard"))
+	if err != nil || shard < 0 || shard >= len(p.logs) {
+		httpError(w, http.StatusBadRequest, fmt.Sprintf("bad shard %q", q.Get("shard")))
+		return
+	}
+	epoch, _ := strconv.ParseUint(q.Get("epoch"), 10, 64)
+	from, _ := strconv.ParseUint(q.Get("from"), 10, 64)
+	waitMS, _ := strconv.Atoi(q.Get("wait"))
+	wait := time.Duration(waitMS) * time.Millisecond
+	if wait < 0 {
+		wait = 0
+	}
+	if wait > maxPullWait {
+		wait = maxPullWait
+	}
+	l := p.logs[shard]
+	// The ack is registered before any long-poll wait: the pull position
+	// IS the follower's applied offset, so the write gate releases the
+	// moment the follower comes back for more, not when it next applies.
+	if epoch == l.epochNow() {
+		l.registerAck(q.Get("id"), from)
+	} else {
+		l.registerAck(q.Get("id"), 0)
+	}
+	resp := l.pull(epoch, from, maxPullFrames, wait)
+	writeWire(w, http.StatusOK, resp)
+}
+
+// HandleSnapshot serves GET /api/v1/replica/snapshot?shard=N — the
+// anti-entropy bootstrap image.
+func (p *Primary) HandleSnapshot(w http.ResponseWriter, r *http.Request) {
+	shard, err := strconv.Atoi(r.URL.Query().Get("shard"))
+	if err != nil || shard < 0 || shard >= len(p.stores) {
+		httpError(w, http.StatusBadRequest, fmt.Sprintf("bad shard %q", r.URL.Query().Get("shard")))
+		return
+	}
+	epoch, seq, entries, err := p.stores[shard].ReplicaSnapshot()
+	if err != nil {
+		httpError(w, http.StatusServiceUnavailable, err.Error())
+		return
+	}
+	writeWire(w, http.StatusOK, SnapshotResponse{Epoch: epoch, Seq: seq, Entries: entries})
+}
+
+// Stats snapshots the primary's replication gauges.
+func (p *Primary) Stats() Stats {
+	out := Stats{
+		Role:         "primary",
+		AsyncWrites:  p.asyncWrites.Load(),
+		GateTimeouts: p.gateTimeouts.Load(),
+	}
+	for _, l := range p.logs {
+		out.Shards = append(out.Shards, l.stats())
+	}
+	return out
+}
+
+// epochNow returns the shard log's epoch.
+func (l *shardLog) epochNow() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.epoch
+}

@@ -1,0 +1,142 @@
+// Package replica implements primary/follower replication for the
+// history store on top of the write-ahead journal: the journal is
+// already a physical redo log, so a primary ships its CRC-framed
+// entries, sequence-numbered within a journal epoch, to followers that
+// fold them into their own durable stores and report applied offsets
+// back. Followers pull — a long-poll per shard, the ack piggybacked on
+// the pull — so the primary holds no connection state beyond a registry
+// of who has applied what. An anti-entropy path (store snapshot + WAL
+// tail) bootstraps fresh or stale followers whose pull position has
+// fallen off the primary's in-memory frame ring.
+//
+// Failover has two rungs sharing this substrate. Store-level: the
+// primary's ShardedStore, through the history.ShardFailover seam, serves
+// a broken shard's reads from the most-caught-up follower and — when
+// promotion is enabled — hands the keyspace over for writes. Process-
+// level: when the whole primary dies, an operator (or harness) promotes
+// the follower, which stops pulling and starts accepting writes; the
+// semi-synchronous write gate on the primary guarantees every
+// acknowledged write had reached a follower first, so promotion loses
+// nothing. See DESIGN.md §14 and FORMATS.md "Replication stream".
+package replica
+
+import (
+	"encoding/json"
+
+	"repro/internal/history"
+)
+
+// Frame is one replicated journal entry on the wire: the JSON-encoded
+// history.WALEntry as the primary journaled it, its CRC32 (IEEE), and
+// its sequence number within the primary's journal epoch. The follower
+// verifies the CRC before decoding — a bit flip in transit or in the
+// primary's ring must not reach a follower's store.
+type Frame struct {
+	Seq     uint64 `json:"seq"`
+	CRC     uint32 `json:"crc"`
+	Payload []byte `json:"payload"` // base64 on the wire
+}
+
+// PullResponse answers one follower pull. NeedSnapshot tells the
+// follower its position (epoch, from) is unserveable — wrong epoch, or
+// evicted from the frame ring — and it must bootstrap from /snapshot.
+type PullResponse struct {
+	Epoch        uint64  `json:"epoch"`
+	HeadSeq      uint64  `json:"head_seq"`
+	NeedSnapshot bool    `json:"need_snapshot,omitempty"`
+	Frames       []Frame `json:"frames,omitempty"`
+}
+
+// SnapshotResponse is a consistent store image for follower bootstrap:
+// every record as a put entry (exact stored bytes), stamped with the
+// journal position it reflects. A follower that installs the entries
+// and resumes pulling after (Epoch, Seq) converges to the primary.
+type SnapshotResponse struct {
+	Epoch   uint64             `json:"epoch"`
+	Seq     uint64             `json:"seq"`
+	Entries []history.WALEntry `json:"entries"`
+}
+
+// InfoResponse describes a node's replication shape — the handshake a
+// follower uses to open a matching local layout.
+type InfoResponse struct {
+	Role     string `json:"role"` // "primary" | "follower"
+	Shards   int    `json:"shards"`
+	Replicas int    `json:"replicas"`
+}
+
+// PromoteRequest asks a follower to take ownership of one shard's
+// keyspace (or every shard with Shard == -1, the whole-primary-death
+// case). Promotion is idempotent and one-way until restart with a
+// fresh role.
+type PromoteRequest struct {
+	Shard int `json:"shard"`
+}
+
+// PromoteResponse lists every shard the follower now owns.
+type PromoteResponse struct {
+	Promoted []int `json:"promoted"`
+}
+
+// OpRequest is one redirected store operation: the primary's failover
+// seam executes point and scan operations against a follower's shard
+// store when the local shard is down. Records travel as raw JSON.
+type OpRequest struct {
+	Shard   int               `json:"shard"`
+	Op      string            `json:"op"` // save|putbatch|load|delete|keys|len|loadall
+	App     string            `json:"app,omitempty"`
+	Version string            `json:"version,omitempty"`
+	RunID   string            `json:"run_id,omitempty"`
+	Record  json.RawMessage   `json:"record,omitempty"`
+	Records []json.RawMessage `json:"records,omitempty"`
+}
+
+// Key is a record key with wire tags.
+type Key struct {
+	App     string `json:"app"`
+	Version string `json:"version,omitempty"`
+	RunID   string `json:"run_id"`
+}
+
+// OpResponse carries one redirected operation's result.
+type OpResponse struct {
+	Record  json.RawMessage   `json:"record,omitempty"`
+	Records []json.RawMessage `json:"records,omitempty"`
+	Keys    []Key             `json:"keys,omitempty"`
+	Len     int               `json:"len,omitempty"`
+	Saved   int               `json:"saved,omitempty"`
+}
+
+// FollowerStats is one follower's position against a shard's log, as
+// the primary's registry sees it.
+type FollowerStats struct {
+	ID        string `json:"id"`
+	AckSeq    uint64 `json:"ack_seq"`
+	LagFrames uint64 `json:"lag_frames"`
+	LagBytes  int64  `json:"lag_bytes"`
+}
+
+// ShardReplStats is one shard's replication gauges. On a primary,
+// HeadSeq is the log head and Followers the registry; on a follower,
+// AppliedSeq is how far the apply loop has folded.
+type ShardReplStats struct {
+	Shard      int             `json:"shard"`
+	Epoch      uint64          `json:"epoch"`
+	HeadSeq    uint64          `json:"head_seq,omitempty"`
+	AppliedSeq uint64          `json:"applied_seq,omitempty"`
+	Promoted   bool            `json:"promoted,omitempty"`
+	Followers  []FollowerStats `json:"followers,omitempty"`
+}
+
+// Stats is the /statsz replication block.
+type Stats struct {
+	Role string `json:"role"`
+	// AsyncWrites counts writes acknowledged without a follower ack
+	// because no follower was attached (semi-sync degrades to async
+	// rather than refusing all writes before the first follower joins).
+	AsyncWrites uint64 `json:"async_writes,omitempty"`
+	// GateTimeouts counts writes refused because an attached follower
+	// failed to ack within the gate timeout.
+	GateTimeouts uint64           `json:"gate_timeouts,omitempty"`
+	Shards       []ShardReplStats `json:"shards"`
+}

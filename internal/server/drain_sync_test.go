@@ -1,0 +1,86 @@
+package server_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/harness"
+	"repro/internal/history"
+	"repro/internal/server"
+)
+
+// TestDrainSyncBarrier is the regression test for the graceful-shutdown
+// durability gap: under -wal-sync interval a write can be acknowledged
+// with its journal frame still unsynced, and a drain that exits without
+// a final fsync leaves that tail exposed to power loss. pcd's shutdown
+// path now calls Storage.SyncWAL() before Close; this pins that the
+// barrier actually syncs, observed through the /statsz sync counter.
+func TestDrainSyncBarrier(t *testing.T) {
+	st, err := history.OpenStoreDurable(t.TempDir(), history.DurableOptions{
+		Create: true,
+		WAL:    true,
+		// An interval so long no timer-driven sync can fire mid-test: any
+		// observed sync must come from the explicit barrier.
+		WALOptions: history.WALOptions{Sync: history.SyncIntervalPolicy, SyncEvery: time.Hour},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	srv := server.New(harness.NewEnv(st), server.Options{Sessions: 1})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// Two writes: the journal's first append under the interval policy
+	// syncs unconditionally (lastSync starts at zero), so it is the
+	// second, buffered-only write that models the exposed tail.
+	for _, runID := range []string{"r1", "r2"} {
+		body, err := json.Marshal(&history.RunRecord{App: "drain-app", RunID: runID})
+		if err != nil {
+			t.Fatal(err)
+		}
+		req, err := http.NewRequest(http.MethodPut, ts.URL+"/api/v1/run", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("put run %s: HTTP %d", runID, resp.StatusCode)
+		}
+	}
+
+	stats := getStats(t, ts.URL)
+	if stats.WALAppends != 2 {
+		t.Fatalf("wal_appends = %d, want 2", stats.WALAppends)
+	}
+	if stats.WALSyncs != 1 {
+		t.Fatalf("wal_syncs = %d before the barrier, want 1 (the second write must be acknowledged-but-unsynced)", stats.WALSyncs)
+	}
+
+	// The drain barrier pcd runs on SIGTERM/SIGINT before closing the
+	// store.
+	if err := st.SyncWAL(); err != nil {
+		t.Fatalf("SyncWAL: %v", err)
+	}
+	stats = getStats(t, ts.URL)
+	if stats.WALSyncs != 2 {
+		t.Fatalf("wal_syncs = %d after the barrier, want 2", stats.WALSyncs)
+	}
+
+	// And the barrier is idempotent: with nothing dirty, a second sync is
+	// a no-op, not another fsync.
+	if err := st.SyncWAL(); err != nil {
+		t.Fatalf("SyncWAL (idempotent): %v", err)
+	}
+	if stats = getStats(t, ts.URL); stats.WALSyncs != 2 {
+		t.Fatalf("wal_syncs = %d after an idle barrier, want 2", stats.WALSyncs)
+	}
+}

@@ -41,7 +41,33 @@ func (s *Server) routes() *http.ServeMux {
 	s.handle(mux, "POST /api/v1/ingest/start", "ingest_start", s.handleIngestStart)
 	s.handle(mux, "POST /api/v1/ingest/samples", "ingest_samples", s.handleIngestSamples)
 	s.handle(mux, "POST /api/v1/ingest/end", "ingest_end", s.handleIngestEnd)
+	if n := s.replication; n != nil {
+		s.handle(mux, "GET /api/v1/replica/info", "replica_info", n.HandleInfo)
+		if n.Primary != nil {
+			s.handle(mux, "GET /api/v1/replica/wal", "replica_wal", n.Primary.HandleWAL)
+			s.handle(mux, "GET /api/v1/replica/snapshot", "replica_snapshot", n.Primary.HandleSnapshot)
+		}
+		if n.Follower != nil {
+			s.handle(mux, "POST /api/v1/replica/promote", "replica_promote", n.Follower.HandlePromote)
+			s.handle(mux, "POST /api/v1/replica/op", "replica_op", n.Follower.HandleOp)
+		}
+	}
 	return mux
+}
+
+// rejectWriteGated enforces the follower write gate for (app, version):
+// true means the request was answered with 503 + Retry-After and the
+// handler must return.
+func (s *Server) rejectWriteGated(w http.ResponseWriter, app, version string) bool {
+	if s.writeGate == nil {
+		return false
+	}
+	if err := s.writeGate(app, version); err != nil {
+		s.counts.writesRejected.Add(1)
+		s.writeUnavailable(w, err.Error())
+		return true
+	}
+	return false
 }
 
 // route is one registered endpoint: its mux pattern and the op name its
@@ -190,7 +216,7 @@ func (s *Server) handlePutRun(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, fmt.Errorf("decode run record: %w", err), http.StatusBadRequest)
 		return
 	}
-	if s.rejectWriteDegraded(w) {
+	if s.rejectWriteDegraded(w) || s.rejectWriteGated(w, rec.App, rec.Version) {
 		return
 	}
 	if err := s.env.Store().Save(&rec); err != nil {
@@ -207,7 +233,7 @@ func (s *Server) handleDeleteRun(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, err, http.StatusBadRequest)
 		return
 	}
-	if s.rejectWriteDegraded(w) {
+	if s.rejectWriteDegraded(w) || s.rejectWriteGated(w, key.App, key.Version) {
 		return
 	}
 	if err := s.env.Store().Delete(key.App, key.Version, key.RunID); err != nil {
@@ -556,6 +582,12 @@ func (s *Server) runDiagnose(ctx context.Context, req *DiagnoseRequest, journalK
 			return nil, &diagnoseError{
 				err:         errors.New("store backend unavailable; writes are disabled while degraded"),
 				unavailable: true,
+			}
+		}
+		if s.writeGate != nil {
+			if err := s.writeGate(req.App, req.Version); err != nil {
+				s.counts.writesRejected.Add(1)
+				return nil, &diagnoseError{err: err, unavailable: true}
 			}
 		}
 		rec, err := s.env.SaveResult(res)

@@ -74,7 +74,7 @@ func (s *Server) handleIngestEnd(w http.ResponseWriter, r *http.Request) {
 	// The marker finalizes into the store; while degraded, refuse it
 	// up front (the stream stays alive for a later retry). A discard
 	// writes nothing and is always allowed.
-	if !req.Discard && s.rejectWriteDegraded(w) {
+	if !req.Discard && (s.rejectWriteDegraded(w) || s.rejectWriteGated(w, req.App, req.Version)) {
 		return
 	}
 	resp, err := s.intake.End(&req)
@@ -104,6 +104,11 @@ func (s *Server) handlePutRuns(w http.ResponseWriter, r *http.Request) {
 	}
 	if s.rejectWriteDegraded(w) {
 		return
+	}
+	for _, rec := range req.Runs {
+		if s.rejectWriteGated(w, rec.App, rec.Version) {
+			return
+		}
 	}
 	n, err := s.env.Store().PutBatch(req.Runs)
 	if err != nil {

@@ -20,6 +20,7 @@ import (
 	"repro/internal/harness"
 	"repro/internal/history"
 	"repro/internal/ingest"
+	"repro/internal/replica"
 )
 
 // Options configures a Server.
@@ -47,6 +48,16 @@ type Options struct {
 	// cap, idle timeout, engine budget); the zero value means the
 	// ingest.ManagerOptions defaults.
 	Ingest ingest.ManagerOptions
+	// Replication, when non-nil, mounts the replication endpoints for the
+	// node's role(s) — WAL pull + snapshot on a primary, promote + op
+	// redirection on a follower — and adds the replication block to
+	// /statsz.
+	Replication *replica.Node
+	// WriteGate, when non-nil, is consulted before every public write
+	// (put, batch put, delete, diagnose-with-save, ingest start): a
+	// non-nil error refuses the write with 503 + Retry-After. Follower
+	// nodes use it to stay read-only until promoted.
+	WriteGate func(app, version string) error
 }
 
 // Server is the diagnosis service. Create with New, expose via Handler,
@@ -72,6 +83,11 @@ type Server struct {
 	// virtual seconds.
 	journal         *sessionJournal
 	checkpointEvery float64
+
+	// replication is the node's replication role(s); writeGate refuses
+	// public writes on unpromoted followers. Both nil on plain nodes.
+	replication *replica.Node
+	writeGate   func(app, version string) error
 
 	// counts are the resilience counters /statsz reports.
 	counts svcCounters
@@ -126,6 +142,8 @@ func New(env *harness.Env, opts Options) *Server {
 		brkCooldown:    cd,
 		runJobs:        harness.RunSessionsGated,
 		opCounts:       map[string]*atomic.Uint64{},
+		replication:    opts.Replication,
+		writeGate:      opts.WriteGate,
 	}
 	s.intake = ingest.NewManager(env, opts.Ingest)
 	s.cond = sync.NewCond(&s.mu)
@@ -330,6 +348,7 @@ func (s *Server) stats() StatsResponse {
 		OpCounts:        ops,
 		Shards:          shards,
 		Ingest:          s.intake.Snapshot(),
+		Replication:     s.replication.Stats(),
 	}
 }
 

@@ -6,6 +6,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/history"
 	"repro/internal/ingest"
+	"repro/internal/replica"
 )
 
 // The wire types of the pcd diagnosis service (see FORMATS.md "Wire
@@ -91,6 +92,9 @@ type StatsResponse struct {
 	// Ingest is the streaming intake's counter block: active streams,
 	// lifecycle counts, accepted volume, backpressure rejections.
 	Ingest ingest.Stats `json:"ingest"`
+	// Replication carries the node's replication gauges (role, per-shard
+	// lag, follower acks) when replication is on; absent otherwise.
+	Replication *replica.Stats `json:"replication,omitempty"`
 }
 
 // RunsResponse is GET /api/v1/runs: stored run display names
