@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short race race-short bench bench-store bench-server bench-resilience bench-durability chaos killrestart fsck load load-smoke shard ingest replicate experiments fuzz clean
+.PHONY: all build vet test test-short race race-short bench bench-store bench-server bench-resilience bench-durability chaos killrestart fsck load load-smoke shard ingest replicate failover experiments fuzz clean
 
 all: build vet test
 
@@ -124,6 +124,18 @@ replicate:
 	$(GO) test -race -run 'TestKillPrimaryFailover|TestKillFollowerMidApply' -v .
 	$(GO) test -race ./internal/replica/
 	$(GO) run ./cmd/pcload -suite replica-failover -check -v
+
+# Automatic failover smoke: SIGKILL the primary process under load with
+# NO scripted promote — the lease-based failure detector must elect and
+# promote the follower on its own, fence the revived zombie with the
+# typed 409, and lose nothing acked. Then the flapping harness (three
+# kill/revive cycles, exactly one writable primary at every step), then
+# the auto-failover load suite (a shard backend killed mid-traffic, the
+# detector promoting with no operator).
+failover:
+	$(GO) test -race -run 'TestKillPrimaryAutoFailover|TestFailoverFlapping' -v .
+	$(GO) test -race ./internal/replica/
+	$(GO) run ./cmd/pcload -suite auto-failover -check -v
 
 # Regenerate every table and figure of the paper's evaluation.
 experiments:

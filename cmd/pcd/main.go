@@ -14,6 +14,8 @@
 //	    [-ingest-queue 8] [-ingest-streams 64] [-ingest-idle-timeout 2m]
 //	    [-ingest-eval-budget 16] [-ingest-harvest-sources 8]
 //	    [-replicas N] [-promote] [-follow URL] [-advertise URL]
+//	    [-auto-failover] [-lease-ttl 3s] [-heartbeat-every 0]
+//	    [-ack-quorum 1] [-peers URL,URL]
 //	    [-fault-seed N] [-fault-err-rate P] [-fault-torn-rate P]
 //
 // The store directory must already exist unless -create is given — a
@@ -67,9 +69,27 @@
 // over to the most-caught-up follower automatically; with -promote the
 // failed shard's keyspace is additionally handed to that follower for
 // writes, so the whole keyspace stays writable through the fault.
-// -advertise overrides the URL the primary reaches this follower at
-// (default: the actual listen address). /statsz carries a replication
-// block on both roles.
+// -advertise overrides the URL peers reach this node at (default: the
+// actual listen address). /statsz carries a replication block on both
+// roles.
+//
+// Automatic failover (DESIGN.md §15): with -auto-failover on every
+// node, no operator is needed when the primary dies. Follower pulls
+// double as heartbeats and carry the primary's -lease-ttl grant; a
+// follower without contact for a full lease runs an election against
+// -peers (plus the membership learned from the primary), and the
+// most-caught-up visible follower — majority visibility required, ties
+// broken by smallest advertise URL — bumps the journal epoch and takes
+// the keyspace. Every replication and write RPC carries the epoch;
+// stale-epoch traffic is refused with HTTP 409 (the typed fencing
+// error), so at most one node per keyspace accepts writes. A revived
+// old primary discovers the newer epoch at startup (via PEERS.json and
+// -peers), demotes itself to follower, quarantines the diverged tail
+// of its journal (surfaced by pcfsck, never silently dropped), and
+// catches up from a snapshot. -ack-quorum Q makes the write gate wait
+// for Q follower acks instead of one. The manual path — -promote on
+// the primary, or POSTing /api/v1/replica/promote to a follower —
+// still works as a documented operator override.
 //
 // The -fault-* flags wrap the store backend with deterministic seeded
 // fault injection (errors and torn writes) — the chaos layer the
@@ -98,6 +118,7 @@ import (
 	"os/signal"
 	"path/filepath"
 	"runtime"
+	"strings"
 	"syscall"
 	"time"
 
@@ -137,7 +158,12 @@ func main() {
 		replicas       = flag.Int("replicas", 0, "expected follower count; arms WAL shipping and the semi-sync write gate (primary role)")
 		promote        = flag.Bool("promote", false, "promote the most-caught-up follower when a shard fails, keeping its keyspace writable")
 		follow         = flag.String("follow", "", "primary base URL to replicate from (follower role)")
-		advertise      = flag.String("advertise", "", "URL the primary reaches this follower at (default http://<listen addr>)")
+		advertise      = flag.String("advertise", "", "URL peers reach this node at (default http://<listen addr>)")
+		autoFailover   = flag.Bool("auto-failover", false, "arm the heartbeat failure detector: followers self-promote when the primary's lease lapses, and a superseded primary demotes itself at startup")
+		leaseTTL       = flag.Duration("lease-ttl", 3*time.Second, "liveness lease granted with every pull; a follower without contact this long starts an election (the primary's value is the cluster-wide truth)")
+		heartbeatEvery = flag.Duration("heartbeat-every", 0, "failure-detector tick and pull long-poll cap (0 = lease-ttl/6)")
+		ackQuorum      = flag.Int("ack-quorum", 1, "follower acks that release a gated write, clamped to [1, replicas]")
+		peersFlag      = flag.String("peers", "", "comma-separated advertise URLs of the other replicas (the failover electorate)")
 	)
 	flag.Parse()
 	if *storeDir == "" {
@@ -149,6 +175,9 @@ func main() {
 	if (*follow != "" || *replicas > 0) && !*wal {
 		log.Fatal("replication ships the write-ahead journal; -wal must stay on")
 	}
+	if *autoFailover && *follow == "" && *replicas == 0 {
+		log.Fatal("-auto-failover needs a replication role (-replicas or -follow)")
+	}
 	sync, err := history.ParseSyncPolicy(*walSync)
 	if err != nil {
 		log.Fatal(err)
@@ -159,20 +188,36 @@ func main() {
 		WALOptions: history.WALOptions{Sync: sync},
 		Replicas:   *replicas,
 	}
+	// The startup rejoin handshake (DESIGN.md §15): a primary revived
+	// under -auto-failover interrogates its last known followers (and
+	// -peers) BEFORE serving. If any claims a newer epoch, a promotion
+	// happened while this node was down — it is a zombie, and it demotes
+	// itself into a follower of the winner instead of splitting the brain.
+	followURL := *follow
+	rejoined := false
+	if *autoFailover && *replicas > 0 {
+		if winner, theirs, ours := supersededBy(*storeDir, splitURLs(*peersFlag), *advertise); winner != "" {
+			log.Printf("rejoin: %s owns epoch %d, ours is %d; demoting to follower", winner, theirs, ours)
+			followURL = winner
+			rejoined = true
+		}
+	}
 	shardCount := *shards
-	if *follow != "" {
+	peerReplicas := 0
+	if followURL != "" {
 		// The layout handshake: a follower mirrors the primary's shard
 		// count, so its store can fold each shard's journal one to one.
-		info, err := replicaInfo(*follow, 30*time.Second)
+		info, err := replicaInfo(followURL, 30*time.Second)
 		if err != nil {
 			log.Fatal(err)
 		}
 		if info.Role != "primary" {
-			log.Fatalf("-follow %s: node is %q, not a primary", *follow, info.Role)
+			log.Fatalf("-follow %s: node is %q, not a primary", followURL, info.Role)
 		}
 		if shardCount == 0 && info.Shards > 1 {
 			shardCount = info.Shards
 		}
+		peerReplicas = info.Replicas
 	}
 	if *faultErrRate > 0 || *faultTornRate > 0 {
 		log.Printf("warning: fault injection active (seed %d, err %.3f, torn %.3f)",
@@ -223,36 +268,102 @@ func main() {
 	// Replication roles. A primary hooks every shard journal's append
 	// stream and gates acknowledged writes on follower progress; a
 	// follower pulls those streams into its own store and refuses public
-	// writes for shards it has not been promoted on.
+	// writes for shards it has not been promoted on. Under -auto-failover
+	// a follower additionally carries a dormant standby primary — the
+	// moment the failure detector wins its election, the standby starts
+	// serving this node's journal to the rest of the cluster.
+	self := *advertise
+	if self == "" {
+		self = "http://" + ln.Addr().String()
+	}
 	var (
 		node      *replica.Node
 		fol       *replica.Follower
+		det       *replica.Detector
 		serveSt   = st
 		writeGate func(app, version string) error
 	)
 	switch {
-	case *replicas > 0:
+	case *replicas > 0 && !rejoined:
 		prim, err := replica.NewPrimary(st, *replicas)
 		if err != nil {
 			log.Fatal(err)
 		}
+		prim.SetQuorum(*ackQuorum)
+		prim.SetLeaseTTL(*leaseTTL)
+		prim.SetPeersPath(replica.PeersFilePath(st.Dir()))
 		if ss, ok := st.(*history.ShardedStore); ok {
-			ss.SetFailover(replica.NewFailover(prim), *promote)
+			ss.SetFailover(replica.NewFailover(prim), *promote || *autoFailover)
 		}
 		serveSt = replica.Gate(st, prim)
-		node = &replica.Node{Primary: prim}
-	case *follow != "":
-		self := *advertise
-		if self == "" {
-			self = "http://" + ln.Addr().String()
+		node = &replica.Node{Primary: prim, Advertise: self}
+		if *autoFailover {
+			dcfg := replica.DetectorConfig{
+				Advertise: self,
+				LeaseTTL:  *leaseTTL,
+				Every:     *heartbeatEvery,
+				Peers:     splitURLs(*peersFlag),
+			}
+			if ss, ok := st.(*history.ShardedStore); ok {
+				dcfg.ShardHealth = ss.ShardStats
+				dcfg.PromoteShard = ss.FailoverPromote
+			}
+			det = replica.NewDetector(prim, dcfg)
+			det.Start()
 		}
-		fol, err = replica.NewFollower(*follow, self, st)
+	case followURL != "":
+		fol, err = replica.NewFollower(followURL, self, st)
 		if err != nil {
 			log.Fatal(err)
 		}
-		fol.Start()
-		node = &replica.Node{Follower: fol}
+		if rejoined {
+			if err := fol.Rejoin(followURL); err != nil {
+				log.Fatal(err)
+			}
+		}
+		node = &replica.Node{Follower: fol, Advertise: self}
 		writeGate = fol.Writable
+		if *autoFailover {
+			standbyN := peerReplicas
+			if standbyN < 1 {
+				standbyN = 1
+			}
+			standby, err := replica.NewPrimary(st, standbyN)
+			if err != nil {
+				log.Fatal(err)
+			}
+			standby.SetQuorum(*ackQuorum)
+			standby.SetLeaseTTL(*leaseTTL)
+			standby.SetPeersPath(replica.PeersFilePath(st.Dir()))
+			if ss, ok := st.(*history.ShardedStore); ok {
+				ss.SetFailover(replica.NewFailover(standby), true)
+			}
+			// The gate is inert until promotion: public writes are refused
+			// by fol.Writable first, and the standby degrades to async
+			// until its own first follower attaches.
+			serveSt = replica.Gate(st, standby)
+			node.Primary = standby
+			det = replica.NewDetector(standby, replica.DetectorConfig{
+				Advertise: self,
+				LeaseTTL:  *leaseTTL,
+				Every:     *heartbeatEvery,
+				Peers:     splitURLs(*peersFlag),
+			})
+			fol.SetAutoFailover(replica.AutoConfig{
+				LeaseTTL:       *leaseTTL,
+				HeartbeatEvery: *heartbeatEvery,
+				Peers:          splitURLs(*peersFlag),
+				Replicas:       standbyN,
+				OnPromote: func(epoch uint64) {
+					// Flip the standby to the won generation and start
+					// fencing rival epochs — this node is the primary now.
+					standby.SetEpochs(epoch)
+					det.Start()
+					log.Printf("failover: self-promoted under epoch %d", epoch)
+				},
+			})
+		}
+		fol.Start()
 	}
 
 	srv := server.New(harness.NewEnv(serveSt), server.Options{
@@ -289,10 +400,13 @@ func main() {
 	}
 	role := ""
 	switch {
-	case *replicas > 0:
+	case *replicas > 0 && !rejoined:
 		role = fmt.Sprintf(", primary of %d replicas", *replicas)
 	case fol != nil:
-		role = ", follower of " + *follow
+		role = ", follower of " + followURL
+	}
+	if *autoFailover {
+		role += ", auto-failover"
 	}
 	fmt.Printf("pcd: serving on http://%s (store %s%s%s, %d records, %d session slots)\n",
 		ln.Addr(), st.Dir(), layout, role, st.Len(), slots)
@@ -336,6 +450,9 @@ func main() {
 	if err := httpSrv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		log.Printf("shutdown: %v", err)
 	}
+	if det != nil {
+		det.Stop()
+	}
 	if fol != nil {
 		fol.Stop()
 	}
@@ -352,6 +469,65 @@ func main() {
 		log.Printf("store close: %v", err)
 	}
 	log.Print("stopped")
+}
+
+// splitURLs parses a comma-separated -peers list.
+func splitURLs(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, strings.TrimRight(p, "/"))
+		}
+	}
+	return out
+}
+
+// maxDiskEpoch reads the store's journal epoch(s) straight from disk —
+// before the store is opened, so before StartWAL bumps the generation.
+// A sharded layout reports the max across shards; a missing journal
+// reads as zero.
+func maxDiskEpoch(storeDir string) uint64 {
+	shardsDir := filepath.Join(storeDir, history.ShardsDirName)
+	if des, err := os.ReadDir(shardsDir); err == nil {
+		var max uint64
+		for _, de := range des {
+			if !de.IsDir() {
+				continue
+			}
+			if e, err := history.JournalEpoch(filepath.Join(shardsDir, de.Name())); err == nil && e > max {
+				max = e
+			}
+		}
+		return max
+	}
+	e, _ := history.JournalEpoch(storeDir)
+	return e
+}
+
+// supersededBy probes the persisted follower registry (PEERS.json) plus
+// the -peers flag for a node claiming a strictly newer epoch than this
+// store's on-disk journal generation. A hit means a promotion happened
+// while this primary was down: it returns the winner's URL and the two
+// epochs, and the caller demotes instead of serving writes.
+func supersededBy(storeDir string, peers []string, self string) (winner string, theirs, ours uint64) {
+	ours = maxDiskEpoch(storeDir)
+	seen := make(map[string]bool)
+	for _, peer := range append(replica.LoadPeers(replica.PeersFilePath(storeDir)), peers...) {
+		if peer == "" || peer == self || seen[peer] {
+			continue
+		}
+		seen[peer] = true
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		info, err := replica.FetchInfo(ctx, http.DefaultClient, peer)
+		cancel()
+		if err != nil {
+			continue
+		}
+		if (info.Role == "primary" || info.Promoted) && info.Epoch > ours && info.Epoch > theirs {
+			winner, theirs = peer, info.Epoch
+		}
+	}
+	return winner, theirs, ours
 }
 
 // replicaInfo fetches the primary's layout handshake, retrying while

@@ -10,6 +10,7 @@ import (
 	cryptorand "crypto/rand"
 	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -74,6 +75,8 @@ func NewResilient(baseURL string, retries int) *Client {
 // unwrap to ErrUnavailable so callers can tell "retry later" from
 // fatal — a 429 (ingest backpressure, stream busy) is the same "come
 // back after Retry-After" contract as a draining or degraded server.
+// A 409 unwraps to ErrFenced: the node was superseded by a newer
+// primary and will never accept this write — repoint, don't retry.
 type StatusError struct {
 	Status  int
 	Message string
@@ -86,14 +89,16 @@ func (e *StatusError) Error() string {
 	return fmt.Sprintf("server: %s (HTTP %d)", e.Message, e.Status)
 }
 
-// Unwrap maps 404 onto os.ErrNotExist, and 503 and 429 onto
-// ErrUnavailable.
+// Unwrap maps 404 onto os.ErrNotExist, 503 and 429 onto
+// ErrUnavailable, and 409 onto ErrFenced.
 func (e *StatusError) Unwrap() error {
 	switch e.Status {
 	case http.StatusNotFound:
 		return os.ErrNotExist
 	case http.StatusServiceUnavailable, http.StatusTooManyRequests:
 		return ErrUnavailable
+	case http.StatusConflict:
+		return ErrFenced
 	}
 	return nil
 }
@@ -158,12 +163,12 @@ func (c *Client) once(ctx context.Context, method, u string, payload []byte, has
 	}
 	resp, err := c.httpClient().Do(req)
 	if err != nil {
-		return nil, fmt.Errorf("client: %w", err)
+		return nil, transportErr(err)
 	}
 	defer resp.Body.Close()
 	data, err := io.ReadAll(resp.Body)
 	if err != nil {
-		return nil, fmt.Errorf("client: read response: %w", err)
+		return nil, transportErr(fmt.Errorf("read response: %w", err))
 	}
 	if resp.StatusCode < 200 || resp.StatusCode > 299 {
 		var e server.ErrorResponse
@@ -178,6 +183,18 @@ func (c *Client) once(ctx context.Context, method, u string, payload []byte, has
 		return nil, se
 	}
 	return data, nil
+}
+
+// transportErr classifies a network-level failure: a refused dial, a
+// reset connection, an EOF mid-response — the server never answered, so
+// the failure is transient (ErrUnavailable) like a 503. A request the
+// CALLER abandoned (context expiry) stays a plain error: backing off
+// and retrying a deadline you set yourself is never right.
+func transportErr(err error) error {
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return fmt.Errorf("client: %w", err)
+	}
+	return &TransportError{Err: err}
 }
 
 // Health returns the server's /healthz status string.

@@ -22,6 +22,28 @@ var ErrUnavailable = errors.New("server unavailable")
 // been seen that hammering the server would only make the outage worse.
 var ErrBreakerOpen = errors.New("circuit breaker open")
 
+// ErrFenced is the typed form of a 409 from a replica that has been
+// fenced by a newer epoch: the node answered deliberately, the request
+// was refused permanently, and retrying it there can never succeed —
+// the caller must repoint at the current primary.
+var ErrFenced = errors.New("fenced by a newer primary")
+
+// TransportError is a request that never produced an HTTP status: the
+// dial was refused, the connection reset mid-exchange, the response
+// body was cut short. The server may be down, restarting, or mid
+// failover — all "come back later" conditions — so it matches
+// ErrUnavailable under errors.Is while still unwrapping to the
+// underlying network error. Context expiry is NOT a TransportError:
+// the caller gave up, the server didn't.
+type TransportError struct{ Err error }
+
+func (e *TransportError) Error() string { return "client: " + e.Err.Error() }
+
+func (e *TransportError) Unwrap() error { return e.Err }
+
+// Is reports ErrUnavailable so callers treat a dead socket like a 503.
+func (e *TransportError) Is(target error) bool { return target == ErrUnavailable }
+
 // RetryPolicy bounds the client's retry loop for idempotent requests.
 // The zero value disables retries (one attempt per call).
 type RetryPolicy struct {

@@ -125,7 +125,57 @@ func FsckStore(dir string, repair bool) (*FsckReport, error) {
 	fsckWALAgreement(dir, fold, index, rep, repair)
 	fsckSessions(dir, rep, repair)
 	fsckQuarantine(dir, rep, repair)
+	fsckReplicaState(dir, rep, repair)
 	return rep, nil
+}
+
+// fsckReplicaState cross-checks a promoted shard's replication state
+// against the journal's epoch counter. A promoted node's replica/
+// STATE.json epoch and wal/EPOCH must agree — promotion persists the
+// journal epoch first, then the state, and every restart re-syncs — so
+// a mismatch is crash residue from between the two writes. The journal
+// is the authority (its epoch is what fencing compares), so -repair
+// reconciles the state file to it. An UNpromoted follower's state epoch
+// tracks its remote primary's journal, not the local one; no check
+// applies.
+func fsckReplicaState(dir string, rep *FsckReport, repair bool) {
+	spath := filepath.Join(dir, "replica", "STATE.json")
+	data, err := os.ReadFile(spath)
+	if err != nil {
+		return // no replication state — nothing to cross-check
+	}
+	var st map[string]any
+	if err := json.Unmarshal(data, &st); err != nil {
+		return // torn state is handled (restarted from zero) at open
+	}
+	promoted, _ := st["promoted"].(bool)
+	if !promoted {
+		return
+	}
+	stateEpoch := uint64(0)
+	if v, ok := st["epoch"].(float64); ok {
+		stateEpoch = uint64(v)
+	}
+	walEpoch, err := readWALEpoch(filepath.Join(dir, WALDirName))
+	if err != nil || walEpoch == 0 {
+		return // no journal to disagree with
+	}
+	if stateEpoch == walEpoch {
+		return
+	}
+	repaired := false
+	if repair {
+		st["epoch"] = walEpoch
+		if out, merr := json.MarshalIndent(st, "", "  "); merr == nil {
+			tmp := spath + ".tmp"
+			if os.WriteFile(tmp, append(out, '\n'), 0o644) == nil && os.Rename(tmp, spath) == nil {
+				repaired = true
+			}
+		}
+	}
+	rep.add(FsckResidue, filepath.Join("replica", "STATE.json"),
+		fmt.Sprintf("promoted shard's state epoch %d disagrees with journal epoch %d (crash between epoch bump and state persist)", stateEpoch, walEpoch),
+		"reconcile state to the journal's epoch", repaired)
 }
 
 // fsckTempFiles flags (and with repair, removes) orphaned atomic-write
@@ -595,6 +645,15 @@ func fsckQuarantine(dir string, rep *FsckReport, repair bool) {
 			continue
 		}
 		rep.Quarantined++
+		if strings.HasPrefix(name, "DIVERGENCE-") {
+			// A demoted primary's truncated WAL tail: writes from a fenced
+			// epoch the new generation does not hold. Always surfaced —
+			// the whole point is that the loss is auditable, not silent —
+			// and never auto-cleared; an operator inspects and deletes.
+			rep.add(FsckResidue, filepath.Join(QuarantineDir, name),
+				"diverged writes from a fenced epoch, truncated at rejoin", "", false)
+			continue
+		}
 		if recorded[name] {
 			continue
 		}

@@ -250,6 +250,40 @@ func (s *ShardedStore) SetFailover(f ShardFailover, promote bool) {
 	s.promote = promote
 }
 
+// FailoverPromote hands shard's keyspace to its most-caught-up follower
+// through the failover seam, regardless of whether write-path promotion
+// (the -promote opt-in) is armed — this is the failure detector's hook:
+// promotion driven by observed sustained death, not by a write tripping
+// the breaker. Idempotent; the first promotion wins.
+func (s *ShardedStore) FailoverPromote(shard int) error {
+	if s.failover == nil {
+		return fmt.Errorf("history: shard %02d: no failover seam installed", shard)
+	}
+	if shard < 0 || shard >= s.n {
+		return fmt.Errorf("history: no shard %d", shard)
+	}
+	sh := s.shards[shard]
+	sh.mu.Lock()
+	already := sh.promoted != nil
+	sh.mu.Unlock()
+	if already {
+		return nil
+	}
+	r, err := s.failover.Promote(shard)
+	if err != nil {
+		return err
+	}
+	if r == nil {
+		return fmt.Errorf("history: shard %02d: promotion elected no follower", shard)
+	}
+	sh.mu.Lock()
+	if sh.promoted == nil {
+		sh.promoted = r
+	}
+	sh.mu.Unlock()
+	return nil
+}
+
 // Dir returns the sharded store's root directory.
 func (s *ShardedStore) Dir() string { return s.dir }
 

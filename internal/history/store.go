@@ -164,6 +164,14 @@ func OpenStoreDurable(dir string, o DurableOptions) (*Store, error) {
 		if err != nil {
 			return nil, err
 		}
+		// StartWAL bumped the journal generation; a promoted shard's
+		// replication state tracks that generation (it is what fencing
+		// advertises), so re-sync it. Keeps the pcfsck invariant — a
+		// promoted replica/STATE.json epoch equals wal/EPOCH at rest —
+		// true across restarts, not just right after promotion.
+		if err := syncPromotedStateEpoch(dir, wal.Epoch()); err != nil {
+			return nil, fmt.Errorf("history: recover store: %w", err)
+		}
 	}
 	st, err := NewStoreWith(b)
 	if err != nil {
@@ -642,4 +650,39 @@ func (s *Store) Ping() error {
 // Key returns the record's store key.
 func (r *RunRecord) Key() RecordKey {
 	return RecordKey{App: r.App, Version: r.Version, RunID: r.RunID}
+}
+
+// syncPromotedStateEpoch rewrites a promoted shard's replica/STATE.json
+// epoch to the journal's generation. StartWAL bumps the generation at
+// every open, and the state file — the epoch a promoted node advertises
+// and persists across restarts — must track it, or the node would fence
+// against its own journal. The file is read generically (the replica
+// package owns its schema) and patched in place; no state file, or an
+// unpromoted one, is a no-op.
+func syncPromotedStateEpoch(storeDir string, epoch uint64) error {
+	spath := filepath.Join(storeDir, "replica", "STATE.json")
+	data, err := os.ReadFile(spath)
+	if err != nil {
+		return nil // no replication state — nothing to sync
+	}
+	var st map[string]any
+	if err := json.Unmarshal(data, &st); err != nil {
+		return nil // torn state restarts from zero at the replica layer
+	}
+	if promoted, _ := st["promoted"].(bool); !promoted {
+		return nil
+	}
+	if cur, ok := st["epoch"].(float64); ok && uint64(cur) == epoch {
+		return nil
+	}
+	st["epoch"] = epoch
+	out, err := json.MarshalIndent(st, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp := spath + ".tmp"
+	if err := os.WriteFile(tmp, append(out, '\n'), 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, spath)
 }

@@ -345,8 +345,9 @@ type WAL struct {
 	onAppend func(seq uint64, e WALEntry)
 
 	// epoch counts journal generations: StartWAL discards segments, so
-	// (epoch, append seq) uniquely names a frame across restarts.
-	epoch uint64
+	// (epoch, append seq) uniquely names a frame across restarts. Atomic
+	// because failover promotion bumps it (SetEpoch) while readers poll.
+	epoch atomic.Uint64
 
 	appends   atomic.Uint64
 	syncs     atomic.Uint64
@@ -379,7 +380,8 @@ func StartWAL(dir string, opts WALOptions) (*WAL, error) {
 	if err := writeWALEpoch(dir, epoch); err != nil {
 		return nil, fmt.Errorf("history: wal: %w", err)
 	}
-	w := &WAL{dir: dir, opts: opts, epoch: epoch}
+	w := &WAL{dir: dir, opts: opts}
+	w.epoch.Store(epoch)
 	if err := w.openSegment(1); err != nil {
 		return nil, err
 	}
@@ -389,7 +391,33 @@ func StartWAL(dir string, opts WALOptions) (*WAL, error) {
 // Epoch returns the journal generation: incremented (and persisted) at
 // every StartWAL, so frame sequence numbers — which restart from 1 each
 // generation — are globally ordered as (epoch, seq).
-func (w *WAL) Epoch() uint64 { return w.epoch }
+func (w *WAL) Epoch() uint64 { return w.epoch.Load() }
+
+// SetEpoch advances the journal generation without truncating segments.
+// Failover promotion uses it to fence a dead primary's epoch: the new
+// epoch is persisted first, so a crash between persist and the in-memory
+// store still resolves to the bumped value at reopen. Epochs only move
+// forward.
+func (w *WAL) SetEpoch(epoch uint64) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if epoch <= w.epoch.Load() {
+		return fmt.Errorf("history: wal: epoch must advance (have %d, asked %d)", w.epoch.Load(), epoch)
+	}
+	if err := writeWALEpoch(w.dir, epoch); err != nil {
+		return fmt.Errorf("history: wal: %w", err)
+	}
+	w.epoch.Store(epoch)
+	return nil
+}
+
+// JournalEpoch reads the persisted journal generation for a store
+// directory without opening the store — role reconciliation at daemon
+// startup compares on-disk epochs against live peers before any journal
+// is (re)started, since StartWAL itself bumps the epoch.
+func JournalEpoch(storeDir string) (uint64, error) {
+	return readWALEpoch(filepath.Join(storeDir, WALDirName))
+}
 
 // SetOnAppend installs fn to observe every journaled entry, called under
 // the journal lock in append order with the entry's sequence number

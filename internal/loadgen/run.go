@@ -71,7 +71,11 @@ func RunSuite(sc *Scenario, opt Options) (*SuiteReport, error) {
 		Replicas:   sc.Replicas,
 	}
 	if sc.KillAt > 0 {
-		rep.Failover = fmt.Sprintf("kill-shard:%d at:%s promote:%v", sc.KillShard, sc.KillAt, sc.Promote)
+		if sc.AutoFailover {
+			rep.Failover = fmt.Sprintf("kill-shard:%d at:%s auto-failover lease-ttl:%s", sc.KillShard, sc.KillAt, sc.LeaseTTL)
+		} else {
+			rep.Failover = fmt.Sprintf("kill-shard:%d at:%s promote:%v", sc.KillShard, sc.KillAt, sc.Promote)
+		}
 	}
 	if armed(sc.Faults) {
 		rep.FaultMix = fmt.Sprintf("seed:%d err:%g torn:%g enospc:%g",
@@ -590,6 +594,11 @@ type localPCD struct {
 	// kill is armed; killShard flips one to a 100% error rate.
 	shardFaults []*history.FaultBackend
 
+	// det is the primary-side failure detector when the scenario runs
+	// auto-failover: it notices the killed shard's sustained degradation
+	// and promotes the follower with no scripted help.
+	det *replica.Detector
+
 	folDir   string
 	folURL   string
 	folStore history.Storage
@@ -646,7 +655,18 @@ func startLocal(sc *Scenario, dir string) (*localPCD, error) {
 			return nil, err
 		}
 		if ss, ok := st.(*history.ShardedStore); ok {
+			// Under auto-failover the scripted promote stays off: only the
+			// detector may hand a dead shard's keyspace to the follower.
 			ss.SetFailover(replica.NewFailover(prim), sc.Promote)
+			if sc.AutoFailover {
+				prim.SetLeaseTTL(sc.LeaseTTL)
+				p.det = replica.NewDetector(prim, replica.DetectorConfig{
+					LeaseTTL:     sc.LeaseTTL,
+					ShardHealth:  ss.ShardStats,
+					PromoteShard: ss.FailoverPromote,
+				})
+				p.det.Start()
+			}
 		}
 		serveSt = replica.Gate(st, prim)
 		node = &replica.Node{Primary: prim}
@@ -731,6 +751,9 @@ func (p *localPCD) stop() error {
 	p.stopped = true
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
+	if p.det != nil {
+		p.det.Stop()
+	}
 	// The follower stops pulling first so no replication request holds
 	// the primary's drain open.
 	if p.fol != nil {

@@ -85,6 +85,15 @@ type Scenario struct {
 	KillAt    time.Duration
 	KillShard int
 	Promote   bool
+	// AutoFailover replaces the scripted promote with the failure
+	// detector: the kill is injected and NOTHING else is scripted — the
+	// detector must notice the sustained degradation on its own and hand
+	// the keyspace to the follower. Requires Replicas > 0; mutually
+	// exclusive with Promote. LeaseTTL tunes how long the detector
+	// tolerates degradation before promoting (0 = 1s, load runs want a
+	// short fuse).
+	AutoFailover bool
+	LeaseTTL     time.Duration
 	// Mix weights the op classes; weights are relative, not
 	// probabilities. Classes absent from the file get weight 0.
 	Mix map[string]float64
@@ -156,6 +165,19 @@ func (s *Scenario) Validate() error {
 		if s.KillShard < 0 || s.KillShard >= s.Shards {
 			return fmt.Errorf("loadgen: suite %s: kill-shard %d outside [0,%d)", s.Name, s.KillShard, s.Shards)
 		}
+	}
+	if s.AutoFailover {
+		if s.Replicas <= 0 {
+			return fmt.Errorf("loadgen: suite %s: auto-failover needs replicas > 0", s.Name)
+		}
+		if s.Promote {
+			return fmt.Errorf("loadgen: suite %s: auto-failover and promote are mutually exclusive (the detector promotes, not the script)", s.Name)
+		}
+		if s.LeaseTTL <= 0 {
+			s.LeaseTTL = time.Second
+		}
+	} else if s.LeaseTTL != 0 {
+		return fmt.Errorf("loadgen: suite %s: lease-ttl needs auto-failover = true", s.Name)
 	}
 	total := 0.0
 	for class, w := range s.Mix {
@@ -398,6 +420,14 @@ func (s *Scenario) set(section, key, value string) error {
 		case "promote":
 			b, err := parseBool(value)
 			s.Promote = b
+			return err
+		case "auto-failover":
+			b, err := parseBool(value)
+			s.AutoFailover = b
+			return err
+		case "lease-ttl":
+			d, err := parseDuration(value)
+			s.LeaseTTL = d
 			return err
 		}
 		return fmt.Errorf("unknown key suite.%s", key)

@@ -9,6 +9,7 @@ import (
 	"net/http"
 	"os"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/history"
@@ -76,17 +77,23 @@ func (fo *Failover) Promote(shard int) (history.ShardReplica, error) {
 	if err := r.post("/api/v1/replica/promote", PromoteRequest{Shard: shard}, &resp); err != nil {
 		return nil, fmt.Errorf("replica: promote shard %02d on %s: %w", shard, id, err)
 	}
+	// Every subsequent op through this handle carries the promotion
+	// epoch, so a newer promotion elsewhere fences this seam out.
+	r.epoch.Store(resp.Epoch)
 	fo.promoted[shard] = r
 	return r, nil
 }
 
 // remoteShard is a follower's shard served over the replica op
 // endpoint; it satisfies history.ShardReplica, so ShardedStore can use
-// it wherever the local shard store would have served.
+// it wherever the local shard store would have served. epoch, when
+// non-zero, stamps every op with the generation this handle was
+// promoted under — the receiver fences stale stamps.
 type remoteShard struct {
 	base  string
 	shard int
 	httpc *http.Client
+	epoch atomic.Uint64
 }
 
 func (r *remoteShard) post(path string, req, resp any) error {
@@ -109,6 +116,10 @@ func (r *remoteShard) post(path string, req, resp any) error {
 	if hresp.StatusCode == http.StatusNotFound {
 		return &history.BackendError{Op: "replica", Err: os.ErrNotExist}
 	}
+	if hresp.StatusCode == http.StatusConflict {
+		msg, _ := io.ReadAll(io.LimitReader(hresp.Body, 512))
+		return fmt.Errorf("replica: %s: %w", msg, ErrFenced)
+	}
 	if hresp.StatusCode != http.StatusOK {
 		msg, _ := io.ReadAll(io.LimitReader(hresp.Body, 512))
 		return &history.BackendError{Op: "replica", Err: fmt.Errorf("%s: %s", hresp.Status, msg)}
@@ -121,6 +132,7 @@ func (r *remoteShard) post(path string, req, resp any) error {
 
 func (r *remoteShard) op(req OpRequest) (*OpResponse, error) {
 	req.Shard = r.shard
+	req.Epoch = r.epoch.Load()
 	var resp OpResponse
 	if err := r.post("/api/v1/replica/op", req, &resp); err != nil {
 		return nil, err
@@ -206,44 +218,89 @@ var _ history.ShardReplica = (*remoteShard)(nil)
 var _ history.ShardFailover = (*Failover)(nil)
 
 // Node bundles a process's replication roles for the server layer: a
-// primary side (WAL shipping), a follower side (apply loops), or —
-// unusual but legal — both.
+// primary side (WAL shipping), a follower side (apply loops), or both —
+// the normal shape under automatic failover, where every follower
+// carries a standby primary that starts serving the moment the node
+// self-promotes. Advertise is the URL peers reach this node at.
 type Node struct {
-	Primary  *Primary
-	Follower *Follower
+	Primary   *Primary
+	Follower  *Follower
+	Advertise string
 }
 
-// Stats merges the roles' gauges; a node with both roles reports as
-// primary with the follower shards appended.
+// Role resolves what this node currently is: a node with an unpromoted
+// follower side is a follower (its standby primary is dormant); once
+// any shard promotes — or there is no follower side — it is a primary.
+func (n *Node) Role() string {
+	if n == nil {
+		return ""
+	}
+	if n.Follower != nil && !n.Follower.AnyPromoted() {
+		return "follower"
+	}
+	if n.Primary != nil {
+		return "primary"
+	}
+	return "follower"
+}
+
+// Stats merges the roles' gauges under the resolved role: the active
+// side is the base, the dormant side contributes its fencing and shard
+// gauges.
 func (n *Node) Stats() *Stats {
-	switch {
-	case n == nil:
+	if n == nil {
 		return nil
-	case n.Primary != nil:
+	}
+	switch {
+	case n.Role() == "primary" && n.Primary != nil:
 		s := n.Primary.Stats()
 		if n.Follower != nil {
 			fs := n.Follower.Stats()
+			if fs.Epoch > s.Epoch {
+				s.Epoch = fs.Epoch
+			}
+			s.FencingRejects += fs.FencingRejects
+			if s.LeaseAgeMS < 0 {
+				s.LeaseAgeMS = fs.LeaseAgeMS
+			}
 			s.Shards = append(s.Shards, fs.Shards...)
 		}
 		return &s
 	case n.Follower != nil:
 		s := n.Follower.Stats()
+		if n.Primary != nil {
+			s.FencingRejects += n.Primary.Stats().FencingRejects
+		}
+		return &s
+	case n.Primary != nil:
+		s := n.Primary.Stats()
 		return &s
 	}
 	return nil
 }
 
-// HandleInfo serves GET /api/v1/replica/info — the layout handshake.
+// HandleInfo serves GET /api/v1/replica/info — the layout handshake and
+// the failover election's ballot.
 func (n *Node) HandleInfo(w http.ResponseWriter, r *http.Request) {
-	info := InfoResponse{}
-	switch {
-	case n.Primary != nil:
-		info.Role = "primary"
+	info := InfoResponse{Role: n.Role(), Advertise: n.Advertise}
+	if n.Primary != nil {
 		info.Shards = n.Primary.Shards()
 		info.Replicas = n.Primary.Replicas()
-	case n.Follower != nil:
-		info.Role = "follower"
+		info.AckQuorum = n.Primary.Quorum()
+		info.Epoch = n.Primary.Epoch()
+		info.Followers = n.Primary.Peers()
+	}
+	if n.Follower != nil {
 		info.Shards = n.Follower.Shards()
+		info.Promoted = n.Follower.AnyPromoted()
+		info.Suspect = n.Follower.Suspect()
+		info.AppliedSeq = n.Follower.AppliedTotal()
+		if e := n.Follower.Epoch(); e > info.Epoch {
+			info.Epoch = e
+		}
+		if info.Advertise == "" {
+			info.Advertise = n.Follower.Self()
+		}
 	}
 	writeWire(w, http.StatusOK, info)
 }

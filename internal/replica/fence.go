@@ -1,0 +1,30 @@
+package replica
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrFenced is the sentinel every fencing refusal unwraps to: the
+// operation carried (or was issued under) a journal epoch older than the
+// cluster's current one, meaning a newer primary has been elected and
+// this traffic must not mutate the keyspace. Callers test with
+// errors.Is(err, ErrFenced); the HTTP layer maps it to 409 Conflict,
+// which the client does NOT retry — a fenced node stays fenced until it
+// rejoins.
+var ErrFenced = errors.New("replica: fenced by a newer epoch")
+
+// FencingError is the typed fencing refusal: which operation was
+// refused, the stale epoch it carried, and the newer epoch that fenced
+// it. It unwraps to ErrFenced.
+type FencingError struct {
+	Op     string // operation refused: "write", "pull", "op", ...
+	Local  uint64 // the stale epoch the refused party holds
+	Remote uint64 // the newer epoch that fenced it
+}
+
+func (e *FencingError) Error() string {
+	return fmt.Sprintf("replica: %s fenced: epoch %d is stale (cluster epoch %d)", e.Op, e.Local, e.Remote)
+}
+
+func (e *FencingError) Unwrap() error { return ErrFenced }

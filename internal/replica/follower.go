@@ -11,7 +11,9 @@ import (
 	"net/url"
 	"os"
 	"path/filepath"
+	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/history"
@@ -29,11 +31,36 @@ const (
 // Persisted after each applied batch — a crash between apply and
 // persist just re-pulls from the older position, and re-apply is
 // idempotent (same entries, same bytes).
+//
+// Version 2 (FORMATS.md "STATE.json v2") adds the failover fields: the
+// primary this shard follows, the epoch-stamped liveness lease the
+// primary last granted, and — on a demoted ex-primary — the stale epoch
+// it was fenced out of, so a zombie write attempt can be refused with
+// the typed fencing error naming both generations. Version 1 files
+// (no version field) load unchanged.
 type replState struct {
+	Version  int    `json:"version,omitempty"`
 	Epoch    uint64 `json:"epoch"`
 	Applied  uint64 `json:"applied_seq"`
 	Promoted bool   `json:"promoted,omitempty"`
+	Primary  string `json:"primary,omitempty"`
+	// DemotedFrom records the journal epoch this node owned before a
+	// newer promotion fenced it out — kept until the shard is
+	// legitimately promoted again.
+	DemotedFrom uint64      `json:"demoted_from,omitempty"`
+	Lease       *leaseState `json:"lease,omitempty"`
 }
+
+// leaseState is the persisted liveness lease: the primary grants TTLMS
+// of presumed liveness on every pull, stamped with the journal epoch it
+// was granted under.
+type leaseState struct {
+	Epoch uint64 `json:"epoch"`
+	TTLMS int64  `json:"ttl_ms"`
+}
+
+// stateVersion is what saveState stamps on every write.
+const stateVersion = 2
 
 func statePath(storeDir string) string {
 	return filepath.Join(storeDir, stateDirName, stateFileName)
@@ -57,6 +84,7 @@ func loadState(storeDir string) (replState, error) {
 }
 
 func saveState(storeDir string, st replState) error {
+	st.Version = stateVersion
 	dir := filepath.Join(storeDir, stateDirName)
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
@@ -72,26 +100,78 @@ func saveState(storeDir string, st replState) error {
 	return os.Rename(tmp, filepath.Join(dir, stateFileName))
 }
 
+// AutoConfig arms a follower's failure detector: pulls double as
+// heartbeats, the primary's lease grant rides each pull response, and a
+// follower whose lease expires (no contact for LeaseTTL, i.e. K missed
+// HeartbeatEvery windows) declares the primary suspect and runs the
+// promotion election against Peers.
+type AutoConfig struct {
+	// LeaseTTL is how long the primary is presumed alive after the last
+	// successful contact. The primary's own grant (PullResponse
+	// LeaseTTLMS) overrides it when non-zero, so the primary's -lease-ttl
+	// flag is the cluster-wide source of truth.
+	LeaseTTL time.Duration
+	// HeartbeatEvery is the detector tick and the cap on the pull
+	// long-poll, so a caught-up follower still refreshes its lease at
+	// heartbeat granularity.
+	HeartbeatEvery time.Duration
+	// Peers are the other followers' advertised URLs — the electorate.
+	// The live membership learned from the primary's info handshake is
+	// merged in.
+	Peers []string
+	// Replicas is the deployment's follower count N; the election
+	// requires seeing a majority of max(N, known electorate) nodes.
+	Replicas int
+	// OnPromote, when set, observes a successful self-promotion with the
+	// bumped epoch — the daemon uses it to flip its standby primary's
+	// shard logs to the new generation.
+	OnPromote func(epoch uint64)
+}
+
+func (c AutoConfig) withDefaults() AutoConfig {
+	if c.LeaseTTL <= 0 {
+		c.LeaseTTL = 3 * time.Second
+	}
+	if c.HeartbeatEvery <= 0 {
+		c.HeartbeatEvery = c.LeaseTTL / 6
+	}
+	if c.HeartbeatEvery < 25*time.Millisecond {
+		c.HeartbeatEvery = 25 * time.Millisecond
+	}
+	return c
+}
+
 // Follower replicates every shard of one primary into a local durable
 // store of the same layout: per shard, a pull loop long-polls the
 // primary's WAL endpoint, CRC-verifies and folds frames through
 // Store.ApplyReplicated, and persists its applied position. Promotion
+// — by an operator, or by the failure detector winning an election —
 // stops a shard's loop and opens its keyspace for writes.
 type Follower struct {
-	primary string // primary base URL
-	self    string // this node's advertised URL, the registry id
-	stores  []*history.Store
-	httpc   *http.Client
-	ctx     context.Context // canceled by Stop: aborts in-flight pulls
-	cancel  context.CancelFunc
+	self   string // this node's advertised URL, the registry id
+	stores []*history.Store
+	httpc  *http.Client
+	ctx    context.Context // canceled by Stop: aborts in-flight pulls
+	cancel context.CancelFunc
 
-	mu       sync.Mutex
-	states   []replState
-	stopped  bool
-	lastErr  string
-	stop     chan struct{}
-	wg       sync.WaitGroup
-	pollWait time.Duration
+	mu          sync.Mutex
+	primary     string // primary base URL (may be retargeted by failover)
+	states      []replState
+	stopped     bool
+	lastErr     string
+	stop        chan struct{}
+	wg          sync.WaitGroup
+	pollWait    time.Duration
+	auto        bool
+	cfg         AutoConfig
+	members     map[string]bool // learned electorate (advertise URLs, incl peers)
+	lastContact time.Time       // last successful exchange with the primary
+	leaseTTL    time.Duration   // primary's grant; falls back to cfg.LeaseTTL
+	suspect     bool
+	demotedFrom uint64 // stale epoch this ex-primary was fenced out of
+
+	fencingRejects atomic.Uint64
+	promotions     atomic.Uint64
 }
 
 // NewFollower builds a follower of primaryURL over the local storage
@@ -111,6 +191,7 @@ func NewFollower(primaryURL, selfURL string, st history.Storage) (*Follower, err
 		httpc:    &http.Client{},
 		stop:     make(chan struct{}),
 		pollWait: 20 * time.Second,
+		members:  make(map[string]bool),
 	}
 	f.ctx, f.cancel = context.WithCancel(context.Background())
 	for i, s := range stores {
@@ -122,16 +203,56 @@ func NewFollower(primaryURL, selfURL string, st history.Storage) (*Follower, err
 		if err != nil {
 			return nil, fmt.Errorf("replica: shard %02d state: %w", i, err)
 		}
+		// A promoted shard restarts into a fresh journal generation
+		// (StartWAL bumps the epoch); re-sync the persisted position so
+		// the fencing epoch it advertises matches the journal it owns.
+		if rs.Promoted {
+			if w := s.WAL(); w != nil && w.Epoch() != rs.Epoch {
+				rs.Epoch = w.Epoch()
+				if err := saveState(dir, rs); err != nil {
+					return nil, fmt.Errorf("replica: shard %02d state: %w", i, err)
+				}
+			}
+		}
+		if rs.DemotedFrom > f.demotedFrom {
+			f.demotedFrom = rs.DemotedFrom
+		}
 		f.states = append(f.states, rs)
 	}
 	return f, nil
 }
 
+// SetAutoFailover arms the heartbeat/lease failure detector: Start will
+// launch a monitor goroutine alongside the pull loops, and the pull
+// long-poll is capped at the heartbeat interval so a caught-up follower
+// still refreshes its lease every window.
+func (f *Follower) SetAutoFailover(cfg AutoConfig) {
+	cfg = cfg.withDefaults()
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.auto = true
+	f.cfg = cfg
+	for _, p := range cfg.Peers {
+		if p != "" && p != f.self {
+			f.members[p] = true
+		}
+	}
+	if f.pollWait > cfg.HeartbeatEvery {
+		f.pollWait = cfg.HeartbeatEvery
+	}
+}
+
 // Shards returns the shard count.
 func (f *Follower) Shards() int { return len(f.stores) }
 
-// Start launches one pull loop per unpromoted shard.
+// Start launches one pull loop per unpromoted shard, plus the failure
+// detector when automatic failover is armed.
 func (f *Follower) Start() {
+	f.mu.Lock()
+	f.lastContact = time.Now()
+	auto := f.auto
+	f.mu.Unlock()
+	started := 0
 	for i := range f.stores {
 		f.mu.Lock()
 		promoted := f.states[i].Promoted
@@ -139,11 +260,19 @@ func (f *Follower) Start() {
 		if promoted {
 			continue
 		}
+		started++
 		f.wg.Add(1)
 		go func(shard int) {
 			defer f.wg.Done()
 			f.pullLoop(shard)
 		}(i)
+	}
+	if auto && started > 0 {
+		f.wg.Add(1)
+		go func() {
+			defer f.wg.Done()
+			f.monitorLoop()
+		}()
 	}
 }
 
@@ -189,20 +318,29 @@ func (f *Follower) pullLoop(shard int) {
 }
 
 // pullOnce issues one pull at the shard's current position and applies
-// whatever comes back. It returns the number of frames applied.
+// whatever comes back. It returns the number of frames applied. A
+// successful exchange renews the liveness lease; a response from an
+// OLDER journal epoch than ours is refused — that primary is a zombie a
+// newer promotion has fenced, and folding its frames (or worse, its
+// snapshot) would resurrect a superseded keyspace.
 func (f *Follower) pullOnce(shard int, wait time.Duration) (int, error) {
 	f.mu.Lock()
 	rs := f.states[shard]
+	primary := f.primary
 	f.mu.Unlock()
 
 	u := fmt.Sprintf("%s/api/v1/replica/wal?shard=%d&epoch=%d&from=%d&id=%s&wait=%d",
-		f.primary, shard, rs.Epoch, rs.Applied, url.QueryEscape(f.self), wait.Milliseconds())
+		primary, shard, rs.Epoch, rs.Applied, url.QueryEscape(f.self), wait.Milliseconds())
 	ctx, cancel := context.WithTimeout(f.ctx, wait+15*time.Second)
 	defer cancel()
 	var resp PullResponse
 	if err := f.getJSON(ctx, u, &resp); err != nil {
 		return 0, err
 	}
+	if resp.Epoch < rs.Epoch {
+		return 0, &FencingError{Op: "pull", Local: resp.Epoch, Remote: rs.Epoch}
+	}
+	f.renewLease(resp.Epoch, resp.LeaseTTLMS)
 	if resp.NeedSnapshot {
 		return 0, f.bootstrap(shard)
 	}
@@ -238,19 +376,38 @@ func (f *Follower) pullOnce(shard int, wait time.Duration) (int, error) {
 
 // bootstrap installs a primary snapshot: local records not in the image
 // are deleted, every snapshot entry is folded in (exact bytes), and the
-// shard's position jumps to the snapshot's (epoch, seq).
+// shard's position jumps to the snapshot's (epoch, seq). A snapshot from
+// an OLDER epoch than the shard's position is refused — never resurrect
+// a fenced generation. On a demoted ex-primary, local records the image
+// would silently drop or rewrite are first quarantined as a divergence
+// record: the unshipped WAL tail of the old generation is truncated into
+// auditable residue, not lost.
 func (f *Follower) bootstrap(shard int) error {
+	f.mu.Lock()
+	primary := f.primary
+	cur := f.states[shard]
+	demoted := f.demotedFrom
+	f.mu.Unlock()
 	ctx, cancel := context.WithTimeout(f.ctx, 60*time.Second)
 	defer cancel()
 	var snap SnapshotResponse
-	u := fmt.Sprintf("%s/api/v1/replica/snapshot?shard=%d", f.primary, shard)
+	u := fmt.Sprintf("%s/api/v1/replica/snapshot?shard=%d", primary, shard)
 	if err := f.getJSON(ctx, u, &snap); err != nil {
 		return err
 	}
+	if snap.Epoch < cur.Epoch {
+		return &FencingError{Op: "snapshot", Local: snap.Epoch, Remote: cur.Epoch}
+	}
+	f.renewLease(snap.Epoch, 0)
 	sst := f.stores[shard]
 	keep := make(map[history.RecordKey]bool, len(snap.Entries))
 	for _, e := range snap.Entries {
 		keep[e.Key()] = true
+	}
+	if demoted != 0 {
+		if err := quarantineDivergence(sst, shard, demoted, snap, keep); err != nil {
+			return fmt.Errorf("replica: shard %02d divergence record: %w", shard, err)
+		}
 	}
 	for _, k := range sst.Keys() {
 		if keep[k] {
@@ -265,7 +422,7 @@ func (f *Follower) bootstrap(shard int) error {
 			return fmt.Errorf("replica: shard %02d snapshot %s: %w", shard, e.Key(), err)
 		}
 	}
-	rs := replState{Epoch: snap.Epoch, Applied: snap.Seq}
+	rs := replState{Epoch: snap.Epoch, Applied: snap.Seq, Primary: primary, DemotedFrom: cur.DemotedFrom}
 	f.setState(shard, rs)
 	if err := saveState(sst.Dir(), rs); err != nil {
 		return fmt.Errorf("replica: shard %02d persist state: %w", shard, err)
@@ -277,8 +434,373 @@ func (f *Follower) setState(shard int, rs replState) {
 	f.mu.Lock()
 	// Promotion may have raced the apply loop; never un-promote.
 	rs.Promoted = rs.Promoted || f.states[shard].Promoted
+	if rs.Primary == "" {
+		rs.Primary = f.states[shard].Primary
+	}
+	if rs.DemotedFrom < f.states[shard].DemotedFrom && !rs.Promoted {
+		rs.DemotedFrom = f.states[shard].DemotedFrom
+	}
 	f.states[shard] = rs
 	f.mu.Unlock()
+}
+
+// renewLease marks a successful exchange with the primary and adopts
+// its lease grant (grantMS > 0) under the epoch it arrived with. The
+// lease is persisted lazily with the next state save.
+func (f *Follower) renewLease(epoch uint64, grantMS int64) {
+	f.mu.Lock()
+	f.lastContact = time.Now()
+	f.suspect = false
+	if grantMS > 0 {
+		f.leaseTTL = time.Duration(grantMS) * time.Millisecond
+		for i := range f.states {
+			ls := f.states[i].Lease
+			if ls == nil || ls.Epoch != epoch || ls.TTLMS != grantMS {
+				f.states[i].Lease = &leaseState{Epoch: epoch, TTLMS: grantMS}
+				saveState(f.stores[i].Dir(), f.states[i])
+			}
+		}
+	}
+	f.mu.Unlock()
+}
+
+// leaseWindow returns the effective suspicion threshold: the primary's
+// grant when it has made one, the local config otherwise.
+func (f *Follower) leaseWindow() time.Duration {
+	if f.leaseTTL > 0 {
+		return f.leaseTTL
+	}
+	return f.cfg.LeaseTTL
+}
+
+// monitorLoop is the failure detector: every heartbeat window it checks
+// how long ago the primary was last heard from; once the lease expires
+// it declares the primary suspect and runs the promotion election.
+// While healthy it periodically refreshes the electorate from the
+// primary's info handshake.
+func (f *Follower) monitorLoop() {
+	t := time.NewTicker(f.cfg.HeartbeatEvery)
+	defer t.Stop()
+	tick := 0
+	for {
+		select {
+		case <-f.stop:
+			return
+		case <-t.C:
+		}
+		if f.AnyPromoted() {
+			return // this node is the primary now; nothing to detect
+		}
+		f.mu.Lock()
+		age := time.Since(f.lastContact)
+		ttl := f.leaseWindow()
+		primary := f.primary
+		f.mu.Unlock()
+		if age <= ttl {
+			f.setSuspect(false)
+			if tick%8 == 0 {
+				f.refreshMembership(primary)
+			}
+			tick++
+			continue
+		}
+		f.setSuspect(true)
+		f.tryFailover()
+	}
+}
+
+func (f *Follower) setSuspect(v bool) {
+	f.mu.Lock()
+	f.suspect = v
+	f.mu.Unlock()
+}
+
+// refreshMembership learns the electorate (and the deployment's
+// replica count) from the primary while it is still healthy, so the
+// election can reach the other followers after the primary is gone.
+func (f *Follower) refreshMembership(primary string) {
+	ctx, cancel := context.WithTimeout(f.ctx, 2*time.Second)
+	defer cancel()
+	info, err := FetchInfo(ctx, f.httpc, primary)
+	if err != nil {
+		return
+	}
+	f.mu.Lock()
+	for _, id := range info.Followers {
+		if id != "" && id != f.self {
+			f.members[id] = true
+		}
+	}
+	if info.Replicas > f.cfg.Replicas {
+		f.cfg.Replicas = info.Replicas
+	}
+	f.mu.Unlock()
+}
+
+// electorate returns the other followers this node knows about.
+func (f *Follower) electorate() []string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]string, 0, len(f.members))
+	for id := range f.members {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// tryFailover runs one election round with the primary suspect:
+//
+//   - The suspected primary gets one last direct probe first. A lease
+//     can lapse without a crash — a stalled scheduler or a burst of
+//     dropped long-polls looks identical from the pull loop — and a
+//     primary that still answers is not dead: the round ends and the
+//     lease renews. Only an unreachable or demoted primary lets the
+//     election proceed.
+//   - If any reachable peer already carries a higher epoch and claims
+//     the primary role, adopt it — the election is over.
+//   - Otherwise this node may self-promote only if (a) it can see a
+//     majority of the electorate (a partitioned minority never
+//     promotes), (b) every visible peer also finds the primary suspect
+//     (someone who still hears the primary vetoes the round), and (c)
+//     it is the most caught up, ties broken by smallest advertise URL —
+//     deterministic, so concurrent rounds pick the same winner.
+func (f *Follower) tryFailover() {
+	if f.primaryStillAlive() {
+		return
+	}
+	peers := f.electorate()
+	myApplied := f.AppliedTotal()
+	myEpoch := f.Epoch()
+	visible := 1
+	for _, peer := range peers {
+		ctx, cancel := context.WithTimeout(f.ctx, 2*time.Second)
+		info, err := FetchInfo(ctx, f.httpc, peer)
+		cancel()
+		if err != nil {
+			continue
+		}
+		if info.Epoch > myEpoch && (info.Role == "primary" || info.Promoted) {
+			// A newer primary already won: follow it.
+			target := info.Advertise
+			if target == "" {
+				target = peer
+			}
+			f.retarget(target)
+			return
+		}
+		visible++
+		if !info.Suspect && info.Role != "primary" && !info.Promoted {
+			// That peer still hears the primary; do not promote yet.
+			return
+		}
+		peerID := info.Advertise
+		if peerID == "" {
+			peerID = peer
+		}
+		if info.AppliedSeq > myApplied || (info.AppliedSeq == myApplied && peerID < f.self) {
+			// A better-placed candidate exists; let it win this round.
+			return
+		}
+	}
+	n := len(peers) + 1
+	f.mu.Lock()
+	if f.cfg.Replicas > n {
+		n = f.cfg.Replicas
+	}
+	f.mu.Unlock()
+	if visible < n/2+1 {
+		return // partitioned minority
+	}
+	f.autoPromote()
+}
+
+// primaryStillAlive is the election's last-gasp probe of the node it
+// is about to depose. Suspicion is circumstantial — it only says no
+// pull renewed the lease lately, which a starved process observes just
+// as readily as a crashed primary's survivor does. Deposing a live
+// primary splits the brain, so the definitive check runs right before
+// any election move: if the suspected primary answers and still claims
+// the primary role, the suspicion was false, the lease renews, and no
+// election happens. A SIGKILLed primary's port refuses instantly, so
+// the probe costs a real failover nothing.
+func (f *Follower) primaryStillAlive() bool {
+	f.mu.Lock()
+	primary := f.primary
+	f.mu.Unlock()
+	if primary == "" {
+		return false
+	}
+	ctx, cancel := context.WithTimeout(f.ctx, 2*time.Second)
+	info, err := FetchInfo(ctx, f.httpc, primary)
+	cancel()
+	if err != nil {
+		return false
+	}
+	if info.Role != "primary" && !info.Promoted {
+		// It answered, but it is nobody's primary anymore — a demoted
+		// zombie is no reason to hold the election back.
+		return false
+	}
+	f.renewLease(info.Epoch, 0)
+	return true
+}
+
+// autoPromote is the election win: bump the journal epoch past every
+// generation this node has seen, persist the promoted state, and open
+// the keyspace for writes. The epoch bump is what fences the old
+// primary — every subsequent replication and write RPC carries it.
+func (f *Follower) autoPromote() {
+	if _, err := f.Promote(-1); err != nil {
+		f.noteErr(err)
+	}
+}
+
+// retarget repoints every unpromoted shard at a new primary (the
+// election winner). The pull loops pick the new URL up on their next
+// iteration; the epoch change redirects them into a snapshot bootstrap.
+func (f *Follower) retarget(primary string) {
+	f.mu.Lock()
+	if f.primary == primary {
+		f.mu.Unlock()
+		return
+	}
+	f.primary = primary
+	f.lastContact = time.Now() // grace period against the new primary
+	f.suspect = false
+	for i := range f.states {
+		if !f.states[i].Promoted {
+			f.states[i].Primary = primary
+			saveState(f.stores[i].Dir(), f.states[i])
+		}
+	}
+	f.mu.Unlock()
+}
+
+// Rejoin demotes this node into a follower of primary: every promoted
+// shard gives up its ownership, recording the epoch it owned as
+// DemotedFrom — public writes are refused with the typed fencing error
+// from here on, and the next snapshot bootstrap quarantines whatever
+// the old generation wrote that the new one does not hold. The daemon
+// calls this at startup when the info handshake reveals a newer epoch.
+func (f *Follower) Rejoin(primary string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.primary = primary
+	f.lastContact = time.Now()
+	for i := range f.states {
+		rs := f.states[i]
+		if rs.Promoted {
+			if rs.Epoch > f.demotedFrom {
+				f.demotedFrom = rs.Epoch
+			}
+			rs.DemotedFrom = rs.Epoch
+			rs.Promoted = false
+		} else if w := f.stores[i].WAL(); w != nil && w.Epoch() > f.demotedFrom && rs.DemotedFrom == 0 && f.demotedFrom == 0 {
+			// An unpromoted original primary: its own journal epoch is the
+			// generation being fenced out.
+			f.demotedFrom = w.Epoch()
+			rs.DemotedFrom = w.Epoch()
+		} else if rs.DemotedFrom != 0 && rs.DemotedFrom > f.demotedFrom {
+			f.demotedFrom = rs.DemotedFrom
+		}
+		rs.Primary = primary
+		f.states[i] = rs
+		if err := saveState(f.stores[i].Dir(), rs); err != nil {
+			return fmt.Errorf("replica: shard %02d persist demotion: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// quarantineDivergence sets aside, before a demoted ex-primary's
+// bootstrap prunes or rewrites them, every local record the new
+// generation's image does not contain byte-identically — the observable
+// remains of the old generation's unshipped WAL tail. The record lands
+// in quarantine/ as a DIVERGENCE file with a REPORT.txt line, where
+// pcfsck surfaces it as residue.
+func quarantineDivergence(sst *history.Store, shard int, demotedEpoch uint64, snap SnapshotResponse, keep map[history.RecordKey]bool) error {
+	inImage := make(map[history.RecordKey]json.RawMessage, len(snap.Entries))
+	for _, e := range snap.Entries {
+		if e.Op == "put" {
+			inImage[e.Key()] = e.Data
+		}
+	}
+	type divergedRecord struct {
+		Key    Key             `json:"key"`
+		Reason string          `json:"reason"`
+		Record json.RawMessage `json:"record,omitempty"`
+	}
+	var diverged []divergedRecord
+	for _, k := range sst.Keys() {
+		var reason string
+		img, ok := inImage[k]
+		if !ok && !keep[k] {
+			reason = "record absent from the new primary's image"
+		} else if ok {
+			rec, err := sst.Load(k.App, k.Version, k.RunID)
+			if err != nil {
+				continue
+			}
+			local, err := json.MarshalIndent(rec, "", "  ")
+			if err != nil {
+				continue
+			}
+			var imgRec history.RunRecord
+			if err := json.Unmarshal(img, &imgRec); err != nil {
+				continue
+			}
+			imgBytes, err := json.MarshalIndent(&imgRec, "", "  ")
+			if err != nil {
+				continue
+			}
+			if string(local) == string(imgBytes) {
+				continue
+			}
+			reason = "record differs from the new primary's image"
+		} else {
+			continue
+		}
+		rec, err := sst.Load(k.App, k.Version, k.RunID)
+		var raw json.RawMessage
+		if err == nil {
+			raw, _ = json.Marshal(rec)
+		}
+		diverged = append(diverged, divergedRecord{
+			Key:    Key{App: k.App, Version: k.Version, RunID: k.RunID},
+			Reason: reason,
+			Record: raw,
+		})
+	}
+	if len(diverged) == 0 {
+		return nil
+	}
+	qdir := filepath.Join(sst.Dir(), history.QuarantineDir)
+	if err := os.MkdirAll(qdir, 0o755); err != nil {
+		return err
+	}
+	name := fmt.Sprintf("DIVERGENCE-e%d-to-e%d.json", demotedEpoch, snap.Epoch)
+	payload := struct {
+		DemotedEpoch uint64           `json:"demoted_epoch"`
+		AdoptedEpoch uint64           `json:"adopted_epoch"`
+		Shard        int              `json:"shard"`
+		Records      []divergedRecord `json:"records"`
+	}{DemotedEpoch: demotedEpoch, AdoptedEpoch: snap.Epoch, Shard: shard, Records: diverged}
+	data, err := json.MarshalIndent(payload, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(filepath.Join(qdir, name), append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	rf, err := os.OpenFile(filepath.Join(qdir, "REPORT.txt"), os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	defer rf.Close()
+	_, err = fmt.Fprintf(rf, "%s\t%s\n", name,
+		fmt.Sprintf("replica: %d record(s) from fenced epoch %d truncated at rejoin under epoch %d", len(diverged), demotedEpoch, snap.Epoch))
+	return err
 }
 
 func (f *Follower) noteErr(err error) {
@@ -289,11 +811,23 @@ func (f *Follower) noteErr(err error) {
 
 // Promote hands shard (or every shard, with shard == -1) to this
 // follower: a bounded final catch-up pull drains what the primary can
-// still serve, then the shard stops replicating and accepts writes.
-// Idempotent; persisted, so the role survives restart.
+// still serve, then the shard bumps its journal epoch past every
+// generation this node has seen — fencing the old primary — and
+// accepts writes. Idempotent; persisted, so the role survives restart.
+// Returns the shards now owned and the epoch they were promoted under.
 func (f *Follower) Promote(shard int) ([]int, error) {
+	promoted, _, err := f.promote(shard)
+	return promoted, err
+}
+
+// PromoteEpoch is Promote returning the bumped epoch too.
+func (f *Follower) PromoteEpoch(shard int) ([]int, uint64, error) {
+	return f.promote(shard)
+}
+
+func (f *Follower) promote(shard int) ([]int, uint64, error) {
 	if shard >= len(f.stores) {
-		return nil, fmt.Errorf("replica: no shard %d", shard)
+		return nil, 0, fmt.Errorf("replica: no shard %d", shard)
 	}
 	targets := []int{shard}
 	if shard < 0 {
@@ -302,39 +836,78 @@ func (f *Follower) Promote(shard int) ([]int, error) {
 			targets = append(targets, i)
 		}
 	}
+	// The new epoch strictly dominates every generation this node has
+	// seen: the positions it replicated (state epochs) and its own
+	// journal generations — so the fence orders after both the dead
+	// primary and any earlier life of this node.
+	var newEpoch uint64
+	f.mu.Lock()
+	for i := range f.stores {
+		if e := f.states[i].Epoch; e > newEpoch {
+			newEpoch = e
+		}
+		if w := f.stores[i].WAL(); w != nil && w.Epoch() > newEpoch {
+			newEpoch = w.Epoch()
+		}
+	}
+	f.mu.Unlock()
+	newEpoch++
 	var promoted []int
+	bumped := false
 	for _, i := range targets {
 		f.mu.Lock()
 		already := f.states[i].Promoted
 		f.mu.Unlock()
-		if !already {
-			// Final catch-up, best-effort: the primary may already be dead,
-			// in which case whatever was applied — which, under the write
-			// gate, includes every acknowledged write — is the keyspace.
-			deadline := time.Now().Add(2 * time.Second)
-			for time.Now().Before(deadline) {
-				n, err := f.pullOnce(i, 0)
-				if err != nil || n == 0 {
-					break
-				}
-			}
-			f.mu.Lock()
-			f.states[i].Promoted = true
-			rs := f.states[i]
-			f.mu.Unlock()
-			if err := saveState(f.stores[i].Dir(), rs); err != nil {
-				return promoted, fmt.Errorf("replica: shard %02d persist promotion: %w", i, err)
+		if already {
+			promoted = append(promoted, i)
+			continue
+		}
+		// Final catch-up, best-effort: the primary may already be dead,
+		// in which case whatever was applied — which, under the write
+		// gate, includes every acknowledged write — is the keyspace.
+		deadline := time.Now().Add(2 * time.Second)
+		for time.Now().Before(deadline) {
+			n, err := f.pullOnce(i, 0)
+			if err != nil || n == 0 {
+				break
 			}
 		}
+		if w := f.stores[i].WAL(); w != nil && newEpoch > w.Epoch() {
+			if err := w.SetEpoch(newEpoch); err != nil {
+				return promoted, newEpoch, fmt.Errorf("replica: shard %02d bump epoch: %w", i, err)
+			}
+		}
+		f.mu.Lock()
+		f.states[i].Promoted = true
+		f.states[i].Epoch = newEpoch
+		f.states[i].DemotedFrom = 0 // legitimate owner again
+		rs := f.states[i]
+		f.mu.Unlock()
+		if err := saveState(f.stores[i].Dir(), rs); err != nil {
+			return promoted, newEpoch, fmt.Errorf("replica: shard %02d persist promotion: %w", i, err)
+		}
+		bumped = true
 		promoted = append(promoted, i)
 	}
-	return promoted, nil
+	if bumped {
+		f.promotions.Add(1)
+		f.mu.Lock()
+		cb := f.cfg.OnPromote
+		f.mu.Unlock()
+		if cb != nil {
+			cb(newEpoch)
+		}
+	}
+	return promoted, newEpoch, nil
 }
 
 // Writable reports whether this node may accept a public write for
 // (app, version): nil once the owning shard has been promoted, an error
 // while the shard is still replicating (the server answers 503 and the
-// client retries — against the promoted holder, eventually).
+// client retries — against the promoted holder, eventually). On a
+// demoted ex-primary the refusal is the typed fencing error (409, not
+// retried): a client still pointed at the zombie must fail loudly, not
+// spin.
 func (f *Follower) Writable(app, version string) error {
 	shard := history.ShardForKey(app, version, len(f.stores))
 	f.mu.Lock()
@@ -342,7 +915,67 @@ func (f *Follower) Writable(app, version string) error {
 	if f.states[shard].Promoted {
 		return nil
 	}
+	if from := f.states[shard].DemotedFrom; from != 0 {
+		f.fencingRejects.Add(1)
+		return &FencingError{Op: "write", Local: from, Remote: f.states[shard].Epoch}
+	}
 	return fmt.Errorf("replica: shard %02d is a read-only follower (not promoted)", shard)
+}
+
+// AnyPromoted reports whether any shard has been promoted — the node
+// is (at least partially) a primary.
+func (f *Follower) AnyPromoted() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for _, rs := range f.states {
+		if rs.Promoted {
+			return true
+		}
+	}
+	return false
+}
+
+// Epoch returns the node's highest known journal epoch.
+func (f *Follower) Epoch() uint64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	var max uint64
+	for _, rs := range f.states {
+		if rs.Epoch > max {
+			max = rs.Epoch
+		}
+	}
+	return max
+}
+
+// AppliedTotal sums applied positions across shards — the election's
+// most-caught-up metric.
+func (f *Follower) AppliedTotal() uint64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	var sum uint64
+	for _, rs := range f.states {
+		sum += rs.Applied
+	}
+	return sum
+}
+
+// Suspect reports whether the failure detector currently considers the
+// primary dead.
+func (f *Follower) Suspect() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.suspect
+}
+
+// Self returns this node's advertised URL.
+func (f *Follower) Self() string { return f.self }
+
+// PrimaryURL returns the primary this follower currently tracks.
+func (f *Follower) PrimaryURL() string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.primary
 }
 
 // HandlePromote serves POST /api/v1/replica/promote.
@@ -352,12 +985,12 @@ func (f *Follower) HandlePromote(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, fmt.Sprintf("decode promote request: %v", err))
 		return
 	}
-	promoted, err := f.Promote(req.Shard)
+	promoted, epoch, err := f.promote(req.Shard)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	writeWire(w, http.StatusOK, PromoteResponse{Promoted: promoted})
+	writeWire(w, http.StatusOK, PromoteResponse{Promoted: promoted, Epoch: epoch})
 }
 
 // HandleOp serves POST /api/v1/replica/op — the redirected store
@@ -379,9 +1012,19 @@ func (f *Follower) HandleOp(w http.ResponseWriter, r *http.Request) {
 	case "save", "putbatch", "delete":
 		f.mu.Lock()
 		promoted := f.states[req.Shard].Promoted
+		epoch := f.states[req.Shard].Epoch
 		f.mu.Unlock()
 		if !promoted {
 			httpError(w, http.StatusServiceUnavailable, fmt.Sprintf("shard %02d is not promoted; refusing replicated write", req.Shard))
+			return
+		}
+		// A write op stamped with a generation older than the shard's is
+		// a zombie primary's seam still flushing: refuse with the typed
+		// fencing error so it cannot mutate a keyspace a newer promotion
+		// owns. Unstamped (epoch 0) ops predate fencing and pass.
+		if req.Epoch != 0 && req.Epoch < epoch {
+			f.fencingRejects.Add(1)
+			httpError(w, http.StatusConflict, (&FencingError{Op: "op " + req.Op, Local: req.Epoch, Remote: epoch}).Error())
 			return
 		}
 	}
@@ -473,8 +1116,19 @@ func (f *Follower) HandleOp(w http.ResponseWriter, r *http.Request) {
 func (f *Follower) Stats() Stats {
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	out := Stats{Role: "follower"}
+	out := Stats{
+		Role:           "follower",
+		LeaseAgeMS:     -1,
+		Suspect:        f.suspect,
+		FencingRejects: f.fencingRejects.Load(),
+	}
+	if !f.lastContact.IsZero() {
+		out.LeaseAgeMS = time.Since(f.lastContact).Milliseconds()
+	}
 	for i, rs := range f.states {
+		if rs.Epoch > out.Epoch {
+			out.Epoch = rs.Epoch
+		}
 		out.Shards = append(out.Shards, ShardReplStats{
 			Shard:      i,
 			Epoch:      rs.Epoch,
@@ -483,6 +1137,30 @@ func (f *Follower) Stats() Stats {
 		})
 	}
 	return out
+}
+
+// FetchInfo retrieves a node's replication handshake — shape, role,
+// epoch, and electorate — used by followers for the election and by the
+// daemon's startup role reconciliation.
+func FetchInfo(ctx context.Context, httpc *http.Client, base string) (InfoResponse, error) {
+	var info InfoResponse
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/api/v1/replica/info", nil)
+	if err != nil {
+		return info, err
+	}
+	resp, err := httpc.Do(req)
+	if err != nil {
+		return info, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return info, fmt.Errorf("replica: GET %s/api/v1/replica/info: %s: %s", base, resp.Status, body)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		return info, err
+	}
+	return info, nil
 }
 
 // getJSON fetches u and decodes the JSON body into v.

@@ -48,8 +48,14 @@ type shardLog struct {
 	bytes     int64
 	maxBytes  int64
 	followers map[string]*followerAck
-	notify    chan struct{} // closed and replaced on every append or ack
-	clock     func() time.Time
+	// everAttached latches once any follower registers: the write gate
+	// only degrades to async on a primary no follower has EVER joined —
+	// once one has, losing it refuses writes instead of silently
+	// accepting unreplicated ones a later promotion would drop.
+	everAttached bool
+	lastPull     time.Time // when any follower last pulled (lease age)
+	notify       chan struct{} // closed and replaced on every append or ack
+	clock        func() time.Time
 }
 
 func newShardLog(shard int, epoch uint64) *shardLog {
@@ -93,9 +99,11 @@ func (l *shardLog) append(seq uint64, e history.WALEntry) {
 // registerAck records a follower's applied position at pull time (the
 // ack rides on the pull request, before any long-poll wait, so the
 // write gate releases as soon as the follower comes back for more).
-func (l *shardLog) registerAck(id string, ack uint64) {
+// Returns true the first time this id is seen — the primary persists
+// new peers for post-crash rediscovery.
+func (l *shardLog) registerAck(id string, ack uint64) (fresh bool) {
 	if id == "" {
-		return
+		return false
 	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -103,19 +111,51 @@ func (l *shardLog) registerAck(id string, ack uint64) {
 	if fa == nil {
 		fa = &followerAck{}
 		l.followers[id] = fa
+		fresh = true
 	}
 	if ack > fa.ack {
 		fa.ack = ack
 	}
 	fa.last = l.clock()
+	l.lastPull = fa.last
+	l.everAttached = true
 	l.bumpLocked()
+	return fresh
+}
+
+// setEpoch advances the log's fencing epoch without clearing the frame
+// ring: sequence numbers keep counting across the bump (the journal's
+// append counter is untouched), and pullers at the old epoch are
+// redirected to a snapshot, which reports the new position. Wakes every
+// waiter so stale long-polls re-evaluate.
+func (l *shardLog) setEpoch(epoch uint64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if epoch <= l.epoch {
+		return
+	}
+	l.epoch = epoch
+	l.bumpLocked()
+}
+
+// lastPullAge returns milliseconds since any follower last pulled, or
+// -1 when none ever has.
+func (l *shardLog) lastPullAge() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.lastPull.IsZero() {
+		return -1
+	}
+	return l.clock().Sub(l.lastPull).Milliseconds()
 }
 
 // pull answers one follower pull from position (epoch, from): the
 // contiguous frames after from, capped at maxFrames, or a snapshot
 // demand when the position is unserveable. Blocks up to wait for new
-// frames when already caught up.
-func (l *shardLog) pull(epoch, from uint64, maxFrames int, wait time.Duration) PullResponse {
+// frames when already caught up; done (the puller's request context)
+// cuts the wait short, so a vanished follower does not pin the handler
+// for the full poll window.
+func (l *shardLog) pull(epoch, from uint64, maxFrames int, wait time.Duration, done <-chan struct{}) PullResponse {
 	deadline := time.Now().Add(wait)
 	l.mu.Lock()
 	for {
@@ -151,6 +191,12 @@ func (l *shardLog) pull(epoch, from uint64, maxFrames int, wait time.Duration) P
 		case <-ch:
 			t.Stop()
 		case <-t.C:
+		case <-done:
+			t.Stop()
+			l.mu.Lock()
+			resp := PullResponse{Epoch: l.epoch, HeadSeq: l.head}
+			l.mu.Unlock()
+			return resp
 		}
 		l.mu.Lock()
 	}
@@ -161,21 +207,31 @@ func (l *shardLog) pull(epoch, from uint64, maxFrames int, wait time.Duration) P
 func (l *shardLog) maxAck(window time.Duration) (uint64, bool) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	return l.maxAckLocked(window)
+	ack, n := l.quorumAckLocked(1, window)
+	return ack, n >= 1
 }
 
-func (l *shardLog) maxAckLocked(window time.Duration) (uint64, bool) {
+// quorumAckLocked returns the position the q-th most-caught-up fresh
+// follower has applied — the highest seq known to be on at least q
+// followers — and how many followers are fresh at all. With fewer than
+// q fresh followers the returned ack is 0.
+func (l *shardLog) quorumAckLocked(q int, window time.Duration) (uint64, int) {
 	cutoff := l.clock().Add(-window)
-	best, ok := uint64(0), false
+	acks := make([]uint64, 0, len(l.followers))
 	for _, fa := range l.followers {
 		if fa.last.Before(cutoff) {
 			continue
 		}
-		if !ok || fa.ack > best {
-			best, ok = fa.ack, true
-		}
+		acks = append(acks, fa.ack)
 	}
-	return best, ok
+	if q < 1 {
+		q = 1
+	}
+	if len(acks) < q {
+		return 0, len(acks)
+	}
+	sort.Slice(acks, func(i, j int) bool { return acks[i] > acks[j] })
+	return acks[q-1], len(acks)
 }
 
 // bestFollower returns the id of the most-caught-up follower seen
@@ -196,30 +252,32 @@ func (l *shardLog) bestFollower(window time.Duration) (string, uint64, bool) {
 	return bestID, best, ok
 }
 
-// waitAck blocks until a follower seen within window has applied seq.
-// It returns (true, _) on ack; (false, attached) on timeout, where
-// attached reports whether any follower was in the window at the end —
-// the caller distinguishes "no follower yet" (degrade to async) from
-// "follower lagging" (refuse the write).
-func (l *shardLog) waitAck(seq uint64, timeout, window time.Duration) (acked, attached bool) {
+// waitAck blocks until q followers seen within window have applied seq.
+// It returns (true, _) on quorum ack; (false, attached) on timeout,
+// where attached reports whether any follower was in the window at the
+// end — the caller distinguishes "no follower yet" (degrade to async,
+// unless one has EVER attached) from "quorum lagging" (refuse the
+// write).
+func (l *shardLog) waitAck(seq uint64, q int, timeout, window time.Duration) (acked, attached bool) {
 	deadline := time.Now().Add(timeout)
 	l.mu.Lock()
 	for {
-		ack, ok := l.maxAckLocked(window)
-		if ok && ack >= seq {
+		ack, n := l.quorumAckLocked(q, window)
+		if n >= q && ack >= seq {
 			l.mu.Unlock()
 			return true, true
 		}
-		if !ok {
-			// Nobody attached: the gate degrades to async immediately
-			// rather than stalling every write until a follower joins.
+		if n == 0 && !l.everAttached {
+			// Nobody has ever attached: the gate degrades to async
+			// immediately rather than stalling every write until the
+			// first follower joins.
 			l.mu.Unlock()
 			return false, false
 		}
 		remain := time.Until(deadline)
 		if remain <= 0 {
 			l.mu.Unlock()
-			return false, ok
+			return false, true
 		}
 		ch := l.notify
 		l.mu.Unlock()

@@ -20,7 +20,7 @@ func TestShardLogPull(t *testing.T) {
 	l.append(2, entry("r2", `{"a":2}`))
 	l.append(3, entry("r3", `{"a":3}`))
 
-	resp := l.pull(3, 0, 512, 0)
+	resp := l.pull(3, 0, 512, 0, nil)
 	if resp.NeedSnapshot || len(resp.Frames) != 3 || resp.HeadSeq != 3 {
 		t.Fatalf("pull from 0 = %+v, want 3 frames, head 3", resp)
 	}
@@ -30,24 +30,24 @@ func TestShardLogPull(t *testing.T) {
 		}
 	}
 
-	resp = l.pull(3, 2, 512, 0)
+	resp = l.pull(3, 2, 512, 0, nil)
 	if len(resp.Frames) != 1 || resp.Frames[0].Seq != 3 {
 		t.Fatalf("pull from 2 = %+v, want exactly frame 3", resp)
 	}
 
 	// Caught up: no frames, no snapshot demand.
-	resp = l.pull(3, 3, 512, 0)
+	resp = l.pull(3, 3, 512, 0, nil)
 	if resp.NeedSnapshot || len(resp.Frames) != 0 {
 		t.Fatalf("caught-up pull = %+v, want empty", resp)
 	}
 
 	// Wrong epoch: the follower replicated a previous journal lifetime.
-	if resp = l.pull(2, 3, 512, 0); !resp.NeedSnapshot {
+	if resp = l.pull(2, 3, 512, 0, nil); !resp.NeedSnapshot {
 		t.Fatal("epoch-mismatch pull did not demand a snapshot")
 	}
 
 	// maxFrames caps a single response.
-	if resp = l.pull(3, 0, 2, 0); len(resp.Frames) != 2 {
+	if resp = l.pull(3, 0, 2, 0, nil); len(resp.Frames) != 2 {
 		t.Fatalf("capped pull returned %d frames, want 2", len(resp.Frames))
 	}
 }
@@ -63,10 +63,10 @@ func TestShardLogEviction(t *testing.T) {
 	if l.floor == 0 {
 		t.Fatal("no frames evicted from a 64-byte ring after 10 appends")
 	}
-	if resp := l.pull(1, l.floor-1, 512, 0); !resp.NeedSnapshot {
+	if resp := l.pull(1, l.floor-1, 512, 0, nil); !resp.NeedSnapshot {
 		t.Fatal("pull below the ring floor did not demand a snapshot")
 	}
-	if resp := l.pull(1, l.floor, 512, 0); resp.NeedSnapshot || len(resp.Frames) == 0 {
+	if resp := l.pull(1, l.floor, 512, 0, nil); resp.NeedSnapshot || len(resp.Frames) == 0 {
 		t.Fatalf("pull at the ring floor = %+v, want frames", resp)
 	}
 }
@@ -79,7 +79,7 @@ func TestWaitAck(t *testing.T) {
 	l.append(1, entry("r1", `{}`))
 
 	start := time.Now()
-	acked, attached := l.waitAck(1, time.Second, time.Minute)
+	acked, attached := l.waitAck(1, 1, time.Second, time.Minute)
 	if acked || attached {
 		t.Fatalf("waitAck with no followers = (%v, %v), want (false, false)", acked, attached)
 	}
@@ -88,12 +88,12 @@ func TestWaitAck(t *testing.T) {
 	}
 
 	l.registerAck("http://f1", 0)
-	if acked, attached = l.waitAck(1, 50*time.Millisecond, time.Minute); acked || !attached {
+	if acked, attached = l.waitAck(1, 1, 50*time.Millisecond, time.Minute); acked || !attached {
 		t.Fatalf("waitAck with a lagging follower = (%v, %v), want (false, true)", acked, attached)
 	}
 
 	l.registerAck("http://f1", 1)
-	if acked, _ = l.waitAck(1, 50*time.Millisecond, time.Minute); !acked {
+	if acked, _ = l.waitAck(1, 1, 50*time.Millisecond, time.Minute); !acked {
 		t.Fatal("waitAck did not see the follower's ack")
 	}
 
@@ -116,7 +116,7 @@ func TestWaitAckReleasedByAck(t *testing.T) {
 		l.registerAck("http://f1", 1)
 	}()
 	start := time.Now()
-	if acked, _ := l.waitAck(1, 5*time.Second, time.Minute); !acked {
+	if acked, _ := l.waitAck(1, 1, 5*time.Second, time.Minute); !acked {
 		t.Fatal("gate not released by the ack")
 	}
 	if time.Since(start) > time.Second {

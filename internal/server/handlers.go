@@ -17,6 +17,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/harness"
 	"repro/internal/history"
+	"repro/internal/replica"
 )
 
 // routes builds the service mux. Every route goes through handle, which
@@ -64,6 +65,12 @@ func (s *Server) rejectWriteGated(w http.ResponseWriter, app, version string) bo
 	}
 	if err := s.writeGate(app, version); err != nil {
 		s.counts.writesRejected.Add(1)
+		if errors.Is(err, replica.ErrFenced) {
+			// Fenced is final, not transient: no Retry-After — the
+			// caller must repoint at the new primary, not retry here.
+			writeJSON(w, http.StatusConflict, ErrorResponse{Error: err.Error()})
+			return true
+		}
 		s.writeUnavailable(w, err.Error())
 		return true
 	}
@@ -118,6 +125,11 @@ func writeErr(w http.ResponseWriter, err error, fallback int) {
 	switch {
 	case errors.Is(err, os.ErrNotExist):
 		status = http.StatusNotFound
+	case errors.Is(err, replica.ErrFenced):
+		// A newer epoch owns this keyspace: 409, deliberately NOT
+		// retryable — a fenced node stays fenced, and the client must
+		// repoint rather than spin.
+		status = http.StatusConflict
 	case errors.Is(err, context.DeadlineExceeded):
 		status = http.StatusGatewayTimeout
 	case errors.Is(err, context.Canceled):

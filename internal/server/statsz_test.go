@@ -7,9 +7,11 @@ import (
 	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/harness"
 	"repro/internal/history"
+	"repro/internal/replica"
 )
 
 // getStats fetches and decodes /statsz over HTTP — through the counted
@@ -163,6 +165,105 @@ func TestStatszCoversEveryRoute(t *testing.T) {
 		if got := after.OpCounts[rt.Op]; got != want {
 			t.Errorf("op_counts[%s] = %d after one %s, want %d", rt.Op, got, rt.Pattern, want)
 		}
+	}
+}
+
+// TestStatszReplicationCounters proves the failover gauges the runbook
+// leans on actually move: a primary serving a live follower exports its
+// journal epoch, a finite lease age once the follower's first pull
+// lands, a quorum-release counter that advances with every gated write,
+// and a fencing-reject counter that advances when a newer-epoch rival
+// shows up on the wire.
+func TestStatszReplicationCounters(t *testing.T) {
+	pst, err := history.OpenStoreDurable(t.TempDir(), history.DurableOptions{Create: true, WAL: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pst.Close()
+	prim, err := replica.NewPrimary(pst, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prim.SetQuorum(1)
+	prim.SetLeaseTTL(2 * time.Second)
+	srv := New(harness.NewEnv(replica.Gate(pst, prim)), Options{
+		Sessions:    1,
+		Replication: &replica.Node{Primary: prim, Advertise: "http://primary.test"},
+	})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	st := getStats(t, ts.URL)
+	if st.Replication == nil {
+		t.Fatal("statsz has no replication block on a primary")
+	}
+	if st.Replication.Epoch == 0 {
+		t.Errorf("replication.epoch = 0, want the journal epoch")
+	}
+	if st.Replication.AckQuorum != 1 {
+		t.Errorf("replication.ack_quorum = %d, want 1", st.Replication.AckQuorum)
+	}
+	if st.Replication.LeaseAgeMS != -1 {
+		t.Errorf("replication.lease_age_ms = %d before any pull, want -1", st.Replication.LeaseAgeMS)
+	}
+
+	fst, err := history.OpenStoreDurable(t.TempDir(), history.DurableOptions{Create: true, WAL: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fst.Close()
+	fol, err := replica.NewFollower(ts.URL, "http://follower.test", fst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fol.Start()
+	defer fol.Stop()
+
+	// The follower's pulls double as heartbeats: the lease age turns
+	// finite, and a gated write now releases through the ack quorum.
+	waitFor(t, "first heartbeat", func() bool {
+		s := getStats(t, ts.URL)
+		return s.Replication != nil && s.Replication.LeaseAgeMS >= 0
+	})
+	rec := &history.RunRecord{App: "statsz-app", Version: "V", RunID: "r1"}
+	body, err := json.Marshal(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest(http.MethodPut, ts.URL+"/api/v1/run", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("gated put: status %d", resp.StatusCode)
+	}
+	st = getStats(t, ts.URL)
+	if st.Replication.QuorumAcks == 0 {
+		t.Errorf("replication.quorum_acks = 0 after a gated write, want > 0")
+	}
+	if st.Replication.FencingRejects != 0 {
+		t.Errorf("replication.fencing_rejects = %d before any stale traffic", st.Replication.FencingRejects)
+	}
+
+	// A puller arriving with a higher epoch is a newer primary's
+	// follower: the pull is refused with 409 and the reject counter
+	// moves. (This also fences the primary, so it runs last.)
+	resp, err = http.Get(ts.URL + "/api/v1/replica/wal?shard=0&epoch=999&from=0&id=http://rival.test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("newer-epoch pull: status %d, want 409", resp.StatusCode)
+	}
+	st = getStats(t, ts.URL)
+	if st.Replication.FencingRejects == 0 {
+		t.Errorf("replication.fencing_rejects = 0 after a newer-epoch pull, want > 0")
 	}
 }
 
